@@ -1,0 +1,50 @@
+//! Micro-benchmarks of the CDPC hint-generation algorithm — the paper's
+//! start-up-time cost. The paper claims the technique is "simple to
+//! implement" with information "directly derived" from parallelization
+//! analysis; these benches quantify the run-time library's cost for real
+//! workload shapes and its scaling in pages and processors.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use cdpc_bench::{Preset, Setup};
+use cdpc_core::{generate_hints, MachineParams};
+
+fn bench_suite_hints(c: &mut Criterion) {
+    let setup = Setup { scale: 8 };
+    let mut group = c.benchmark_group("generate_hints/suite");
+    for name in ["tomcatv", "swim", "hydro2d", "applu"] {
+        let bench = cdpc_workloads::by_name(name).expect("exists");
+        let compiled = setup.compile_bench(&bench, Preset::Base1MbDm, 8, false, true);
+        let mem = setup.scaled_mem(Preset::Base1MbDm, 8);
+        let machine =
+            MachineParams::new(8, mem.page_size, mem.l2.size_bytes(), mem.l2.associativity());
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| generate_hints(black_box(&compiled.summary), black_box(&machine)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_cpu_scaling(c: &mut Criterion) {
+    let setup = Setup { scale: 8 };
+    let bench = cdpc_workloads::by_name("tomcatv").expect("exists");
+    let mut group = c.benchmark_group("generate_hints/cpus");
+    for cpus in [1usize, 4, 16] {
+        let compiled = setup.compile_bench(&bench, Preset::Base1MbDm, cpus, false, true);
+        let mem = setup.scaled_mem(Preset::Base1MbDm, cpus);
+        let machine = MachineParams::new(
+            cpus,
+            mem.page_size,
+            mem.l2.size_bytes(),
+            mem.l2.associativity(),
+        );
+        group.bench_function(BenchmarkId::from_parameter(cpus), |b| {
+            b.iter(|| generate_hints(black_box(&compiled.summary), black_box(&machine)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_suite_hints, bench_cpu_scaling);
+criterion_main!(benches);

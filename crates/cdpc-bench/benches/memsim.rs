@@ -1,0 +1,103 @@
+//! Micro-benchmarks of the memory-hierarchy simulator itself: how fast can
+//! it retire references? This bounds the wall-clock cost of every
+//! experiment (the paper's equivalent concern: full-detail simulation of
+//! SPEC95fp "would take more than one year").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use cdpc_memsim::{AccessKind, MemConfig, MemorySystem};
+use cdpc_vm::addr::{PhysAddr, VirtAddr};
+
+fn small_cfg(cpus: usize) -> MemConfig {
+    let mut m = MemConfig::paper_base(cpus);
+    m.l2 = cdpc_memsim::CacheConfig::new(128 << 10, 128, 1);
+    m.l1d = cdpc_memsim::CacheConfig::new(4 << 10, 32, 2);
+    m.l1i = cdpc_memsim::CacheConfig::new(4 << 10, 32, 2);
+    m
+}
+
+/// Sequential streaming: mostly L1/L2 hits after the first lap.
+fn bench_stream_hits(c: &mut Criterion) {
+    let mut group = c.benchmark_group("memsim/stream");
+    const REFS: u64 = 10_000;
+    group.throughput(Throughput::Elements(REFS));
+    group.bench_function("l1_hits", |b| {
+        let mut mem = MemorySystem::new(small_cfg(1));
+        // Warm one line.
+        mem.access(0, 0, VirtAddr(0), PhysAddr(0), AccessKind::Read);
+        let mut t = 1000u64;
+        b.iter(|| {
+            for _ in 0..REFS {
+                t += 1;
+                black_box(mem.access(0, t, VirtAddr(8), PhysAddr(8), AccessKind::Read));
+            }
+        })
+    });
+    group.bench_function("l2_walk", |b| {
+        let mut mem = MemorySystem::new(small_cfg(1));
+        let mut t = 0u64;
+        b.iter(|| {
+            for i in 0..REFS {
+                t += 10;
+                let a = (i * 32) % (64 << 10);
+                black_box(mem.access(0, t, VirtAddr(a), PhysAddr(a), AccessKind::Read));
+            }
+        })
+    });
+    group.finish();
+}
+
+/// Worst case: every reference misses and goes over the contended bus.
+fn bench_miss_storm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("memsim/miss_storm");
+    const REFS: u64 = 2_000;
+    group.throughput(Throughput::Elements(REFS));
+    for cpus in [1usize, 4, 16] {
+        group.bench_function(BenchmarkId::from_parameter(cpus), |b| {
+            let mut mem = MemorySystem::new(small_cfg(cpus));
+            let mut t = 0u64;
+            let mut addr = 0u64;
+            b.iter(|| {
+                for _ in 0..REFS {
+                    t += 50;
+                    addr += 128; // new line every time: guaranteed miss
+                    let cpu = (addr / 128) as usize % cpus;
+                    black_box(mem.access(
+                        cpu,
+                        t,
+                        VirtAddr(addr),
+                        PhysAddr(addr),
+                        AccessKind::Read,
+                    ));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Prefetch issue path, including slot management.
+fn bench_prefetch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("memsim/prefetch");
+    const OPS: u64 = 2_000;
+    group.throughput(Throughput::Elements(OPS));
+    group.bench_function("issue", |b| {
+        let mut mem = MemorySystem::new(small_cfg(1));
+        // Map the TLB entry by touching the page first.
+        mem.access(0, 0, VirtAddr(0), PhysAddr(0), AccessKind::Read);
+        let mut t = 1_000u64;
+        let mut addr = 0u64;
+        b.iter(|| {
+            for _ in 0..OPS {
+                t += 300;
+                addr = (addr + 128) % 4096; // stay in the mapped page
+                black_box(mem.prefetch(0, t, VirtAddr(addr), PhysAddr(addr), false));
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_stream_hits, bench_miss_storm, bench_prefetch);
+criterion_main!(benches);

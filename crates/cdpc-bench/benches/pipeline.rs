@@ -1,0 +1,47 @@
+//! End-to-end pipeline benchmarks: compile (parallelize + layout +
+//! summarize + prefetch-plan + lower) and full machine simulation of one
+//! workload, per policy. These are the costs a user of the library pays.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use cdpc_bench::{Preset, Setup};
+use cdpc_machine::{run, PolicyKind, RunConfig};
+
+fn bench_compile(c: &mut Criterion) {
+    let setup = Setup { scale: 8 };
+    let mut group = c.benchmark_group("pipeline/compile");
+    for name in ["tomcatv", "su2cor", "turb3d"] {
+        let bench = cdpc_workloads::by_name(name).expect("exists");
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| black_box(setup.compile_bench(&bench, Preset::Base1MbDm, 8, true, true)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_simulation(c: &mut Criterion) {
+    // Scale 64 keeps each full simulation to a few milliseconds.
+    let setup = Setup { scale: 64 };
+    let bench = cdpc_workloads::by_name("hydro2d").expect("exists");
+    let compiled = setup.compile_bench(&bench, Preset::Base1MbDm, 4, false, true);
+    let mut group = c.benchmark_group("pipeline/simulate_hydro2d_4p");
+    group.sample_size(20);
+    for policy in [
+        PolicyKind::PageColoring,
+        PolicyKind::BinHopping,
+        PolicyKind::Cdpc,
+        PolicyKind::CdpcTouch,
+    ] {
+        group.bench_function(BenchmarkId::from_parameter(policy.label()), |b| {
+            b.iter(|| {
+                let cfg = RunConfig::new(setup.scaled_mem(Preset::Base1MbDm, 4), policy);
+                black_box(run(&compiled, &cfg))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_compile, bench_simulation);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Ablation study: what does each CDPC algorithm step contribute?
+//!
+//! Not in the paper, but answers the obvious reviewer question: steps 2–4
+//! of §5.2 are heuristics — how much of the win does each carry? We run
+//! the three mapping-sensitive benchmarks with each step disabled in turn
+//! and report conflict-stall fractions and total time.
+//!
+//! * `full`        — the paper's algorithm.
+//! * `-set-order`  — step 2 off: access sets in discovery order.
+//! * `-seg-order`  — step 3 off: segments in address order within sets.
+//! * `-cyclic`     — step 4 off: no rotation; conflicting segments may
+//!   share start colors.
+//! * `none`        — all three off: pure "concatenate the segments and
+//!   deal colors round-robin".
+
+use cdpc_bench::{table, Preset, Setup};
+use cdpc_core::HintOptions;
+use cdpc_machine::{run, PolicyKind, RunConfig};
+
+fn main() {
+    let setup = Setup::from_args();
+    let cpus = 8;
+    let variants: [(&str, HintOptions); 5] = [
+        ("full", HintOptions::FULL),
+        ("-set-order", HintOptions { order_sets: false, ..HintOptions::FULL }),
+        ("-seg-order", HintOptions { order_segments: false, ..HintOptions::FULL }),
+        ("-cyclic", HintOptions { cyclic_layout: false, ..HintOptions::FULL }),
+        (
+            "none",
+            HintOptions {
+                order_sets: false,
+                order_segments: false,
+                cyclic_layout: false,
+            },
+        ),
+    ];
+
+    println!(
+        "CDPC step ablation (1MB DM cache, {} CPUs, scale {})\n",
+        cpus, setup.scale
+    );
+    for name in ["tomcatv", "swim", "hydro2d"] {
+        let bench = cdpc_workloads::by_name(name).expect("benchmark exists");
+        let compiled = setup.compile_bench(&bench, Preset::Base1MbDm, cpus, false, true);
+        println!("== {} ==", bench.name);
+        table::header(&["variant", "time", "conflict-stall", "vs full"], &[12, 10, 14, 8]);
+        let mut full_time = 0u64;
+        for (label, options) in variants {
+            let mut cfg = RunConfig::new(
+                setup.scaled_mem(Preset::Base1MbDm, cpus),
+                PolicyKind::Cdpc,
+            );
+            cfg.hint_options = options;
+            let r = run(&compiled, &cfg);
+            if label == "full" {
+                full_time = r.elapsed_cycles;
+            }
+            println!(
+                "{:>12} {:>10} {:>14} {:>8}",
+                label,
+                table::cycles(r.elapsed_cycles),
+                table::cycles(r.stalls.conflict),
+                table::ratio(full_time as f64 / r.elapsed_cycles.max(1) as f64),
+            );
+        }
+        println!();
+    }
+    println!("vs full > 1.00x would mean the ablated variant beats the full");
+    println!("algorithm — each step should be neutral-or-better to keep.");
+}

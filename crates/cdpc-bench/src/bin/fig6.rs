@@ -1,0 +1,46 @@
+//! Figure 6: impact of compiler-directed page coloring.
+//!
+//! For each application and processor count, compares a standard page
+//! coloring policy with CDPC on the base machine (1 MB direct-mapped
+//! external cache): combined execution time, its breakdown, and the
+//! speedup of CDPC over page coloring. The paper omits apsi and fpppp
+//! (CDPC has no effect); we include them as a check that the effect is
+//! indeed absent.
+
+use cdpc_bench::{table, Preset, Setup};
+use cdpc_machine::PolicyKind;
+
+fn main() {
+    let setup = Setup::from_args();
+    let cpu_counts = [1usize, 2, 4, 8, 16];
+    println!(
+        "Figure 6: page coloring (PC) vs compiler-directed page coloring (CDPC)"
+    );
+    println!("1MB direct-mapped external cache, scale {}\n", setup.scale);
+
+    for bench in cdpc_workloads::all() {
+        println!("== {} ==", bench.name);
+        table::header(
+            &["cpus", "PC time", "CDPC time", "PC repl%", "CDPC repl%", "speedup"],
+            &[4, 10, 10, 9, 10, 8],
+        );
+        for &cpus in &cpu_counts {
+            let pc = setup.run_bench(&bench, Preset::Base1MbDm, cpus, PolicyKind::PageColoring, false, true);
+            let cdpc = setup.run_bench(&bench, Preset::Base1MbDm, cpus, PolicyKind::Cdpc, false, true);
+            let repl_pct = |r: &cdpc_machine::RunReport| {
+                let total = r.exec_cycles + r.stalls.total() + r.overheads.total();
+                r.stalls.replacement() as f64 / total.max(1) as f64
+            };
+            println!(
+                "{:>4} {:>10} {:>10} {:>9} {:>10} {:>8}",
+                cpus,
+                table::cycles(pc.elapsed_cycles),
+                table::cycles(cdpc.elapsed_cycles),
+                table::pct(repl_pct(&pc)),
+                table::pct(repl_pct(&cdpc)),
+                table::ratio(cdpc.speedup_over(&pc)),
+            );
+        }
+        println!();
+    }
+}

@@ -1,0 +1,50 @@
+//! Figure 7: CDPC on two-way set-associative and larger caches.
+//!
+//! Left half: 1 MB two-way set-associative external cache — set
+//! associativity reduces conflict hot spots but not cache under-
+//! utilization, so CDPC's improvements persist. Right half: 4 MB
+//! direct-mapped — the aggregate cache absorbs data sets at lower
+//! processor counts, so CDPC's benefits appear earlier (tomcatv, swim) and
+//! applu (31 MB) finally benefits.
+
+use cdpc_bench::{table, Preset, Setup};
+use cdpc_machine::PolicyKind;
+
+fn main() {
+    let setup = Setup::from_args();
+    let cpu_counts = [1usize, 2, 4, 8, 16];
+    let apps = ["tomcatv", "swim", "su2cor", "hydro2d", "mgrid", "applu", "turb3d"];
+
+    for (title, preset) in [
+        ("1MB two-way set-associative", Preset::TwoWay1Mb),
+        ("4MB direct-mapped", Preset::FourMbDm),
+    ] {
+        println!("Figure 7 ({title}, scale {}):\n", setup.scale);
+        for name in apps {
+            let bench = cdpc_workloads::by_name(name).expect("benchmark exists");
+            println!("== {} ==", bench.name);
+            table::header(
+                &["cpus", "PC time", "CDPC time", "PC repl%", "CDPC repl%", "speedup"],
+                &[4, 10, 10, 9, 10, 8],
+            );
+            for &cpus in &cpu_counts {
+                let pc = setup.run_bench(&bench, preset, cpus, PolicyKind::PageColoring, false, true);
+                let cdpc = setup.run_bench(&bench, preset, cpus, PolicyKind::Cdpc, false, true);
+                let repl_pct = |r: &cdpc_machine::RunReport| {
+                    let total = r.exec_cycles + r.stalls.total() + r.overheads.total();
+                    r.stalls.replacement() as f64 / total.max(1) as f64
+                };
+                println!(
+                    "{:>4} {:>10} {:>10} {:>9} {:>10} {:>8}",
+                    cpus,
+                    table::cycles(pc.elapsed_cycles),
+                    table::cycles(cdpc.elapsed_cycles),
+                    table::pct(repl_pct(&pc)),
+                    table::pct(repl_pct(&cdpc)),
+                    table::ratio(cdpc.speedup_over(&pc)),
+                );
+            }
+            println!();
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! The padding baseline (paper §2.2): how far does classic inter-array
+//! padding get you, and where does it break?
+//!
+//! The paper dismisses padding for three reasons; this experiment
+//! demonstrates the quantitative one: *"padding is constrained by the fact
+//! that it operates on the virtual address space and not on the physical
+//! address space. For example, pads that are larger than a page size are
+//! ineffective if the operating system has a bin hopping policy."*
+//!
+//! We run tomcatv (the seven-same-color-array pathology) with pads of one
+//! cache line, half a page, and two pages, under both page coloring and
+//! bin hopping, against plain CDPC.
+
+use cdpc_bench::{table, Preset, Setup};
+use cdpc_compiler::layout::LayoutMode;
+use cdpc_compiler::{compile, CompileOptions};
+use cdpc_machine::{run, PolicyKind, RunConfig};
+
+fn main() {
+    let setup = Setup::from_args();
+    let cpus = 8;
+    let bench = cdpc_workloads::by_name("tomcatv").expect("exists");
+    let program = (bench.build)(setup.workload_scale());
+    let mem = setup.scaled_mem(Preset::Base1MbDm, cpus);
+    let page = mem.page_size as u64;
+
+    let compile_with = |layout: Option<LayoutMode>| {
+        let mut opts = CompileOptions::new(cpus).with_l2_cache(mem.l2.size_bytes() as u64);
+        opts.l1_cache_bytes = mem.l1d.size_bytes() as u64;
+        opts.layout_override = layout;
+        compile(&program, &opts).expect("model compiles")
+    };
+
+    println!(
+        "Padding vs page mapping policy — tomcatv, {} CPUs, 1MB DM cache, scale {}\n",
+        cpus, setup.scale
+    );
+    table::header(
+        &["layout", "policy", "time", "conflict-stall"],
+        &[16, 14, 10, 14],
+    );
+
+    let variants: [(&str, Option<LayoutMode>); 4] = [
+        ("no pad", Some(LayoutMode::Padded { pad_bytes: 0 })),
+        ("pad 1 line", Some(LayoutMode::Padded { pad_bytes: 128 })),
+        ("pad page/2", Some(LayoutMode::Padded { pad_bytes: page / 2 })),
+        ("pad 2 pages", Some(LayoutMode::Padded { pad_bytes: 2 * page })),
+    ];
+    for policy in [PolicyKind::PageColoring, PolicyKind::BinHopping] {
+        for (label, layout) in variants {
+            let compiled = compile_with(layout);
+            let r = run(&compiled, &RunConfig::new(mem.clone(), policy));
+            println!(
+                "{:<16} {:<14} {:>10} {:>14}",
+                label,
+                policy.label(),
+                table::cycles(r.elapsed_cycles),
+                table::cycles(r.stalls.conflict),
+            );
+        }
+        println!();
+    }
+    // The CDPC reference line.
+    let compiled = compile_with(None);
+    let r = run(&compiled, &RunConfig::new(mem.clone(), PolicyKind::Cdpc));
+    println!(
+        "{:<16} {:<14} {:>10} {:>14}",
+        "aligned",
+        "cdpc",
+        table::cycles(r.elapsed_cycles),
+        table::cycles(r.stalls.conflict),
+    );
+    println!("\nExpected: pads smaller than a page shift colors under page coloring");
+    println!("(sub-page pads leave page colors unchanged, multi-page pads help);");
+    println!("under bin hopping *no* pad helps — colors follow fault order, not");
+    println!("addresses. CDPC beats every padding variant on both policies.");
+}

@@ -1,0 +1,282 @@
+//! Experiment harness: shared plumbing for the binaries that regenerate
+//! every table and figure of the paper (see `DESIGN.md` section 4 for the
+//! experiment index and `EXPERIMENTS.md` for recorded results).
+//!
+//! Run an experiment with, e.g.:
+//!
+//! ```text
+//! cargo run --release -p cdpc-bench --bin fig6
+//! cargo run --release -p cdpc-bench --bin fig6 -- --scale 4   # bigger machine
+//! ```
+//!
+//! All experiments accept `--scale <power-of-two>` (default 8): data sets,
+//! caches, and TLBs shrink together, preserving every data:cache ratio
+//! while keeping runs fast (the paper faces the same wall — full-detail
+//! SPEC95fp simulation "would take more than one year" — and answers with
+//! representative execution windows; we window *and* scale).
+
+use cdpc_compiler::{compile, CompileOptions, CompiledProgram};
+use cdpc_machine::{run, PolicyKind, RunConfig, RunReport};
+use cdpc_memsim::{CacheConfig, MemConfig};
+use cdpc_workloads::spec::Scale;
+use cdpc_workloads::Benchmark;
+
+/// The machine presets used by the paper's experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Preset {
+    /// 1 MB direct-mapped external cache (base SimOS machine, Figures 2-6).
+    Base1MbDm,
+    /// 1 MB two-way set-associative external cache (Figure 7 left).
+    TwoWay1Mb,
+    /// 4 MB direct-mapped external cache (Figure 7 right).
+    FourMbDm,
+    /// AlphaServer 8400: 350 MHz CPUs, 4 MB direct-mapped (Figure 9,
+    /// Table 2).
+    Alpha,
+}
+
+impl Preset {
+    /// The unscaled memory configuration for `cpus` processors.
+    pub fn mem(self, cpus: usize) -> MemConfig {
+        match self {
+            Preset::Base1MbDm => MemConfig::paper_base(cpus),
+            Preset::TwoWay1Mb => MemConfig::paper_2way(cpus),
+            Preset::FourMbDm => MemConfig::paper_4mb(cpus),
+            Preset::Alpha => MemConfig::alphaserver(cpus),
+        }
+    }
+}
+
+/// One experiment configuration: scale plus derived machine parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Setup {
+    /// Power-of-two divisor applied to data sets, caches, and TLBs.
+    pub scale: u64,
+}
+
+impl Default for Setup {
+    fn default() -> Self {
+        Setup { scale: 8 }
+    }
+}
+
+impl Setup {
+    /// Parses `--scale N` / `--full` from command-line arguments
+    /// (defaults to scale 8).
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on malformed arguments.
+    pub fn from_args() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        let mut setup = Setup::default();
+        let mut i = 1;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--scale" => {
+                    let v = args
+                        .get(i + 1)
+                        .and_then(|s| s.parse::<u64>().ok())
+                        .unwrap_or_else(|| panic!("usage: --scale <power-of-two>"));
+                    assert!(v.is_power_of_two(), "--scale must be a power of two");
+                    setup.scale = v;
+                    i += 2;
+                }
+                "--full" => {
+                    setup.scale = 1;
+                    i += 1;
+                }
+                other => panic!("unknown argument `{other}` (supported: --scale N, --full)"),
+            }
+        }
+        setup
+    }
+
+    /// The workload scale.
+    pub fn workload_scale(&self) -> Scale {
+        Scale::new(self.scale)
+    }
+
+    /// Scales a machine preset: L1s, L2, and TLB shrink with the data.
+    pub fn scaled_mem(&self, preset: Preset, cpus: usize) -> MemConfig {
+        let mut m = preset.mem(cpus);
+        if self.scale > 1 {
+            let f = self.scale as usize;
+            m.l2 = m.l2.scaled_down(f);
+            m.l1d = scale_l1(m.l1d, f);
+            m.l1i = scale_l1(m.l1i, f);
+            m.tlb_entries = (m.tlb_entries / f).max(8);
+        }
+        m
+    }
+
+    /// Compiles one benchmark for a preset.
+    pub fn compile_bench(
+        &self,
+        bench: &Benchmark,
+        preset: Preset,
+        cpus: usize,
+        prefetch: bool,
+        aligned: bool,
+    ) -> CompiledProgram {
+        let program = (bench.build)(self.workload_scale());
+        let mem = self.scaled_mem(preset, cpus);
+        let mut opts = CompileOptions::new(cpus).with_l2_cache(mem.l2.size_bytes() as u64);
+        opts.prefetch = prefetch;
+        opts.aligned = aligned;
+        opts.l1_cache_bytes = mem.l1d.size_bytes() as u64;
+        compile(&program, &opts).expect("workload models always compile")
+    }
+
+    /// Compiles and runs one benchmark under one policy.
+    pub fn run_bench(
+        &self,
+        bench: &Benchmark,
+        preset: Preset,
+        cpus: usize,
+        policy: PolicyKind,
+        prefetch: bool,
+        aligned: bool,
+    ) -> RunReport {
+        let compiled = self.compile_bench(bench, preset, cpus, prefetch, aligned);
+        let cfg = RunConfig::new(self.scaled_mem(preset, cpus), policy);
+        run(&compiled, &cfg)
+    }
+}
+
+/// Collects the set of virtual (data) pages each processor touches in the
+/// distributed loops of a compiled program — the raw material of the
+/// paper's Figures 3 and 5.
+pub fn page_access_sets(
+    compiled: &CompiledProgram,
+    page_size: u64,
+) -> Vec<std::collections::BTreeSet<u64>> {
+    use cdpc_compiler::trace::TraceOp;
+    let mut sets = vec![std::collections::BTreeSet::new(); compiled.num_cpus];
+    for phase in &compiled.phases {
+        for stmt in &phase.stmts {
+            if let cdpc_compiler::CompiledStmt::Parallel { specs } = stmt {
+                for (cpu, spec) in specs.iter().enumerate() {
+                    for op in spec.ops() {
+                        if let TraceOp::Load(va) | TraceOp::Store(va) = op {
+                            sets[cpu].insert(va.0 / page_size);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    sets
+}
+
+/// Renders an ASCII access-pattern plot: one row per CPU, one column per
+/// bucket of `positions` (already in the desired order), `#` where the CPU
+/// touches any page of the bucket.
+pub fn render_access_plot(
+    positions: &[u64],
+    sets: &[std::collections::BTreeSet<u64>],
+    width: usize,
+) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let n = positions.len().max(1);
+    let bucket = n.div_ceil(width).max(1);
+    for (cpu, touched) in sets.iter().enumerate() {
+        let _ = write!(out, "cpu{cpu:<2} |");
+        for chunk in positions.chunks(bucket) {
+            let hit = chunk.iter().any(|p| touched.contains(p));
+            out.push(if hit { '#' } else { '.' });
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn scale_l1(l1: CacheConfig, f: usize) -> CacheConfig {
+    // Keep at least 8 sets so associativity still means something.
+    let min = l1.line_bytes() * l1.associativity() * 8;
+    CacheConfig::new(
+        (l1.size_bytes() / f).max(min),
+        l1.line_bytes(),
+        l1.associativity(),
+    )
+}
+
+/// Text-table helpers shared by the experiment binaries.
+pub mod table {
+    /// Prints a header row followed by a rule.
+    pub fn header(cols: &[&str], widths: &[usize]) {
+        let mut line = String::new();
+        for (c, w) in cols.iter().zip(widths) {
+            line.push_str(&format!("{c:>w$} "));
+        }
+        println!("{line}");
+        println!("{}", "-".repeat(line.len()));
+    }
+
+    /// Formats a ratio to two decimals with an `x` suffix.
+    pub fn ratio(r: f64) -> String {
+        format!("{r:.2}x")
+    }
+
+    /// Formats a fraction as a percentage.
+    pub fn pct(f: f64) -> String {
+        format!("{:.1}%", f * 100.0)
+    }
+
+    /// Formats cycle counts in engineering notation.
+    pub fn cycles(c: u64) -> String {
+        if c >= 1_000_000_000 {
+            format!("{:.2}G", c as f64 / 1e9)
+        } else if c >= 1_000_000 {
+            format!("{:.2}M", c as f64 / 1e6)
+        } else if c >= 1_000 {
+            format!("{:.1}k", c as f64 / 1e3)
+        } else {
+            c.to_string()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_paper_machines() {
+        assert_eq!(Preset::Base1MbDm.mem(4).l2.size_bytes(), 1 << 20);
+        assert_eq!(Preset::TwoWay1Mb.mem(4).l2.associativity(), 2);
+        assert_eq!(Preset::FourMbDm.mem(4).l2.size_bytes(), 4 << 20);
+        assert_eq!(Preset::Alpha.mem(4).cpu_mhz, 350);
+    }
+
+    #[test]
+    fn scaling_shrinks_caches_with_floors() {
+        let s = Setup { scale: 8 };
+        let m = s.scaled_mem(Preset::Base1MbDm, 2);
+        assert_eq!(m.l2.size_bytes(), 128 << 10);
+        assert_eq!(m.l1d.size_bytes(), 4 << 10);
+        assert_eq!(m.tlb_entries, 8);
+        // Extreme scale: floors kick in.
+        let s = Setup { scale: 1024 };
+        let m = s.scaled_mem(Preset::Base1MbDm, 2);
+        assert!(m.l1d.size_bytes() >= m.l1d.line_bytes() * m.l1d.associativity() * 8);
+    }
+
+    #[test]
+    fn run_bench_produces_report() {
+        let s = Setup { scale: 64 };
+        let bench = cdpc_workloads::by_name("hydro2d").unwrap();
+        let r = s.run_bench(&bench, Preset::Base1MbDm, 2, PolicyKind::Cdpc, false, true);
+        assert!(r.instructions > 0);
+        assert_eq!(r.policy, "cdpc");
+    }
+
+    #[test]
+    fn table_formatting() {
+        assert_eq!(table::ratio(1.5), "1.50x");
+        assert_eq!(table::pct(0.123), "12.3%");
+        assert_eq!(table::cycles(1500), "1.5k");
+        assert_eq!(table::cycles(2_500_000), "2.50M");
+    }
+}

@@ -1,0 +1,87 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while validating or compiling a program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CompileError {
+    /// An access references an array index that was never declared.
+    UnknownArray {
+        /// The loop containing the access.
+        loop_name: String,
+        /// The out-of-range array index.
+        index: usize,
+    },
+    /// A loop sweeps more bytes than its array holds.
+    AccessExceedsArray {
+        /// The loop containing the access.
+        loop_name: String,
+        /// The array's name.
+        array: String,
+        /// Bytes the access would touch.
+        need: u64,
+        /// Bytes the array holds.
+        have: u64,
+    },
+    /// The CDPC summary derived from the program failed validation.
+    Summary(cdpc_core::CdpcError),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::UnknownArray { loop_name, index } => {
+                write!(f, "loop `{loop_name}` references undeclared array #{index}")
+            }
+            CompileError::AccessExceedsArray {
+                loop_name,
+                array,
+                need,
+                have,
+            } => write!(
+                f,
+                "loop `{loop_name}` sweeps {need} bytes of `{array}` which holds only {have}"
+            ),
+            CompileError::Summary(e) => write!(f, "summary generation failed: {e}"),
+        }
+    }
+}
+
+impl Error for CompileError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CompileError::Summary(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<cdpc_core::CdpcError> for CompileError {
+    fn from(e: cdpc_core::CdpcError) -> Self {
+        CompileError::Summary(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_loop() {
+        let e = CompileError::AccessExceedsArray {
+            loop_name: "l1".into(),
+            array: "A".into(),
+            need: 100,
+            have: 50,
+        };
+        let s = e.to_string();
+        assert!(s.contains("l1") && s.contains("A") && s.contains("100"));
+    }
+
+    #[test]
+    fn wraps_core_errors_with_source() {
+        let e: CompileError =
+            cdpc_core::CdpcError::UnknownArray(cdpc_core::summary::ArrayId(1)).into();
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,359 @@
+//! The loop-nest intermediate representation.
+//!
+//! The SUIF compiler of the paper parallelizes dense Fortran programs whose
+//! computation is organized as sequences of loop nests over arrays with
+//! affine accesses. This IR captures exactly that class, reduced to what
+//! the memory system can observe: which byte ranges of which arrays each
+//! loop iteration touches, how much computation accompanies them, and how
+//! the program is divided into *phases* (the paper's representative
+//! execution windows are sequences of phases — turb3d's steady state, for
+//! example, is four phases occurring 11, 66, 100 and 120 times).
+
+/// Index of an array within its [`Program`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ArrayRef(pub usize);
+
+/// One array declaration (addresses are assigned later by the layout pass).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArrayDecl {
+    /// Source-level name.
+    pub name: String,
+    /// Total size in bytes.
+    pub bytes: u64,
+}
+
+impl ArrayDecl {
+    /// Declares an array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is zero.
+    pub fn new(name: impl Into<String>, bytes: u64) -> Self {
+        assert!(bytes > 0, "arrays must be non-empty");
+        Self {
+            name: name.into(),
+            bytes,
+        }
+    }
+}
+
+/// How one reference walks its array as the distributed loop iterates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessPattern {
+    /// Iteration `i` touches bytes `[i*unit, (i+1)*unit)` — the canonical
+    /// distributed-dimension sweep (`unit` is the data partition unit, e.g.
+    /// one column).
+    Partitioned {
+        /// Bytes touched per iteration.
+        unit_bytes: u64,
+    },
+    /// Like [`AccessPattern::Partitioned`], but iteration `i` also reads
+    /// `halo_units` neighboring units on each side — a stencil. With
+    /// `wraparound`, the first and last iterations exchange (rotate
+    /// communication).
+    Stencil {
+        /// Bytes per unit.
+        unit_bytes: u64,
+        /// Units of halo on each side.
+        halo_units: u64,
+        /// `true` for periodic boundaries (rotate), `false` for shift.
+        wraparound: bool,
+    },
+    /// Every processor streams the entire array each iteration block
+    /// (read-shared tables; unpartitionable but analyzable).
+    WholeArray,
+    /// Gather/scatter with no compile-time structure: iteration `i`
+    /// touches `touches_per_iter` pseudo-random locations. CDPC cannot
+    /// analyze these arrays (su2cor's irregular structures).
+    Irregular {
+        /// Random touches per iteration.
+        touches_per_iter: u64,
+    },
+}
+
+/// One array reference within a loop body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Access {
+    /// The referenced array.
+    pub array: ArrayRef,
+    /// Traversal shape.
+    pub pattern: AccessPattern,
+    /// `true` for stores, `false` for loads.
+    pub is_write: bool,
+}
+
+impl Access {
+    /// A read with the given pattern.
+    pub fn read(array: ArrayRef, pattern: AccessPattern) -> Self {
+        Self {
+            array,
+            pattern,
+            is_write: false,
+        }
+    }
+
+    /// A write with the given pattern.
+    pub fn write(array: ArrayRef, pattern: AccessPattern) -> Self {
+        Self {
+            array,
+            pattern,
+            is_write: true,
+        }
+    }
+}
+
+/// One loop nest, flattened to its distributed dimension.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoopNest {
+    /// Name for reports (e.g. the source loop label).
+    pub name: String,
+    /// Iterations of the distributed dimension.
+    pub iterations: u64,
+    /// Instructions of computation per iteration (drives execution time and
+    /// the compute/memory ratio).
+    pub work_per_iter: u64,
+    /// Code footprint of the loop body in bytes (drives instruction-cache
+    /// behavior; fpppp's huge basic blocks overflow the 32 KB L1I).
+    pub code_bytes: u64,
+    /// Array references in the body.
+    pub accesses: Vec<Access>,
+    /// `true` when the parallelizer tiled this loop to reduce
+    /// synchronization; tiling inhibits software pipelining of prefetches
+    /// (the paper's applu).
+    pub tiled: bool,
+}
+
+impl LoopNest {
+    /// Creates a loop nest with defaults (small code footprint, untiled).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `iterations` is zero.
+    pub fn new(name: impl Into<String>, iterations: u64, work_per_iter: u64) -> Self {
+        assert!(iterations > 0, "loops must iterate");
+        Self {
+            name: name.into(),
+            iterations,
+            work_per_iter,
+            code_bytes: 512,
+            accesses: Vec::new(),
+            tiled: false,
+        }
+    }
+
+    /// Adds an access (builder-style).
+    #[must_use]
+    pub fn with_access(mut self, access: Access) -> Self {
+        self.accesses.push(access);
+        self
+    }
+
+    /// Sets the code footprint (builder-style).
+    #[must_use]
+    pub fn with_code_bytes(mut self, bytes: u64) -> Self {
+        self.code_bytes = bytes;
+        self
+    }
+
+    /// Marks the loop as tiled (builder-style).
+    #[must_use]
+    pub fn tiled(mut self) -> Self {
+        self.tiled = true;
+        self
+    }
+
+    /// Arrays referenced by this nest (deduplicated, in first-use order).
+    pub fn referenced_arrays(&self) -> Vec<ArrayRef> {
+        let mut seen = Vec::new();
+        for a in &self.accesses {
+            if !seen.contains(&a.array) {
+                seen.push(a.array);
+            }
+        }
+        seen
+    }
+}
+
+/// How a statement may be executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StmtKind {
+    /// A loop the compiler can distribute across processors.
+    Parallel,
+    /// Inherently sequential code (runs on the master while slaves spin).
+    Sequential,
+    /// Parallelizable but fine-grained: the compiler *suppresses* its
+    /// parallel execution because synchronization costs would dominate
+    /// (the paper's apsi and wave5).
+    FineGrain,
+}
+
+/// One statement of a phase: a loop nest plus how it may run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Stmt {
+    /// Parallel / sequential / fine-grain.
+    pub kind: StmtKind,
+    /// The loop nest.
+    pub nest: LoopNest,
+}
+
+/// A phase of the steady state: a straight-line sequence of statements
+/// occurring `count` times.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Phase {
+    /// Phase name for reports.
+    pub name: String,
+    /// Statements executed in order.
+    pub stmts: Vec<Stmt>,
+    /// Occurrences during the steady state (used to weight statistics).
+    pub count: u64,
+}
+
+/// A whole program in steady state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    /// Program name (e.g. "101.tomcatv").
+    pub name: String,
+    /// All arrays.
+    pub arrays: Vec<ArrayDecl>,
+    /// Steady-state phases.
+    pub phases: Vec<Phase>,
+}
+
+impl Program {
+    /// Creates an empty program.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            arrays: Vec::new(),
+            phases: Vec::new(),
+        }
+    }
+
+    /// Declares an array, returning its handle.
+    pub fn array(&mut self, name: impl Into<String>, bytes: u64) -> ArrayRef {
+        self.arrays.push(ArrayDecl::new(name, bytes));
+        ArrayRef(self.arrays.len() - 1)
+    }
+
+    /// Appends a phase.
+    pub fn phase(&mut self, phase: Phase) -> &mut Self {
+        self.phases.push(phase);
+        self
+    }
+
+    /// Total bytes across all arrays (the paper's Table 1 "data set size").
+    pub fn data_set_bytes(&self) -> u64 {
+        self.arrays.iter().map(|a| a.bytes).sum()
+    }
+
+    /// Looks up an array declaration.
+    pub fn decl(&self, r: ArrayRef) -> &ArrayDecl {
+        &self.arrays[r.0]
+    }
+
+    /// Validates internal consistency: every access references a declared
+    /// array and pattern units fit their arrays.
+    pub fn validate(&self) -> Result<(), crate::CompileError> {
+        for phase in &self.phases {
+            for stmt in &phase.stmts {
+                for acc in &stmt.nest.accesses {
+                    if acc.array.0 >= self.arrays.len() {
+                        return Err(crate::CompileError::UnknownArray {
+                            loop_name: stmt.nest.name.clone(),
+                            index: acc.array.0,
+                        });
+                    }
+                    let decl = self.decl(acc.array);
+                    let unit = match acc.pattern {
+                        AccessPattern::Partitioned { unit_bytes } => Some(unit_bytes),
+                        AccessPattern::Stencil { unit_bytes, .. } => Some(unit_bytes),
+                        _ => None,
+                    };
+                    if let Some(unit) = unit {
+                        if unit == 0 || unit * stmt.nest.iterations > decl.bytes {
+                            return Err(crate::CompileError::AccessExceedsArray {
+                                loop_name: stmt.nest.name.clone(),
+                                array: decl.name.clone(),
+                                need: unit * stmt.nest.iterations,
+                                have: decl.bytes,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Program {
+        let mut p = Program::new("test");
+        let a = p.array("A", 64 * 1024);
+        let nest = LoopNest::new("l1", 64, 100)
+            .with_access(Access::read(a, AccessPattern::Partitioned { unit_bytes: 1024 }));
+        p.phase(Phase {
+            name: "main".into(),
+            stmts: vec![Stmt {
+                kind: StmtKind::Parallel,
+                nest,
+            }],
+            count: 10,
+        });
+        p
+    }
+
+    #[test]
+    fn construction_and_validation() {
+        let p = sample();
+        assert_eq!(p.data_set_bytes(), 64 * 1024);
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_catches_unknown_array() {
+        let mut p = sample();
+        p.phases[0].stmts[0]
+            .nest
+            .accesses
+            .push(Access::read(ArrayRef(9), AccessPattern::WholeArray));
+        assert!(matches!(
+            p.validate(),
+            Err(crate::CompileError::UnknownArray { .. })
+        ));
+    }
+
+    #[test]
+    fn validation_catches_oversized_access() {
+        let mut p = sample();
+        // 64 iterations * 2048 B > 64 KB array.
+        p.phases[0].stmts[0].nest.accesses[0].pattern =
+            AccessPattern::Partitioned { unit_bytes: 2048 };
+        assert!(matches!(
+            p.validate(),
+            Err(crate::CompileError::AccessExceedsArray { .. })
+        ));
+    }
+
+    #[test]
+    fn referenced_arrays_deduplicate() {
+        let mut p = Program::new("t");
+        let a = p.array("A", 4096);
+        let b = p.array("B", 4096);
+        let nest = LoopNest::new("l", 4, 1)
+            .with_access(Access::read(a, AccessPattern::WholeArray))
+            .with_access(Access::write(a, AccessPattern::WholeArray))
+            .with_access(Access::read(b, AccessPattern::WholeArray));
+        assert_eq!(nest.referenced_arrays(), vec![a, b]);
+    }
+
+    #[test]
+    fn builders_set_flags() {
+        let nest = LoopNest::new("l", 4, 1).with_code_bytes(8192).tiled();
+        assert_eq!(nest.code_bytes, 8192);
+        assert!(nest.tiled);
+    }
+}

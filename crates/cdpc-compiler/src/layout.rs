@@ -1,0 +1,245 @@
+//! The data-layout pass: assigning virtual addresses to arrays.
+//!
+//! The paper's SUIF runtime dynamically allocates all data structures and
+//! (a) aligns each to a cache-line boundary — eliminating false sharing
+//! between structures and within them when processors work on multiples of
+//! a line — and (b) inserts small pads so the starting addresses of
+//! structures *used together* never map to the same location in the
+//! on-chip cache (§5.4).
+//!
+//! The unaligned mode packs arrays back-to-back at element granularity,
+//! reproducing the "no alignment, no padding" baseline of Figure 9.
+
+use cdpc_vm::addr::VirtAddr;
+
+use crate::ir::Program;
+
+/// Layout strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LayoutMode {
+    /// Pack arrays back-to-back at element (8-byte) granularity: starting
+    /// addresses may share cache lines and collide in the on-chip cache.
+    Unaligned,
+    /// Cache-line align every array and pad between grouped arrays so
+    /// their starts differ in the on-chip cache (the paper's default).
+    Aligned,
+    /// The classic *padding* technique (paper §2.2): cache-line align and
+    /// insert a fixed pad of `pad_bytes` between consecutive arrays,
+    /// offsetting their relative cache positions. Works only through the
+    /// virtual address space — "pads that are larger than a page size are
+    /// ineffective if the operating system has a bin hopping policy" —
+    /// which the `padding` experiment demonstrates.
+    Padded {
+        /// Bytes inserted between consecutive arrays.
+        pad_bytes: u64,
+    },
+}
+
+/// Layout options.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LayoutOptions {
+    /// Strategy.
+    pub mode: LayoutMode,
+    /// External-cache line size (alignment quantum), bytes.
+    pub line_bytes: u64,
+    /// On-chip cache size, bytes (pad target for start-address spreading).
+    pub l1_cache_bytes: u64,
+    /// First byte of the data segment.
+    pub data_base: u64,
+}
+
+impl Default for LayoutOptions {
+    fn default() -> Self {
+        Self {
+            mode: LayoutMode::Aligned,
+            line_bytes: 128,
+            l1_cache_bytes: 32 << 10,
+            data_base: 0x1_0000,
+        }
+    }
+}
+
+/// Where everything ended up.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DataLayout {
+    /// Base address of each array, indexed by [`crate::ir::ArrayRef`].
+    pub bases: Vec<VirtAddr>,
+    /// Base of the synthetic code segment (instruction fetches).
+    pub code_base: VirtAddr,
+    /// Bytes from `data_base` to the end of the last array (pads included).
+    pub total_data_bytes: u64,
+}
+
+impl DataLayout {
+    /// The base address of one array.
+    pub fn base(&self, array: crate::ir::ArrayRef) -> VirtAddr {
+        self.bases[array.0]
+    }
+}
+
+/// Runs the layout pass.
+pub fn layout(program: &Program, opts: &LayoutOptions) -> DataLayout {
+    // Group relation: arrays co-referenced by any loop.
+    let mut grouped: Vec<Vec<usize>> = Vec::new();
+    for phase in &program.phases {
+        for stmt in &phase.stmts {
+            let refs: Vec<usize> = stmt.nest.referenced_arrays().iter().map(|r| r.0).collect();
+            if refs.len() >= 2 {
+                grouped.push(refs);
+            }
+        }
+    }
+    let used_together = |a: usize, b: usize| {
+        grouped
+            .iter()
+            .any(|g| g.contains(&a) && g.contains(&b))
+    };
+
+    let mut bases = Vec::with_capacity(program.arrays.len());
+    let mut cursor = opts.data_base;
+    for (i, decl) in program.arrays.iter().enumerate() {
+        match opts.mode {
+            LayoutMode::Unaligned => {
+                cursor = align_up(cursor, 8);
+            }
+            LayoutMode::Padded { pad_bytes } => {
+                if i > 0 {
+                    cursor += pad_bytes;
+                }
+                cursor = align_up(cursor, opts.line_bytes);
+            }
+            LayoutMode::Aligned => {
+                cursor = align_up(cursor, opts.line_bytes);
+                // Pad until this array's start does not collide, in the
+                // on-chip cache, with the start of any earlier array it is
+                // used together with. When more arrays are grouped than the
+                // on-chip cache has line slots, a collision is unavoidable:
+                // give up after one full lap of the slot space.
+                let slot = |addr: u64| (addr % opts.l1_cache_bytes) / opts.line_bytes;
+                let max_tries = opts.l1_cache_bytes / opts.line_bytes;
+                for _ in 0..max_tries {
+                    let collision = bases
+                        .iter()
+                        .enumerate()
+                        .any(|(j, b): (usize, &VirtAddr)| {
+                            used_together(i, j) && slot(b.0) == slot(cursor)
+                        });
+                    if !collision {
+                        break;
+                    }
+                    cursor += opts.line_bytes;
+                }
+            }
+        }
+        bases.push(VirtAddr(cursor));
+        cursor += decl.bytes;
+    }
+    let total_data_bytes = cursor - opts.data_base;
+    // Code segment on the next page boundary, with a guard page.
+    let code_base = VirtAddr(align_up(cursor, 4096) + 4096);
+    DataLayout {
+        bases,
+        code_base,
+        total_data_bytes,
+    }
+}
+
+fn align_up(x: u64, quantum: u64) -> u64 {
+    x.div_ceil(quantum) * quantum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{Access, AccessPattern, LoopNest, Phase, Stmt, StmtKind};
+
+    fn program_with_sizes(sizes: &[u64], group_all: bool) -> Program {
+        let mut p = Program::new("t");
+        let refs: Vec<_> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| p.array(format!("a{i}"), s))
+            .collect();
+        if group_all {
+            let mut nest = LoopNest::new("l", 4, 1);
+            for &r in &refs {
+                nest = nest.with_access(Access::read(r, AccessPattern::WholeArray));
+            }
+            p.phase(Phase {
+                name: "ph".into(),
+                stmts: vec![Stmt {
+                    kind: StmtKind::Parallel,
+                    nest,
+                }],
+                count: 1,
+            });
+        }
+        p
+    }
+
+    #[test]
+    fn unaligned_packs_tightly() {
+        let p = program_with_sizes(&[100, 100], false);
+        let l = layout(
+            &p,
+            &LayoutOptions {
+                mode: LayoutMode::Unaligned,
+                ..Default::default()
+            },
+        );
+        // Second array starts at the first 8-byte boundary after byte 100.
+        assert_eq!(l.bases[1].0 - l.bases[0].0, 104);
+    }
+
+    #[test]
+    fn aligned_starts_on_line_boundaries() {
+        let p = program_with_sizes(&[100, 100], false);
+        let l = layout(&p, &LayoutOptions::default());
+        for b in &l.bases {
+            assert_eq!(b.0 % 128, 0, "array must start on a cache line");
+        }
+    }
+
+    #[test]
+    fn grouped_arrays_avoid_on_chip_collisions() {
+        // Two 32 KB arrays used together: without padding their starts are
+        // exactly one L1-cache apart → same on-chip slot. The pass must
+        // separate them.
+        let l1 = 32 << 10;
+        let p = program_with_sizes(&[l1, l1, l1], true);
+        let l = layout(&p, &LayoutOptions::default());
+        let slot = |a: u64| (a % l1) / 128;
+        assert_ne!(slot(l.bases[0].0), slot(l.bases[1].0));
+        assert_ne!(slot(l.bases[0].0), slot(l.bases[2].0));
+        assert_ne!(slot(l.bases[1].0), slot(l.bases[2].0));
+    }
+
+    #[test]
+    fn ungrouped_arrays_need_no_padding() {
+        let l1 = 32 << 10;
+        let p = program_with_sizes(&[l1, l1], false);
+        let l = layout(&p, &LayoutOptions::default());
+        // Starts exactly one array apart: no pad inserted.
+        assert_eq!(l.bases[1].0 - l.bases[0].0, l1);
+    }
+
+    #[test]
+    fn code_segment_is_page_aligned_beyond_data() {
+        let p = program_with_sizes(&[5000], false);
+        let l = layout(&p, &LayoutOptions::default());
+        assert_eq!(l.code_base.0 % 4096, 0);
+        assert!(l.code_base.0 >= l.bases[0].0 + 5000);
+    }
+
+    #[test]
+    fn arrays_never_overlap() {
+        let p = program_with_sizes(&[100, 4096, 32 << 10, 77], true);
+        let l = layout(&p, &LayoutOptions::default());
+        for i in 1..l.bases.len() {
+            assert!(
+                l.bases[i].0 >= l.bases[i - 1].0 + p.arrays[i - 1].bytes,
+                "array {i} overlaps its predecessor"
+            );
+        }
+    }
+}

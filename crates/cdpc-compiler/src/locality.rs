@@ -1,0 +1,234 @@
+//! Locality analysis and prefetch planning.
+//!
+//! The paper's prefetching pass (after Mowry et al.) uses locality analysis
+//! to insert prefetches *only for references likely to suffer misses*, and
+//! software-pipelines them so data arrives before use. We reproduce the
+//! decision structure:
+//!
+//! * A reference streams data (its per-processor volume in the loop is
+//!   large relative to the external cache) → prefetch it.
+//! * A reference re-touches a small resident footprint → no prefetch.
+//! * Loops that were **tiled** during parallelization cannot be software
+//!   pipelined (the paper's applu): their prefetches are issued with zero
+//!   lookahead and arrive too late to help.
+
+use crate::ir::{AccessPattern, Program};
+use crate::parallelize::{ParallelPlan, StmtSchedule};
+
+/// Prefetch-planning options.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrefetchOptions {
+    /// Master switch (the compiler flag).
+    pub enabled: bool,
+    /// External-cache capacity used by the locality test.
+    pub cache_bytes: u64,
+    /// Iterations of lookahead for software-pipelined prefetches.
+    pub pipeline_depth: u64,
+}
+
+impl Default for PrefetchOptions {
+    fn default() -> Self {
+        Self {
+            enabled: false,
+            cache_bytes: 1 << 20,
+            pipeline_depth: 2,
+        }
+    }
+}
+
+/// The prefetch decision for one access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessPrefetch {
+    /// Insert prefetches for this reference.
+    pub enabled: bool,
+    /// Iterations ahead to prefetch (0 = same iteration: too late to hide
+    /// latency, the tiled-loop case).
+    pub lookahead: u64,
+}
+
+impl AccessPrefetch {
+    /// No prefetching.
+    pub const OFF: AccessPrefetch = AccessPrefetch {
+        enabled: false,
+        lookahead: 0,
+    };
+}
+
+/// Prefetch decisions indexed `[phase][stmt][access]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PrefetchPlan {
+    decisions: Vec<Vec<Vec<AccessPrefetch>>>,
+}
+
+impl PrefetchPlan {
+    /// The decision for one access.
+    pub fn decision(&self, phase: usize, stmt: usize, access: usize) -> AccessPrefetch {
+        self.decisions[phase][stmt][access]
+    }
+
+    /// `true` if any access anywhere prefetches.
+    pub fn any_enabled(&self) -> bool {
+        self.decisions
+            .iter()
+            .flatten()
+            .flatten()
+            .any(|d| d.enabled)
+    }
+}
+
+/// Runs locality analysis and produces the prefetch plan.
+pub fn plan_prefetches(
+    program: &Program,
+    plan: &ParallelPlan,
+    opts: &PrefetchOptions,
+) -> PrefetchPlan {
+    let p = plan.num_cpus().max(1) as u64;
+    let decisions = program
+        .phases
+        .iter()
+        .enumerate()
+        .map(|(pi, phase)| {
+            phase
+                .stmts
+                .iter()
+                .enumerate()
+                .map(|(si, stmt)| {
+                    let schedule = plan.schedule(pi, si);
+                    // Reuse across iterations survives only if the *loop's*
+                    // per-processor working set stays resident, so the
+                    // locality test uses the sum over all references of the
+                    // nest, not each reference alone.
+                    let per_access_volume = |acc: &crate::ir::Access| match acc.pattern {
+                        AccessPattern::Partitioned { unit_bytes }
+                        | AccessPattern::Stencil { unit_bytes, .. } => {
+                            let iters = match schedule {
+                                StmtSchedule::Distributed { .. } => {
+                                    stmt.nest.iterations.div_ceil(p)
+                                }
+                                _ => stmt.nest.iterations,
+                            };
+                            unit_bytes * iters
+                        }
+                        AccessPattern::WholeArray => program.decl(acc.array).bytes,
+                        // Irregular references have no analyzable address
+                        // stream to pipeline.
+                        AccessPattern::Irregular { .. } => 0,
+                    };
+                    let loop_volume: u64 =
+                        stmt.nest.accesses.iter().map(per_access_volume).sum();
+                    stmt.nest
+                        .accesses
+                        .iter()
+                        .map(|acc| {
+                            if !opts.enabled {
+                                return AccessPrefetch::OFF;
+                            }
+                            // A reference misses when its own stream is not
+                            // trivially resident AND the loop working set
+                            // exceeds the cache.
+                            let streams = per_access_volume(acc) > 0;
+                            if streams && loop_volume > opts.cache_bytes / 2 {
+                                AccessPrefetch {
+                                    enabled: true,
+                                    lookahead: if stmt.nest.tiled {
+                                        0
+                                    } else {
+                                        opts.pipeline_depth
+                                    },
+                                }
+                            } else {
+                                AccessPrefetch::OFF
+                            }
+                        })
+                        .collect()
+                })
+                .collect()
+        })
+        .collect();
+    PrefetchPlan { decisions }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{Access, LoopNest, Phase, Stmt, StmtKind};
+    use crate::parallelize::{parallelize, ParallelizeOptions};
+
+    fn program(array_bytes: u64, unit: u64, iters: u64, tiled: bool) -> Program {
+        let mut p = Program::new("t");
+        let a = p.array("A", array_bytes);
+        let mut nest = LoopNest::new("l", iters, 1000)
+            .with_access(Access::read(a, AccessPattern::Partitioned { unit_bytes: unit }));
+        if tiled {
+            nest = nest.tiled();
+        }
+        p.phase(Phase {
+            name: "ph".into(),
+            stmts: vec![Stmt {
+                kind: StmtKind::Parallel,
+                nest,
+            }],
+            count: 1,
+        });
+        p
+    }
+
+    fn opts(enabled: bool, cache: u64) -> PrefetchOptions {
+        PrefetchOptions {
+            enabled,
+            cache_bytes: cache,
+            pipeline_depth: 2,
+        }
+    }
+
+    #[test]
+    fn streaming_references_get_prefetched() {
+        let p = program(1 << 20, 1 << 14, 64, false); // 1 MB swept, 4 CPUs → 256 KB each
+        let plan = parallelize(&p, &ParallelizeOptions { num_cpus: 4, ..Default::default() });
+        let pf = plan_prefetches(&p, &plan, &opts(true, 256 << 10));
+        let d = pf.decision(0, 0, 0);
+        assert!(d.enabled);
+        assert_eq!(d.lookahead, 2);
+    }
+
+    #[test]
+    fn small_footprints_are_not_prefetched() {
+        let p = program(64 << 10, 1 << 10, 64, false); // 16 KB per CPU
+        let plan = parallelize(&p, &ParallelizeOptions { num_cpus: 4, ..Default::default() });
+        let pf = plan_prefetches(&p, &plan, &opts(true, 1 << 20));
+        assert!(!pf.decision(0, 0, 0).enabled);
+        assert!(!pf.any_enabled());
+    }
+
+    #[test]
+    fn tiled_loops_lose_their_lookahead() {
+        let p = program(1 << 20, 1 << 14, 64, true);
+        let plan = parallelize(&p, &ParallelizeOptions { num_cpus: 2, ..Default::default() });
+        let pf = plan_prefetches(&p, &plan, &opts(true, 256 << 10));
+        let d = pf.decision(0, 0, 0);
+        assert!(d.enabled);
+        assert_eq!(d.lookahead, 0, "tiling inhibits software pipelining");
+    }
+
+    #[test]
+    fn disabled_flag_turns_everything_off() {
+        let p = program(1 << 20, 1 << 14, 64, false);
+        let plan = parallelize(&p, &ParallelizeOptions { num_cpus: 4, ..Default::default() });
+        let pf = plan_prefetches(&p, &plan, &opts(false, 1));
+        assert!(!pf.any_enabled());
+    }
+
+    #[test]
+    fn more_processors_reduce_prefetch_need() {
+        // With enough CPUs, the per-processor stream fits the cache and the
+        // compiler stops prefetching — matching the paper's observation
+        // that prefetching matters most at low processor counts.
+        let p = program(1 << 20, 1 << 14, 64, false);
+        let mk = |cpus| {
+            let plan = parallelize(&p, &ParallelizeOptions { num_cpus: cpus, ..Default::default() });
+            plan_prefetches(&p, &plan, &opts(true, 1 << 20)).decision(0, 0, 0).enabled
+        };
+        assert!(mk(1), "uniprocessor stream of 1 MB > 512 KB threshold");
+        assert!(!mk(16), "per-CPU stream of 64 KB stays resident");
+    }
+}

@@ -1,0 +1,194 @@
+//! The parallelization pass: deciding how each loop runs.
+//!
+//! The real SUIF pipeline performs dependence analysis to find parallel
+//! loops; our IR already carries that verdict ([`StmtKind`]). What remains
+//! — and what this pass reproduces — is the *scheduling* decision the
+//! paper describes: statically distribute coarse-grain parallel loops
+//! across the processors, and **suppress** the parallel execution of loops
+//! whose granularity is too fine for today's synchronization costs (the
+//! paper's apsi and wave5 lose their parallelism here, which is why they
+//! see no speedup).
+
+use cdpc_core::summary::{PartitionDirection, PartitionPolicy};
+
+use crate::ir::{Program, StmtKind};
+
+/// Scheduling options.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParallelizeOptions {
+    /// Processors available.
+    pub num_cpus: usize,
+    /// Minimum `iterations * work_per_iter` for a parallel loop to be worth
+    /// distributing; below this it is suppressed.
+    pub suppress_threshold: u64,
+    /// Iteration distribution policy.
+    pub policy: PartitionPolicy,
+    /// Iteration distribution direction.
+    pub direction: PartitionDirection,
+}
+
+impl Default for ParallelizeOptions {
+    fn default() -> Self {
+        Self {
+            num_cpus: 1,
+            suppress_threshold: 2_000,
+            policy: PartitionPolicy::Blocked,
+            direction: PartitionDirection::Forward,
+        }
+    }
+}
+
+/// How one statement will execute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StmtSchedule {
+    /// Iterations distributed across all processors.
+    Distributed {
+        /// Distribution policy.
+        policy: PartitionPolicy,
+        /// Distribution direction.
+        direction: PartitionDirection,
+    },
+    /// Inherently sequential: master runs, slaves spin (sequential time).
+    Master,
+    /// Parallelizable but suppressed: master runs alone (suppressed time).
+    Suppressed,
+}
+
+impl StmtSchedule {
+    /// `true` when all processors take part.
+    pub fn is_distributed(self) -> bool {
+        matches!(self, StmtSchedule::Distributed { .. })
+    }
+}
+
+/// The schedule for every statement, indexed `[phase][stmt]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParallelPlan {
+    schedules: Vec<Vec<StmtSchedule>>,
+    num_cpus: usize,
+}
+
+impl ParallelPlan {
+    /// The schedule of one statement.
+    pub fn schedule(&self, phase: usize, stmt: usize) -> StmtSchedule {
+        self.schedules[phase][stmt]
+    }
+
+    /// Processors the plan was built for.
+    pub fn num_cpus(&self) -> usize {
+        self.num_cpus
+    }
+
+    /// Iterates `(phase, stmt, schedule)`.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, StmtSchedule)> + '_ {
+        self.schedules
+            .iter()
+            .enumerate()
+            .flat_map(|(p, v)| v.iter().enumerate().map(move |(s, &sch)| (p, s, sch)))
+    }
+}
+
+/// Runs the scheduling pass.
+pub fn parallelize(program: &Program, opts: &ParallelizeOptions) -> ParallelPlan {
+    let schedules = program
+        .phases
+        .iter()
+        .map(|phase| {
+            phase
+                .stmts
+                .iter()
+                .map(|stmt| match stmt.kind {
+                    StmtKind::Sequential => StmtSchedule::Master,
+                    StmtKind::FineGrain => StmtSchedule::Suppressed,
+                    StmtKind::Parallel => {
+                        let work = stmt.nest.iterations * stmt.nest.work_per_iter.max(1);
+                        if opts.num_cpus == 1 {
+                            // Uniprocessor: run everything on the master with
+                            // no suppression bookkeeping.
+                            StmtSchedule::Master
+                        } else if work < opts.suppress_threshold {
+                            StmtSchedule::Suppressed
+                        } else {
+                            StmtSchedule::Distributed {
+                                policy: opts.policy,
+                                direction: opts.direction,
+                            }
+                        }
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    ParallelPlan {
+        schedules,
+        num_cpus: opts.num_cpus,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{LoopNest, Phase, Stmt};
+
+    fn program(kind: StmtKind, iterations: u64, work: u64) -> Program {
+        let mut p = Program::new("t");
+        p.phase(Phase {
+            name: "ph".into(),
+            stmts: vec![Stmt {
+                kind,
+                nest: LoopNest::new("l", iterations, work),
+            }],
+            count: 1,
+        });
+        p
+    }
+
+    fn opts(cpus: usize) -> ParallelizeOptions {
+        ParallelizeOptions {
+            num_cpus: cpus,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn coarse_parallel_loops_distribute() {
+        let plan = parallelize(&program(StmtKind::Parallel, 1000, 100), &opts(4));
+        assert!(plan.schedule(0, 0).is_distributed());
+        assert_eq!(plan.num_cpus(), 4);
+    }
+
+    #[test]
+    fn fine_grain_loops_are_suppressed() {
+        let plan = parallelize(&program(StmtKind::FineGrain, 1000, 100), &opts(4));
+        assert_eq!(plan.schedule(0, 0), StmtSchedule::Suppressed);
+    }
+
+    #[test]
+    fn small_parallel_loops_are_suppressed_by_threshold() {
+        let plan = parallelize(&program(StmtKind::Parallel, 10, 10), &opts(4));
+        assert_eq!(plan.schedule(0, 0), StmtSchedule::Suppressed);
+    }
+
+    #[test]
+    fn sequential_loops_run_on_master() {
+        let plan = parallelize(&program(StmtKind::Sequential, 1000, 100), &opts(4));
+        assert_eq!(plan.schedule(0, 0), StmtSchedule::Master);
+    }
+
+    #[test]
+    fn uniprocessor_runs_everything_on_master() {
+        let plan = parallelize(&program(StmtKind::Parallel, 1000, 100), &opts(1));
+        assert_eq!(plan.schedule(0, 0), StmtSchedule::Master);
+    }
+
+    #[test]
+    fn iter_walks_all_statements() {
+        let mut p = program(StmtKind::Parallel, 1000, 100);
+        p.phases[0].stmts.push(Stmt {
+            kind: StmtKind::Sequential,
+            nest: LoopNest::new("l2", 10, 1),
+        });
+        let plan = parallelize(&p, &opts(2));
+        assert_eq!(plan.iter().count(), 2);
+    }
+}

@@ -1,0 +1,243 @@
+//! Summary generation: from scheduled IR to the CDPC access summaries.
+//!
+//! This is stage 1 of the paper's three-stage pipeline (§5): the compiler
+//! walks its parallelization results and records, for every array, how the
+//! distributed loops partition it, what boundary communication occurs, and
+//! which arrays appear in the same loops. The output is exactly the
+//! [`cdpc_core::summary::AccessSummary`] the run-time hint generator
+//! consumes.
+
+use cdpc_core::summary::{
+    AccessSummary, ArrayId, ArrayInfo, ArrayPartitioning, CommunicationPattern,
+    CommunicationSummary, GroupAccess,
+};
+
+use crate::ir::{AccessPattern, Program};
+use crate::layout::DataLayout;
+use crate::parallelize::{ParallelPlan, StmtSchedule};
+
+/// Derives the access summary for a scheduled, laid-out program.
+///
+/// Rules (paper §5.1):
+///
+/// * A [`AccessPattern::Partitioned`] or [`AccessPattern::Stencil`] access
+///   in a distributed loop yields an [`ArrayPartitioning`] whose data
+///   partition unit is the bytes one iteration touches.
+/// * A stencil's halo yields a [`CommunicationSummary`] (shift, or rotate
+///   for periodic boundaries).
+/// * A [`AccessPattern::WholeArray`] access marks the array read-shared.
+/// * [`AccessPattern::Irregular`] arrays stay **unanalyzable**: they appear
+///   in `arrays` but get no partitioning, so CDPC leaves them unhinted
+///   (su2cor's situation).
+/// * Every distributed loop referencing two or more analyzable arrays
+///   contributes a [`GroupAccess`].
+pub fn summarize(program: &Program, plan: &ParallelPlan, layout: &DataLayout) -> AccessSummary {
+    let arrays: Vec<ArrayInfo> = program
+        .arrays
+        .iter()
+        .enumerate()
+        .map(|(i, d)| ArrayInfo::new(ArrayId(i), d.name.clone(), layout.bases[i], d.bytes))
+        .collect();
+
+    let mut partitionings: Vec<ArrayPartitioning> = Vec::new();
+    let mut communications: Vec<CommunicationSummary> = Vec::new();
+    let mut shared: Vec<ArrayId> = Vec::new();
+    let mut groups: Vec<GroupAccess> = Vec::new();
+
+    for (pi, phase) in program.phases.iter().enumerate() {
+        for (si, stmt) in phase.stmts.iter().enumerate() {
+            let schedule = plan.schedule(pi, si);
+            let StmtSchedule::Distributed { policy, direction } = schedule else {
+                continue;
+            };
+            let mut loop_arrays: Vec<ArrayId> = Vec::new();
+            for acc in &stmt.nest.accesses {
+                let id = ArrayId(acc.array.0);
+                match acc.pattern {
+                    AccessPattern::Partitioned { unit_bytes }
+                    | AccessPattern::Stencil { unit_bytes, .. } => {
+                        let part = ArrayPartitioning::new(
+                            id,
+                            unit_bytes,
+                            stmt.nest.iterations,
+                            policy,
+                            direction,
+                        );
+                        if !partitionings.contains(&part) {
+                            partitionings.push(part);
+                        }
+                        if let AccessPattern::Stencil {
+                            halo_units,
+                            wraparound,
+                            ..
+                        } = acc.pattern
+                        {
+                            if halo_units > 0 {
+                                let comm = CommunicationSummary {
+                                    array: id,
+                                    pattern: if wraparound {
+                                        CommunicationPattern::Rotate
+                                    } else {
+                                        CommunicationPattern::Shift
+                                    },
+                                    width_units: halo_units,
+                                };
+                                if !communications.contains(&comm) {
+                                    communications.push(comm);
+                                }
+                            }
+                        }
+                        if !loop_arrays.contains(&id) {
+                            loop_arrays.push(id);
+                        }
+                    }
+                    AccessPattern::WholeArray => {
+                        if !shared.contains(&id) {
+                            shared.push(id);
+                        }
+                        if !loop_arrays.contains(&id) {
+                            loop_arrays.push(id);
+                        }
+                    }
+                    AccessPattern::Irregular { .. } => {
+                        // Unanalyzable: no partitioning, no grouping.
+                    }
+                }
+            }
+            if loop_arrays.len() >= 2 {
+                let exists = groups
+                    .iter()
+                    .any(|g| g.arrays() == loop_arrays.as_slice());
+                if !exists {
+                    groups.push(GroupAccess::new(loop_arrays));
+                }
+            }
+        }
+    }
+
+    AccessSummary {
+        arrays,
+        partitionings,
+        communications,
+        groups,
+        shared_arrays: shared,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{Access, LoopNest, Phase, Stmt, StmtKind};
+    use crate::layout::{layout, LayoutOptions};
+    use crate::parallelize::{parallelize, ParallelizeOptions};
+
+    fn compile_pieces(p: &Program, cpus: usize) -> (ParallelPlan, DataLayout) {
+        let plan = parallelize(
+            p,
+            &ParallelizeOptions {
+                num_cpus: cpus,
+                ..Default::default()
+            },
+        );
+        let l = layout(p, &LayoutOptions::default());
+        (plan, l)
+    }
+
+    fn stencil_program() -> Program {
+        let mut p = Program::new("t");
+        let a = p.array("A", 64 << 10);
+        let b = p.array("B", 64 << 10);
+        let c = p.array("irr", 16 << 10);
+        let nest = LoopNest::new("sweep", 64, 500)
+            .with_access(Access::read(
+                a,
+                AccessPattern::Stencil {
+                    unit_bytes: 1024,
+                    halo_units: 1,
+                    wraparound: false,
+                },
+            ))
+            .with_access(Access::write(b, AccessPattern::Partitioned { unit_bytes: 1024 }))
+            .with_access(Access::read(c, AccessPattern::Irregular { touches_per_iter: 4 }));
+        p.phase(Phase {
+            name: "main".into(),
+            stmts: vec![Stmt {
+                kind: StmtKind::Parallel,
+                nest,
+            }],
+            count: 1,
+        });
+        p
+    }
+
+    #[test]
+    fn distributed_accesses_produce_partitionings() {
+        let p = stencil_program();
+        let (plan, l) = compile_pieces(&p, 4);
+        let s = summarize(&p, &plan, &l);
+        assert_eq!(s.partitionings.len(), 2);
+        assert_eq!(s.partitionings[0].unit_bytes, 1024);
+        assert_eq!(s.partitionings[0].num_units, 64);
+    }
+
+    #[test]
+    fn stencil_yields_shift_communication() {
+        let p = stencil_program();
+        let (plan, l) = compile_pieces(&p, 4);
+        let s = summarize(&p, &plan, &l);
+        assert_eq!(s.communications.len(), 1);
+        assert_eq!(s.communications[0].pattern, CommunicationPattern::Shift);
+        assert_eq!(s.communications[0].width_units, 1);
+    }
+
+    #[test]
+    fn irregular_arrays_stay_unanalyzable() {
+        let p = stencil_program();
+        let (plan, l) = compile_pieces(&p, 4);
+        let s = summarize(&p, &plan, &l);
+        let analyzable: Vec<_> = s.analyzable_arrays().map(|a| a.name.clone()).collect();
+        assert_eq!(analyzable, vec!["A", "B"]);
+    }
+
+    #[test]
+    fn co_referenced_arrays_form_groups() {
+        let p = stencil_program();
+        let (plan, l) = compile_pieces(&p, 4);
+        let s = summarize(&p, &plan, &l);
+        assert_eq!(s.groups.len(), 1);
+        // The irregular array is excluded from the group.
+        assert_eq!(s.groups[0].arrays(), &[ArrayId(0), ArrayId(1)]);
+    }
+
+    #[test]
+    fn suppressed_loops_contribute_nothing() {
+        let mut p = stencil_program();
+        p.phases[0].stmts[0].kind = StmtKind::FineGrain;
+        let (plan, l) = compile_pieces(&p, 4);
+        let s = summarize(&p, &plan, &l);
+        assert!(s.partitionings.is_empty());
+        assert!(s.groups.is_empty());
+    }
+
+    #[test]
+    fn summary_addresses_come_from_layout() {
+        let p = stencil_program();
+        let (plan, l) = compile_pieces(&p, 4);
+        let s = summarize(&p, &plan, &l);
+        for (i, info) in s.arrays.iter().enumerate() {
+            assert_eq!(info.start, l.bases[i]);
+        }
+    }
+
+    #[test]
+    fn generated_summary_feeds_cdpc() {
+        // End-to-end: the summary must validate and generate hints.
+        let p = stencil_program();
+        let (plan, l) = compile_pieces(&p, 4);
+        let s = summarize(&p, &plan, &l);
+        let m = cdpc_core::MachineParams::new(4, 4096, 16 * 4096, 1);
+        let hints = cdpc_core::generate_hints(&s, &m).unwrap();
+        // A and B are 16 pages each; the irregular array is unhinted.
+        assert_eq!(hints.len(), 32 + 1, "A+B pages plus one straddled boundary page");
+    }
+}

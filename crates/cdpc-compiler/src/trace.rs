@@ -1,0 +1,486 @@
+//! Lowering: from scheduled loops to per-processor reference streams.
+//!
+//! The machine simulator is trace-driven; this module is the "code
+//! generator" that turns one scheduled loop nest into the stream of memory
+//! references one processor issues. References are emitted at L1-line
+//! granularity (one op per distinct on-chip line touched), with an
+//! [`TraceOp::Instr`] op carrying the computation between them — the same
+//! fidelity/speed trade the paper makes by simulating only the memory
+//! hierarchy in detail.
+
+use cdpc_vm::addr::VirtAddr;
+
+use crate::ir::AccessPattern;
+use crate::locality::AccessPrefetch;
+
+/// One event of a processor's reference stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceOp {
+    /// Execute `n` instructions (one cycle each on the paper's single-issue
+    /// 400 MHz CPUs).
+    Instr(u64),
+    /// Demand load.
+    Load(VirtAddr),
+    /// Demand store.
+    Store(VirtAddr),
+    /// Instruction fetch.
+    IFetch(VirtAddr),
+    /// Software prefetch (R10000 semantics; `exclusive` requests
+    /// ownership).
+    Prefetch {
+        /// Target address.
+        addr: VirtAddr,
+        /// Prefetch-for-write.
+        exclusive: bool,
+    },
+}
+
+/// One access of the loop body, resolved against the data layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResolvedAccess {
+    /// Base address of the array.
+    pub base: u64,
+    /// Array size in bytes.
+    pub bytes: u64,
+    /// Traversal shape.
+    pub pattern: AccessPattern,
+    /// Store vs. load.
+    pub is_write: bool,
+    /// Prefetch decision from locality analysis.
+    pub prefetch: AccessPrefetch,
+}
+
+/// The reference stream of one processor over one loop nest.
+///
+/// Cheap to clone; materialize the stream with [`OpSpec::ops`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpSpec {
+    /// First iteration this processor executes.
+    pub lo: u64,
+    /// One past the last iteration.
+    pub hi: u64,
+    /// Total iterations of the loop across all processors (for wraparound
+    /// stencils).
+    pub total_iters: u64,
+    /// Body accesses.
+    pub accesses: Vec<ResolvedAccess>,
+    /// Instructions per iteration.
+    pub work_per_iter: u64,
+    /// Code segment base for instruction fetches.
+    pub code_base: u64,
+    /// Code footprint of the body.
+    pub code_bytes: u64,
+    /// Demand-reference emission granularity (the L1 line size).
+    pub granularity: u64,
+    /// Prefetch emission granularity (the L2 line size).
+    pub l2_line: u64,
+    /// Seed for irregular access streams.
+    pub seed: u64,
+}
+
+impl OpSpec {
+    /// Number of iterations this processor executes.
+    pub fn local_iters(&self) -> u64 {
+        self.hi.saturating_sub(self.lo)
+    }
+
+    /// Materializes the reference stream lazily.
+    pub fn ops(&self) -> impl Iterator<Item = TraceOp> + '_ {
+        (self.lo..self.hi).flat_map(move |i| self.iteration_ops(i))
+    }
+
+    /// Total instruction count of the stream (for MCPI denominators).
+    pub fn instr_count(&self) -> u64 {
+        self.local_iters() * self.work_per_iter
+    }
+
+    fn iteration_ops(&self, i: u64) -> Vec<TraceOp> {
+        let mut ops = Vec::with_capacity(8);
+        // Instruction fetch: the body's code lines are touched cyclically;
+        // bodies smaller than the L1I hit after warm-up, fpppp-sized
+        // bodies keep missing.
+        let code_lines = self.code_bytes.div_ceil(self.granularity).max(1);
+        let local = i - self.lo;
+        ops.push(TraceOp::IFetch(VirtAddr(
+            self.code_base + (local % code_lines) * self.granularity,
+        )));
+        if self.work_per_iter > 0 {
+            ops.push(TraceOp::Instr(self.work_per_iter));
+        }
+        // Software-pipelined prefetches: prologue on the first iteration,
+        // then one block of lookahead per iteration.
+        for acc in &self.accesses {
+            if !acc.prefetch.enabled {
+                continue;
+            }
+            let emit_for = |ops: &mut Vec<TraceOp>, j: u64| {
+                if j >= self.hi {
+                    return;
+                }
+                if let Some((lo, hi)) = self.center_range(acc, j) {
+                    let mut line = lo / self.l2_line * self.l2_line;
+                    while line < hi {
+                        ops.push(TraceOp::Prefetch {
+                            addr: VirtAddr(acc.base + line),
+                            exclusive: acc.is_write,
+                        });
+                        line += self.l2_line;
+                    }
+                }
+            };
+            if acc.prefetch.lookahead == 0 {
+                // Tiled loop: prefetch arrives with the demand access.
+                emit_for(&mut ops, i);
+            } else {
+                if i == self.lo {
+                    for j in self.lo..(self.lo + acc.prefetch.lookahead).min(self.hi) {
+                        emit_for(&mut ops, j);
+                    }
+                }
+                emit_for(&mut ops, i + acc.prefetch.lookahead);
+            }
+        }
+        // Demand references.
+        for acc in &self.accesses {
+            self.demand_ops(&mut ops, acc, i);
+        }
+        ops
+    }
+
+    /// The center (written or owned) byte range of `acc` at iteration `i`,
+    /// relative to the array base.
+    fn center_range(&self, acc: &ResolvedAccess, i: u64) -> Option<(u64, u64)> {
+        match acc.pattern {
+            AccessPattern::Partitioned { unit_bytes }
+            | AccessPattern::Stencil { unit_bytes, .. } => {
+                Some((i * unit_bytes, ((i + 1) * unit_bytes).min(acc.bytes)))
+            }
+            AccessPattern::WholeArray => {
+                let local_iters = self.local_iters().max(1);
+                let chunk = acc.bytes.div_ceil(local_iters);
+                let local = i - self.lo;
+                let lo = (local * chunk).min(acc.bytes);
+                let hi = ((local + 1) * chunk).min(acc.bytes);
+                if lo < hi {
+                    Some((lo, hi))
+                } else {
+                    None
+                }
+            }
+            AccessPattern::Irregular { .. } => None,
+        }
+    }
+
+    fn demand_ops(&self, ops: &mut Vec<TraceOp>, acc: &ResolvedAccess, i: u64) {
+        let emit_range = |ops: &mut Vec<TraceOp>, lo: u64, hi: u64, write: bool| {
+            let mut line = lo / self.granularity * self.granularity;
+            while line < hi {
+                let addr = VirtAddr(acc.base + line);
+                ops.push(if write {
+                    TraceOp::Store(addr)
+                } else {
+                    TraceOp::Load(addr)
+                });
+                line += self.granularity;
+            }
+        };
+        match acc.pattern {
+            AccessPattern::Partitioned { .. } | AccessPattern::WholeArray => {
+                if let Some((lo, hi)) = self.center_range(acc, i) {
+                    emit_range(ops, lo, hi, acc.is_write);
+                }
+            }
+            AccessPattern::Stencil {
+                unit_bytes,
+                halo_units,
+                wraparound,
+            } => {
+                // Writes touch the center; reads also touch the halo.
+                if let Some((lo, hi)) = self.center_range(acc, i) {
+                    emit_range(ops, lo, hi, acc.is_write);
+                }
+                if !acc.is_write {
+                    let n = self.total_iters;
+                    for d in 1..=halo_units {
+                        // Unit below.
+                        if i >= d {
+                            emit_range(ops, (i - d) * unit_bytes, (i - d + 1) * unit_bytes, false);
+                        } else if wraparound {
+                            let j = (i + n - d) % n;
+                            emit_range(ops, j * unit_bytes, (j + 1) * unit_bytes, false);
+                        }
+                        // Unit above.
+                        if i + d < n {
+                            emit_range(ops, (i + d) * unit_bytes, (i + d + 1) * unit_bytes, false);
+                        } else if wraparound {
+                            let j = (i + d) % n;
+                            emit_range(ops, j * unit_bytes, (j + 1) * unit_bytes, false);
+                        }
+                    }
+                }
+            }
+            AccessPattern::Irregular { touches_per_iter } => {
+                let lines = (acc.bytes / self.granularity).max(1);
+                let mut state = self
+                    .seed
+                    .wrapping_mul(0x9E3779B97F4A7C15)
+                    .wrapping_add(i.wrapping_mul(0xD1B54A32D192ED03))
+                    | 1;
+                for _ in 0..touches_per_iter {
+                    state ^= state << 13;
+                    state ^= state >> 7;
+                    state ^= state << 17;
+                    let line = state % lines;
+                    let addr = VirtAddr(acc.base + line * self.granularity);
+                    ops.push(if acc.is_write {
+                        TraceOp::Store(addr)
+                    } else {
+                        TraceOp::Load(addr)
+                    });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(accesses: Vec<ResolvedAccess>, lo: u64, hi: u64, total: u64) -> OpSpec {
+        OpSpec {
+            lo,
+            hi,
+            total_iters: total,
+            accesses,
+            work_per_iter: 10,
+            code_base: 0x100000,
+            code_bytes: 64,
+            granularity: 32,
+            l2_line: 128,
+            seed: 7,
+        }
+    }
+
+    fn acc(pattern: AccessPattern, write: bool) -> ResolvedAccess {
+        ResolvedAccess {
+            base: 0x1000,
+            bytes: 4096,
+            pattern,
+            is_write: write,
+            prefetch: AccessPrefetch::OFF,
+        }
+    }
+
+    #[test]
+    fn partitioned_access_sweeps_its_units() {
+        let s = spec(
+            vec![acc(AccessPattern::Partitioned { unit_bytes: 64 }, false)],
+            0,
+            2,
+            2,
+        );
+        let loads: Vec<u64> = s
+            .ops()
+            .filter_map(|o| match o {
+                TraceOp::Load(a) => Some(a.0),
+                _ => None,
+            })
+            .collect();
+        // 2 iterations × 64 B units at 32 B granularity = 4 loads.
+        assert_eq!(loads, vec![0x1000, 0x1020, 0x1040, 0x1060]);
+    }
+
+    #[test]
+    fn writes_emit_stores() {
+        let s = spec(
+            vec![acc(AccessPattern::Partitioned { unit_bytes: 32 }, true)],
+            0,
+            1,
+            1,
+        );
+        assert!(s
+            .ops()
+            .any(|o| matches!(o, TraceOp::Store(a) if a.0 == 0x1000)));
+    }
+
+    #[test]
+    fn stencil_reads_touch_halo_but_writes_do_not() {
+        let read = spec(
+            vec![acc(
+                AccessPattern::Stencil {
+                    unit_bytes: 32,
+                    halo_units: 1,
+                    wraparound: false,
+                },
+                false,
+            )],
+            1,
+            2,
+            4,
+        );
+        let loads: Vec<u64> = read
+            .ops()
+            .filter_map(|o| match o {
+                TraceOp::Load(a) => Some(a.0 - 0x1000),
+                _ => None,
+            })
+            .collect();
+        // Center unit 1 plus halo units 0 and 2.
+        assert_eq!(loads, vec![32, 0, 64]);
+
+        let write = spec(
+            vec![acc(
+                AccessPattern::Stencil {
+                    unit_bytes: 32,
+                    halo_units: 1,
+                    wraparound: false,
+                },
+                true,
+            )],
+            1,
+            2,
+            4,
+        );
+        let stores: Vec<u64> = write
+            .ops()
+            .filter_map(|o| match o {
+                TraceOp::Store(a) => Some(a.0 - 0x1000),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(stores, vec![32], "write touches only its own unit");
+    }
+
+    #[test]
+    fn wraparound_stencil_reads_across_the_end() {
+        let s = spec(
+            vec![acc(
+                AccessPattern::Stencil {
+                    unit_bytes: 32,
+                    halo_units: 1,
+                    wraparound: true,
+                },
+                false,
+            )],
+            0,
+            1,
+            4,
+        );
+        let loads: Vec<u64> = s
+            .ops()
+            .filter_map(|o| match o {
+                TraceOp::Load(a) => Some((a.0 - 0x1000) / 32),
+                _ => None,
+            })
+            .collect();
+        // Iteration 0 of 4: center 0, halo 3 (wrapped) and 1.
+        assert_eq!(loads, vec![0, 3, 1]);
+    }
+
+    #[test]
+    fn whole_array_is_streamed_once_over_local_iterations() {
+        let s = spec(vec![acc(AccessPattern::WholeArray, false)], 0, 4, 4);
+        let loads: Vec<u64> = s
+            .ops()
+            .filter_map(|o| match o {
+                TraceOp::Load(a) => Some(a.0),
+                _ => None,
+            })
+            .collect();
+        // 4096 B at 32 B = 128 loads, covering the array exactly once.
+        assert_eq!(loads.len(), 128);
+        assert_eq!(*loads.first().unwrap(), 0x1000);
+        assert_eq!(*loads.last().unwrap(), 0x1000 + 4096 - 32);
+    }
+
+    #[test]
+    fn irregular_access_is_deterministic_and_in_bounds() {
+        let mk = || {
+            spec(
+                vec![acc(AccessPattern::Irregular { touches_per_iter: 8 }, false)],
+                0,
+                4,
+                4,
+            )
+            .ops()
+            .filter_map(|o| match o {
+                TraceOp::Load(a) => Some(a.0),
+                _ => None,
+            })
+            .collect::<Vec<_>>()
+        };
+        let a = mk();
+        let b = mk();
+        assert_eq!(a, b, "same seed, same stream");
+        assert_eq!(a.len(), 32);
+        for addr in a {
+            assert!((0x1000..0x2000).contains(&addr));
+        }
+    }
+
+    #[test]
+    fn prefetches_run_ahead_of_demand() {
+        let mut a = acc(AccessPattern::Partitioned { unit_bytes: 128 }, false);
+        a.prefetch = AccessPrefetch {
+            enabled: true,
+            lookahead: 2,
+        };
+        let s = spec(vec![a], 0, 8, 8);
+        let ops: Vec<TraceOp> = s.ops().collect();
+        // Find the first prefetch of unit 2's line and the first load of
+        // unit 2: the prefetch must come first.
+        let pf_pos = ops
+            .iter()
+            .position(|o| matches!(o, TraceOp::Prefetch { addr, .. } if addr.0 == 0x1000 + 256))
+            .expect("prefetch for unit 2 exists");
+        let ld_pos = ops
+            .iter()
+            .position(|o| matches!(o, TraceOp::Load(a) if a.0 == 0x1000 + 256))
+            .expect("load of unit 2 exists");
+        assert!(pf_pos < ld_pos);
+    }
+
+    #[test]
+    fn zero_lookahead_prefetches_same_iteration() {
+        let mut a = acc(AccessPattern::Partitioned { unit_bytes: 128 }, false);
+        a.prefetch = AccessPrefetch {
+            enabled: true,
+            lookahead: 0,
+        };
+        let s = spec(vec![a], 0, 2, 2);
+        let pf_count = s
+            .ops()
+            .filter(|o| matches!(o, TraceOp::Prefetch { .. }))
+            .count();
+        assert_eq!(pf_count, 2, "one late prefetch per iteration");
+    }
+
+    #[test]
+    fn instruction_fetches_cycle_over_code_footprint() {
+        let s = spec(vec![], 0, 4, 4);
+        let fetches: Vec<u64> = s
+            .ops()
+            .filter_map(|o| match o {
+                TraceOp::IFetch(a) => Some(a.0 - 0x100000),
+                _ => None,
+            })
+            .collect();
+        // 64 B of code at 32 B granularity = 2 lines, cycled.
+        assert_eq!(fetches, vec![0, 32, 0, 32]);
+    }
+
+    #[test]
+    fn instr_count_matches_stream() {
+        let s = spec(vec![], 3, 7, 8);
+        let total: u64 = s
+            .ops()
+            .filter_map(|o| match o {
+                TraceOp::Instr(n) => Some(n),
+                _ => None,
+            })
+            .sum();
+        assert_eq!(total, s.instr_count());
+        assert_eq!(total, 40);
+    }
+}

@@ -1,0 +1,150 @@
+//! Property tests over the trace generator: whatever the program shape,
+//! generated references stay inside their arrays, cover exactly the
+//! assigned iterations, and partition cleanly across processors.
+
+use proptest::prelude::*;
+
+use cdpc_compiler::ir::{Access, AccessPattern, LoopNest, Phase, Program, Stmt, StmtKind};
+use cdpc_compiler::trace::TraceOp;
+use cdpc_compiler::{compile, CompileOptions, CompiledStmt};
+
+#[derive(Debug, Clone)]
+struct Shape {
+    units: u64,
+    unit_bytes: u64,
+    halo: u64,
+    wraparound: bool,
+    is_write: bool,
+    cpus: usize,
+}
+
+fn arb_shape() -> impl Strategy<Value = Shape> {
+    (
+        2u64..=64,
+        prop::sample::select(vec![32u64, 64, 128, 512]),
+        0u64..=2,
+        any::<bool>(),
+        any::<bool>(),
+        1usize..=8,
+    )
+        .prop_map(|(units, unit_bytes, halo, wraparound, is_write, cpus)| Shape {
+            units,
+            unit_bytes,
+            halo,
+            wraparound,
+            is_write,
+            cpus,
+        })
+}
+
+fn build(shape: &Shape) -> Program {
+    let mut p = Program::new("prop");
+    let a = p.array("A", shape.units * shape.unit_bytes);
+    let access = if shape.is_write {
+        Access::write(a, AccessPattern::Partitioned { unit_bytes: shape.unit_bytes })
+    } else {
+        Access::read(
+            a,
+            AccessPattern::Stencil {
+                unit_bytes: shape.unit_bytes,
+                halo_units: shape.halo,
+                wraparound: shape.wraparound,
+            },
+        )
+    };
+    p.phase(Phase {
+        name: "ph".into(),
+        stmts: vec![Stmt {
+            kind: StmtKind::Parallel,
+            // Enough work to clear the suppression threshold.
+            nest: LoopNest::new("l", shape.units, 10_000).with_access(access),
+        }],
+        count: 1,
+    });
+    p
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Every generated data reference lands inside the array it names.
+    #[test]
+    fn references_stay_in_bounds(shape in arb_shape()) {
+        let program = build(&shape);
+        let compiled = compile(&program, &CompileOptions::new(shape.cpus)).unwrap();
+        let base = compiled.layout.bases[0].0;
+        let end = base + shape.units * shape.unit_bytes;
+        for phase in &compiled.phases {
+            for stmt in &phase.stmts {
+                let specs: Vec<_> = match stmt {
+                    CompiledStmt::Parallel { specs } => specs.iter().collect(),
+                    CompiledStmt::Master { spec, .. } => vec![spec],
+                };
+                for spec in specs {
+                    for op in spec.ops() {
+                        if let TraceOp::Load(va) | TraceOp::Store(va) = op {
+                            prop_assert!(
+                                va.0 >= base && va.0 < end,
+                                "reference {:#x} outside [{:#x},{:#x})",
+                                va.0, base, end
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// The union of all processors' written bytes covers each partitioned
+    /// array exactly once (no gaps, no double-writes) for plain sweeps.
+    #[test]
+    fn write_sweeps_partition_cleanly(shape in arb_shape()) {
+        prop_assume!(shape.is_write);
+        let program = build(&shape);
+        let compiled = compile(&program, &CompileOptions::new(shape.cpus)).unwrap();
+        let base = compiled.layout.bases[0].0;
+        let mut touched: Vec<u32> = vec![0; (shape.units * shape.unit_bytes / 32) as usize];
+        for phase in &compiled.phases {
+            for stmt in &phase.stmts {
+                let specs: Vec<_> = match stmt {
+                    CompiledStmt::Parallel { specs } => specs.iter().collect(),
+                    CompiledStmt::Master { spec, .. } => vec![spec],
+                };
+                for spec in specs {
+                    for op in spec.ops() {
+                        if let TraceOp::Store(va) = op {
+                            touched[((va.0 - base) / 32) as usize] += 1;
+                        }
+                    }
+                }
+            }
+        }
+        for (i, &count) in touched.iter().enumerate() {
+            prop_assert_eq!(count, 1, "line {} written {} times", i, count);
+        }
+    }
+
+    /// Instruction counts of the streams agree with the static counter
+    /// used for MCPI denominators.
+    #[test]
+    fn instr_counts_are_consistent(shape in arb_shape()) {
+        let program = build(&shape);
+        let compiled = compile(&program, &CompileOptions::new(shape.cpus)).unwrap();
+        for phase in &compiled.phases {
+            for stmt in &phase.stmts {
+                if let CompiledStmt::Parallel { specs } = stmt {
+                    for spec in specs {
+                        let streamed: u64 = spec
+                            .ops()
+                            .filter_map(|o| match o {
+                                TraceOp::Instr(n) => Some(n),
+                                _ => None,
+                            })
+                            .sum();
+                        prop_assert_eq!(streamed, spec.instr_count());
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,316 @@
+//! Step 4: cyclic page ordering within each segment.
+//!
+//! After steps 2–3 fix the order of sets and segments, the pages of each
+//! segment could simply be laid down in ascending virtual-address order —
+//! but then two arrays used together whose segments happen to start a
+//! multiple of the cache size apart would still collide at their starting
+//! locations. Instead the paper picks a *starting point* inside each
+//! segment and wraps around: pages are emitted from the starting point to
+//! the segment's end, then from the beginning up to the starting point
+//! (Figure 4(c), where pages 8–10 are cyclically assigned so the two
+//! arrays' first pages no longer share a color).
+//!
+//! Two segments *may conflict* when (paper §5.2, step 4):
+//! 1. their arrays are used together in the same loop (group access), and
+//! 2. the intersection of their processor sets is non-empty, and
+//! 3. they (partially) overlap in the cache.
+//!
+//! The starting points are chosen to spread the first pages of conflicting
+//! segments as far apart in color space as possible.
+
+use cdpc_vm::addr::Vpn;
+use std::collections::HashSet;
+
+use crate::machine::MachineParams;
+use crate::segments::AccessSet;
+use crate::summary::{AccessSummary, ArrayId};
+
+/// Where one segment ended up in the final coloring order (for reports and
+/// the Figure 4 walkthrough).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlacedSegment {
+    /// The segment's array.
+    pub array: ArrayId,
+    /// The color assigned to the segment's first (lowest-VA) page.
+    pub start_color: u32,
+    /// Number of pages this segment contributed to the order.
+    pub pages: usize,
+}
+
+/// The result of the cyclic layout: the global page emission order plus
+/// per-segment placement metadata.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PageOrder {
+    /// Pages in coloring order; round-robin color assignment over this
+    /// sequence is step 5.
+    pub order: Vec<Vpn>,
+    /// Placement of each segment, in emission order.
+    pub placements: Vec<PlacedSegment>,
+}
+
+/// Lays out the pages of the ordered sets (step 4).
+///
+/// Pages shared by two adjacent segments (a segment boundary inside a page)
+/// are emitted once, by the first segment that reaches them.
+pub fn emit_page_order(
+    sets: &[AccessSet],
+    summary: &AccessSummary,
+    machine: &MachineParams,
+) -> PageOrder {
+    emit_page_order_with(sets, summary, machine, true)
+}
+
+/// Like [`emit_page_order`] but with the cyclic rotation switchable off
+/// (for ablation studies): with `rotate` false every segment keeps its
+/// natural start color.
+pub fn emit_page_order_with(
+    sets: &[AccessSet],
+    summary: &AccessSummary,
+    machine: &MachineParams,
+    rotate: bool,
+) -> PageOrder {
+    let geometry = machine.geometry();
+    let num_colors = machine.colors().num_colors();
+    let mut emitted: HashSet<u64> = HashSet::new();
+    let mut order: Vec<Vpn> = Vec::new();
+    let mut placements: Vec<PlacedSegment> = Vec::new();
+    // (array, procs, start_color) of previously placed segments, for the
+    // conflict rule.
+    let mut placed_meta: Vec<(ArrayId, crate::procset::ProcSet, u32)> = Vec::new();
+
+    for set in sets {
+        for seg in &set.segments {
+            let first_vpn = geometry.vpn_of(seg.start).0;
+            let last_vpn = geometry.vpn_of(cdpc_vm::addr::VirtAddr(seg.start.0 + seg.bytes - 1)).0;
+            let pages: Vec<u64> = (first_vpn..=last_vpn)
+                .filter(|p| !emitted.contains(p))
+                .collect();
+            if pages.is_empty() {
+                continue;
+            }
+            let n = pages.len();
+            let cum = order.len() as u32;
+
+            // Start colors of previously placed conflicting segments.
+            let conflicts: Vec<u32> = placed_meta
+                .iter()
+                .filter(|(arr, procs, _)| {
+                    (*arr == seg.array || summary.grouped_together(*arr, seg.array))
+                        && procs.intersects(seg.procs)
+                })
+                .map(|&(_, _, c)| c)
+                .collect();
+
+            // Choose the shift k (0..min(n, colors)) of the first page's
+            // color that maximizes the minimum circular distance to all
+            // conflicting start colors; k = 0 keeps natural order.
+            let max_k = (n as u32).min(num_colors);
+            let best_k = if !rotate || conflicts.is_empty() {
+                0
+            } else {
+                (0..max_k)
+                    .max_by_key(|&k| {
+                        let s = (cum + k) % num_colors;
+                        let dmin = conflicts
+                            .iter()
+                            .map(|&c| {
+                                let d = (s + num_colors - c) % num_colors;
+                                d.min(num_colors - d)
+                            })
+                            .min()
+                            .unwrap_or(num_colors);
+                        (dmin, u32::MAX - k) // prefer smaller k on ties
+                    })
+                    .unwrap_or(0)
+            };
+            let start_color = (cum + best_k) % num_colors;
+
+            // Emitting from index `rot` gives the first page color
+            // (cum + (n - rot) mod n); invert for rot.
+            let rot = (n - (best_k as usize % n)) % n;
+            for &p in pages[rot..].iter().chain(pages[..rot].iter()) {
+                emitted.insert(p);
+                order.push(Vpn(p));
+            }
+
+            placements.push(PlacedSegment {
+                array: seg.array,
+                start_color,
+                pages: n,
+            });
+            placed_meta.push((seg.array, seg.procs, start_color));
+        }
+    }
+
+    PageOrder { order, placements }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::procset::ProcSet;
+    use crate::segments::UniformSegment;
+    use crate::summary::{ArrayInfo, GroupAccess};
+    use cdpc_vm::addr::VirtAddr;
+
+    const PAGE: u64 = 4096;
+
+    fn machine(colors: u32) -> MachineParams {
+        MachineParams::new(2, PAGE as usize, colors as usize * PAGE as usize, 1)
+    }
+
+    fn seg(array: usize, start_page: u64, pages: u64, procs: ProcSet) -> UniformSegment {
+        UniformSegment {
+            array: ArrayId(array),
+            start: VirtAddr(start_page * PAGE),
+            bytes: pages * PAGE,
+            procs,
+        }
+    }
+
+    fn summary_two_grouped_arrays() -> AccessSummary {
+        AccessSummary {
+            arrays: vec![
+                ArrayInfo::new(ArrayId(0), "A", VirtAddr(0), 8 * PAGE),
+                ArrayInfo::new(ArrayId(1), "B", VirtAddr(8 * PAGE), 8 * PAGE),
+            ],
+            groups: vec![GroupAccess::new(vec![ArrayId(0), ArrayId(1)])],
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn order_contains_every_page_once() {
+        let p0 = ProcSet::singleton(0);
+        let sets = vec![AccessSet {
+            procs: p0,
+            segments: vec![seg(0, 0, 8, p0), seg(1, 8, 8, p0)],
+        }];
+        let out = emit_page_order(&sets, &summary_two_grouped_arrays(), &machine(4));
+        assert_eq!(out.order.len(), 16);
+        let unique: HashSet<u64> = out.order.iter().map(|v| v.0).collect();
+        assert_eq!(unique.len(), 16);
+    }
+
+    #[test]
+    fn conflicting_segments_get_spread_start_colors() {
+        // Two 8-page arrays used together by the same CPU, 4 colors: laid
+        // out naively both would start at color 0 (8 ≡ 0 mod 4). The
+        // cyclic step must separate them — ideally by C/2 = 2.
+        let p0 = ProcSet::singleton(0);
+        let sets = vec![AccessSet {
+            procs: p0,
+            segments: vec![seg(0, 0, 8, p0), seg(1, 8, 8, p0)],
+        }];
+        let out = emit_page_order(&sets, &summary_two_grouped_arrays(), &machine(4));
+        let a = out.placements[0].start_color;
+        let b = out.placements[1].start_color;
+        let d = (b + 4 - a) % 4;
+        assert_eq!(d.min(4 - d), 2, "start colors must be maximally apart");
+    }
+
+    #[test]
+    fn non_conflicting_segments_keep_natural_order() {
+        // Different CPUs → condition (2) fails → no rotation.
+        let sets = vec![
+            AccessSet {
+                procs: ProcSet::singleton(0),
+                segments: vec![seg(0, 0, 8, ProcSet::singleton(0))],
+            },
+            AccessSet {
+                procs: ProcSet::singleton(1),
+                segments: vec![seg(1, 8, 8, ProcSet::singleton(1))],
+            },
+        ];
+        let out = emit_page_order(&sets, &summary_two_grouped_arrays(), &machine(4));
+        // Pages in plain ascending order (no rotation anywhere).
+        let pages: Vec<u64> = out.order.iter().map(|v| v.0).collect();
+        assert_eq!(pages, (0..16).collect::<Vec<_>>());
+        assert_eq!(out.placements[1].start_color, 0);
+    }
+
+    #[test]
+    fn ungrouped_arrays_do_not_rotate() {
+        let mut summary = summary_two_grouped_arrays();
+        summary.groups.clear();
+        let p0 = ProcSet::singleton(0);
+        let sets = vec![AccessSet {
+            procs: p0,
+            segments: vec![seg(0, 0, 8, p0), seg(1, 8, 8, p0)],
+        }];
+        let out = emit_page_order(&sets, &summary, &machine(4));
+        assert_eq!(out.placements[1].start_color, 0, "no conflict, no rotation");
+    }
+
+    #[test]
+    fn rotation_preserves_segment_membership() {
+        let p0 = ProcSet::singleton(0);
+        let sets = vec![AccessSet {
+            procs: p0,
+            segments: vec![seg(0, 0, 8, p0), seg(1, 8, 8, p0)],
+        }];
+        let out = emit_page_order(&sets, &summary_two_grouped_arrays(), &machine(4));
+        // First 8 emitted pages are array A's (vpn 0..8), next 8 array B's,
+        // regardless of rotation.
+        let first: HashSet<u64> = out.order[..8].iter().map(|v| v.0).collect();
+        assert_eq!(first, (0..8).collect::<HashSet<_>>());
+        let second: HashSet<u64> = out.order[8..].iter().map(|v| v.0).collect();
+        assert_eq!(second, (8..16).collect::<HashSet<_>>());
+    }
+
+    #[test]
+    fn page_straddling_two_segments_emitted_once() {
+        // Segment boundary mid-page: page 1 belongs to both; emitted once.
+        let p0 = ProcSet::singleton(0);
+        let p1 = ProcSet::singleton(1);
+        let sets = vec![
+            AccessSet {
+                procs: p0,
+                segments: vec![UniformSegment {
+                    array: ArrayId(0),
+                    start: VirtAddr(0),
+                    bytes: PAGE + PAGE / 2,
+                    procs: p0,
+                }],
+            },
+            AccessSet {
+                procs: p1,
+                segments: vec![UniformSegment {
+                    array: ArrayId(0),
+                    start: VirtAddr(PAGE + PAGE / 2),
+                    bytes: PAGE / 2 + PAGE,
+                    procs: p1,
+                }],
+            },
+        ];
+        let out = emit_page_order(&sets, &AccessSummary::default(), &machine(4));
+        assert_eq!(out.order.len(), 3);
+        let pages: HashSet<u64> = out.order.iter().map(|v| v.0).collect();
+        assert_eq!(pages, (0..3).collect::<HashSet<_>>());
+    }
+
+    #[test]
+    fn three_way_conflict_spreads_all_starts() {
+        // Three 8-page arrays, 8 colors, all grouped, same CPU.
+        let p0 = ProcSet::singleton(0);
+        let summary = AccessSummary {
+            arrays: (0..3)
+                .map(|i| ArrayInfo::new(ArrayId(i), format!("a{i}"), VirtAddr(i as u64 * 8 * PAGE), 8 * PAGE))
+                .collect(),
+            groups: vec![GroupAccess::new(vec![ArrayId(0), ArrayId(1), ArrayId(2)])],
+            ..Default::default()
+        };
+        let sets = vec![AccessSet {
+            procs: p0,
+            segments: (0..3).map(|i| seg(i, i as u64 * 8, 8, p0)).collect(),
+        }];
+        let out = emit_page_order(&sets, &summary, &machine(8));
+        let starts: Vec<u32> = out.placements.iter().map(|p| p.start_color).collect();
+        // All distinct.
+        assert_eq!(
+            starts.iter().collect::<HashSet<_>>().len(),
+            3,
+            "start colors must all differ: {starts:?}"
+        );
+    }
+}

@@ -1,0 +1,76 @@
+use std::error::Error;
+use std::fmt;
+
+use crate::summary::ArrayId;
+
+/// Errors raised while validating summaries or generating hints.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CdpcError {
+    /// A partitioning, communication, or group references an array that is
+    /// not declared in the summary.
+    UnknownArray(ArrayId),
+    /// A partitioning covers more bytes than its array holds.
+    PartitionExceedsArray {
+        /// The offending array.
+        array: ArrayId,
+        /// Bytes implied by `unit_bytes * num_units`.
+        partitioned: u64,
+        /// The array's actual size.
+        size: u64,
+    },
+    /// A communication summary references an array with no partitioning.
+    CommunicationWithoutPartitioning(ArrayId),
+}
+
+impl fmt::Display for CdpcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CdpcError::UnknownArray(id) => {
+                write!(f, "summary references undeclared array #{}", id.0)
+            }
+            CdpcError::PartitionExceedsArray {
+                array,
+                partitioned,
+                size,
+            } => write!(
+                f,
+                "partitioning of array #{} covers {partitioned} bytes but the array holds {size}",
+                array.0
+            ),
+            CdpcError::CommunicationWithoutPartitioning(id) => write!(
+                f,
+                "communication summary for array #{} has no matching partitioning",
+                id.0
+            ),
+        }
+    }
+}
+
+impl Error for CdpcError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_specific() {
+        let e = CdpcError::PartitionExceedsArray {
+            array: ArrayId(3),
+            partitioned: 100,
+            size: 50,
+        };
+        assert!(e.to_string().contains("array #3"));
+        assert!(e.to_string().contains("100"));
+        assert_eq!(
+            CdpcError::UnknownArray(ArrayId(7)).to_string(),
+            "summary references undeclared array #7"
+        );
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn check<T: Send + Sync + Error>() {}
+        check::<CdpcError>();
+    }
+}

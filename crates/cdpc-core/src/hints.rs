@@ -1,0 +1,343 @@
+//! Step 5 and the public entry point: round-robin color assignment and the
+//! [`ColorHints`] product handed to the operating system.
+
+use std::collections::HashMap;
+
+use cdpc_vm::addr::{Color, ColorSpace, Vpn};
+use cdpc_vm::hint_table::HintTable;
+
+use crate::cyclic::{emit_page_order_with, PageOrder, PlacedSegment};
+use crate::machine::MachineParams;
+use crate::ordering::{order_segments_within, order_sets};
+use crate::segments::{build_segments, group_into_sets};
+use crate::summary::AccessSummary;
+use crate::CdpcError;
+
+/// The output of the CDPC algorithm: a coloring order over virtual pages.
+///
+/// Colors are implied by position: the `i`-th page of the order gets color
+/// `i mod num_colors` (step 5). The order doubles as the *touch order* for
+/// the user-level bin-hopping implementation
+/// ([`cdpc_vm::touch::touch_order`] accepts it directly, since round-robin
+/// assignments are always realizable).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColorHints {
+    order: Vec<Vpn>,
+    colors: ColorSpace,
+    placements: Vec<PlacedSegment>,
+    index: HashMap<Vpn, u32>,
+}
+
+impl ColorHints {
+    /// Builds hints from an explicit page order (exposed for tests and the
+    /// Figure 4 walkthrough; most callers use [`generate_hints`]).
+    pub fn from_order(page_order: PageOrder, colors: ColorSpace) -> Self {
+        let index = page_order
+            .order
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, i as u32))
+            .collect();
+        Self {
+            order: page_order.order,
+            colors,
+            placements: page_order.placements,
+            index,
+        }
+    }
+
+    /// Number of hinted pages.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// `true` when no page received a hint.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// The color space hints were generated for.
+    pub fn colors(&self) -> ColorSpace {
+        self.colors
+    }
+
+    /// The coloring (touch) order.
+    pub fn order(&self) -> &[Vpn] {
+        &self.order
+    }
+
+    /// Per-segment placement metadata, in emission order.
+    pub fn placements(&self) -> &[PlacedSegment] {
+        &self.placements
+    }
+
+    /// The preferred color of one page, if hinted.
+    pub fn color_of(&self, vpn: Vpn) -> Option<Color> {
+        self.index
+            .get(&vpn)
+            .map(|&i| Color(i % self.colors.num_colors()))
+    }
+
+    /// The `(page, color)` assignment in coloring order.
+    pub fn assignments(&self) -> Vec<(Vpn, Color)> {
+        self.order
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, Color(i as u32 % self.colors.num_colors())))
+            .collect()
+    }
+
+    /// Converts to the `madvise`-style kernel hint table.
+    pub fn to_hint_table(&self) -> HintTable {
+        self.assignments().into_iter().collect()
+    }
+}
+
+/// Ablation switches for the hint-generation pipeline.
+///
+/// Each flag disables one of the paper's algorithm steps, leaving the
+/// rest intact — used by the ablation experiments to quantify what each
+/// step contributes. All flags on (the default) is the full paper
+/// algorithm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HintOptions {
+    /// Step 2: order the uniform access sets by the processor-set path
+    /// heuristic. Off → sets stay in discovery (address) order, so one
+    /// processor's pages scatter across the color space.
+    pub order_sets: bool,
+    /// Step 3: order segments within a set by group-access affinity.
+    /// Off → virtual-address order.
+    pub order_segments: bool,
+    /// Step 4: cyclic page rotation to separate the starting colors of
+    /// conflicting segments. Off → every segment starts at its natural
+    /// cumulative color.
+    pub cyclic_layout: bool,
+}
+
+impl Default for HintOptions {
+    fn default() -> Self {
+        Self {
+            order_sets: true,
+            order_segments: true,
+            cyclic_layout: true,
+        }
+    }
+}
+
+impl HintOptions {
+    /// The full paper algorithm.
+    pub const FULL: HintOptions = HintOptions {
+        order_sets: true,
+        order_segments: true,
+        cyclic_layout: true,
+    };
+}
+
+/// Runs the complete five-step CDPC algorithm (paper §5.2).
+///
+/// # Errors
+///
+/// Returns a [`CdpcError`] when the summary is internally inconsistent
+/// (unknown arrays, oversized partitionings, communication without
+/// partitioning).
+///
+/// # Examples
+///
+/// See the [crate-level example](crate).
+pub fn generate_hints(
+    summary: &AccessSummary,
+    machine: &MachineParams,
+) -> Result<ColorHints, CdpcError> {
+    generate_hints_with(summary, machine, HintOptions::FULL)
+}
+
+/// Like [`generate_hints`] but with per-step ablation switches.
+///
+/// # Errors
+///
+/// Same as [`generate_hints`].
+pub fn generate_hints_with(
+    summary: &AccessSummary,
+    machine: &MachineParams,
+    options: HintOptions,
+) -> Result<ColorHints, CdpcError> {
+    // Step 1: uniform access segments, grouped into sets.
+    let segments = build_segments(summary, machine)?;
+    let sets = group_into_sets(segments);
+    // Step 2: order the sets.
+    let mut sets = if options.order_sets {
+        order_sets(sets)
+    } else {
+        sets
+    };
+    // Step 3: order segments within each set.
+    if options.order_segments {
+        for set in &mut sets {
+            order_segments_within(set, summary);
+        }
+    }
+    // Step 4: cyclic page layout.
+    let page_order = emit_page_order_with(&sets, summary, machine, options.cyclic_layout);
+    // Step 5: round-robin colors (implied by order).
+    Ok(ColorHints::from_order(page_order, machine.colors()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::summary::{
+        ArrayId, ArrayInfo, ArrayPartitioning, CommunicationPattern, CommunicationSummary,
+        GroupAccess, PartitionDirection, PartitionPolicy,
+    };
+    use cdpc_vm::addr::VirtAddr;
+
+    const PAGE: u64 = 4096;
+
+    /// The paper's Figure 4 setting: two data structures partitioned
+    /// between two CPUs, used together, on a machine with a small cache.
+    fn figure4_summary() -> AccessSummary {
+        let a = ArrayId(0);
+        let b = ArrayId(1);
+        AccessSummary {
+            arrays: vec![
+                ArrayInfo::new(a, "A", VirtAddr(0), 8 * PAGE),
+                ArrayInfo::new(b, "B", VirtAddr(8 * PAGE), 8 * PAGE),
+            ],
+            partitionings: vec![
+                ArrayPartitioning::new(a, PAGE, 8, PartitionPolicy::Blocked, PartitionDirection::Forward),
+                ArrayPartitioning::new(b, PAGE, 8, PartitionPolicy::Blocked, PartitionDirection::Forward),
+            ],
+            communications: vec![],
+            groups: vec![GroupAccess::new(vec![a, b])],
+            shared_arrays: vec![],
+        }
+    }
+
+    fn figure4_machine() -> MachineParams {
+        MachineParams::new(2, PAGE as usize, 4 * PAGE as usize, 1) // 4 colors
+    }
+
+    #[test]
+    fn every_page_hinted_exactly_once() {
+        let hints = generate_hints(&figure4_summary(), &figure4_machine()).unwrap();
+        assert_eq!(hints.len(), 16);
+        let mut seen = std::collections::HashSet::new();
+        for &v in hints.order() {
+            assert!(seen.insert(v), "page {v} hinted twice");
+        }
+    }
+
+    #[test]
+    fn colors_cycle_round_robin() {
+        let hints = generate_hints(&figure4_summary(), &figure4_machine()).unwrap();
+        for (i, (_, c)) in hints.assignments().iter().enumerate() {
+            assert_eq!(c.0, i as u32 % 4);
+        }
+    }
+
+    #[test]
+    fn per_cpu_pages_spread_evenly_over_colors() {
+        // Objective 1: the pages of each processor spread across the whole
+        // cache. CPU0 owns A[0..4] and B[0..4] (8 pages, 4 colors → each
+        // color exactly twice).
+        let hints = generate_hints(&figure4_summary(), &figure4_machine()).unwrap();
+        let table = hints.to_hint_table();
+        let mut counts = [0u32; 4];
+        for vpn in [0u64, 1, 2, 3, 8, 9, 10, 11] {
+            counts[table.lookup(Vpn(vpn)).unwrap().0 as usize] += 1;
+        }
+        assert_eq!(counts, [2, 2, 2, 2], "CPU0's pages must cover all colors evenly");
+    }
+
+    #[test]
+    fn grouped_array_starts_differ_in_color() {
+        // Objective 2 / Figure 4(c)-(d): the starting pages of A and B get
+        // different colors even though they are 8 pages (2 cache sizes)
+        // apart.
+        let hints = generate_hints(&figure4_summary(), &figure4_machine()).unwrap();
+        let table = hints.to_hint_table();
+        assert_ne!(table.lookup(Vpn(0)), table.lookup(Vpn(8)));
+    }
+
+    #[test]
+    fn cdpc_order_is_realizable_under_bin_hopping() {
+        // The round-robin property is what makes the Digital UNIX
+        // touch-order trick work; check it end to end.
+        let hints = generate_hints(&figure4_summary(), &figure4_machine()).unwrap();
+        cdpc_vm::touch::realizable(&hints.assignments(), hints.colors())
+            .expect("CDPC assignments are always a cyclic color sequence");
+    }
+
+    #[test]
+    fn unanalyzable_arrays_left_unhinted() {
+        let mut s = figure4_summary();
+        s.arrays.push(ArrayInfo::new(ArrayId(2), "irr", VirtAddr(16 * PAGE), 4 * PAGE));
+        let hints = generate_hints(&s, &figure4_machine()).unwrap();
+        assert_eq!(hints.len(), 16, "irregular array contributes no hints");
+        assert_eq!(hints.color_of(Vpn(17)), None);
+    }
+
+    #[test]
+    fn stencil_boundaries_cluster_between_owners() {
+        // A 16-page array with shift communication on 2 CPUs: the emission
+        // order should place the shared boundary pages between the
+        // CPU0-only and CPU1-only blocks (Figure 4(b)).
+        let a = ArrayId(0);
+        let s = AccessSummary {
+            arrays: vec![ArrayInfo::new(a, "A", VirtAddr(0), 16 * PAGE)],
+            partitionings: vec![ArrayPartitioning::new(
+                a,
+                PAGE,
+                16,
+                PartitionPolicy::Blocked,
+                PartitionDirection::Forward,
+            )],
+            communications: vec![CommunicationSummary {
+                array: a,
+                pattern: CommunicationPattern::Shift,
+                width_units: 1,
+            }],
+            groups: vec![],
+            shared_arrays: vec![],
+        };
+        let m = MachineParams::new(2, PAGE as usize, 8 * PAGE as usize, 1);
+        let hints = generate_hints(&s, &m).unwrap();
+        let order: Vec<u64> = hints.order().iter().map(|v| v.0).collect();
+        let pos = |p: u64| order.iter().position(|&x| x == p).unwrap();
+        // Boundary pages are 7 and 8 ({0,1}); CPU0-only pages 0..7,
+        // CPU1-only 9..16.
+        let boundary = pos(7).max(pos(8));
+        let cpu0_max = (0..7).map(pos).max().unwrap();
+        let cpu1_min = (9..16).map(pos).min().unwrap();
+        assert!(
+            cpu0_max < boundary && boundary < cpu1_min,
+            "boundary pages must sit between the single-CPU blocks: {order:?}"
+        );
+    }
+
+    #[test]
+    fn empty_summary_yields_empty_hints() {
+        let hints = generate_hints(&AccessSummary::default(), &figure4_machine()).unwrap();
+        assert!(hints.is_empty());
+        assert!(hints.to_hint_table().is_empty());
+    }
+
+    #[test]
+    fn hint_count_scales_with_processors() {
+        // More CPUs → same pages, same hints (coloring is total either way)
+        // but ordering changes; sanity check against panics across sizes.
+        for p in [1, 2, 4, 8] {
+            let m = MachineParams::new(p, PAGE as usize, 4 * PAGE as usize, 1);
+            let hints = generate_hints(&figure4_summary(), &m).unwrap();
+            assert_eq!(hints.len(), 16, "p={p}");
+        }
+    }
+
+    #[test]
+    fn color_of_matches_assignments() {
+        let hints = generate_hints(&figure4_summary(), &figure4_machine()).unwrap();
+        for (vpn, color) in hints.assignments() {
+            assert_eq!(hints.color_of(vpn), Some(color));
+        }
+    }
+}

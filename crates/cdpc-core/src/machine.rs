@@ -1,0 +1,90 @@
+//! Machine parameters known only at program start-up.
+//!
+//! The compiler emits access-pattern summaries symbolically; the run-time
+//! library resolves them against the actual machine — processor count, page
+//! size, and external-cache geometry — when generating hints (paper §5,
+//! stage 2).
+
+use cdpc_vm::addr::{ColorSpace, PageGeometry};
+
+/// The machine description consumed by the hint generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MachineParams {
+    num_cpus: usize,
+    geometry: PageGeometry,
+    cache_size: usize,
+    associativity: usize,
+}
+
+impl MachineParams {
+    /// Creates machine parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_cpus` is zero or exceeds 64, if `page_size` is not a
+    /// power of two, or if the cache cannot hold one page per way.
+    pub fn new(num_cpus: usize, page_size: usize, cache_size: usize, associativity: usize) -> Self {
+        assert!((1..=64).contains(&num_cpus), "1..=64 CPUs supported");
+        Self {
+            num_cpus,
+            geometry: PageGeometry::new(page_size),
+            cache_size,
+            associativity,
+        }
+    }
+
+    /// Number of processors taking part in the computation.
+    pub fn num_cpus(&self) -> usize {
+        self.num_cpus
+    }
+
+    /// Page geometry.
+    pub fn geometry(&self) -> PageGeometry {
+        self.geometry
+    }
+
+    /// External cache capacity in bytes.
+    pub fn cache_size(&self) -> usize {
+        self.cache_size
+    }
+
+    /// External cache associativity.
+    pub fn associativity(&self) -> usize {
+        self.associativity
+    }
+
+    /// The color space implied by cache and page geometry.
+    pub fn colors(&self) -> ColorSpace {
+        ColorSpace::new(self.cache_size, self.geometry.page_size(), self.associativity)
+    }
+
+    /// Pages needed for `bytes` of data.
+    pub fn pages_for(&self, bytes: u64) -> u64 {
+        self.geometry.pages_for(bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_configuration() {
+        let m = MachineParams::new(16, 4096, 1 << 20, 1);
+        assert_eq!(m.colors().num_colors(), 256);
+        assert_eq!(m.num_cpus(), 16);
+        assert_eq!(m.pages_for(14 << 20), 3584); // tomcatv's 14 MB
+    }
+
+    #[test]
+    fn two_way_halves_colors() {
+        let m = MachineParams::new(8, 4096, 1 << 20, 2);
+        assert_eq!(m.colors().num_colors(), 128);
+    }
+
+    #[test]
+    #[should_panic(expected = "CPUs supported")]
+    fn rejects_zero_cpus() {
+        MachineParams::new(0, 4096, 1 << 20, 1);
+    }
+}

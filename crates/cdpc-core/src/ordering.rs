@@ -1,0 +1,281 @@
+//! Steps 2 and 3: ordering the uniform access sets, and the segments
+//! within each set.
+//!
+//! Both steps build an undirected graph and look for a path visiting every
+//! node once while using as many graph edges as possible (the path may also
+//! jump between unconnected nodes). The paper uses simple greedy
+//! heuristics, reproduced here:
+//!
+//! * **Sets** (step 2): nodes are access sets; edges connect sets with
+//!   intersecting processor sets. Start from the subgraph of sets with one
+//!   or two processors, beginning at a singleton, and greedily extend to an
+//!   unvisited neighbor. Remaining sets are inserted next to the path node
+//!   with the maximum processor-set overlap. The effect is to cluster each
+//!   processor's pages: pages accessed by CPUs {0,1} land between the
+//!   pages of CPU 0 alone and CPU 1 alone.
+//! * **Segments within a set** (step 3): nodes are segments; edges connect
+//!   segments whose arrays the compiler saw used in the same loop (group
+//!   access information). Greedy path again, tie-breaking toward the
+//!   smallest virtual address.
+
+use crate::segments::AccessSet;
+use crate::summary::AccessSummary;
+
+/// Orders the uniform access sets (step 2). Consumes and returns the sets.
+pub fn order_sets(mut sets: Vec<AccessSet>) -> Vec<AccessSet> {
+    if sets.len() <= 1 {
+        return sets;
+    }
+    // Deterministic starting arrangement: by (|procs|, first VA).
+    sets.sort_by_key(|s| {
+        (
+            s.procs.len(),
+            s.segments.first().map(|x| x.start).unwrap_or_default(),
+        )
+    });
+
+    let n = sets.len();
+    let small: Vec<usize> = (0..n).filter(|&i| sets[i].procs.len() <= 2).collect();
+    let mut visited = vec![false; n];
+    let mut path: Vec<usize> = Vec::with_capacity(n);
+
+    // Walk the small-set subgraph starting from a singleton when possible.
+    let mut cursor = small
+        .iter()
+        .copied()
+        .find(|&i| sets[i].procs.len() == 1)
+        .or_else(|| small.first().copied());
+    while let Some(cur) = cursor {
+        visited[cur] = true;
+        path.push(cur);
+        // Prefer an adjacent (intersecting) unvisited small node with the
+        // largest overlap; otherwise any unvisited small node.
+        let next = small
+            .iter()
+            .copied()
+            .filter(|&j| !visited[j])
+            .max_by_key(|&j| {
+                (
+                    sets[cur].procs.intersects(sets[j].procs) as usize,
+                    sets[cur].procs.overlap(sets[j].procs),
+                    usize::MAX - j, // earlier index wins ties
+                )
+            });
+        cursor = next;
+    }
+
+    // Insert the remaining (large) sets next to the path node with maximum
+    // processor overlap.
+    let mut large: Vec<usize> = (0..n).filter(|&i| !visited[i]).collect();
+    large.sort_by_key(|&i| sets[i].segments.first().map(|x| x.start).unwrap_or_default());
+    for i in large {
+        if path.is_empty() {
+            // No small sets at all (every set spans 3+ processors): start
+            // the path with the first large set.
+            path.push(i);
+            continue;
+        }
+        let anchor = path
+            .iter()
+            .position(|&j| {
+                let best = path
+                    .iter()
+                    .map(|&k| sets[i].procs.overlap(sets[k].procs))
+                    .max()
+                    .unwrap_or(0);
+                sets[i].procs.overlap(sets[j].procs) == best
+            })
+            .unwrap_or(0);
+        path.insert((anchor + 1).min(path.len()), i);
+    }
+
+    // Materialize in path order.
+    let mut slots: Vec<Option<AccessSet>> = sets.into_iter().map(Some).collect();
+    path.into_iter()
+        .map(|i| slots[i].take().expect("each index visited once"))
+        .collect()
+}
+
+/// Orders the segments within one access set (step 3), in place.
+///
+/// Uses the summary's group-access information: segments of arrays used
+/// together are placed adjacently so their pages receive nearby colors.
+pub fn order_segments_within(set: &mut AccessSet, summary: &AccessSummary) {
+    let n = set.segments.len();
+    if n <= 1 {
+        return;
+    }
+    let mut visited = vec![false; n];
+    let mut order: Vec<usize> = Vec::with_capacity(n);
+
+    // Start from the smallest virtual address.
+    let mut cursor = Some(
+        (0..n)
+            .min_by_key(|&i| set.segments[i].start)
+            .expect("non-empty"),
+    );
+    while let Some(cur) = cursor {
+        visited[cur] = true;
+        order.push(cur);
+        let cur_array = set.segments[cur].array;
+        // Prefer an unvisited segment whose array is grouped with the
+        // current one; tie-break toward the smallest address.
+        let next = (0..n)
+            .filter(|&j| !visited[j])
+            .min_by_key(|&j| {
+                let grouped = summary.grouped_together(cur_array, set.segments[j].array)
+                    || cur_array == set.segments[j].array;
+                (!grouped, set.segments[j].start)
+            });
+        cursor = next;
+    }
+
+    let mut slots: Vec<Option<_>> = set.segments.drain(..).map(Some).collect();
+    set.segments = order
+        .into_iter()
+        .map(|i| slots[i].take().expect("each index visited once"))
+        .collect();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::procset::ProcSet;
+    use crate::segments::UniformSegment;
+    use crate::summary::{ArrayId, ArrayInfo, GroupAccess};
+    use cdpc_vm::addr::VirtAddr;
+
+    fn set(procs: ProcSet, start: u64) -> AccessSet {
+        AccessSet {
+            procs,
+            segments: vec![UniformSegment {
+                array: ArrayId(0),
+                start: VirtAddr(start),
+                bytes: 4096,
+                procs,
+            }],
+        }
+    }
+
+    #[test]
+    fn shared_set_lands_between_its_owners() {
+        // Paper Figure 4(b): pages accessed by both CPUs go between the
+        // pages of CPU 0 alone and CPU 1 alone.
+        let ordered = order_sets(vec![
+            set(ProcSet::singleton(0), 0),
+            set(ProcSet::singleton(1), 8192),
+            set(ProcSet::from_cpus([0, 1]), 4096),
+        ]);
+        let procs: Vec<ProcSet> = ordered.iter().map(|s| s.procs).collect();
+        let pos = |p: ProcSet| procs.iter().position(|&x| x == p).unwrap();
+        let shared = pos(ProcSet::from_cpus([0, 1]));
+        let p0 = pos(ProcSet::singleton(0));
+        let p1 = pos(ProcSet::singleton(1));
+        assert!(
+            (p0 < shared && shared < p1) || (p1 < shared && shared < p0),
+            "shared set must sit between the singletons: {procs:?}"
+        );
+    }
+
+    #[test]
+    fn chain_of_neighbors_forms_a_path() {
+        // Sets {0},{0,1},{1},{1,2},{2}: the greedy walk should produce a
+        // processor-clustered chain.
+        let ordered = order_sets(vec![
+            set(ProcSet::singleton(2), 0),
+            set(ProcSet::from_cpus([0, 1]), 4096),
+            set(ProcSet::singleton(0), 8192),
+            set(ProcSet::from_cpus([1, 2]), 12288),
+            set(ProcSet::singleton(1), 16384),
+        ]);
+        // Every adjacent pair in the result should intersect (a perfect
+        // path exists for this input).
+        for w in ordered.windows(2) {
+            assert!(
+                w[0].procs.intersects(w[1].procs),
+                "adjacent sets should share a processor: {} vs {}",
+                w[0].procs,
+                w[1].procs
+            );
+        }
+    }
+
+    #[test]
+    fn large_sets_insert_next_to_max_overlap() {
+        let ordered = order_sets(vec![
+            set(ProcSet::all(4), 0),
+            set(ProcSet::singleton(0), 4096),
+            set(ProcSet::singleton(3), 8192),
+        ]);
+        assert_eq!(ordered.len(), 3);
+        // The all-CPUs set must not be first (it was inserted after an
+        // anchor in the small-set path).
+        assert_ne!(ordered[0].procs, ProcSet::all(4));
+    }
+
+    #[test]
+    fn ordering_preserves_every_set() {
+        let input = vec![
+            set(ProcSet::singleton(0), 0),
+            set(ProcSet::singleton(1), 4096),
+            set(ProcSet::from_cpus([0, 1]), 8192),
+            set(ProcSet::all(3), 12288),
+        ];
+        let mut got: Vec<u64> = order_sets(input)
+            .iter()
+            .map(|s| s.segments[0].start.0)
+            .collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 4096, 8192, 12288]);
+    }
+
+    #[test]
+    fn grouped_arrays_are_adjacent_within_a_set() {
+        let procs = ProcSet::singleton(0);
+        let seg = |array: usize, start: u64| UniformSegment {
+            array: ArrayId(array),
+            start: VirtAddr(start),
+            bytes: 4096,
+            procs,
+        };
+        let mut set = AccessSet {
+            procs,
+            // Address order: A(0), B(1), C(2), D(3); groups: {A,C}, {B,D}.
+            segments: vec![seg(0, 0), seg(1, 4096), seg(2, 8192), seg(3, 12288)],
+        };
+        let summary = AccessSummary {
+            arrays: (0..4)
+                .map(|i| {
+                    ArrayInfo::new(ArrayId(i), format!("a{i}"), VirtAddr(i as u64 * 4096), 4096)
+                })
+                .collect(),
+            groups: vec![
+                GroupAccess::new(vec![ArrayId(0), ArrayId(2)]),
+                GroupAccess::new(vec![ArrayId(1), ArrayId(3)]),
+            ],
+            ..Default::default()
+        };
+        order_segments_within(&mut set, &summary);
+        let order: Vec<usize> = set.segments.iter().map(|s| s.array.0).collect();
+        assert_eq!(order, vec![0, 2, 1, 3], "grouped pairs must be adjacent");
+    }
+
+    #[test]
+    fn ungrouped_segments_fall_back_to_address_order() {
+        let procs = ProcSet::singleton(0);
+        let seg = |array: usize, start: u64| UniformSegment {
+            array: ArrayId(array),
+            start: VirtAddr(start),
+            bytes: 4096,
+            procs,
+        };
+        let mut set = AccessSet {
+            procs,
+            segments: vec![seg(2, 8192), seg(0, 0), seg(1, 4096)],
+        };
+        let summary = AccessSummary::default();
+        order_segments_within(&mut set, &summary);
+        let starts: Vec<u64> = set.segments.iter().map(|s| s.start.0).collect();
+        assert_eq!(starts, vec![0, 4096, 8192]);
+    }
+}

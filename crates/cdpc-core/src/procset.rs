@@ -1,0 +1,169 @@
+//! Sets of processors, as compact bitmasks.
+
+use std::fmt;
+
+/// A set of processor indices (0–63), stored as a bitmask.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct ProcSet(u64);
+
+impl ProcSet {
+    /// The empty set.
+    pub const EMPTY: ProcSet = ProcSet(0);
+
+    /// Creates a set containing a single processor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cpu >= 64`.
+    pub fn singleton(cpu: usize) -> Self {
+        assert!(cpu < 64, "processor index {cpu} out of range");
+        ProcSet(1 << cpu)
+    }
+
+    /// Creates a set containing processors `0..n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 64`.
+    pub fn all(n: usize) -> Self {
+        assert!(n <= 64, "at most 64 processors supported");
+        if n == 64 {
+            ProcSet(u64::MAX)
+        } else {
+            ProcSet((1u64 << n) - 1)
+        }
+    }
+
+    /// Builds a set from an iterator of processor indices.
+    pub fn from_cpus<I: IntoIterator<Item = usize>>(cpus: I) -> Self {
+        let mut s = ProcSet::EMPTY;
+        for c in cpus {
+            s = s.with(c);
+        }
+        s
+    }
+
+    /// Returns this set with `cpu` added.
+    #[must_use]
+    pub fn with(self, cpu: usize) -> Self {
+        assert!(cpu < 64, "processor index {cpu} out of range");
+        ProcSet(self.0 | (1 << cpu))
+    }
+
+    /// Set union.
+    #[must_use]
+    pub fn union(self, other: ProcSet) -> Self {
+        ProcSet(self.0 | other.0)
+    }
+
+    /// Set intersection.
+    #[must_use]
+    pub fn intersection(self, other: ProcSet) -> Self {
+        ProcSet(self.0 & other.0)
+    }
+
+    /// `true` when the sets share at least one processor.
+    pub fn intersects(self, other: ProcSet) -> bool {
+        self.0 & other.0 != 0
+    }
+
+    /// `true` when `cpu` is a member.
+    pub fn contains(self, cpu: usize) -> bool {
+        cpu < 64 && self.0 & (1 << cpu) != 0
+    }
+
+    /// Number of processors in the set.
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// `true` for the empty set.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Number of shared members with `other`.
+    pub fn overlap(self, other: ProcSet) -> usize {
+        (self.0 & other.0).count_ones() as usize
+    }
+
+    /// Iterates member indices in ascending order.
+    pub fn iter(self) -> impl Iterator<Item = usize> {
+        (0..64).filter(move |&c| self.contains(c))
+    }
+
+    /// The raw bitmask.
+    pub fn bits(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for ProcSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, c) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl FromIterator<usize> for ProcSet {
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        Self::from_cpus(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_membership() {
+        let s = ProcSet::from_cpus([0, 3, 5]);
+        assert!(s.contains(0) && s.contains(3) && s.contains(5));
+        assert!(!s.contains(1));
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+        assert!(ProcSet::EMPTY.is_empty());
+    }
+
+    #[test]
+    fn all_covers_prefix() {
+        assert_eq!(ProcSet::all(4), ProcSet::from_cpus([0, 1, 2, 3]));
+        assert_eq!(ProcSet::all(64).len(), 64);
+        assert_eq!(ProcSet::all(0), ProcSet::EMPTY);
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = ProcSet::from_cpus([0, 1]);
+        let b = ProcSet::from_cpus([1, 2]);
+        assert_eq!(a.union(b), ProcSet::from_cpus([0, 1, 2]));
+        assert_eq!(a.intersection(b), ProcSet::singleton(1));
+        assert!(a.intersects(b));
+        assert_eq!(a.overlap(b), 1);
+        assert!(!a.intersects(ProcSet::singleton(5)));
+    }
+
+    #[test]
+    fn iteration_ascending() {
+        let s = ProcSet::from_cpus([7, 2, 63]);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![2, 7, 63]);
+    }
+
+    #[test]
+    fn display_lists_members() {
+        assert_eq!(ProcSet::from_cpus([1, 4]).to_string(), "{1,4}");
+        assert_eq!(ProcSet::EMPTY.to_string(), "{}");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_large_indices() {
+        ProcSet::singleton(64);
+    }
+}

@@ -1,0 +1,510 @@
+//! Step 1: building the uniform access segments.
+//!
+//! A *uniform access segment* is a maximal contiguous virtual-address
+//! range accessed by one fixed set of processors. The algorithm (paper
+//! §5.2 step 1) starts from whole arrays and splits them at partition
+//! boundaries and wherever communication widens the accessing set — e.g. a
+//! stencil's halo rows are touched by two neighboring processors while the
+//! partition interior belongs to one.
+//!
+//! Segments from all arrays are then grouped by processor set into
+//! *uniform access sets* ([`AccessSet`]) for the ordering steps.
+
+use cdpc_vm::addr::VirtAddr;
+
+use crate::machine::MachineParams;
+use crate::procset::ProcSet;
+use crate::summary::{AccessSummary, ArrayId, CommunicationPattern};
+use crate::CdpcError;
+
+/// A maximal address range accessed by one fixed processor set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UniformSegment {
+    /// The array this segment belongs to.
+    pub array: ArrayId,
+    /// First byte.
+    pub start: VirtAddr,
+    /// Length in bytes.
+    pub bytes: u64,
+    /// The processors that access the range.
+    pub procs: ProcSet,
+}
+
+impl UniformSegment {
+    /// One-past-the-end address.
+    pub fn end(&self) -> VirtAddr {
+        VirtAddr(self.start.0 + self.bytes)
+    }
+}
+
+/// All segments sharing one processor set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AccessSet {
+    /// The common processor set.
+    pub procs: ProcSet,
+    /// Member segments, in virtual-address order.
+    pub segments: Vec<UniformSegment>,
+}
+
+impl AccessSet {
+    /// Total bytes across member segments.
+    pub fn total_bytes(&self) -> u64 {
+        self.segments.iter().map(|s| s.bytes).sum()
+    }
+}
+
+/// Validates a summary's internal references.
+///
+/// # Errors
+///
+/// See [`CdpcError`] for each condition.
+pub fn validate(summary: &AccessSummary) -> Result<(), CdpcError> {
+    for p in &summary.partitionings {
+        let info = summary
+            .array(p.array)
+            .ok_or(CdpcError::UnknownArray(p.array))?;
+        let covered = p.unit_bytes * p.num_units;
+        if covered > info.size_bytes {
+            return Err(CdpcError::PartitionExceedsArray {
+                array: p.array,
+                partitioned: covered,
+                size: info.size_bytes,
+            });
+        }
+    }
+    for c in &summary.communications {
+        if summary.array(c.array).is_none() {
+            return Err(CdpcError::UnknownArray(c.array));
+        }
+        if summary.partitionings_of(c.array).next().is_none() {
+            return Err(CdpcError::CommunicationWithoutPartitioning(c.array));
+        }
+    }
+    for g in &summary.groups {
+        for &a in g.arrays() {
+            if summary.array(a).is_none() {
+                return Err(CdpcError::UnknownArray(a));
+            }
+        }
+    }
+    for &a in &summary.shared_arrays {
+        if summary.array(a).is_none() {
+            return Err(CdpcError::UnknownArray(a));
+        }
+    }
+    Ok(())
+}
+
+/// Builds the uniform access segments for every analyzable array.
+///
+/// Unanalyzable arrays (no partitioning, not shared) produce no segments —
+/// CDPC leaves them to the OS's native policy.
+///
+/// # Errors
+///
+/// Returns a [`CdpcError`] if the summary fails [`validate`].
+pub fn build_segments(
+    summary: &AccessSummary,
+    machine: &MachineParams,
+) -> Result<Vec<UniformSegment>, CdpcError> {
+    validate(summary)?;
+    let p = machine.num_cpus();
+    let mut out = Vec::new();
+    for info in &summary.arrays {
+        let partitionings: Vec<_> = summary.partitionings_of(info.id).collect();
+        let is_shared = summary.shared_arrays.contains(&info.id);
+        if partitionings.is_empty() {
+            if is_shared {
+                out.push(UniformSegment {
+                    array: info.id,
+                    start: info.start,
+                    bytes: info.size_bytes,
+                    procs: ProcSet::all(p),
+                });
+            }
+            continue;
+        }
+
+        // Per-CPU extended byte ranges for every (partitioning,
+        // communication) combination. Ranges may wrap for rotate patterns,
+        // represented as up to two linear pieces.
+        let mut ranges: Vec<(u64, u64, usize)> = Vec::new(); // [lo, hi) bytes, cpu
+        for part in &partitionings {
+            let widths: Vec<(u64, CommunicationPattern)> = summary
+                .communications
+                .iter()
+                .filter(|c| c.array == info.id)
+                .map(|c| (c.width_units, c.pattern))
+                .collect();
+            let total_units = part.num_units;
+            for cpu in 0..p {
+                let (lo, hi) = part.unit_range(cpu, p);
+                if lo == hi {
+                    continue;
+                }
+                ranges.push((lo * part.unit_bytes, hi * part.unit_bytes, cpu));
+                for &(w, pattern) in &widths {
+                    let w = w.min(total_units);
+                    match pattern {
+                        CommunicationPattern::Shift => {
+                            let elo = lo.saturating_sub(w);
+                            let ehi = (hi + w).min(total_units);
+                            ranges.push((elo * part.unit_bytes, ehi * part.unit_bytes, cpu));
+                        }
+                        CommunicationPattern::Rotate => {
+                            // Wrapping extension split into linear pieces.
+                            if lo >= w {
+                                ranges.push(((lo - w) * part.unit_bytes, lo * part.unit_bytes, cpu));
+                            } else {
+                                ranges.push((0, lo * part.unit_bytes, cpu));
+                                let wrap_lo = total_units + lo - w;
+                                ranges.push((
+                                    wrap_lo * part.unit_bytes,
+                                    total_units * part.unit_bytes,
+                                    cpu,
+                                ));
+                            }
+                            if hi + w <= total_units {
+                                ranges.push((hi * part.unit_bytes, (hi + w) * part.unit_bytes, cpu));
+                            } else {
+                                ranges.push((
+                                    hi * part.unit_bytes,
+                                    total_units * part.unit_bytes,
+                                    cpu,
+                                ));
+                                ranges.push((0, (hi + w - total_units) * part.unit_bytes, cpu));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if is_shared {
+            ranges.push((0, info.size_bytes, usize::MAX)); // sentinel: all CPUs
+        }
+
+        // The partitioned prefix may not cover the whole array (e.g. a
+        // trailing scalar block): the remainder is conservatively treated
+        // as accessed by all processors.
+        let covered: u64 = partitionings
+            .iter()
+            .map(|part| part.unit_bytes * part.num_units)
+            .max()
+            .unwrap_or(0);
+        if covered < info.size_bytes && !is_shared {
+            ranges.push((covered, info.size_bytes, usize::MAX));
+        }
+
+        // Elementary intervals between all breakpoints.
+        let mut points: Vec<u64> = ranges
+            .iter()
+            .flat_map(|&(lo, hi, _)| [lo, hi])
+            .chain([0, info.size_bytes])
+            .collect();
+        points.sort_unstable();
+        points.dedup();
+
+        let mut segs: Vec<UniformSegment> = Vec::new();
+        for w in points.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            if a >= b {
+                continue;
+            }
+            let mut procs = ProcSet::EMPTY;
+            for &(lo, hi, cpu) in &ranges {
+                if a >= lo && a < hi {
+                    procs = if cpu == usize::MAX {
+                        ProcSet::all(p)
+                    } else {
+                        procs.with(cpu)
+                    };
+                }
+            }
+            if procs.is_empty() {
+                continue;
+            }
+            // Merge with the previous segment when the set is unchanged and
+            // the ranges are adjacent.
+            if let Some(last) = segs.last_mut() {
+                if last.procs == procs && last.end().0 == info.start.0 + a {
+                    last.bytes += b - a;
+                    continue;
+                }
+            }
+            segs.push(UniformSegment {
+                array: info.id,
+                start: VirtAddr(info.start.0 + a),
+                bytes: b - a,
+                procs,
+            });
+        }
+        out.extend(segs);
+    }
+    Ok(out)
+}
+
+/// Groups segments by processor set (step 1's output feeding step 2).
+///
+/// Sets appear in order of their first segment's virtual address; segments
+/// within a set stay in address order.
+pub fn group_into_sets(segments: Vec<UniformSegment>) -> Vec<AccessSet> {
+    let mut sets: Vec<AccessSet> = Vec::new();
+    for seg in segments {
+        match sets.iter_mut().find(|s| s.procs == seg.procs) {
+            Some(set) => set.segments.push(seg),
+            None => sets.push(AccessSet {
+                procs: seg.procs,
+                segments: vec![seg],
+            }),
+        }
+    }
+    for set in &mut sets {
+        set.segments.sort_by_key(|s| s.start);
+    }
+    sets
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::summary::{
+        ArrayInfo, ArrayPartitioning, CommunicationSummary, PartitionDirection, PartitionPolicy,
+    };
+
+    const KB: u64 = 1024;
+
+    fn machine(cpus: usize) -> MachineParams {
+        MachineParams::new(cpus, 4096, 16 * 4096, 1)
+    }
+
+    fn one_array_summary(size: u64, parts: Vec<ArrayPartitioning>) -> AccessSummary {
+        AccessSummary {
+            arrays: vec![ArrayInfo::new(ArrayId(0), "A", VirtAddr(0), size)],
+            partitionings: parts,
+            communications: vec![],
+            groups: vec![],
+            shared_arrays: vec![],
+        }
+    }
+
+    #[test]
+    fn block_partition_yields_one_segment_per_cpu() {
+        let s = one_array_summary(
+            16 * KB,
+            vec![ArrayPartitioning::new(
+                ArrayId(0),
+                KB,
+                16,
+                PartitionPolicy::Blocked,
+                PartitionDirection::Forward,
+            )],
+        );
+        let segs = build_segments(&s, &machine(4)).unwrap();
+        assert_eq!(segs.len(), 4);
+        for (i, seg) in segs.iter().enumerate() {
+            assert_eq!(seg.start, VirtAddr(i as u64 * 4 * KB));
+            assert_eq!(seg.bytes, 4 * KB);
+            assert_eq!(seg.procs, ProcSet::singleton(i));
+        }
+    }
+
+    #[test]
+    fn shift_communication_creates_shared_boundaries() {
+        let mut s = one_array_summary(
+            16 * KB,
+            vec![ArrayPartitioning::new(
+                ArrayId(0),
+                KB,
+                16,
+                PartitionPolicy::Blocked,
+                PartitionDirection::Forward,
+            )],
+        );
+        s.communications.push(CommunicationSummary {
+            array: ArrayId(0),
+            pattern: CommunicationPattern::Shift,
+            width_units: 1,
+        });
+        let segs = build_segments(&s, &machine(2)).unwrap();
+        // Layout: [0,7K) cpu0 | [7K,8K) cpu0+1 | [8K,9K) cpu0+1 | [9K,16K)
+        // cpu1 — the two middle pieces merge into one {0,1} segment.
+        assert_eq!(segs.len(), 3, "{segs:?}");
+        assert_eq!(segs[0].procs, ProcSet::singleton(0));
+        assert_eq!(segs[0].bytes, 7 * KB);
+        assert_eq!(segs[1].procs, ProcSet::from_cpus([0, 1]));
+        assert_eq!(segs[1].bytes, 2 * KB);
+        assert_eq!(segs[2].procs, ProcSet::singleton(1));
+        assert_eq!(segs[2].bytes, 7 * KB);
+    }
+
+    #[test]
+    fn rotate_communication_wraps_around() {
+        let mut s = one_array_summary(
+            16 * KB,
+            vec![ArrayPartitioning::new(
+                ArrayId(0),
+                KB,
+                16,
+                PartitionPolicy::Blocked,
+                PartitionDirection::Forward,
+            )],
+        );
+        s.communications.push(CommunicationSummary {
+            array: ArrayId(0),
+            pattern: CommunicationPattern::Rotate,
+            width_units: 1,
+        });
+        let segs = build_segments(&s, &machine(2)).unwrap();
+        // First and last units are now shared between CPU 1 and CPU 0.
+        assert_eq!(segs.first().unwrap().procs, ProcSet::from_cpus([0, 1]));
+        assert_eq!(segs.first().unwrap().bytes, KB);
+        assert_eq!(segs.last().unwrap().procs, ProcSet::from_cpus([0, 1]));
+        assert_eq!(segs.last().unwrap().bytes, KB);
+    }
+
+    #[test]
+    fn overlapping_partitions_union_processor_sets() {
+        // The same array partitioned forward in one loop and reverse in
+        // another: every byte is accessed by two CPUs (except the middle
+        // pieces where both assignments agree).
+        let s = one_array_summary(
+            16 * KB,
+            vec![
+                ArrayPartitioning::new(
+                    ArrayId(0),
+                    KB,
+                    16,
+                    PartitionPolicy::Blocked,
+                    PartitionDirection::Forward,
+                ),
+                ArrayPartitioning::new(
+                    ArrayId(0),
+                    KB,
+                    16,
+                    PartitionPolicy::Blocked,
+                    PartitionDirection::Reverse,
+                ),
+            ],
+        );
+        let segs = build_segments(&s, &machine(4)).unwrap();
+        // CPU 0 owns [0,4K) forward; CPU 3 owns [0,4K) reverse → {0,3}.
+        assert_eq!(segs[0].procs, ProcSet::from_cpus([0, 3]));
+    }
+
+    #[test]
+    fn uncovered_tail_is_conservatively_shared() {
+        let s = one_array_summary(
+            16 * KB,
+            vec![ArrayPartitioning::new(
+                ArrayId(0),
+                KB,
+                12, // only 12 of 16 KB covered
+                PartitionPolicy::Blocked,
+                PartitionDirection::Forward,
+            )],
+        );
+        let segs = build_segments(&s, &machine(2)).unwrap();
+        let tail = segs.last().unwrap();
+        assert_eq!(tail.start, VirtAddr(12 * KB));
+        assert_eq!(tail.bytes, 4 * KB);
+        assert_eq!(tail.procs, ProcSet::all(2));
+    }
+
+    #[test]
+    fn shared_array_is_one_full_segment() {
+        let s = AccessSummary {
+            arrays: vec![ArrayInfo::new(ArrayId(0), "tbl", VirtAddr(0), 8 * KB)],
+            partitionings: vec![],
+            communications: vec![],
+            groups: vec![],
+            shared_arrays: vec![ArrayId(0)],
+        };
+        let segs = build_segments(&s, &machine(4)).unwrap();
+        assert_eq!(segs.len(), 1);
+        assert_eq!(segs[0].procs, ProcSet::all(4));
+        assert_eq!(segs[0].bytes, 8 * KB);
+    }
+
+    #[test]
+    fn unanalyzable_array_produces_no_segments() {
+        let s = AccessSummary {
+            arrays: vec![ArrayInfo::new(ArrayId(0), "irr", VirtAddr(0), 8 * KB)],
+            ..Default::default()
+        };
+        let segs = build_segments(&s, &machine(4)).unwrap();
+        assert!(segs.is_empty());
+    }
+
+    #[test]
+    fn segments_partition_each_analyzable_array_exactly() {
+        let mut s = one_array_summary(
+            16 * KB,
+            vec![ArrayPartitioning::new(
+                ArrayId(0),
+                KB,
+                16,
+                PartitionPolicy::Even,
+                PartitionDirection::Forward,
+            )],
+        );
+        s.communications.push(CommunicationSummary {
+            array: ArrayId(0),
+            pattern: CommunicationPattern::Shift,
+            width_units: 2,
+        });
+        let segs = build_segments(&s, &machine(3)).unwrap();
+        // Coverage: contiguous, non-overlapping, total = array size.
+        let mut cursor = 0;
+        for seg in &segs {
+            assert_eq!(seg.start.0, cursor, "gap or overlap at {cursor}");
+            cursor = seg.end().0;
+        }
+        assert_eq!(cursor, 16 * KB);
+        // Adjacent segments must differ in procs (maximality).
+        for w in segs.windows(2) {
+            assert_ne!(w[0].procs, w[1].procs, "non-maximal segments");
+        }
+    }
+
+    #[test]
+    fn grouping_collects_equal_procsets() {
+        let seg = |start: u64, procs: ProcSet| UniformSegment {
+            array: ArrayId(0),
+            start: VirtAddr(start),
+            bytes: KB,
+            procs,
+        };
+        let sets = group_into_sets(vec![
+            seg(0, ProcSet::singleton(0)),
+            seg(1024, ProcSet::singleton(1)),
+            seg(4096, ProcSet::singleton(0)),
+        ]);
+        assert_eq!(sets.len(), 2);
+        assert_eq!(sets[0].segments.len(), 2);
+        assert_eq!(sets[0].total_bytes(), 2 * KB);
+    }
+
+    #[test]
+    fn validation_rejects_unknown_and_oversized() {
+        let mut s = one_array_summary(
+            4 * KB,
+            vec![ArrayPartitioning::new(
+                ArrayId(9),
+                KB,
+                4,
+                PartitionPolicy::Even,
+                PartitionDirection::Forward,
+            )],
+        );
+        assert_eq!(
+            build_segments(&s, &machine(2)).unwrap_err(),
+            CdpcError::UnknownArray(ArrayId(9))
+        );
+        s.partitionings[0].array = ArrayId(0);
+        s.partitionings[0].num_units = 8; // 8 KB > 4 KB array
+        assert!(matches!(
+            build_segments(&s, &machine(2)).unwrap_err(),
+            CdpcError::PartitionExceedsArray { .. }
+        ));
+    }
+}

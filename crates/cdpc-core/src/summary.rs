@@ -1,0 +1,364 @@
+//! Access-pattern summaries — the interface between compiler and run-time.
+//!
+//! The compiler extracts three kinds of information (paper §5.1):
+//!
+//! * **Array partitioning** ([`ArrayPartitioning`]): the array's location
+//!   and size, the *data partition unit* (the amount of data operated on in
+//!   one parallel-loop iteration — e.g. one column of a 2-D array), the
+//!   partitioning policy (even / blocked) and direction (forward /
+//!   reverse).
+//! * **Communication patterns** ([`CommunicationSummary`]): shift or rotate
+//!   communication of boundary data between neighboring processors.
+//! * **Group access information** ([`GroupAccess`]): sets of arrays
+//!   accessed within the same loops.
+//!
+//! An [`AccessSummary`] bundles everything the run-time hint generator
+//! needs. Arrays listed in [`AccessSummary::arrays`] but covered by no
+//! partitioning and not listed in [`AccessSummary::shared_arrays`] are
+//! *unanalyzable* (e.g. su2cor's irregularly-accessed structures): CDPC
+//! leaves them unhinted, exactly as the paper describes.
+
+use cdpc_vm::addr::VirtAddr;
+
+/// Identifies one array (index into [`AccessSummary::arrays`] order is not
+/// required; ids are opaque).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ArrayId(pub usize);
+
+/// An array's location in the virtual address space.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArrayInfo {
+    /// The array's identifier.
+    pub id: ArrayId,
+    /// Human-readable name for reports.
+    pub name: String,
+    /// First byte of the array.
+    pub start: VirtAddr,
+    /// Total size in bytes.
+    pub size_bytes: u64,
+}
+
+impl ArrayInfo {
+    /// Creates array metadata.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size_bytes` is zero.
+    pub fn new(id: ArrayId, name: impl Into<String>, start: VirtAddr, size_bytes: u64) -> Self {
+        assert!(size_bytes > 0, "arrays must be non-empty");
+        Self {
+            id,
+            name: name.into(),
+            start,
+            size_bytes,
+        }
+    }
+
+    /// One-past-the-end byte address.
+    pub fn end(&self) -> VirtAddr {
+        VirtAddr(self.start.0 + self.size_bytes)
+    }
+}
+
+/// How a parallel loop's iterations are distributed over processors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PartitionPolicy {
+    /// Each processor gets a number of iterations as close to equal as
+    /// possible (`⌊N/p⌋` or `⌈N/p⌉`).
+    Even,
+    /// Processors get `⌈N/p⌉` iterations each; the last may get fewer (and
+    /// trailing processors may get none).
+    Blocked,
+}
+
+/// Whether iterations are dealt from processor 0 upward or processor `p-1`
+/// downward.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PartitionDirection {
+    /// Unit 0 goes to processor 0.
+    Forward,
+    /// Unit 0 goes to processor `p-1`.
+    Reverse,
+}
+
+/// One array's partitioning across the processors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArrayPartitioning {
+    /// The partitioned array.
+    pub array: ArrayId,
+    /// Bytes per data partition unit (e.g. the size of one column).
+    pub unit_bytes: u64,
+    /// Number of units in the distributed dimension.
+    pub num_units: u64,
+    /// Distribution policy.
+    pub policy: PartitionPolicy,
+    /// Distribution direction.
+    pub direction: PartitionDirection,
+}
+
+impl ArrayPartitioning {
+    /// Creates a partitioning summary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `unit_bytes` or `num_units` is zero.
+    pub fn new(
+        array: ArrayId,
+        unit_bytes: u64,
+        num_units: u64,
+        policy: PartitionPolicy,
+        direction: PartitionDirection,
+    ) -> Self {
+        assert!(unit_bytes > 0 && num_units > 0, "degenerate partitioning");
+        Self {
+            array,
+            unit_bytes,
+            num_units,
+            policy,
+            direction,
+        }
+    }
+
+    /// The range of units `[lo, hi)` owned by `cpu` out of `num_cpus`,
+    /// before applying direction.
+    fn unit_range_forward(&self, cpu: usize, num_cpus: usize) -> (u64, u64) {
+        let n = self.num_units;
+        let p = num_cpus as u64;
+        match self.policy {
+            PartitionPolicy::Even => {
+                let c = cpu as u64;
+                ((c * n) / p, ((c + 1) * n) / p)
+            }
+            PartitionPolicy::Blocked => {
+                let per = n.div_ceil(p);
+                let lo = (cpu as u64 * per).min(n);
+                let hi = (lo + per).min(n);
+                (lo, hi)
+            }
+        }
+    }
+
+    /// The range of units `[lo, hi)` owned by `cpu` out of `num_cpus`.
+    ///
+    /// Empty ranges (`lo == hi`) occur for trailing processors of blocked
+    /// partitions when `num_units < ⌈N/p⌉·p`.
+    pub fn unit_range(&self, cpu: usize, num_cpus: usize) -> (u64, u64) {
+        let logical = match self.direction {
+            PartitionDirection::Forward => cpu,
+            PartitionDirection::Reverse => num_cpus - 1 - cpu,
+        };
+        self.unit_range_forward(logical, num_cpus)
+    }
+
+    /// The owner of `unit` among `num_cpus`, or `None` for out-of-range
+    /// units.
+    pub fn owner_of(&self, unit: u64, num_cpus: usize) -> Option<usize> {
+        if unit >= self.num_units {
+            return None;
+        }
+        (0..num_cpus).find(|&c| {
+            let (lo, hi) = self.unit_range(c, num_cpus);
+            unit >= lo && unit < hi
+        })
+    }
+}
+
+/// The shape of neighbor communication over a partitioned array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CommunicationPattern {
+    /// Boundary units flow between adjacent processors (no wraparound).
+    Shift,
+    /// Like shift but the last and first processors also exchange.
+    Rotate,
+}
+
+/// Communication summary: boundary `width_units` of `array`'s partitions
+/// are also accessed by the neighboring processor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CommunicationSummary {
+    /// The communicated array (must also have a partitioning).
+    pub array: ArrayId,
+    /// Shift or rotate.
+    pub pattern: CommunicationPattern,
+    /// Number of boundary units shared with each neighbor.
+    pub width_units: u64,
+}
+
+/// A set of arrays accessed within the same loops.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroupAccess {
+    arrays: Vec<ArrayId>,
+}
+
+impl GroupAccess {
+    /// Creates a group from the arrays of one loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two arrays are given (a single array carries no
+    /// grouping information).
+    pub fn new(arrays: Vec<ArrayId>) -> Self {
+        assert!(arrays.len() >= 2, "a group needs at least two arrays");
+        Self { arrays }
+    }
+
+    /// The member arrays.
+    pub fn arrays(&self) -> &[ArrayId] {
+        &self.arrays
+    }
+
+    /// All unordered pairs within the group.
+    pub fn pairs(&self) -> impl Iterator<Item = (ArrayId, ArrayId)> + '_ {
+        self.arrays
+            .iter()
+            .enumerate()
+            .flat_map(move |(i, &a)| self.arrays[i + 1..].iter().map(move |&b| (a, b)))
+    }
+
+    /// `true` when both arrays are members.
+    pub fn contains_pair(&self, a: ArrayId, b: ArrayId) -> bool {
+        self.arrays.contains(&a) && self.arrays.contains(&b)
+    }
+}
+
+/// Everything the run-time hint generator consumes.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AccessSummary {
+    /// All arrays of the program, including unanalyzable ones.
+    pub arrays: Vec<ArrayInfo>,
+    /// Partitionings; an array may appear several times when accessed
+    /// differently in different loops (overlapping partitions).
+    pub partitionings: Vec<ArrayPartitioning>,
+    /// Boundary communication patterns.
+    pub communications: Vec<CommunicationSummary>,
+    /// Group access information.
+    pub groups: Vec<GroupAccess>,
+    /// Arrays accessed uniformly by every processor (read-shared tables):
+    /// colored but not partitioned.
+    pub shared_arrays: Vec<ArrayId>,
+}
+
+impl AccessSummary {
+    /// Looks up an array's metadata.
+    pub fn array(&self, id: ArrayId) -> Option<&ArrayInfo> {
+        self.arrays.iter().find(|a| a.id == id)
+    }
+
+    /// Partitionings registered for an array.
+    pub fn partitionings_of(&self, id: ArrayId) -> impl Iterator<Item = &ArrayPartitioning> {
+        self.partitionings.iter().filter(move |p| p.array == id)
+    }
+
+    /// `true` when two arrays appear together in any group.
+    pub fn grouped_together(&self, a: ArrayId, b: ArrayId) -> bool {
+        self.groups.iter().any(|g| g.contains_pair(a, b))
+    }
+
+    /// Arrays CDPC can color: partitioned or marked shared.
+    pub fn analyzable_arrays(&self) -> impl Iterator<Item = &ArrayInfo> {
+        self.arrays.iter().filter(move |a| {
+            self.partitionings.iter().any(|p| p.array == a.id)
+                || self.shared_arrays.contains(&a.id)
+        })
+    }
+
+    /// Total bytes across all arrays.
+    pub fn total_bytes(&self) -> u64 {
+        self.arrays.iter().map(|a| a.size_bytes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn part(policy: PartitionPolicy, dir: PartitionDirection, units: u64) -> ArrayPartitioning {
+        ArrayPartitioning::new(ArrayId(0), 1024, units, policy, dir)
+    }
+
+    #[test]
+    fn even_partition_is_balanced() {
+        let p = part(PartitionPolicy::Even, PartitionDirection::Forward, 10);
+        let ranges: Vec<_> = (0..4).map(|c| p.unit_range(c, 4)).collect();
+        assert_eq!(ranges, vec![(0, 2), (2, 5), (5, 7), (7, 10)]);
+        // Sizes differ by at most one.
+        let sizes: Vec<u64> = ranges.iter().map(|(a, b)| b - a).collect();
+        assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 1);
+    }
+
+    #[test]
+    fn blocked_partition_gives_ceil_chunks() {
+        let p = part(PartitionPolicy::Blocked, PartitionDirection::Forward, 10);
+        assert_eq!(p.unit_range(0, 4), (0, 3));
+        assert_eq!(p.unit_range(1, 4), (3, 6));
+        assert_eq!(p.unit_range(2, 4), (6, 9));
+        assert_eq!(p.unit_range(3, 4), (9, 10)); // short tail
+    }
+
+    #[test]
+    fn blocked_partition_can_starve_trailing_cpus() {
+        // The paper's applu: 33 iterations on 16 CPUs → ceil = 3, CPUs 11+
+        // get nothing; "16 processors do not execute such loops more
+        // efficiently than 11".
+        let p = part(PartitionPolicy::Blocked, PartitionDirection::Forward, 33);
+        let (lo, hi) = p.unit_range(11, 16);
+        assert_eq!((lo, hi), (33, 33), "CPU 11 gets an empty range");
+        let busy = (0..16).filter(|&c| {
+            let (a, b) = p.unit_range(c, 16);
+            b > a
+        });
+        assert_eq!(busy.count(), 11);
+    }
+
+    #[test]
+    fn reverse_direction_mirrors_ownership() {
+        let f = part(PartitionPolicy::Even, PartitionDirection::Forward, 8);
+        let r = part(PartitionPolicy::Even, PartitionDirection::Reverse, 8);
+        assert_eq!(f.unit_range(0, 4), r.unit_range(3, 4));
+        assert_eq!(f.unit_range(3, 4), r.unit_range(0, 4));
+    }
+
+    #[test]
+    fn owner_of_inverts_ranges() {
+        let p = part(PartitionPolicy::Even, PartitionDirection::Forward, 10);
+        for unit in 0..10 {
+            let owner = p.owner_of(unit, 4).unwrap();
+            let (lo, hi) = p.unit_range(owner, 4);
+            assert!(unit >= lo && unit < hi);
+        }
+        assert_eq!(p.owner_of(10, 4), None);
+    }
+
+    #[test]
+    fn group_pairs_enumerate_all() {
+        let g = GroupAccess::new(vec![ArrayId(1), ArrayId(2), ArrayId(3)]);
+        let pairs: Vec<_> = g.pairs().collect();
+        assert_eq!(pairs.len(), 3);
+        assert!(g.contains_pair(ArrayId(1), ArrayId(3)));
+        assert!(!g.contains_pair(ArrayId(1), ArrayId(9)));
+    }
+
+    #[test]
+    fn summary_identifies_unanalyzable_arrays() {
+        let s = AccessSummary {
+            arrays: vec![
+                ArrayInfo::new(ArrayId(0), "part", VirtAddr(0), 4096),
+                ArrayInfo::new(ArrayId(1), "irregular", VirtAddr(4096), 4096),
+                ArrayInfo::new(ArrayId(2), "table", VirtAddr(8192), 4096),
+            ],
+            partitionings: vec![ArrayPartitioning::new(
+                ArrayId(0),
+                1024,
+                4,
+                PartitionPolicy::Even,
+                PartitionDirection::Forward,
+            )],
+            communications: vec![],
+            groups: vec![],
+            shared_arrays: vec![ArrayId(2)],
+        };
+        let analyzable: Vec<_> = s.analyzable_arrays().map(|a| a.id).collect();
+        assert_eq!(analyzable, vec![ArrayId(0), ArrayId(2)]);
+        assert_eq!(s.total_bytes(), 3 * 4096);
+    }
+}

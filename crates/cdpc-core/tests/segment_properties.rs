@@ -1,0 +1,166 @@
+//! Property tests for uniform-access-segment construction: for arbitrary
+//! partitionings and communication patterns, segments must tile each
+//! analyzable array exactly, be maximal, and carry processor sets
+//! consistent with the partition arithmetic.
+
+use proptest::prelude::*;
+
+use cdpc_core::machine::MachineParams;
+use cdpc_core::segments::{build_segments, group_into_sets};
+use cdpc_core::summary::{
+    AccessSummary, ArrayId, ArrayInfo, ArrayPartitioning, CommunicationPattern,
+    CommunicationSummary, PartitionDirection, PartitionPolicy,
+};
+use cdpc_vm::addr::VirtAddr;
+
+#[derive(Debug, Clone)]
+struct Case {
+    units: u64,
+    unit_bytes: u64,
+    policy: PartitionPolicy,
+    direction: PartitionDirection,
+    comm: Option<(CommunicationPattern, u64)>,
+    cpus: usize,
+}
+
+fn arb_case() -> impl Strategy<Value = Case> {
+    (
+        2u64..=64,
+        prop::sample::select(vec![256u64, 1024, 4096, 8192]),
+        any::<bool>(),
+        any::<bool>(),
+        prop::option::of((any::<bool>(), 1u64..=3)),
+        1usize..=16,
+    )
+        .prop_map(|(units, unit_bytes, even, rev, comm, cpus)| Case {
+            units,
+            unit_bytes,
+            policy: if even {
+                PartitionPolicy::Even
+            } else {
+                PartitionPolicy::Blocked
+            },
+            direction: if rev {
+                PartitionDirection::Reverse
+            } else {
+                PartitionDirection::Forward
+            },
+            comm: comm.map(|(rot, w)| {
+                (
+                    if rot {
+                        CommunicationPattern::Rotate
+                    } else {
+                        CommunicationPattern::Shift
+                    },
+                    w,
+                )
+            }),
+            cpus,
+        })
+}
+
+fn summary_of(case: &Case) -> AccessSummary {
+    let id = ArrayId(0);
+    let bytes = case.units * case.unit_bytes;
+    AccessSummary {
+        arrays: vec![ArrayInfo::new(id, "A", VirtAddr(0x40000), bytes)],
+        partitionings: vec![ArrayPartitioning::new(
+            id,
+            case.unit_bytes,
+            case.units,
+            case.policy,
+            case.direction,
+        )],
+        communications: case
+            .comm
+            .map(|(pattern, width_units)| {
+                vec![CommunicationSummary {
+                    array: id,
+                    pattern,
+                    width_units,
+                }]
+            })
+            .unwrap_or_default(),
+        groups: vec![],
+        shared_arrays: vec![],
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Segments tile the array: contiguous, non-overlapping, complete.
+    #[test]
+    fn segments_tile_the_array(case in arb_case()) {
+        let summary = summary_of(&case);
+        let machine = MachineParams::new(case.cpus, 4096, 64 * 4096, 1);
+        let segments = build_segments(&summary, &machine).unwrap();
+        let bytes = case.units * case.unit_bytes;
+        let mut cursor = 0x40000u64;
+        for seg in &segments {
+            prop_assert_eq!(seg.start.0, cursor, "gap or overlap");
+            prop_assert!(!seg.procs.is_empty(), "empty processor set");
+            cursor = seg.end().0;
+        }
+        prop_assert_eq!(cursor, 0x40000 + bytes, "incomplete coverage");
+    }
+
+    /// Maximality: adjacent segments always differ in processor set.
+    #[test]
+    fn segments_are_maximal(case in arb_case()) {
+        let summary = summary_of(&case);
+        let machine = MachineParams::new(case.cpus, 4096, 64 * 4096, 1);
+        let segments = build_segments(&summary, &machine).unwrap();
+        for w in segments.windows(2) {
+            prop_assert_ne!(w[0].procs, w[1].procs, "mergeable neighbors");
+        }
+    }
+
+    /// Without communication, each unit's owner (per partition arithmetic)
+    /// is a member of the covering segment's processor set.
+    #[test]
+    fn ownership_matches_partition_arithmetic(case in arb_case()) {
+        prop_assume!(case.comm.is_none());
+        let summary = summary_of(&case);
+        let machine = MachineParams::new(case.cpus, 4096, 64 * 4096, 1);
+        let segments = build_segments(&summary, &machine).unwrap();
+        let part = &summary.partitionings[0];
+        for unit in 0..case.units {
+            let byte = 0x40000 + unit * case.unit_bytes + case.unit_bytes / 2;
+            let seg = segments
+                .iter()
+                .find(|s| byte >= s.start.0 && byte < s.end().0)
+                .expect("covered");
+            if let Some(owner) = part.owner_of(unit, case.cpus) {
+                prop_assert!(
+                    seg.procs.contains(owner),
+                    "unit {} owner {} missing from {}",
+                    unit,
+                    owner,
+                    seg.procs
+                );
+            }
+        }
+    }
+
+    /// Grouping by processor set preserves every segment exactly once.
+    #[test]
+    fn grouping_is_a_partition(case in arb_case()) {
+        let summary = summary_of(&case);
+        let machine = MachineParams::new(case.cpus, 4096, 64 * 4096, 1);
+        let segments = build_segments(&summary, &machine).unwrap();
+        let n = segments.len();
+        let total_bytes: u64 = segments.iter().map(|s| s.bytes).sum();
+        let sets = group_into_sets(segments);
+        let grouped_n: usize = sets.iter().map(|s| s.segments.len()).sum();
+        let grouped_bytes: u64 = sets.iter().map(|s| s.total_bytes()).sum();
+        prop_assert_eq!(n, grouped_n);
+        prop_assert_eq!(total_bytes, grouped_bytes);
+        // Distinct sets have distinct processor sets.
+        for i in 0..sets.len() {
+            for j in i + 1..sets.len() {
+                prop_assert_ne!(sets[i].procs, sets[j].procs);
+            }
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! Human-readable rendering of run reports — the textual equivalent of
+//! the paper's Figure 2 bars.
+
+use std::fmt::Write;
+
+use crate::report::RunReport;
+
+/// Renders a full Figure-2-style breakdown of one run: combined time with
+/// execution/memory/overhead shares, the overhead categories, the MCPI
+/// decomposition by miss class, and the bus view.
+pub fn render_report(r: &RunReport) -> String {
+    let mut out = String::new();
+    let total = (r.exec_cycles + r.stalls.total() + r.overheads.total()).max(1);
+    let pct = |x: u64| 100.0 * x as f64 / total as f64;
+
+    let _ = writeln!(
+        out,
+        "{} · {} CPUs · policy {}",
+        r.name, r.num_cpus, r.policy
+    );
+    let _ = writeln!(
+        out,
+        "  combined time {:>12} cycles  (wall {:>12})",
+        total, r.elapsed_cycles
+    );
+    let _ = writeln!(
+        out,
+        "    execution {:5.1}%   memory {:5.1}%   overhead {:5.1}%",
+        pct(r.exec_cycles),
+        pct(r.stalls.total()),
+        pct(r.overheads.total())
+    );
+    let o = &r.overheads;
+    let _ = writeln!(
+        out,
+        "  overheads: kernel {:.1}% · imbalance {:.1}% · sequential {:.1}% · suppressed {:.1}% · sync {:.1}%",
+        pct(o.kernel),
+        pct(o.load_imbalance),
+        pct(o.sequential),
+        pct(o.suppressed),
+        pct(o.synchronization)
+    );
+    let s = &r.stalls;
+    let instr = r.instructions.max(1) as f64;
+    let _ = writeln!(
+        out,
+        "  MCPI {:.3}: l2-hit {:.3} · conflict {:.3} · capacity {:.3} · true-sh {:.3} · false-sh {:.3} · prefetch {:.3} · upgrade {:.3}",
+        r.mcpi(),
+        s.l2_hit as f64 / instr,
+        s.conflict as f64 / instr,
+        s.capacity as f64 / instr,
+        s.true_sharing as f64 / instr,
+        s.false_sharing as f64 / instr,
+        s.prefetch as f64 / instr,
+        s.upgrade as f64 / instr
+    );
+    let _ = writeln!(
+        out,
+        "  bus: {:.1}% occupied (data {} · writeback {} · upgrade {})",
+        r.bus.utilization * 100.0,
+        r.bus.data_cycles,
+        r.bus.writeback_cycles,
+        r.bus.upgrade_cycles
+    );
+    if r.recolorings > 0 {
+        let _ = writeln!(out, "  dynamic recolorings: {}", r.recolorings);
+    }
+    if r.fault_stats.preferred > 0 {
+        let _ = writeln!(
+            out,
+            "  color preferences: {} issued, {:.1}% honored",
+            r.fault_stats.preferred,
+            r.fault_stats.honor_rate() * 100.0
+        );
+    }
+    out
+}
+
+/// A one-line summary for tables: `name policy cpus time mcpi`.
+pub fn summary_line(r: &RunReport) -> String {
+    format!(
+        "{:<14} {:<14} {:>3}p {:>14} cycles  MCPI {:>7.3}  bus {:>5.1}%",
+        r.name,
+        r.policy,
+        r.num_cpus,
+        r.elapsed_cycles,
+        r.mcpi(),
+        r.bus.utilization * 100.0
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::{BusReport, OverheadBreakdown, StallBreakdown};
+    use cdpc_memsim::MemStats;
+    use cdpc_vm::FaultStats;
+
+    fn report() -> RunReport {
+        RunReport {
+            name: "test".into(),
+            num_cpus: 4,
+            policy: "cdpc".into(),
+            instructions: 1000,
+            exec_cycles: 1000,
+            stalls: StallBreakdown {
+                l2_hit: 100,
+                conflict: 200,
+                capacity: 300,
+                ..Default::default()
+            },
+            overheads: OverheadBreakdown {
+                kernel: 50,
+                load_imbalance: 25,
+                ..Default::default()
+            },
+            elapsed_cycles: 500,
+            combined_cycles: 2000,
+            bus: BusReport {
+                data_cycles: 40,
+                writeback_cycles: 10,
+                upgrade_cycles: 2,
+                utilization: 0.25,
+            },
+            mem_stats: MemStats::default(),
+            fault_stats: FaultStats {
+                faults: 10,
+                preferred: 10,
+                honored: 9,
+                fallback: 1,
+            },
+            recolorings: 3,
+        }
+    }
+
+    #[test]
+    fn render_mentions_every_section() {
+        let s = render_report(&report());
+        for needle in [
+            "test · 4 CPUs",
+            "execution",
+            "overheads:",
+            "MCPI",
+            "conflict 0.200",
+            "bus:",
+            "recolorings: 3",
+            "90.0% honored",
+        ] {
+            assert!(s.contains(needle), "missing `{needle}` in:\n{s}");
+        }
+    }
+
+    #[test]
+    fn summary_line_is_single_line() {
+        let s = summary_line(&report());
+        assert_eq!(s.lines().count(), 1);
+        assert!(s.contains("cdpc"));
+    }
+
+    #[test]
+    fn percentages_sum_to_about_100() {
+        let r = report();
+        let total = r.exec_cycles + r.stalls.total() + r.overheads.total();
+        assert_eq!(total, 1000 + 600 + 75);
+    }
+}

@@ -1,0 +1,808 @@
+//! The machine run loop: executes a compiled program's reference streams
+//! against the memory system, OS, and page-mapping policy, producing a
+//! [`RunReport`].
+//!
+//! ## Methodology (paper §3.2)
+//!
+//! The paper measures *representative execution windows*: the program is
+//! positioned at its steady state, statistics are collected separately per
+//! phase, weighted by each phase's occurrence count, and the first
+//! (cold-miss-dominated) executions are discarded. The run loop reproduces
+//! this: one **warm-up pass** over all phases (faulting pages in and
+//! warming caches, statistics discarded), then one **measured pass** whose
+//! per-phase statistics are scaled by the phase counts.
+//!
+//! Processors are interleaved one reference at a time in global time order
+//! (a priority queue on local clocks), so bus contention and coherence
+//! races resolve the way they would on the machine.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use cdpc_compiler::trace::TraceOp;
+use cdpc_compiler::{CompiledProgram, CompiledStmt};
+use cdpc_core::hints::HintOptions;
+use cdpc_core::{generate_hints_with, MachineParams};
+use cdpc_memsim::{AccessKind, CpuStats, MemConfig, MemStats, MemorySystem};
+use cdpc_vm::addr::{Color, ColorSpace, PageGeometry, PhysAddr, VirtAddr, Vpn};
+use cdpc_vm::policy::{BinHopping, CdpcPolicy, MappingPolicy, PageColoring};
+use cdpc_vm::AddressSpace;
+
+use crate::report::{BusReport, OverheadBreakdown, RunReport, StallBreakdown};
+
+/// Which page-mapping policy the OS runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyKind {
+    /// IRIX-style page coloring.
+    PageColoring,
+    /// Digital UNIX-style bin hopping (with a modeled multiprocessor race
+    /// when more than one CPU is faulting).
+    BinHopping,
+    /// CDPC via the kernel hint table (the paper's IRIX implementation);
+    /// unhinted pages fall back to page coloring.
+    Cdpc,
+    /// CDPC via user-level selective page touching over an unmodified
+    /// bin-hopping kernel (the paper's Digital UNIX implementation).
+    CdpcTouch,
+    /// Dynamic page recoloring (paper §2.1 related work): page coloring
+    /// plus a conflict-miss detector that recolors hot pages by copying
+    /// them — paying the copy, cache flush, and multiprocessor TLB
+    /// shootdown the paper warns about.
+    DynamicRecolor,
+}
+
+impl PolicyKind {
+    /// Human-readable label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            PolicyKind::PageColoring => "page-coloring",
+            PolicyKind::BinHopping => "bin-hopping",
+            PolicyKind::Cdpc => "cdpc",
+            PolicyKind::CdpcTouch => "cdpc-touch",
+            PolicyKind::DynamicRecolor => "dynamic-recolor",
+        }
+    }
+}
+
+/// Run-loop configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunConfig {
+    /// Memory-system configuration (CPU count lives here).
+    pub mem: MemConfig,
+    /// OS page-mapping policy.
+    pub policy: PolicyKind,
+    /// Cycles charged per barrier to every participant.
+    pub barrier_cycles: u64,
+    /// Kernel cycles charged per page fault.
+    pub page_fault_cycles: u64,
+    /// Bin-hopping race window (max slots of fault-order perturbation) on
+    /// multiprocessors; 0 disables the race model.
+    pub race_window: u32,
+    /// Seed for all stochastic model components.
+    pub seed: u64,
+    /// Physical memory slack: pool size = touched span × this factor.
+    pub phys_slack: f64,
+    /// CDPC algorithm-step ablation switches (full algorithm by default).
+    pub hint_options: HintOptions,
+    /// Conflict misses on one page before the dynamic-recoloring policy
+    /// moves it (only used by [`PolicyKind::DynamicRecolor`]).
+    pub recolor_threshold: u32,
+    /// Fraction of physical memory held by a simulated co-resident job
+    /// before the run starts, concentrated in the lower half of the color
+    /// space (models the "memory pressure" under which the OS cannot
+    /// honor hints, paper §5 stage 3). 0.0 disables.
+    pub hog_fraction: f64,
+}
+
+impl RunConfig {
+    /// Defaults for a given memory configuration and policy.
+    pub fn new(mem: MemConfig, policy: PolicyKind) -> Self {
+        Self {
+            mem,
+            policy,
+            barrier_cycles: 1_000,
+            page_fault_cycles: 4_000,
+            race_window: 3,
+            seed: 0xC0FFEE,
+            phys_slack: 1.5,
+            hint_options: HintOptions::FULL,
+            recolor_threshold: 64,
+            hog_fraction: 0.0,
+        }
+    }
+
+    fn color_space(&self) -> ColorSpace {
+        ColorSpace::new(
+            self.mem.l2.size_bytes(),
+            self.mem.page_size,
+            self.mem.l2.associativity(),
+        )
+    }
+
+    fn machine_params(&self) -> MachineParams {
+        MachineParams::new(
+            self.mem.num_cpus,
+            self.mem.page_size,
+            self.mem.l2.size_bytes(),
+            self.mem.l2.associativity(),
+        )
+    }
+}
+
+struct Sim {
+    mem: MemorySystem,
+    vm: AddressSpace,
+    policy: Box<dyn MappingPolicy>,
+    clocks: Vec<u64>,
+    /// Dynamic recoloring state: per-page conflict counters, per-color
+    /// mapped-page loads, and the number of recolorings performed.
+    dynamic: bool,
+    conflict_counts: std::collections::HashMap<Vpn, u32>,
+    color_loads: Vec<u32>,
+    recolorings: u64,
+    // Per-phase accumulators (reset at phase boundaries).
+    instr: Vec<u64>,
+    fault_cycles: Vec<u64>,
+    imbalance: u64,
+    sequential: u64,
+    suppressed: u64,
+    sync: u64,
+    cfg: RunConfig,
+    geometry: PageGeometry,
+}
+
+impl Sim {
+    fn ensure_mapped(&mut self, cpu: usize, vpn: Vpn) {
+        if !self.vm.is_mapped(vpn) {
+            self.vm
+                .fault(vpn, &mut self.policy)
+                .expect("physical memory exhausted: raise phys_slack");
+            self.clocks[cpu] += self.cfg.page_fault_cycles;
+            self.fault_cycles[cpu] += self.cfg.page_fault_cycles;
+            if self.dynamic {
+                let c = self.vm.color_of(vpn).expect("just mapped");
+                self.color_loads[c.0 as usize] += 1;
+            }
+        }
+    }
+
+    /// The recoloring operation of a dynamic policy: detect (caller),
+    /// pick the least-loaded color, flush the old physical page from all
+    /// caches, move the mapping, and charge the costs the paper warns
+    /// about — the copy itself plus a TLB shootdown on every processor.
+    fn recolor_page(&mut self, cpu: usize, vpn: Vpn) {
+        let old_color = self.vm.color_of(vpn).expect("mapped");
+        let target = Color(
+            (0..self.color_loads.len())
+                .min_by_key(|&c| self.color_loads[c])
+                .expect("at least one color") as u32,
+        );
+        if target == old_color {
+            return;
+        }
+        let page = self.geometry.page_size() as u64;
+        let old_base = self
+            .vm
+            .translate(self.geometry.base_of(vpn))
+            .expect("mapped");
+        if self.vm.recolor(vpn, target).is_err() {
+            return; // memory pressure: keep the old mapping
+        }
+        self.color_loads[old_color.0 as usize] -= 1;
+        let new_color = self.vm.color_of(vpn).expect("still mapped");
+        self.color_loads[new_color.0 as usize] += 1;
+        self.mem.flush_physical_page(self.clocks[cpu], PhysAddr(old_base.0 & !(page - 1)));
+        self.mem.shoot_down_tlb(vpn);
+        self.recolorings += 1;
+        // Copy cost: read + write one page over the memory system, plus a
+        // fixed kernel overhead, charged to the faulting CPU...
+        let copy = 2 * self.cfg.mem.bus_occupancy_cycles(page) + self.cfg.page_fault_cycles;
+        self.clocks[cpu] += copy;
+        self.fault_cycles[cpu] += copy;
+        // ...and the shootdown interrupt on every other processor.
+        let ipi = self.cfg.mem.ns_to_cycles(2_000);
+        for other in 0..self.clocks.len() {
+            if other != cpu {
+                self.clocks[other] += ipi;
+                self.fault_cycles[other] += ipi;
+            }
+        }
+    }
+
+    fn translate(&self, va: VirtAddr) -> PhysAddr {
+        self.vm.translate(va).expect("accessed page must be mapped")
+    }
+
+    fn exec_op(&mut self, cpu: usize, op: TraceOp) {
+        match op {
+            TraceOp::Instr(n) => {
+                self.clocks[cpu] += n;
+                self.instr[cpu] += n;
+            }
+            TraceOp::Load(va) | TraceOp::Store(va) => {
+                let vpn = self.geometry.vpn_of(va);
+                self.ensure_mapped(cpu, vpn);
+                let pa = self.translate(va);
+                let kind = if matches!(op, TraceOp::Store(_)) {
+                    AccessKind::Write
+                } else {
+                    AccessKind::Read
+                };
+                let out = self.mem.access(cpu, self.clocks[cpu], va, pa, kind);
+                self.clocks[cpu] += out.latency_cycles + 1;
+                self.instr[cpu] += 1;
+                if self.dynamic && out.miss_class == Some(cdpc_memsim::MissClass::Conflict) {
+                    let count = self.conflict_counts.entry(vpn).or_insert(0);
+                    *count += 1;
+                    if *count >= self.cfg.recolor_threshold {
+                        *count = 0;
+                        self.recolor_page(cpu, vpn);
+                    }
+                }
+            }
+            TraceOp::IFetch(va) => {
+                let vpn = self.geometry.vpn_of(va);
+                self.ensure_mapped(cpu, vpn);
+                let pa = self.translate(va);
+                let out = self.mem.access(cpu, self.clocks[cpu], va, pa, AccessKind::IFetch);
+                self.clocks[cpu] += out.latency_cycles;
+            }
+            TraceOp::Prefetch { addr, exclusive } => {
+                // No fault: prefetches to unmapped pages are dropped by the
+                // TLB probe (the page cannot be in the TLB if never
+                // demand-accessed).
+                let pa = self.vm.translate(addr).unwrap_or(PhysAddr(0));
+                let out = self.mem.prefetch(cpu, self.clocks[cpu], addr, pa, exclusive);
+                self.clocks[cpu] += out.stall_cycles + 1;
+                self.instr[cpu] += 1;
+            }
+        }
+    }
+
+    /// Runs one statement to completion, including the trailing barrier for
+    /// parallel statements.
+    fn exec_stmt(&mut self, stmt: &CompiledStmt) {
+        match stmt {
+            CompiledStmt::Parallel { specs } => {
+                let p = specs.len();
+                let mut streams: Vec<_> = specs.iter().map(|s| s.ops()).collect();
+                let mut heap: BinaryHeap<Reverse<(u64, usize)>> = (0..p)
+                    .map(|c| Reverse((self.clocks[c], c)))
+                    .collect();
+                while let Some(Reverse((_, cpu))) = heap.pop() {
+                    match streams[cpu].next() {
+                        Some(op) => {
+                            self.exec_op(cpu, op);
+                            heap.push(Reverse((self.clocks[cpu], cpu)));
+                        }
+                        None => { /* stream finished: cpu waits at barrier */ }
+                    }
+                }
+                // Barrier: account imbalance, then synchronize.
+                let tmax = *self.clocks.iter().max().expect("at least one cpu");
+                for c in 0..p {
+                    self.imbalance += tmax - self.clocks[c];
+                    self.clocks[c] = tmax + self.cfg.barrier_cycles;
+                    self.sync += self.cfg.barrier_cycles;
+                }
+            }
+            CompiledStmt::Master { spec, suppressed } => {
+                let start = self.clocks[0];
+                for op in spec.ops() {
+                    self.exec_op(0, op);
+                }
+                let elapsed = self.clocks[0] - start;
+                for c in 1..self.clocks.len() {
+                    // Slaves spin until the master finishes.
+                    self.clocks[c] = self.clocks[0];
+                    if *suppressed {
+                        self.suppressed += elapsed;
+                    } else {
+                        self.sequential += elapsed;
+                    }
+                }
+            }
+        }
+    }
+
+    fn reset_phase_counters(&mut self) {
+        self.mem.reset_stats();
+        for v in &mut self.instr {
+            *v = 0;
+        }
+        for v in &mut self.fault_cycles {
+            *v = 0;
+        }
+        self.imbalance = 0;
+        self.sequential = 0;
+        self.suppressed = 0;
+        self.sync = 0;
+    }
+}
+
+fn scaled_cpu_stats(stats: &CpuStats, k: u64) -> CpuStats {
+    let mut out = CpuStats::default();
+    for _ in 0..k {
+        out.merge(stats);
+    }
+    out
+}
+
+/// The virtual pages of the program's code segment.
+fn code_pages(compiled: &CompiledProgram, page_size: usize) -> Vec<Vpn> {
+    let geometry = PageGeometry::new(page_size);
+    let max_code = compiled
+        .phases
+        .iter()
+        .flat_map(|ph| ph.stmts.iter())
+        .map(|s| match s {
+            CompiledStmt::Parallel { specs } => specs.first().map(|x| x.code_bytes).unwrap_or(0),
+            CompiledStmt::Master { spec, .. } => spec.code_bytes,
+        })
+        .max()
+        .unwrap_or(0);
+    let first = geometry.vpn_of(compiled.layout.code_base).0;
+    let last = geometry
+        .vpn_of(VirtAddr(compiled.layout.code_base.0 + max_code.max(1) - 1))
+        .0;
+    (first..=last).map(Vpn).collect()
+}
+
+/// Builds the mapping policy for a run. CDPC hints are generated from the
+/// compiled program's access summary with the run's machine parameters —
+/// the paper's stage-2 run-time step.
+fn build_policy(compiled: &CompiledProgram, cfg: &RunConfig) -> Box<dyn MappingPolicy> {
+    let colors = cfg.color_space();
+    match cfg.policy {
+        PolicyKind::PageColoring | PolicyKind::DynamicRecolor => {
+            Box::new(PageColoring::new(colors))
+        }
+        PolicyKind::BinHopping => {
+            if cfg.mem.num_cpus > 1 && cfg.race_window > 0 {
+                Box::new(BinHopping::with_race_perturbation(
+                    colors,
+                    cfg.race_window,
+                    cfg.seed,
+                ))
+            } else {
+                Box::new(BinHopping::new(colors))
+            }
+        }
+        PolicyKind::Cdpc | PolicyKind::CdpcTouch => {
+            let hints =
+                generate_hints_with(&compiled.summary, &cfg.machine_params(), cfg.hint_options)
+                    .expect("compiler-produced summaries are always valid");
+            let mut table = hints.to_hint_table();
+            // The run-time library also colors the text segment: code pages
+            // continue the round-robin after the data pages, so instruction
+            // lines never collide with hinted data. (At the paper's scale —
+            // 256 colors, tiny loop bodies resident in the L1I — this is
+            // invisible; at scaled-down color counts it matters.) A program
+            // with no data hints — nothing was parallelized — gets no code
+            // hints either: CDPC degenerates to the native policy exactly.
+            if !hints.is_empty() {
+                let mut color = Color(hints.len() as u32 % colors.num_colors());
+                for vpn in code_pages(compiled, cfg.mem.page_size) {
+                    if table.lookup(vpn).is_none() {
+                        table.advise(vpn, color);
+                        color = colors.advance(color, 1);
+                    }
+                }
+            }
+            Box::new(CdpcPolicy::new(table, PageColoring::new(colors)))
+        }
+    }
+}
+
+/// Runs a compiled program and reports the steady-state behavior.
+///
+/// # Panics
+///
+/// Panics if physical memory is exhausted (raise
+/// [`RunConfig::phys_slack`]) — a configuration error, not a program
+/// outcome.
+pub fn run(compiled: &CompiledProgram, cfg: &RunConfig) -> RunReport {
+    assert_eq!(
+        compiled.num_cpus, cfg.mem.num_cpus,
+        "program compiled for {} CPUs but machine has {}",
+        compiled.num_cpus, cfg.mem.num_cpus
+    );
+    let geometry = PageGeometry::new(cfg.mem.page_size);
+
+    // Physical memory sized to the touched VA span plus slack, rounded to a
+    // whole number of color groups so every color has equal pages.
+    let colors = cfg.color_space();
+    let max_code = compiled
+        .phases
+        .iter()
+        .flat_map(|ph| ph.stmts.iter())
+        .map(|s| match s {
+            CompiledStmt::Parallel { specs } => specs.first().map(|x| x.code_bytes).unwrap_or(0),
+            CompiledStmt::Master { spec, .. } => spec.code_bytes,
+        })
+        .max()
+        .unwrap_or(0);
+    let va_end = compiled.layout.code_base.0 + max_code + cfg.mem.page_size as u64;
+    let span_pages = geometry.pages_for(va_end) as f64;
+    let n = colors.num_colors() as usize;
+    let phys_pages = (((span_pages * cfg.phys_slack) as usize).div_ceil(n)).max(2) * n;
+
+    let mut vm = AddressSpace::new(geometry, phys_pages, colors);
+    // Simulated memory pressure: a co-resident job pins pages concentrated
+    // in the lower half of the color space, so some hints must fall back.
+    if cfg.hog_fraction > 0.0 {
+        let hog_pages = ((phys_pages as f64) * cfg.hog_fraction.clamp(0.0, 0.95)) as usize;
+        let half = (colors.num_colors() / 2).max(1);
+        let mut hog = cdpc_vm::policy::FixedColor::new(Color(0));
+        for i in 0..hog_pages {
+            hog = cdpc_vm::policy::FixedColor::new(Color(i as u32 % half));
+            // Hog pages live in a distant VA region the program never uses.
+            let vpn = Vpn(u64::MAX / 2 + i as u64);
+            vm.fault(vpn, &mut hog).expect("hog stays below capacity");
+        }
+        let _ = hog;
+    }
+    let policy = build_policy(compiled, cfg);
+    let p = cfg.mem.num_cpus;
+
+    let num_colors = colors.num_colors() as usize;
+    let mut sim = Sim {
+        mem: MemorySystem::new(cfg.mem.clone()),
+        vm,
+        policy,
+        clocks: vec![0; p],
+        dynamic: cfg.policy == PolicyKind::DynamicRecolor,
+        conflict_counts: std::collections::HashMap::new(),
+        color_loads: vec![0; num_colors],
+        recolorings: 0,
+        instr: vec![0; p],
+        fault_cycles: vec![0; p],
+        imbalance: 0,
+        sequential: 0,
+        suppressed: 0,
+        sync: 0,
+        cfg: cfg.clone(),
+        geometry,
+    };
+
+    // CDPC on Digital UNIX: serially touch every hinted page in coloring
+    // order before the computation starts, so the bin-hopping kernel
+    // produces the desired colors. (We model the kernel side with the hint
+    // table directly — build_policy already returns it — so the touch pass
+    // here only pre-faults the pages, reproducing the serialized-fault
+    // start-up the paper describes.)
+    if cfg.policy == PolicyKind::CdpcTouch {
+        let hints =
+            generate_hints_with(&compiled.summary, &cfg.machine_params(), cfg.hint_options)
+                .expect("compiler-produced summaries are always valid");
+        for &vpn in hints.order() {
+            sim.ensure_mapped(0, vpn);
+        }
+    }
+
+    // Warm-up pass: fault pages in, warm caches; everything discarded.
+    for phase in &compiled.phases {
+        for stmt in &phase.stmts {
+            sim.exec_stmt(stmt);
+        }
+    }
+
+    // Measured pass: per-phase statistics weighted by occurrence count.
+    let mut instructions = 0u64;
+    let mut exec_cycles = 0u64;
+    let mut stalls_total = StallBreakdown::default();
+    let mut overheads = OverheadBreakdown::default();
+    let mut elapsed = 0u64;
+    let mut combined = 0u64;
+    let mut weighted_cpu_stats: Vec<CpuStats> = vec![CpuStats::default(); p];
+    let mut bus_occ = (0u64, 0u64, 0u64);
+    let mut bus_busy_weighted = 0u64;
+
+    for phase in &compiled.phases {
+        sim.reset_phase_counters();
+        let start: Vec<u64> = sim.clocks.clone();
+        for stmt in &phase.stmts {
+            sim.exec_stmt(stmt);
+        }
+        let k = phase.count.max(1);
+        let phase_stats = sim.mem.stats();
+
+        let phase_instr: u64 = sim.instr.iter().sum();
+        instructions += phase_instr * k;
+        exec_cycles += phase_instr * k; // single-issue: 1 cycle per instr
+
+        let s = StallBreakdown::from_mem_stats(&phase_stats);
+        stalls_total.l2_hit += s.l2_hit * k;
+        stalls_total.conflict += s.conflict * k;
+        stalls_total.capacity += s.capacity * k;
+        stalls_total.true_sharing += s.true_sharing * k;
+        stalls_total.false_sharing += s.false_sharing * k;
+        stalls_total.cold += s.cold * k;
+        stalls_total.prefetch += s.prefetch * k;
+        stalls_total.upgrade += s.upgrade * k;
+
+        let agg = phase_stats.aggregate();
+        overheads.kernel += (agg.tlb_stall_cycles + sim.fault_cycles.iter().sum::<u64>()) * k;
+        overheads.load_imbalance += sim.imbalance * k;
+        overheads.sequential += sim.sequential * k;
+        overheads.suppressed += sim.suppressed * k;
+        overheads.synchronization += sim.sync * k;
+
+        let wall_start = start.iter().copied().max().unwrap_or(0);
+        let wall_end = sim.clocks.iter().copied().max().unwrap_or(0);
+        elapsed += (wall_end - wall_start) * k;
+        let busy: u64 = sim
+            .clocks
+            .iter()
+            .zip(&start)
+            .map(|(e, s)| (e - s) * k)
+            .sum();
+        combined += busy;
+
+        for (acc, st) in weighted_cpu_stats.iter_mut().zip(&phase_stats.cpus) {
+            acc.merge(&scaled_cpu_stats(st, k));
+        }
+        let (d, w, u) = phase_stats.bus_occupancy;
+        bus_occ.0 += d * k;
+        bus_occ.1 += w * k;
+        bus_occ.2 += u * k;
+        bus_busy_weighted += (d + w + u) * k;
+    }
+
+    let bus = BusReport {
+        data_cycles: bus_occ.0,
+        writeback_cycles: bus_occ.1,
+        upgrade_cycles: bus_occ.2,
+        utilization: if elapsed > 0 {
+            (bus_busy_weighted as f64 / elapsed as f64).min(1.0)
+        } else {
+            0.0
+        },
+    };
+
+    RunReport {
+        name: compiled.name.clone(),
+        num_cpus: p,
+        policy: cfg.policy.label().to_string(),
+        instructions,
+        exec_cycles,
+        stalls: stalls_total,
+        overheads,
+        elapsed_cycles: elapsed,
+        combined_cycles: combined,
+        bus,
+        mem_stats: MemStats {
+            cpus: weighted_cpu_stats,
+            bus_occupancy: bus_occ,
+            bus_transactions: 0,
+        },
+        fault_stats: sim.vm.stats(),
+        recolorings: sim.recolorings,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdpc_compiler::ir::{Access, AccessPattern, LoopNest, Phase, Program, Stmt, StmtKind};
+    use cdpc_compiler::{compile, CompileOptions};
+
+    /// A small machine: 32 KB direct-mapped L2 (8 colors), tiny L1s.
+    fn small_mem(cpus: usize) -> MemConfig {
+        let mut m = MemConfig::paper_base(cpus);
+        m.l1d = cdpc_memsim::CacheConfig::new(1 << 10, 32, 2);
+        m.l1i = cdpc_memsim::CacheConfig::new(1 << 10, 32, 2);
+        m.l2 = cdpc_memsim::CacheConfig::new(32 << 10, 128, 1);
+        m
+    }
+
+    /// Two 12 KB arrays swept by a stencil: the full working set (6 data
+    /// pages + 1 code page) fits the 8-color 32 KB cache, so CDPC can
+    /// eliminate all conflicts.
+    fn two_array_program() -> Program {
+        let mut p = Program::new("mini");
+        let a = p.array("A", 12 << 10);
+        let b = p.array("B", 12 << 10);
+        let nest = LoopNest::new("sweep", 12, 500)
+            .with_access(Access::read(
+                a,
+                AccessPattern::Stencil {
+                    unit_bytes: 1024,
+                    halo_units: 1,
+                    wraparound: false,
+                },
+            ))
+            .with_access(Access::write(b, AccessPattern::Partitioned { unit_bytes: 1024 }));
+        p.phase(Phase {
+            name: "main".into(),
+            stmts: vec![Stmt {
+                kind: StmtKind::Parallel,
+                nest,
+            }],
+            count: 4,
+        });
+        p
+    }
+
+    fn run_with(policy: PolicyKind, cpus: usize) -> RunReport {
+        let opts = CompileOptions::new(cpus).with_l2_cache(32 << 10);
+        let compiled = compile(&two_array_program(), &opts).unwrap();
+        run(&compiled, &RunConfig::new(small_mem(cpus), policy))
+    }
+
+    #[test]
+    fn report_is_internally_consistent() {
+        let r = run_with(PolicyKind::PageColoring, 2);
+        assert_eq!(r.num_cpus, 2);
+        assert!(r.instructions > 0);
+        assert!(r.elapsed_cycles > 0);
+        assert!(r.combined_cycles >= r.elapsed_cycles);
+        assert!(r.mcpi() >= 0.0);
+    }
+
+    #[test]
+    fn warmup_discards_cold_misses() {
+        let r = run_with(PolicyKind::PageColoring, 2);
+        assert_eq!(
+            r.stalls.cold, 0,
+            "steady state after warm-up must have no cold misses"
+        );
+    }
+
+    #[test]
+    fn cdpc_improves_on_or_matches_page_coloring() {
+        let pc = run_with(PolicyKind::PageColoring, 2);
+        let cdpc = run_with(PolicyKind::Cdpc, 2);
+        assert!(
+            cdpc.stalls.conflict <= pc.stalls.conflict,
+            "CDPC must not create conflicts: cdpc={} pc={}",
+            cdpc.stalls.conflict,
+            pc.stalls.conflict
+        );
+    }
+
+    #[test]
+    fn cdpc_eliminates_conflicts_when_per_cpu_data_fits() {
+        let cdpc = run_with(PolicyKind::Cdpc, 2);
+        assert_eq!(
+            cdpc.stalls.conflict, 0,
+            "working set fits the 32 KB cache: zero conflict misses"
+        );
+    }
+
+    #[test]
+    fn touch_variant_matches_kernel_variant() {
+        let a = run_with(PolicyKind::Cdpc, 2);
+        let b = run_with(PolicyKind::CdpcTouch, 2);
+        // Same coloring, same steady state (modulo page-fault timing which
+        // the measured pass excludes).
+        assert_eq!(a.stalls.conflict, b.stalls.conflict);
+        assert_eq!(a.stalls.capacity, b.stalls.capacity);
+    }
+
+    #[test]
+    fn policies_produce_different_colorings() {
+        let pc = run_with(PolicyKind::PageColoring, 2);
+        let bh = run_with(PolicyKind::BinHopping, 2);
+        // Both must run; they generally differ in conflict behavior.
+        assert!(pc.instructions == bh.instructions, "same work either way");
+    }
+
+    #[test]
+    fn parallel_run_beats_uniprocessor() {
+        let one = run_with(PolicyKind::Cdpc, 1);
+        let two = run_with(PolicyKind::Cdpc, 2);
+        assert!(
+            two.elapsed_cycles < one.elapsed_cycles,
+            "2 CPUs must be faster: {} vs {}",
+            two.elapsed_cycles,
+            one.elapsed_cycles
+        );
+    }
+
+    #[test]
+    fn hints_are_honored_with_ample_memory() {
+        let r = run_with(PolicyKind::Cdpc, 2);
+        assert!(r.fault_stats.preferred > 0);
+        assert_eq!(r.fault_stats.fallback, 0, "no memory pressure, no fallbacks");
+        assert_eq!(r.fault_stats.honor_rate(), 1.0);
+    }
+
+    #[test]
+    fn sequential_program_shows_sequential_overhead() {
+        let mut p = Program::new("seq");
+        let a = p.array("A", 8 << 10);
+        p.phase(Phase {
+            name: "s".into(),
+            stmts: vec![Stmt {
+                kind: StmtKind::Sequential,
+                nest: LoopNest::new("l", 8, 100)
+                    .with_access(Access::read(a, AccessPattern::Partitioned { unit_bytes: 1024 })),
+            }],
+            count: 1,
+        });
+        let compiled = compile(&p, &CompileOptions::new(4)).unwrap();
+        let r = run(&compiled, &RunConfig::new(small_mem(4), PolicyKind::PageColoring));
+        assert!(r.overheads.sequential > 0);
+        assert_eq!(r.overheads.suppressed, 0);
+    }
+
+    #[test]
+    fn dynamic_recoloring_reduces_conflicts_at_a_price() {
+        // A conflict layout with room to repair: A and C sit exactly one
+        // cache (32 KB) apart so page coloring overlays them, while the
+        // colors of the untouched gap array stay free for recoloring.
+        let mut p = Program::new("dyn");
+        let a = p.array("A", 16 << 10);
+        let _gap = p.array("gap", 16 << 10);
+        let c = p.array("C", 16 << 10);
+        let nest = LoopNest::new("sweep", 16, 300)
+            .with_access(Access::read(a, AccessPattern::Partitioned { unit_bytes: 1024 }))
+            .with_access(Access::write(c, AccessPattern::Partitioned { unit_bytes: 1024 }));
+        p.phase(Phase {
+            name: "main".into(),
+            stmts: vec![Stmt { kind: StmtKind::Parallel, nest }],
+            count: 6,
+        });
+        let compiled = compile(&p, &CompileOptions::new(2).with_l2_cache(32 << 10)).unwrap();
+        let pc = run(
+            &compiled,
+            &RunConfig::new(small_mem(2), PolicyKind::PageColoring),
+        );
+        let mut cfg = RunConfig::new(small_mem(2), PolicyKind::DynamicRecolor);
+        cfg.recolor_threshold = 8;
+        let dynamic = run(&compiled, &cfg);
+        assert!(dynamic.recolorings > 0, "detector must fire");
+        assert!(
+            dynamic.stalls.conflict < pc.stalls.conflict,
+            "recoloring must remove conflicts: {} vs {}",
+            dynamic.stalls.conflict,
+            pc.stalls.conflict
+        );
+        // And it pays kernel time that static policies don't.
+        assert!(dynamic.overheads.kernel >= pc.overheads.kernel);
+    }
+
+    #[test]
+    fn memory_pressure_forces_hint_fallbacks() {
+        let opts = CompileOptions::new(2).with_l2_cache(32 << 10);
+        let compiled = compile(&two_array_program(), &opts).unwrap();
+        let mut cfg = RunConfig::new(small_mem(2), PolicyKind::Cdpc);
+        cfg.phys_slack = 4.0;
+        cfg.hog_fraction = 0.6;
+        let pressured = run(&compiled, &cfg);
+        assert!(
+            pressured.fault_stats.fallback > 0,
+            "hogged colors must force fallbacks"
+        );
+        assert!(pressured.fault_stats.honor_rate() < 1.0);
+        // Unpressured baseline honors everything.
+        let free = run_with(PolicyKind::Cdpc, 2);
+        assert_eq!(free.fault_stats.honor_rate(), 1.0);
+    }
+
+    #[test]
+    fn static_policies_never_recolor() {
+        let r = run_with(PolicyKind::Cdpc, 2);
+        assert_eq!(r.recolorings, 0);
+    }
+
+    #[test]
+    fn uneven_iterations_cause_load_imbalance() {
+        let mut p = Program::new("imb");
+        let a = p.array("A", 33 << 10);
+        p.phase(Phase {
+            name: "s".into(),
+            stmts: vec![Stmt {
+                kind: StmtKind::Parallel,
+                // 33 iterations on 4 CPUs: blocked gives 9,9,9,6.
+                nest: LoopNest::new("l", 33, 500)
+                    .with_access(Access::read(a, AccessPattern::Partitioned { unit_bytes: 1024 })),
+            }],
+            count: 1,
+        });
+        let compiled = compile(&p, &CompileOptions::new(4)).unwrap();
+        let r = run(&compiled, &RunConfig::new(small_mem(4), PolicyKind::PageColoring));
+        assert!(r.overheads.load_imbalance > 0);
+    }
+}

@@ -1,0 +1,288 @@
+//! Memory-system configuration, with the paper's machine presets.
+
+/// Geometry of one cache: total size, line size, and associativity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheConfig {
+    size_bytes: usize,
+    line_bytes: usize,
+    associativity: usize,
+}
+
+impl CacheConfig {
+    /// Creates a cache geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless sizes are powers of two, the line divides the size, and
+    /// the set count is at least one.
+    pub fn new(size_bytes: usize, line_bytes: usize, associativity: usize) -> Self {
+        assert!(size_bytes.is_power_of_two(), "cache size must be a power of two");
+        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(associativity >= 1, "associativity must be at least 1");
+        assert!(
+            size_bytes >= line_bytes * associativity,
+            "cache must hold at least one set"
+        );
+        assert_eq!(
+            size_bytes % (line_bytes * associativity),
+            0,
+            "cache size must be a multiple of line*assoc"
+        );
+        Self {
+            size_bytes,
+            line_bytes,
+            associativity,
+        }
+    }
+
+    /// Total capacity in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.size_bytes
+    }
+
+    /// Line (block) size in bytes.
+    pub fn line_bytes(&self) -> usize {
+        self.line_bytes
+    }
+
+    /// Number of ways per set.
+    pub fn associativity(&self) -> usize {
+        self.associativity
+    }
+
+    /// Number of sets.
+    pub fn num_sets(&self) -> usize {
+        self.size_bytes / (self.line_bytes * self.associativity)
+    }
+
+    /// Total number of lines the cache can hold.
+    pub fn num_lines(&self) -> usize {
+        self.size_bytes / self.line_bytes
+    }
+
+    /// The line-aligned address containing `addr`.
+    pub fn line_of(&self, addr: u64) -> u64 {
+        addr & !(self.line_bytes as u64 - 1)
+    }
+
+    /// The set index for `addr`.
+    pub fn set_of(&self, addr: u64) -> usize {
+        ((addr / self.line_bytes as u64) % self.num_sets() as u64) as usize
+    }
+
+    /// The tag for `addr` (line address divided by set count).
+    pub fn tag_of(&self, addr: u64) -> u64 {
+        addr / self.line_bytes as u64 / self.num_sets() as u64
+    }
+
+    /// Returns a geometry scaled down by `factor` (size divided, line and
+    /// associativity preserved). Used by the experiment harness to shrink
+    /// machines and data sets together.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scaled cache would not hold one set.
+    #[must_use]
+    pub fn scaled_down(&self, factor: usize) -> Self {
+        assert!(factor.is_power_of_two(), "scale factor must be a power of two");
+        Self::new(self.size_bytes / factor, self.line_bytes, self.associativity)
+    }
+}
+
+/// Full memory-system configuration for one machine.
+///
+/// All latencies are stored in nanoseconds (as the paper quotes them) and
+/// converted to CPU cycles via [`MemConfig::ns_to_cycles`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemConfig {
+    /// Number of processors.
+    pub num_cpus: usize,
+    /// CPU clock in MHz (paper: 400 MHz single-issue R4400).
+    pub cpu_mhz: u64,
+    /// Per-CPU L1 data cache (paper: 32 KB, 2-way, virtually indexed).
+    pub l1d: CacheConfig,
+    /// Per-CPU L1 instruction cache (paper: 32 KB, 2-way).
+    pub l1i: CacheConfig,
+    /// Per-CPU external cache (paper: 1 MB direct-mapped, 128 B lines,
+    /// physically indexed).
+    pub l2: CacheConfig,
+    /// TLB entries per CPU (fully associative).
+    pub tlb_entries: usize,
+    /// Page size in bytes.
+    pub page_size: usize,
+    /// Sustained bus fetch bandwidth in bytes per microsecond
+    /// (paper: 1.2 GB/s = 1200 B/µs).
+    pub bus_bytes_per_us: u64,
+    /// Minimum latency of a miss serviced from memory (paper: 500 ns).
+    pub mem_latency_ns: u64,
+    /// Minimum latency of a miss serviced cache-to-cache (paper: 750 ns).
+    pub remote_latency_ns: u64,
+    /// Latency of an L1 miss that hits in the external cache.
+    pub l2_hit_ns: u64,
+    /// Kernel time to service a TLB fault.
+    pub tlb_miss_ns: u64,
+    /// Bus occupancy of an upgrade (invalidation) transaction, in bytes of
+    /// equivalent bandwidth (address + command, no data).
+    pub upgrade_bus_bytes: u64,
+    /// Maximum outstanding prefetches (paper: 4; a 5th stalls the CPU).
+    pub max_outstanding_prefetches: usize,
+    /// Lines in an optional per-CPU victim cache behind the external cache
+    /// (0 disables; an extension comparison point, not in the paper).
+    pub victim_cache_lines: usize,
+}
+
+impl MemConfig {
+    /// The paper's base SimOS configuration: 400 MHz CPUs, 32 KB 2-way split
+    /// L1s (32 B lines), 1 MB direct-mapped L2 with 128 B lines, 1.2 GB/s
+    /// bus, 500/750 ns miss latencies.
+    pub fn paper_base(num_cpus: usize) -> Self {
+        Self {
+            num_cpus,
+            cpu_mhz: 400,
+            l1d: CacheConfig::new(32 << 10, 32, 2),
+            l1i: CacheConfig::new(32 << 10, 32, 2),
+            l2: CacheConfig::new(1 << 20, 128, 1),
+            tlb_entries: 64,
+            page_size: 4096,
+            bus_bytes_per_us: 1200,
+            mem_latency_ns: 500,
+            remote_latency_ns: 750,
+            l2_hit_ns: 50,
+            tlb_miss_ns: 800,
+            upgrade_bus_bytes: 16,
+            max_outstanding_prefetches: 4,
+            victim_cache_lines: 0,
+        }
+    }
+
+    /// The paper's two-way set-associative variant (1 MB 2-way L2).
+    pub fn paper_2way(num_cpus: usize) -> Self {
+        let mut c = Self::paper_base(num_cpus);
+        c.l2 = CacheConfig::new(1 << 20, 128, 2);
+        c
+    }
+
+    /// The paper's large-cache variant (4 MB direct-mapped L2).
+    pub fn paper_4mb(num_cpus: usize) -> Self {
+        let mut c = Self::paper_base(num_cpus);
+        c.l2 = CacheConfig::new(4 << 20, 128, 1);
+        c
+    }
+
+    /// The AlphaServer 8400 validation machine: 350 MHz CPUs with 4 MB
+    /// direct-mapped external caches.
+    pub fn alphaserver(num_cpus: usize) -> Self {
+        let mut c = Self::paper_base(num_cpus);
+        c.cpu_mhz = 350;
+        c.l2 = CacheConfig::new(4 << 20, 128, 1);
+        c
+    }
+
+    /// Converts nanoseconds to CPU cycles (rounding up; a latency never
+    /// rounds to zero cycles unless it is zero).
+    pub fn ns_to_cycles(&self, ns: u64) -> u64 {
+        (ns * self.cpu_mhz).div_ceil(1000)
+    }
+
+    /// Memory-service latency in cycles.
+    pub fn mem_latency_cycles(&self) -> u64 {
+        self.ns_to_cycles(self.mem_latency_ns)
+    }
+
+    /// Cache-to-cache service latency in cycles.
+    pub fn remote_latency_cycles(&self) -> u64 {
+        self.ns_to_cycles(self.remote_latency_ns)
+    }
+
+    /// L2-hit latency in cycles.
+    pub fn l2_hit_cycles(&self) -> u64 {
+        self.ns_to_cycles(self.l2_hit_ns)
+    }
+
+    /// TLB-fault service time in cycles.
+    pub fn tlb_miss_cycles(&self) -> u64 {
+        self.ns_to_cycles(self.tlb_miss_ns)
+    }
+
+    /// Bus occupancy, in cycles, of transferring `bytes`.
+    pub fn bus_occupancy_cycles(&self, bytes: u64) -> u64 {
+        // bytes / (bytes_per_us) µs → ns → cycles.
+        self.ns_to_cycles((bytes * 1000).div_ceil(self.bus_bytes_per_us))
+    }
+
+    /// Scales the L2 cache down by `factor` (used together with scaled
+    /// workloads to keep data:cache ratios while shrinking simulations).
+    #[must_use]
+    pub fn with_scaled_l2(mut self, factor: usize) -> Self {
+        self.l2 = self.l2.scaled_down(factor);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_base_matches_section_3_2() {
+        let c = MemConfig::paper_base(16);
+        assert_eq!(c.cpu_mhz, 400);
+        assert_eq!(c.l2.size_bytes(), 1 << 20);
+        assert_eq!(c.l2.associativity(), 1);
+        assert_eq!(c.l2.line_bytes(), 128);
+        assert_eq!(c.l1d.size_bytes(), 32 << 10);
+        assert_eq!(c.l1d.associativity(), 2);
+        assert_eq!(c.mem_latency_ns, 500);
+        assert_eq!(c.remote_latency_ns, 750);
+        assert_eq!(c.bus_bytes_per_us, 1200);
+        assert_eq!(c.max_outstanding_prefetches, 4);
+    }
+
+    #[test]
+    fn latency_conversions() {
+        let c = MemConfig::paper_base(1);
+        // 500 ns at 400 MHz = 200 cycles; 750 ns = 300 cycles.
+        assert_eq!(c.mem_latency_cycles(), 200);
+        assert_eq!(c.remote_latency_cycles(), 300);
+        // One 128 B line at 1200 B/µs: 107 ns → 43 cycles (rounded up).
+        assert_eq!(c.bus_occupancy_cycles(128), 43);
+    }
+
+    #[test]
+    fn cache_geometry_derivations() {
+        let l2 = CacheConfig::new(1 << 20, 128, 1);
+        assert_eq!(l2.num_sets(), 8192);
+        assert_eq!(l2.num_lines(), 8192);
+        let two_way = CacheConfig::new(1 << 20, 128, 2);
+        assert_eq!(two_way.num_sets(), 4096);
+        assert_eq!(two_way.num_lines(), 8192);
+    }
+
+    #[test]
+    fn set_and_tag_partition_the_address() {
+        let c = CacheConfig::new(1024, 64, 2); // 8 sets
+        let addr = 0x1234u64;
+        assert_eq!(c.line_of(addr), 0x1200);
+        assert_eq!(c.set_of(addr), ((0x1234 / 64) % 8) as usize);
+        // Two addresses in the same line share set and tag.
+        assert_eq!(c.set_of(0x1234), c.set_of(0x1239));
+        assert_eq!(c.tag_of(0x1234), c.tag_of(0x1239));
+        // Addresses one cache-size apart share a set but differ in tag.
+        assert_eq!(c.set_of(addr), c.set_of(addr + 1024));
+        assert_ne!(c.tag_of(addr), c.tag_of(addr + 1024));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_odd_sizes() {
+        CacheConfig::new(1000, 64, 1);
+    }
+
+    #[test]
+    fn scaling_preserves_line_and_assoc() {
+        let c = MemConfig::paper_base(4).with_scaled_l2(16);
+        assert_eq!(c.l2.size_bytes(), 64 << 10);
+        assert_eq!(c.l2.line_bytes(), 128);
+        assert_eq!(c.l2.associativity(), 1);
+    }
+}

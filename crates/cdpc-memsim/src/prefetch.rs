@@ -1,0 +1,138 @@
+//! The MIPS R10000-style prefetch unit modeled by the paper's SimOS CPUs.
+//!
+//! Semantics (paper §6.2): up to four prefetches may be outstanding; issuing
+//! a fifth stalls the processor until a slot frees; prefetches to pages not
+//! mapped in the TLB are silently dropped; prefetched lines are inserted
+//! into the external cache but not the on-chip cache.
+//!
+//! This module models only the *slots*; the memory side (TLB probe,
+//! residency check, bus transaction, lazy fill) lives in
+//! [`system`](crate::system).
+
+/// The outstanding-prefetch slots of one processor.
+#[derive(Debug, Clone)]
+pub struct PrefetchSlots {
+    completions: Vec<u64>,
+    max: usize,
+}
+
+/// Result of reserving a slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlotGrant {
+    /// Cycles the processor stalled waiting for a free slot (zero when a
+    /// slot was available).
+    pub stall_cycles: u64,
+    /// The time at which the slot became available (issue time of the
+    /// prefetch).
+    pub issue_at: u64,
+}
+
+impl PrefetchSlots {
+    /// Creates a unit with `max` outstanding slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max` is zero.
+    pub fn new(max: usize) -> Self {
+        assert!(max > 0, "at least one prefetch slot is required");
+        Self {
+            completions: Vec::with_capacity(max),
+            max,
+        }
+    }
+
+    /// Drops completed prefetches as of `now`.
+    pub fn expire(&mut self, now: u64) {
+        self.completions.retain(|&c| c > now);
+    }
+
+    /// Number of prefetches still in flight at `now`.
+    pub fn outstanding(&mut self, now: u64) -> usize {
+        self.expire(now);
+        self.completions.len()
+    }
+
+    /// Reserves a slot at `now`, stalling until one frees if all `max` are
+    /// busy. The caller must then record the prefetch's completion time via
+    /// [`occupy`](Self::occupy).
+    pub fn reserve(&mut self, now: u64) -> SlotGrant {
+        self.expire(now);
+        if self.completions.len() < self.max {
+            return SlotGrant {
+                stall_cycles: 0,
+                issue_at: now,
+            };
+        }
+        // All slots busy: the CPU stalls until the earliest completes.
+        let earliest = *self
+            .completions
+            .iter()
+            .min()
+            .expect("slots full implies non-empty");
+        self.expire(earliest);
+        SlotGrant {
+            stall_cycles: earliest - now,
+            issue_at: earliest,
+        }
+    }
+
+    /// Records an issued prefetch completing at `completion`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if all slots are somehow still busy — callers
+    /// must reserve first.
+    pub fn occupy(&mut self, completion: u64) {
+        debug_assert!(self.completions.len() < self.max, "occupy without reserve");
+        self.completions.push(completion);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slots_grant_until_full() {
+        let mut p = PrefetchSlots::new(4);
+        for i in 0..4 {
+            let g = p.reserve(100);
+            assert_eq!(g.stall_cycles, 0);
+            p.occupy(200 + i);
+        }
+        assert_eq!(p.outstanding(100), 4);
+    }
+
+    #[test]
+    fn fifth_prefetch_stalls_until_earliest_completes() {
+        let mut p = PrefetchSlots::new(4);
+        for c in [150, 200, 250, 300] {
+            p.reserve(100);
+            p.occupy(c);
+        }
+        let g = p.reserve(120);
+        assert_eq!(g.stall_cycles, 30, "stall until the 150-cycle completion");
+        assert_eq!(g.issue_at, 150);
+    }
+
+    #[test]
+    fn completed_prefetches_free_slots() {
+        let mut p = PrefetchSlots::new(2);
+        p.reserve(0);
+        p.occupy(50);
+        p.reserve(0);
+        p.occupy(60);
+        assert_eq!(p.outstanding(55), 1);
+        let g = p.reserve(55);
+        assert_eq!(g.stall_cycles, 0);
+    }
+
+    #[test]
+    fn completion_exactly_now_counts_as_done() {
+        let mut p = PrefetchSlots::new(1);
+        p.reserve(0);
+        p.occupy(50);
+        // At t=50 the prefetch has completed (retain keeps only c > now).
+        assert_eq!(p.outstanding(50), 0);
+    }
+}

@@ -1,0 +1,227 @@
+//! Per-processor and machine-wide memory statistics.
+//!
+//! These counters back the paper's Figure 2 memory-system-behavior graph:
+//! MCPI (memory cycles per instruction) split by miss class, plus L1/L2 hit
+//! counts, TLB behavior, and prefetch effectiveness.
+
+use crate::classify::MissClass;
+
+/// Counters for one processor's memory behavior.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CpuStats {
+    /// Demand data references issued.
+    pub data_refs: u64,
+    /// Instruction fetch references issued.
+    pub ifetch_refs: u64,
+    /// L1 hits (data + instruction).
+    pub l1_hits: u64,
+    /// L1 misses that hit in the external cache.
+    pub l2_hits: u64,
+    /// L1 misses satisfied by an in-flight or completed prefetch.
+    pub prefetch_hits: u64,
+    /// External-cache misses by class.
+    pub misses: MissCounts,
+    /// Stall cycles charged to L2 hits (the paper's "on-chip" stall: L1
+    /// misses that hit in the external cache).
+    pub l2_hit_stall_cycles: u64,
+    /// Stall cycles charged to external-cache misses, by class.
+    pub miss_stall_cycles: MissCounts,
+    /// Stall cycles waiting for an in-flight prefetch to complete.
+    pub prefetch_wait_cycles: u64,
+    /// Stall cycles because all prefetch slots were busy (the 5th
+    /// outstanding prefetch stalls the CPU).
+    pub prefetch_slot_stall_cycles: u64,
+    /// Cycles spent in upgrade (ownership) transactions.
+    pub upgrade_stall_cycles: u64,
+    /// TLB misses on demand accesses.
+    pub tlb_misses: u64,
+    /// Cycles spent servicing TLB faults (kernel time).
+    pub tlb_stall_cycles: u64,
+    /// Prefetches issued to the memory system.
+    pub prefetches_issued: u64,
+    /// Prefetches dropped because the page was not in the TLB.
+    pub prefetches_dropped_tlb: u64,
+    /// Prefetches dropped because the line was already cached or in flight.
+    pub prefetches_dropped_resident: u64,
+    /// External-cache misses absorbed by the victim cache (zero when the
+    /// victim cache is disabled).
+    pub victim_hits: u64,
+}
+
+/// A count per miss class.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MissCounts {
+    counts: [u64; 5],
+}
+
+impl MissCounts {
+    fn idx(class: MissClass) -> usize {
+        match class {
+            MissClass::Cold => 0,
+            MissClass::Capacity => 1,
+            MissClass::Conflict => 2,
+            MissClass::TrueSharing => 3,
+            MissClass::FalseSharing => 4,
+        }
+    }
+
+    /// Adds `n` to the count for `class`.
+    pub fn add(&mut self, class: MissClass, n: u64) {
+        self.counts[Self::idx(class)] += n;
+    }
+
+    /// The count for `class`.
+    pub fn get(&self, class: MissClass) -> u64 {
+        self.counts[Self::idx(class)]
+    }
+
+    /// Sum over all classes.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Sum of replacement (capacity + conflict) classes.
+    pub fn replacement(&self) -> u64 {
+        self.get(MissClass::Capacity) + self.get(MissClass::Conflict)
+    }
+
+    /// Sum of communication (true + false sharing) classes.
+    pub fn communication(&self) -> u64 {
+        self.get(MissClass::TrueSharing) + self.get(MissClass::FalseSharing)
+    }
+
+    /// Adds another set of counts element-wise.
+    pub fn merge(&mut self, other: &MissCounts) {
+        for i in 0..5 {
+            self.counts[i] += other.counts[i];
+        }
+    }
+}
+
+impl CpuStats {
+    /// Total memory stall cycles (everything except TLB kernel time, which
+    /// the paper reports under kernel overhead).
+    pub fn memory_stall_cycles(&self) -> u64 {
+        self.l2_hit_stall_cycles
+            + self.miss_stall_cycles.total()
+            + self.prefetch_wait_cycles
+            + self.prefetch_slot_stall_cycles
+            + self.upgrade_stall_cycles
+    }
+
+    /// External-cache miss rate over all demand references.
+    pub fn l2_miss_rate(&self) -> f64 {
+        let refs = self.data_refs + self.ifetch_refs;
+        if refs == 0 {
+            0.0
+        } else {
+            self.misses.total() as f64 / refs as f64
+        }
+    }
+
+    /// Merges another processor's counters into this one (for aggregate
+    /// reports).
+    pub fn merge(&mut self, other: &CpuStats) {
+        self.data_refs += other.data_refs;
+        self.ifetch_refs += other.ifetch_refs;
+        self.l1_hits += other.l1_hits;
+        self.l2_hits += other.l2_hits;
+        self.prefetch_hits += other.prefetch_hits;
+        self.misses.merge(&other.misses);
+        self.l2_hit_stall_cycles += other.l2_hit_stall_cycles;
+        self.miss_stall_cycles.merge(&other.miss_stall_cycles);
+        self.prefetch_wait_cycles += other.prefetch_wait_cycles;
+        self.prefetch_slot_stall_cycles += other.prefetch_slot_stall_cycles;
+        self.upgrade_stall_cycles += other.upgrade_stall_cycles;
+        self.tlb_misses += other.tlb_misses;
+        self.tlb_stall_cycles += other.tlb_stall_cycles;
+        self.prefetches_issued += other.prefetches_issued;
+        self.prefetches_dropped_tlb += other.prefetches_dropped_tlb;
+        self.prefetches_dropped_resident += other.prefetches_dropped_resident;
+        self.victim_hits += other.victim_hits;
+    }
+}
+
+/// Machine-wide view: per-CPU stats plus shared-bus occupancy.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MemStats {
+    /// One entry per processor.
+    pub cpus: Vec<CpuStats>,
+    /// Bus occupancy cycles: (data, writeback, upgrade).
+    pub bus_occupancy: (u64, u64, u64),
+    /// Total bus transactions.
+    pub bus_transactions: u64,
+}
+
+impl MemStats {
+    /// Sums all per-CPU counters.
+    pub fn aggregate(&self) -> CpuStats {
+        let mut total = CpuStats::default();
+        for c in &self.cpus {
+            total.merge(c);
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_counts_roundtrip() {
+        let mut m = MissCounts::default();
+        m.add(MissClass::Conflict, 3);
+        m.add(MissClass::Capacity, 2);
+        m.add(MissClass::TrueSharing, 1);
+        assert_eq!(m.get(MissClass::Conflict), 3);
+        assert_eq!(m.total(), 6);
+        assert_eq!(m.replacement(), 5);
+        assert_eq!(m.communication(), 1);
+    }
+
+    #[test]
+    fn merge_adds_elementwise() {
+        let mut a = MissCounts::default();
+        a.add(MissClass::Cold, 1);
+        let mut b = MissCounts::default();
+        b.add(MissClass::Cold, 2);
+        b.add(MissClass::FalseSharing, 4);
+        a.merge(&b);
+        assert_eq!(a.get(MissClass::Cold), 3);
+        assert_eq!(a.get(MissClass::FalseSharing), 4);
+    }
+
+    #[test]
+    #[allow(clippy::field_reassign_with_default)]
+    fn stall_totals_and_miss_rate() {
+        let mut s = CpuStats::default();
+        s.data_refs = 100;
+        s.l2_hit_stall_cycles = 10;
+        s.miss_stall_cycles.add(MissClass::Conflict, 40);
+        s.upgrade_stall_cycles = 5;
+        s.misses.add(MissClass::Conflict, 2);
+        assert_eq!(s.memory_stall_cycles(), 55);
+        assert!((s.l2_miss_rate() - 0.02).abs() < 1e-12);
+    }
+
+    #[test]
+    #[allow(clippy::field_reassign_with_default)]
+    fn aggregate_sums_cpus() {
+        let mut a = CpuStats::default();
+        a.data_refs = 5;
+        let mut b = CpuStats::default();
+        b.data_refs = 7;
+        let stats = MemStats {
+            cpus: vec![a, b],
+            bus_occupancy: (0, 0, 0),
+            bus_transactions: 0,
+        };
+        assert_eq!(stats.aggregate().data_refs, 12);
+    }
+
+    #[test]
+    fn empty_stats_have_zero_miss_rate() {
+        assert_eq!(CpuStats::default().l2_miss_rate(), 0.0);
+    }
+}

@@ -1,0 +1,1106 @@
+//! The whole memory system: per-CPU cache hierarchies, shared bus, MESI
+//! coherence, miss classification, and the prefetch engine.
+//!
+//! [`MemorySystem`] is driven one reference at a time by the machine run
+//! loop (`cdpc-machine`): each call carries the issuing CPU, that CPU's
+//! local clock (in cycles), the virtual and physical addresses, and the
+//! access kind. The return value reports the latency to charge and how the
+//! miss (if any) was classified.
+//!
+//! ## Model notes
+//!
+//! * L1 caches are virtually indexed (page mapping invisible), write-back
+//!   in spirit, but modeled with *metadata write-through*: a write updates
+//!   both the L1 and L2 line states immediately. This avoids simulating
+//!   L1→L2 victim traffic (on-chip and free in the paper's machine) while
+//!   keeping the bus-visible coherence behaviour exact.
+//! * Inclusion is enforced: evicting or invalidating an L2 line invalidates
+//!   the corresponding L1 sub-lines.
+//! * A miss's latency is `service latency + bus queueing delay`; the data
+//!   transfer occupancy overlaps the service latency but serializes the bus
+//!   for later requesters, which is how contention appears (as in the
+//!   paper, where bus saturation more than doubles tomcatv's MCPI).
+
+use std::collections::HashMap;
+
+use cdpc_vm::addr::{PhysAddr, VirtAddr, Vpn};
+
+use crate::bus::{Bus, BusUse};
+use crate::cache::{Cache, Lookup, Mesi};
+use crate::classify::{MissClass, ShadowCache, SharingTracker};
+use crate::config::MemConfig;
+use crate::prefetch::PrefetchSlots;
+use crate::stats::{CpuStats, MemStats};
+use crate::tlb::Tlb;
+use crate::victim::VictimCache;
+
+/// Index of a processor (0-based).
+pub type CpuId = usize;
+
+/// The kind of one memory reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// Demand data read.
+    Read,
+    /// Demand data write.
+    Write,
+    /// Instruction fetch.
+    IFetch,
+}
+
+/// Where a demand reference was ultimately serviced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServicedBy {
+    /// Hit in the on-chip L1.
+    L1,
+    /// Hit in the external (L2) cache.
+    L2,
+    /// Satisfied by an in-flight or just-completed prefetch.
+    Prefetch,
+    /// Fetched from main memory.
+    Memory,
+    /// Transferred from another processor's cache.
+    RemoteCache,
+    /// Swapped back from the per-CPU victim cache (extension feature).
+    VictimCache,
+}
+
+/// Result of one demand access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessOutcome {
+    /// Stall cycles beyond the instruction's base cost.
+    pub latency_cycles: u64,
+    /// Final service point.
+    pub serviced_by: ServicedBy,
+    /// Classification when the reference missed the external cache.
+    pub miss_class: Option<MissClass>,
+    /// Whether the reference took a TLB fault.
+    pub tlb_miss: bool,
+}
+
+/// Result of issuing a prefetch instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrefetchOutcome {
+    /// `true` if the prefetch went to the memory system; `false` when it
+    /// was dropped (TLB miss, line resident, already in flight).
+    pub issued: bool,
+    /// Stall cycles charged to the CPU (only when all slots were busy).
+    pub stall_cycles: u64,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct DirEntry {
+    /// Bitmask of CPUs holding the line.
+    sharers: u32,
+    /// CPU holding the line in `Modified` state, if any.
+    dirty_owner: Option<CpuId>,
+}
+
+#[derive(Debug)]
+struct CpuMem {
+    l1d: Cache,
+    l1i: Cache,
+    l2: Cache,
+    tlb: Tlb,
+    shadow: ShadowCache,
+    seen_lines: std::collections::HashSet<u64>,
+    /// pa L1-line → va L1-line, for inclusion invalidations.
+    l1_map: HashMap<u64, u64>,
+    /// va L1-line → pa L1-line (reverse of `l1_map`).
+    l1_rev: HashMap<u64, u64>,
+    /// pa L2-line → (completion cycle, fill state) of in-flight prefetches.
+    inflight: HashMap<u64, (u64, Mesi)>,
+    /// Prefetch-filled lines not yet referenced by a demand access (for
+    /// prefetch-hit accounting).
+    pf_filled: std::collections::HashSet<u64>,
+    slots: PrefetchSlots,
+    stats: CpuStats,
+    victim: Option<VictimCache>,
+}
+
+/// The complete multiprocessor memory system.
+#[derive(Debug)]
+pub struct MemorySystem {
+    cfg: MemConfig,
+    cpus: Vec<CpuMem>,
+    bus: Bus,
+    sharing: SharingTracker,
+    directory: HashMap<u64, DirEntry>,
+}
+
+impl MemorySystem {
+    /// Builds the memory system described by `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.num_cpus` is zero or exceeds 32 (the directory uses a
+    /// 32-bit sharer mask; the paper simulates at most 16).
+    pub fn new(cfg: MemConfig) -> Self {
+        assert!(cfg.num_cpus >= 1 && cfg.num_cpus <= 32, "1..=32 CPUs supported");
+        let cpus = (0..cfg.num_cpus)
+            .map(|_| CpuMem {
+                l1d: Cache::new(cfg.l1d),
+                l1i: Cache::new(cfg.l1i),
+                l2: Cache::new(cfg.l2),
+                tlb: Tlb::new(cfg.tlb_entries),
+                shadow: ShadowCache::new(cfg.l2.num_lines()),
+                seen_lines: std::collections::HashSet::new(),
+                l1_map: HashMap::new(),
+                l1_rev: HashMap::new(),
+                inflight: HashMap::new(),
+                pf_filled: std::collections::HashSet::new(),
+                slots: PrefetchSlots::new(cfg.max_outstanding_prefetches),
+                stats: CpuStats::default(),
+                victim: (cfg.victim_cache_lines > 0)
+                    .then(|| VictimCache::new(cfg.victim_cache_lines)),
+            })
+            .collect();
+        Self {
+            cfg,
+            cpus,
+            bus: Bus::new(),
+            sharing: SharingTracker::new(),
+            directory: HashMap::new(),
+        }
+    }
+
+    /// The configuration this system was built with.
+    pub fn config(&self) -> &MemConfig {
+        &self.cfg
+    }
+
+    /// Snapshot of all statistics.
+    pub fn stats(&self) -> MemStats {
+        MemStats {
+            cpus: self.cpus.iter().map(|c| c.stats.clone()).collect(),
+            bus_occupancy: self.bus.occupancy_cycles(),
+            bus_transactions: self.bus.transactions(),
+        }
+    }
+
+    /// Resets all statistics counters (cache/TLB/directory *state* is
+    /// preserved). Used to discard warm-up phases, mirroring the paper's
+    /// practice of discarding the first detailed-simulation phases.
+    pub fn reset_stats(&mut self) {
+        for c in &mut self.cpus {
+            c.stats = CpuStats::default();
+        }
+        self.bus = Bus::new();
+    }
+
+    fn sub_block_of(&self, pa: u64) -> u32 {
+        ((pa % self.cfg.l2.line_bytes() as u64) / self.cfg.l1d.line_bytes() as u64) as u32
+    }
+
+    /// Performs one demand reference by `cpu` at local time `now`.
+    ///
+    /// `va` decides L1 indexing and the TLB page; `pa` decides L2 indexing,
+    /// coherence, and (through the page mapping that produced it) cache
+    /// conflicts.
+    pub fn access(
+        &mut self,
+        cpu: CpuId,
+        now: u64,
+        va: VirtAddr,
+        pa: PhysAddr,
+        kind: AccessKind,
+    ) -> AccessOutcome {
+        let is_ifetch = kind == AccessKind::IFetch;
+        let is_write = kind == AccessKind::Write;
+        if is_ifetch {
+            self.cpus[cpu].stats.ifetch_refs += 1;
+        } else {
+            self.cpus[cpu].stats.data_refs += 1;
+        }
+
+        let mut latency = 0u64;
+
+        // TLB.
+        let vpn = Vpn(va.0 / self.cfg.page_size as u64);
+        let tlb_miss = !self.cpus[cpu].tlb.access(vpn);
+        if tlb_miss {
+            let penalty = self.cfg.tlb_miss_cycles();
+            self.cpus[cpu].stats.tlb_misses += 1;
+            self.cpus[cpu].stats.tlb_stall_cycles += penalty;
+            latency += penalty;
+        }
+        let now = now + latency;
+
+        self.complete_prefetches(cpu, now);
+
+        let va_line = self.cfg.l1d.line_of(va.0);
+        let pa_l2_line = self.cfg.l2.line_of(pa.0);
+        let sub = self.sub_block_of(pa.0);
+
+        // L1 probe.
+        let l1_hit = {
+            let c = &mut self.cpus[cpu];
+            let l1 = if is_ifetch { &mut c.l1i } else { &mut c.l1d };
+            matches!(l1.probe(va_line), Lookup::Hit(_))
+        };
+        if l1_hit {
+            self.cpus[cpu].stats.l1_hits += 1;
+            if is_write {
+                latency += self.write_touch(cpu, now, pa_l2_line, sub);
+            }
+            return AccessOutcome {
+                latency_cycles: latency,
+                serviced_by: ServicedBy::L1,
+                miss_class: None,
+                tlb_miss,
+            };
+        }
+
+        // L2 probe.
+        let l2_state = match self.cpus[cpu].l2.probe(pa_l2_line) {
+            Lookup::Hit(s) => Some(s),
+            Lookup::Miss => None,
+        };
+        // The fully-associative shadow cache sees the same reference stream
+        // as the L2 (L1 misses only).
+        let fa_hit = if is_ifetch {
+            // Instruction lines share the L2 but their conflicts are not the
+            // paper's focus; still feed the shadow for consistency.
+            self.cpus[cpu].shadow.reference(pa_l2_line)
+        } else {
+            self.cpus[cpu].shadow.reference(pa_l2_line)
+        };
+
+        if let Some(_state) = l2_state {
+            let hit_cycles = self.cfg.l2_hit_cycles();
+            latency += hit_cycles;
+            self.cpus[cpu].stats.l2_hits += 1;
+            self.cpus[cpu].stats.l2_hit_stall_cycles += hit_cycles;
+            if self.cpus[cpu].pf_filled.remove(&pa_l2_line) {
+                self.cpus[cpu].stats.prefetch_hits += 1;
+            }
+            if is_write {
+                latency += self.write_touch(cpu, now, pa_l2_line, sub);
+            }
+            self.fill_l1(cpu, va_line, pa.0, is_ifetch);
+            return AccessOutcome {
+                latency_cycles: latency,
+                serviced_by: ServicedBy::L2,
+                miss_class: None,
+                tlb_miss,
+            };
+        }
+
+        // In-flight prefetch?
+        if let Some(&(completion, _state)) = self.cpus[cpu].inflight.get(&pa_l2_line) {
+            let wait = completion.saturating_sub(now);
+            self.complete_prefetches(cpu, completion.max(now));
+            let hit_cycles = self.cfg.l2_hit_cycles();
+            latency += wait + hit_cycles;
+            {
+                let stats = &mut self.cpus[cpu].stats;
+                stats.prefetch_hits += 1;
+                stats.prefetch_wait_cycles += wait;
+                stats.l2_hit_stall_cycles += hit_cycles;
+            }
+            if is_write {
+                latency += self.write_touch(cpu, now + wait, pa_l2_line, sub);
+            }
+            self.fill_l1(cpu, va_line, pa.0, is_ifetch);
+            return AccessOutcome {
+                latency_cycles: latency,
+                serviced_by: ServicedBy::Prefetch,
+                miss_class: None,
+                tlb_miss,
+            };
+        }
+
+        // Victim-cache swap-back (extension feature): the line was evicted
+        // recently and is still in the per-CPU victim buffer.
+        let vc_state = self
+            .cpus[cpu]
+            .victim
+            .as_mut()
+            .and_then(|vc| vc.take(pa_l2_line));
+        if let Some(state) = vc_state {
+            let swap_cycles = 2 * self.cfg.l2_hit_cycles();
+            latency += swap_cycles;
+            {
+                let stats = &mut self.cpus[cpu].stats;
+                stats.victim_hits += 1;
+                stats.l2_hit_stall_cycles += swap_cycles;
+            }
+            self.fill_l2(cpu, now, pa_l2_line, state);
+            if is_write {
+                latency += self.write_touch(cpu, now, pa_l2_line, sub);
+            }
+            self.fill_l1(cpu, va_line, pa.0, is_ifetch);
+            return AccessOutcome {
+                latency_cycles: latency,
+                serviced_by: ServicedBy::VictimCache,
+                miss_class: None,
+                tlb_miss,
+            };
+        }
+
+        // Full external-cache miss. Classify first (coherence beats
+        // replacement; cold only when the CPU never saw the line).
+        let class = if let Some(c) = self.sharing.classify_refetch(pa_l2_line, cpu, sub) {
+            c
+        } else if !self.cpus[cpu].seen_lines.contains(&pa_l2_line) {
+            MissClass::Cold
+        } else if fa_hit {
+            MissClass::Conflict
+        } else {
+            MissClass::Capacity
+        };
+        self.cpus[cpu].seen_lines.insert(pa_l2_line);
+
+        let (service_latency, serviced_by, fill_state) =
+            self.service_miss(cpu, now, pa_l2_line, sub, is_write);
+        latency += service_latency;
+
+        self.fill_l2(cpu, now, pa_l2_line, fill_state);
+        if is_write {
+            self.sharing.on_write(pa_l2_line, cpu, sub);
+        }
+        self.fill_l1(cpu, va_line, pa.0, is_ifetch);
+
+        {
+            let stats = &mut self.cpus[cpu].stats;
+            stats.misses.add(class, 1);
+            stats.miss_stall_cycles.add(class, service_latency);
+        }
+
+        AccessOutcome {
+            latency_cycles: latency,
+            serviced_by,
+            miss_class: Some(class),
+            tlb_miss,
+        }
+    }
+
+    /// Issues a prefetch for the line containing `va`/`pa`.
+    ///
+    /// `exclusive` requests ownership (prefetch-for-write). Follows the
+    /// R10000 rules: dropped on TLB miss or residency, the fifth outstanding
+    /// prefetch stalls.
+    pub fn prefetch(
+        &mut self,
+        cpu: CpuId,
+        now: u64,
+        va: VirtAddr,
+        pa: PhysAddr,
+        exclusive: bool,
+    ) -> PrefetchOutcome {
+        let vpn = Vpn(va.0 / self.cfg.page_size as u64);
+        if !self.cpus[cpu].tlb.probe(vpn) {
+            self.cpus[cpu].stats.prefetches_dropped_tlb += 1;
+            return PrefetchOutcome {
+                issued: false,
+                stall_cycles: 0,
+            };
+        }
+        self.complete_prefetches(cpu, now);
+        let pa_l2_line = self.cfg.l2.line_of(pa.0);
+        let resident = matches!(self.cpus[cpu].l2.peek(pa_l2_line), Lookup::Hit(_))
+            || self.cpus[cpu].inflight.contains_key(&pa_l2_line)
+            || self.cpus[cpu]
+                .victim
+                .as_ref()
+                .is_some_and(|vc| vc.contains(pa_l2_line));
+        if resident {
+            self.cpus[cpu].stats.prefetches_dropped_resident += 1;
+            return PrefetchOutcome {
+                issued: false,
+                stall_cycles: 0,
+            };
+        }
+        let grant = self.cpus[cpu].slots.reserve(now);
+        let issue_at = grant.issue_at;
+        self.complete_prefetches(cpu, issue_at);
+        let sub = self.sub_block_of(pa.0);
+        let (service_latency, _serviced_by, fill_state) =
+            self.service_miss(cpu, issue_at, pa_l2_line, sub, exclusive);
+        let completion = issue_at + service_latency;
+        self.cpus[cpu].slots.occupy(completion);
+        self.cpus[cpu].inflight.insert(pa_l2_line, (completion, fill_state));
+        {
+            let stats = &mut self.cpus[cpu].stats;
+            stats.prefetches_issued += 1;
+            stats.prefetch_slot_stall_cycles += grant.stall_cycles;
+        }
+        PrefetchOutcome {
+            issued: true,
+            stall_cycles: grant.stall_cycles,
+        }
+    }
+
+    /// Invalidates a TLB entry on all CPUs (page unmapped or recolored).
+    pub fn shoot_down_tlb(&mut self, vpn: Vpn) {
+        for c in &mut self.cpus {
+            c.tlb.invalidate(vpn);
+        }
+    }
+
+    /// Flushes every cached line of one physical page from every
+    /// processor's hierarchy (the cache side of a page recoloring or
+    /// unmap). Dirty lines are written back over the bus at time `now`.
+    pub fn flush_physical_page(&mut self, now: u64, page_base: PhysAddr) {
+        let line = self.cfg.l2.line_bytes() as u64;
+        let page = self.cfg.page_size as u64;
+        debug_assert_eq!(page_base.0 % page, 0, "page base must be aligned");
+        for k in 0..(page / line) {
+            let line_addr = page_base.0 + k * line;
+            for cpu in 0..self.cfg.num_cpus {
+                if let Lookup::Hit(state) = self.cpus[cpu].l2.peek(line_addr) {
+                    if state == Mesi::Modified {
+                        let occ = self.cfg.bus_occupancy_cycles(line);
+                        self.bus.request(now, occ, BusUse::Writeback);
+                    }
+                    self.drop_line(cpu, line_addr);
+                }
+            }
+            self.directory.remove(&line_addr);
+        }
+    }
+
+    /// Checks the global coherence invariants; panics with a description on
+    /// the first violation. O(cache lines); intended for tests and
+    /// debugging, not the simulation fast path.
+    ///
+    /// Invariants:
+    /// 1. every resident L2 line appears in the directory with that CPU's
+    ///    sharer bit set;
+    /// 2. a `Modified` line is the directory's dirty owner and the only
+    ///    sharer;
+    /// 3. when two or more CPUs share a line, every copy is `Shared`;
+    /// 4. every directory sharer bit corresponds to a resident or
+    ///    in-flight-prefetch line.
+    ///
+    /// # Panics
+    ///
+    /// Panics when any invariant is violated.
+    pub fn validate_coherence(&self) {
+        for (cpu, c) in self.cpus.iter().enumerate() {
+            let vc_lines: Vec<(u64, Mesi)> =
+                c.victim.as_ref().map(|v| v.iter().collect()).unwrap_or_default();
+            for (line, state) in c.l2.resident().chain(vc_lines) {
+                let entry = self.directory.get(&line).unwrap_or_else(|| {
+                    panic!("cpu{cpu} holds {line:#x} but the directory has no entry")
+                });
+                assert!(
+                    entry.sharers & (1 << cpu) != 0,
+                    "cpu{cpu} holds {line:#x} without its sharer bit"
+                );
+                match state {
+                    Mesi::Modified => {
+                        assert_eq!(
+                            entry.dirty_owner,
+                            Some(cpu),
+                            "modified {line:#x} in cpu{cpu} but directory owner is {:?}",
+                            entry.dirty_owner
+                        );
+                        assert_eq!(
+                            entry.sharers,
+                            1 << cpu,
+                            "modified {line:#x} has other sharers: {:#x}",
+                            entry.sharers
+                        );
+                    }
+                    Mesi::Exclusive => {
+                        assert_eq!(
+                            entry.sharers,
+                            1 << cpu,
+                            "exclusive {line:#x} has other sharers: {:#x}",
+                            entry.sharers
+                        );
+                    }
+                    Mesi::Shared => {
+                        assert_ne!(
+                            entry.dirty_owner,
+                            Some(cpu),
+                            "shared {line:#x} cannot be the dirty owner"
+                        );
+                    }
+                }
+            }
+        }
+        for (&line, entry) in &self.directory {
+            for cpu in 0..self.cfg.num_cpus {
+                if entry.sharers & (1 << cpu) != 0 {
+                    let resident = matches!(self.cpus[cpu].l2.peek(line), Lookup::Hit(_));
+                    let in_flight = self.cpus[cpu].inflight.contains_key(&line);
+                    let in_vc = self.cpus[cpu]
+                        .victim
+                        .as_ref()
+                        .is_some_and(|vc| vc.contains(line));
+                    assert!(
+                        resident || in_flight || in_vc,
+                        "directory says cpu{cpu} shares {line:#x} but it holds nothing"
+                    );
+                }
+            }
+        }
+    }
+
+    // --- internals -------------------------------------------------------
+
+    /// Handles the coherence side of a write that hits the local hierarchy:
+    /// upgrades a `Shared` line, silently dirties an `Exclusive` one, and
+    /// feeds the sharing tracker. Returns extra stall cycles.
+    fn write_touch(&mut self, cpu: CpuId, now: u64, pa_l2_line: u64, sub: u32) -> u64 {
+        let state = match self.cpus[cpu].l2.peek(pa_l2_line) {
+            Lookup::Hit(s) => s,
+            // L1 hit with the line missing from L2 can only happen
+            // transiently around an inclusion invalidation; treat as no-op.
+            Lookup::Miss => return 0,
+        };
+        let mut extra = 0;
+        if state.needs_upgrade_for_write() {
+            let occ = self.cfg.bus_occupancy_cycles(self.cfg.upgrade_bus_bytes);
+            let grant = self.bus.request(now, occ, BusUse::Upgrade);
+            extra += grant.total_cycles();
+            self.cpus[cpu].stats.upgrade_stall_cycles += grant.total_cycles();
+            self.invalidate_other_copies(cpu, pa_l2_line, sub);
+            self.cpus[cpu].l2.set_state(pa_l2_line, Mesi::Modified);
+            let entry = self.directory.entry(pa_l2_line).or_default();
+            entry.sharers = 1 << cpu;
+            entry.dirty_owner = Some(cpu);
+        } else if state == Mesi::Exclusive {
+            self.cpus[cpu].l2.set_state(pa_l2_line, Mesi::Modified);
+            let entry = self.directory.entry(pa_l2_line).or_default();
+            entry.dirty_owner = Some(cpu);
+        }
+        self.sharing.on_write(pa_l2_line, cpu, sub);
+        extra
+    }
+
+    /// Invalidates every other CPU's copy of a line (write miss or
+    /// upgrade), recording sharing-tracker victims.
+    fn invalidate_other_copies(&mut self, cpu: CpuId, pa_l2_line: u64, sub: u32) {
+        let entry = self.directory.get(&pa_l2_line).copied().unwrap_or_default();
+        for victim in 0..self.cfg.num_cpus {
+            if victim == cpu || entry.sharers & (1 << victim) == 0 {
+                continue;
+            }
+            self.drop_line(victim, pa_l2_line);
+            self.sharing.on_invalidate(pa_l2_line, victim, sub);
+        }
+    }
+
+    /// Removes a line from one CPU's L2, L1s, shadow cache, and in-flight
+    /// prefetch set (coherence invalidation).
+    fn drop_line(&mut self, cpu: CpuId, pa_l2_line: u64) {
+        self.cpus[cpu].l2.invalidate(pa_l2_line);
+        self.cpus[cpu].shadow.invalidate(pa_l2_line);
+        self.cpus[cpu].inflight.remove(&pa_l2_line);
+        self.cpus[cpu].pf_filled.remove(&pa_l2_line);
+        if let Some(vc) = self.cpus[cpu].victim.as_mut() {
+            vc.invalidate(pa_l2_line);
+        }
+        self.invalidate_l1_sublines(cpu, pa_l2_line);
+    }
+
+    fn invalidate_l1_sublines(&mut self, cpu: CpuId, pa_l2_line: u64) {
+        let l1_line = self.cfg.l1d.line_bytes() as u64;
+        let n = self.cfg.l2.line_bytes() as u64 / l1_line;
+        for k in 0..n {
+            let pa_sub = pa_l2_line + k * l1_line;
+            if let Some(va_sub) = self.cpus[cpu].l1_map.remove(&pa_sub) {
+                self.cpus[cpu].l1_rev.remove(&va_sub);
+                self.cpus[cpu].l1d.invalidate(va_sub);
+                self.cpus[cpu].l1i.invalidate(va_sub);
+            }
+        }
+    }
+
+    /// Decides where a miss is serviced, performs the coherence actions and
+    /// the bus transaction, and returns `(latency, source, fill state)`.
+    fn service_miss(
+        &mut self,
+        cpu: CpuId,
+        now: u64,
+        pa_l2_line: u64,
+        sub: u32,
+        for_write: bool,
+    ) -> (u64, ServicedBy, Mesi) {
+        let entry = self.directory.get(&pa_l2_line).copied().unwrap_or_default();
+        let others = entry.sharers & !(1u32 << cpu);
+        let occ = self.cfg.bus_occupancy_cycles(self.cfg.l2.line_bytes() as u64);
+        let (base, source) = match entry.dirty_owner {
+            Some(owner) if owner != cpu => {
+                // Cache-to-cache transfer.
+                if for_write {
+                    self.drop_line(owner, pa_l2_line);
+                    self.sharing.on_invalidate(pa_l2_line, owner, sub);
+                } else if !self.cpus[owner].l2.set_state(pa_l2_line, Mesi::Shared) {
+                    // The owner's copy may live in its victim cache.
+                    if let Some(vc) = self.cpus[owner].victim.as_mut() {
+                        vc.set_state(pa_l2_line, Mesi::Shared);
+                    }
+                }
+                (self.cfg.remote_latency_cycles(), ServicedBy::RemoteCache)
+            }
+            _ => {
+                if for_write && others != 0 {
+                    self.invalidate_other_copies(cpu, pa_l2_line, sub);
+                } else if !for_write && others != 0 {
+                    // Snooping read: clean Exclusive copies downgrade to
+                    // Shared so a later write by their owner pays an
+                    // upgrade.
+                    for other in 0..self.cfg.num_cpus {
+                        if other != cpu && others & (1 << other) != 0
+                            && !self.cpus[other].l2.set_state(pa_l2_line, Mesi::Shared)
+                        {
+                            if let Some(vc) = self.cpus[other].victim.as_mut() {
+                                vc.set_state(pa_l2_line, Mesi::Shared);
+                            }
+                        }
+                    }
+                }
+                (self.cfg.mem_latency_cycles(), ServicedBy::Memory)
+            }
+        };
+        let grant = self.bus.request(now, occ, BusUse::Data);
+        let latency = base + grant.queue_cycles;
+
+        let entry = self.directory.entry(pa_l2_line).or_default();
+        let fill_state = if for_write {
+            entry.sharers = 1 << cpu;
+            entry.dirty_owner = Some(cpu);
+            Mesi::Modified
+        } else if entry.sharers & !(1u32 << cpu) != 0 || entry.dirty_owner.is_some() {
+            entry.sharers |= 1 << cpu;
+            entry.dirty_owner = None;
+            Mesi::Shared
+        } else {
+            entry.sharers |= 1 << cpu;
+            entry.dirty_owner = None;
+            Mesi::Exclusive
+        };
+        (latency, source, fill_state)
+    }
+
+    /// Installs a line in `cpu`'s L2, handling the victim.
+    fn fill_l2(&mut self, cpu: CpuId, now: u64, pa_l2_line: u64, state: Mesi) {
+        if let Some(evicted) = self.cpus[cpu].l2.fill(pa_l2_line, state) {
+            self.handle_l2_eviction_state(cpu, now, evicted.line_addr, evicted.state);
+        }
+    }
+
+    fn handle_l2_eviction_state(&mut self, cpu: CpuId, now: u64, victim_line: u64, state: Mesi) {
+        // A prefetched line displaced before its first demand use is a
+        // wasted prefetch, not a future prefetch hit.
+        self.cpus[cpu].pf_filled.remove(&victim_line);
+        // With a victim cache, the line stays on this CPU (directory
+        // rights included); only a line falling out of the victim buffer
+        // is truly released.
+        if self.cpus[cpu].victim.is_some() {
+            let pushed_out = self
+                .cpus[cpu]
+                .victim
+                .as_mut()
+                .expect("checked above")
+                .insert(victim_line, state);
+            self.invalidate_l1_sublines(cpu, victim_line);
+            if let Some(out) = pushed_out {
+                self.release_line(cpu, now, out.line_addr, out.dirty);
+            }
+            return;
+        }
+        self.release_line(cpu, now, victim_line, state == Mesi::Modified);
+        self.invalidate_l1_sublines(cpu, victim_line);
+    }
+
+    /// Fully releases a line from this CPU: write back if dirty, clear
+    /// directory rights.
+    fn release_line(&mut self, cpu: CpuId, now: u64, line: u64, dirty: bool) {
+        if dirty {
+            let occ = self.cfg.bus_occupancy_cycles(self.cfg.l2.line_bytes() as u64);
+            self.bus.request(now, occ, BusUse::Writeback);
+        }
+        if let Some(entry) = self.directory.get_mut(&line) {
+            entry.sharers &= !(1u32 << cpu);
+            if entry.dirty_owner == Some(cpu) {
+                entry.dirty_owner = None;
+            }
+            if entry.sharers == 0 {
+                self.directory.remove(&line);
+            }
+        }
+    }
+
+    fn fill_l1(&mut self, cpu: CpuId, va_line: u64, pa: u64, is_ifetch: bool) {
+        let pa_sub = self.cfg.l1d.line_of(pa);
+        let c = &mut self.cpus[cpu];
+        let l1 = if is_ifetch { &mut c.l1i } else { &mut c.l1d };
+        if matches!(l1.peek(va_line), Lookup::Hit(_)) {
+            return;
+        }
+        if let Some(evicted) = l1.fill(va_line, Mesi::Exclusive) {
+            if let Some(pa_old) = c.l1_rev.remove(&evicted.line_addr) {
+                c.l1_map.remove(&pa_old);
+            }
+        }
+        c.l1_map.insert(pa_sub, va_line);
+        c.l1_rev.insert(va_line, pa_sub);
+    }
+
+    /// Applies all prefetch fills whose completion time has passed.
+    fn complete_prefetches(&mut self, cpu: CpuId, now: u64) {
+        if self.cpus[cpu].inflight.is_empty() {
+            return;
+        }
+        let done: Vec<(u64, u64, Mesi)> = self.cpus[cpu]
+            .inflight
+            .iter()
+            .filter(|&(_, &(c, _))| c <= now)
+            .map(|(&line, &(c, s))| (line, c, s))
+            .collect();
+        for (line, completion, recorded) in done {
+            self.cpus[cpu].inflight.remove(&line);
+            // A racing invalidation may have removed the entry's directory
+            // rights; only fill if we still appear as a sharer. The fill
+            // state is re-derived from the directory: another CPU may have
+            // read the line while it was in flight, downgrading an
+            // exclusive prefetch's recorded `Modified` to `Shared`.
+            let entry = self.directory.get(&line).copied();
+            let state = match entry {
+                Some(e) if e.sharers & (1 << cpu) == 0 => continue,
+                Some(e) if e.dirty_owner == Some(cpu) => Mesi::Modified,
+                Some(e) if e.sharers == 1 << cpu => match recorded {
+                    // Sole sharer but no longer dirty owner: ownership was
+                    // stripped while in flight; the copy arrives clean.
+                    Mesi::Modified => Mesi::Exclusive,
+                    s => s,
+                },
+                Some(_) => Mesi::Shared,
+                None => continue,
+            };
+            if !matches!(self.cpus[cpu].l2.peek(line), Lookup::Hit(_)) {
+                self.fill_l2(cpu, completion, line, state);
+                self.cpus[cpu].pf_filled.insert(line);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg(cpus: usize) -> MemConfig {
+        let mut c = MemConfig::paper_base(cpus);
+        // Shrink caches so tests exercise evictions quickly:
+        // L1: 256 B (2-way, 32 B lines); L2: 1 KB direct-mapped, 128 B lines.
+        c.l1d = crate::config::CacheConfig::new(256, 32, 2);
+        c.l1i = crate::config::CacheConfig::new(256, 32, 2);
+        c.l2 = crate::config::CacheConfig::new(1024, 128, 1);
+        c.tlb_entries = 4;
+        c
+    }
+
+    fn va(x: u64) -> VirtAddr {
+        VirtAddr(x)
+    }
+
+    fn pa(x: u64) -> PhysAddr {
+        PhysAddr(x)
+    }
+
+    #[test]
+    fn first_access_is_cold_from_memory() {
+        let mut m = MemorySystem::new(small_cfg(1));
+        let out = m.access(0, 0, va(0x1000), pa(0x1000), AccessKind::Read);
+        assert_eq!(out.serviced_by, ServicedBy::Memory);
+        assert_eq!(out.miss_class, Some(MissClass::Cold));
+        assert!(out.tlb_miss);
+        assert!(out.latency_cycles >= m.config().mem_latency_cycles());
+    }
+
+    #[test]
+    fn second_access_hits_l1() {
+        let mut m = MemorySystem::new(small_cfg(1));
+        m.access(0, 0, va(0x1000), pa(0x1000), AccessKind::Read);
+        let out = m.access(0, 1000, va(0x1000), pa(0x1000), AccessKind::Read);
+        assert_eq!(out.serviced_by, ServicedBy::L1);
+        assert_eq!(out.latency_cycles, 0);
+    }
+
+    #[test]
+    fn l1_conflict_still_hits_l2() {
+        let mut m = MemorySystem::new(small_cfg(1));
+        // Three VAs mapping to the same L1 set (stride 256 = L1 size /
+        // assoc... set stride is 4 sets * 32 B = 128 B; use stride 256 so
+        // they share a set in the 2-way L1) but the same 128 B L2 line? No —
+        // pick same page, different L2 lines that alias in L1.
+        m.access(0, 0, va(0x0000), pa(0x0000), AccessKind::Read);
+        m.access(0, 10, va(0x0100), pa(0x0100), AccessKind::Read);
+        m.access(0, 20, va(0x0200), pa(0x0200), AccessKind::Read);
+        // 0x0000 evicted from 2-way L1 set; L2 (1 KB) still holds it.
+        let out = m.access(0, 5000, va(0x0000), pa(0x0000), AccessKind::Read);
+        assert_eq!(out.serviced_by, ServicedBy::L2);
+        assert_eq!(out.miss_class, None);
+    }
+
+    #[test]
+    fn l2_conflict_miss_classified() {
+        let mut m = MemorySystem::new(small_cfg(1));
+        // L2 is 1 KB direct-mapped: pa 0x0000 and 0x0400 collide, and the
+        // shadow (8 lines) retains both → conflict.
+        m.access(0, 0, va(0x0000), pa(0x0000), AccessKind::Read);
+        m.access(0, 10, va(0x0400), pa(0x0400), AccessKind::Read);
+        let out = m.access(0, 5000, va(0x0000), pa(0x0000), AccessKind::Read);
+        assert_eq!(out.miss_class, Some(MissClass::Conflict));
+    }
+
+    #[test]
+    fn l2_capacity_miss_classified() {
+        let mut m = MemorySystem::new(small_cfg(1));
+        // Touch 16 distinct L2 lines (cache holds 8): the oldest is gone
+        // from the shadow too → capacity.
+        for i in 0..16u64 {
+            m.access(0, i * 100, va(i * 128), pa(i * 128), AccessKind::Read);
+        }
+        let out = m.access(0, 100_000, va(0), pa(0), AccessKind::Read);
+        assert_eq!(out.miss_class, Some(MissClass::Capacity));
+    }
+
+    #[test]
+    fn page_color_determines_conflicts() {
+        // The whole point of the paper: same VAs, different physical
+        // mapping → different conflict behaviour.
+        let mut cfg = small_cfg(1);
+        cfg.l2 = crate::config::CacheConfig::new(8192, 128, 1); // 2 pages
+        // Conflicting mapping: two pages, same color (pa 0 and 8192).
+        let mut m = MemorySystem::new(cfg.clone());
+        m.access(0, 0, va(0), pa(0), AccessKind::Read);
+        m.access(0, 10, va(4096), pa(8192), AccessKind::Read);
+        let out = m.access(0, 20, va(0), pa(0), AccessKind::Read);
+        // pa 0 and 8192 share set 0 in an 8 KB direct-mapped cache... they
+        // differ: 8192 % 8192 = 0 → same set. Conflict.
+        assert_eq!(out.miss_class, Some(MissClass::Conflict));
+
+        // Friendly mapping: pa 0 and 4096 (different halves of the cache).
+        let mut m = MemorySystem::new(cfg);
+        m.access(0, 0, va(0), pa(0), AccessKind::Read);
+        m.access(0, 10, va(4096), pa(4096), AccessKind::Read);
+        let out = m.access(0, 20, va(0), pa(0), AccessKind::Read);
+        assert_eq!(out.serviced_by, ServicedBy::L1, "no conflict: still cached");
+    }
+
+    #[test]
+    fn remote_dirty_line_serviced_cache_to_cache() {
+        let mut m = MemorySystem::new(small_cfg(2));
+        m.access(0, 0, va(0x1000), pa(0x1000), AccessKind::Write);
+        let out = m.access(1, 1000, va(0x1000), pa(0x1000), AccessKind::Read);
+        assert_eq!(out.serviced_by, ServicedBy::RemoteCache);
+        // First access by CPU 1 → cold, even though it's communication-ish.
+        assert_eq!(out.miss_class, Some(MissClass::Cold));
+        assert!(out.latency_cycles >= m.config().remote_latency_cycles());
+    }
+
+    #[test]
+    fn invalidation_then_refetch_is_true_sharing() {
+        let mut m = MemorySystem::new(small_cfg(2));
+        // CPU1 reads the line, CPU0 writes sub-block 0, CPU1 re-reads
+        // sub-block 0 → true sharing.
+        m.access(1, 0, va(0x1000), pa(0x1000), AccessKind::Read);
+        m.access(0, 100, va(0x1000), pa(0x1000), AccessKind::Write);
+        let out = m.access(1, 10_000, va(0x1000), pa(0x1000), AccessKind::Read);
+        assert_eq!(out.miss_class, Some(MissClass::TrueSharing));
+    }
+
+    #[test]
+    fn disjoint_subblocks_are_false_sharing() {
+        let mut m = MemorySystem::new(small_cfg(2));
+        // CPU1 reads sub-block 1 (offset 32); CPU0 writes sub-block 0;
+        // CPU1 re-reads sub-block 1 → false sharing.
+        m.access(1, 0, va(0x1020), pa(0x1020), AccessKind::Read);
+        m.access(0, 100, va(0x1000), pa(0x1000), AccessKind::Write);
+        let out = m.access(1, 10_000, va(0x1020), pa(0x1020), AccessKind::Read);
+        assert_eq!(out.miss_class, Some(MissClass::FalseSharing));
+    }
+
+    #[test]
+    fn write_to_shared_line_pays_upgrade() {
+        let mut m = MemorySystem::new(small_cfg(2));
+        m.access(0, 0, va(0x1000), pa(0x1000), AccessKind::Read);
+        m.access(1, 100, va(0x1000), pa(0x1000), AccessKind::Read);
+        // Both now share the line; CPU0 writes → upgrade.
+        let before = m.stats().cpus[0].upgrade_stall_cycles;
+        m.access(0, 10_000, va(0x1000), pa(0x1000), AccessKind::Write);
+        let after = m.stats().cpus[0].upgrade_stall_cycles;
+        assert!(after > before, "upgrade must cost bus time");
+        let (_, _, upgrades) = m.stats().bus_occupancy;
+        assert!(upgrades > 0);
+    }
+
+    #[test]
+    fn bus_contention_delays_misses() {
+        let mut cfg = small_cfg(4);
+        cfg.bus_bytes_per_us = 100; // starve the bus
+        let mut m = MemorySystem::new(cfg);
+        // Four CPUs miss at the same instant; later grants queue.
+        let lat: Vec<u64> = (0..4)
+            .map(|c| {
+                m.access(c, 0, va(0x1000 * (c as u64 + 1)), pa(0x1000 * (c as u64 + 1)), AccessKind::Read)
+                    .latency_cycles
+            })
+            .collect();
+        assert!(lat[3] > lat[0], "queued miss must be slower: {lat:?}");
+    }
+
+    #[test]
+    fn prefetch_hides_miss_latency() {
+        let mut m = MemorySystem::new(small_cfg(1));
+        // Map the page in the TLB first (prefetches are dropped otherwise).
+        m.access(0, 0, va(0x1000), pa(0x1000), AccessKind::Read);
+        let pf = m.prefetch(0, 100, va(0x1080), pa(0x1080), false);
+        assert!(pf.issued);
+        // Access long after the prefetch completed: L2 hit.
+        let out = m.access(0, 100_000, va(0x1080), pa(0x1080), AccessKind::Read);
+        assert_eq!(out.serviced_by, ServicedBy::L2);
+        assert_eq!(out.miss_class, None);
+    }
+
+    #[test]
+    fn late_prefetch_still_saves_partial_latency() {
+        let mut m = MemorySystem::new(small_cfg(1));
+        m.access(0, 0, va(0x1000), pa(0x1000), AccessKind::Read);
+        m.prefetch(0, 1000, va(0x1080), pa(0x1080), false);
+        // Demand access arrives halfway through the prefetch — it waits the
+        // remainder, which is less than a full miss.
+        let out = m.access(0, 1100, va(0x1080), pa(0x1080), AccessKind::Read);
+        assert_eq!(out.serviced_by, ServicedBy::Prefetch);
+        assert!(out.latency_cycles < m.config().mem_latency_cycles());
+        assert!(m.stats().cpus[0].prefetch_wait_cycles > 0);
+    }
+
+    #[test]
+    fn prefetch_dropped_on_tlb_miss() {
+        let mut m = MemorySystem::new(small_cfg(1));
+        let pf = m.prefetch(0, 0, va(0x9000), pa(0x9000), false);
+        assert!(!pf.issued);
+        assert_eq!(m.stats().cpus[0].prefetches_dropped_tlb, 1);
+    }
+
+    #[test]
+    fn prefetch_dropped_when_resident() {
+        let mut m = MemorySystem::new(small_cfg(1));
+        m.access(0, 0, va(0x1000), pa(0x1000), AccessKind::Read);
+        let pf = m.prefetch(0, 10_000, va(0x1000), pa(0x1000), false);
+        assert!(!pf.issued);
+        assert_eq!(m.stats().cpus[0].prefetches_dropped_resident, 1);
+    }
+
+    #[test]
+    fn fifth_outstanding_prefetch_stalls() {
+        let mut cfg = small_cfg(1);
+        cfg.l2 = crate::config::CacheConfig::new(4096, 128, 1);
+        let mut m = MemorySystem::new(cfg);
+        // Warm the TLB page.
+        m.access(0, 0, va(0x0000), pa(0x0000), AccessKind::Read);
+        let mut stalls = 0;
+        for i in 1..=5u64 {
+            let pf = m.prefetch(0, 500, va(i * 128), pa(i * 128), false);
+            assert!(pf.issued);
+            stalls += pf.stall_cycles;
+        }
+        assert!(stalls > 0, "the fifth prefetch must stall");
+        assert!(m.stats().cpus[0].prefetch_slot_stall_cycles > 0);
+    }
+
+    #[test]
+    fn writeback_traffic_appears_on_bus() {
+        let mut m = MemorySystem::new(small_cfg(1));
+        // Dirty a line, then force its eviction by walking the whole L2
+        // plus one conflicting line.
+        m.access(0, 0, va(0), pa(0), AccessKind::Write);
+        m.access(0, 10, va(0x400), pa(0x400), AccessKind::Read); // same set, 1 KB DM
+        let (_, wb, _) = m.stats().bus_occupancy;
+        assert!(wb > 0, "dirty eviction must write back");
+    }
+
+    #[test]
+    fn stats_reset_preserves_cache_state() {
+        let mut m = MemorySystem::new(small_cfg(1));
+        m.access(0, 0, va(0x1000), pa(0x1000), AccessKind::Read);
+        m.reset_stats();
+        assert_eq!(m.stats().cpus[0].data_refs, 0);
+        // Still cached: next access is an L1 hit, proving state survived.
+        let out = m.access(0, 10, va(0x1000), pa(0x1000), AccessKind::Read);
+        assert_eq!(out.serviced_by, ServicedBy::L1);
+    }
+
+    #[test]
+    fn flush_physical_page_evicts_everywhere() {
+        let mut m = MemorySystem::new(small_cfg(2));
+        // Both CPUs cache lines of the page at pa 0x1000.
+        m.access(0, 0, va(0x1000), pa(0x1000), AccessKind::Write);
+        m.access(1, 100, va(0x1080), pa(0x1080), AccessKind::Read);
+        let (_, wb_before, _) = m.stats().bus_occupancy;
+        m.flush_physical_page(1_000, pa(0x1000));
+        // Dirty line written back.
+        let (_, wb_after, _) = m.stats().bus_occupancy;
+        assert!(wb_after > wb_before, "modified line must be written back");
+        // Next accesses miss again (cold was consumed, so they classify as
+        // replacement/coherence — the point is they MISS).
+        let out0 = m.access(0, 2_000, va(0x1000), pa(0x1000), AccessKind::Read);
+        assert_ne!(out0.serviced_by, ServicedBy::L1);
+        assert_ne!(out0.serviced_by, ServicedBy::L2);
+        let out1 = m.access(1, 3_000, va(0x1080), pa(0x1080), AccessKind::Read);
+        assert_ne!(out1.serviced_by, ServicedBy::L1);
+        assert_ne!(out1.serviced_by, ServicedBy::L2);
+    }
+
+    #[test]
+    fn victim_cache_absorbs_direct_mapped_conflicts() {
+        let mut cfg = small_cfg(1);
+        cfg.victim_cache_lines = 4;
+        let mut m = MemorySystem::new(cfg);
+        // 1 KB direct-mapped L2: 0x0000 and 0x0400 collide; ping-pong
+        // between them. Without a victim cache every access misses; with
+        // one, steady state is all swap-backs.
+        m.access(0, 0, va(0x0000), pa(0x0000), AccessKind::Read);
+        m.access(0, 100, va(0x0400), pa(0x0400), AccessKind::Read);
+        let mut t = 10_000;
+        for i in 0..10u64 {
+            let addr = if i % 2 == 0 { 0x0000 } else { 0x0400 };
+            // Distinct L1 lines so the L1 never absorbs the ping-pong.
+            let offset = 32 * (i % 4);
+            let out = m.access(0, t, va(addr + offset), pa(addr + offset), AccessKind::Read);
+            t += 1_000;
+            assert_ne!(
+                out.serviced_by,
+                ServicedBy::Memory,
+                "iteration {i}: the victim cache must absorb the conflict"
+            );
+        }
+        assert!(m.stats().cpus[0].victim_hits > 0);
+        m.validate_coherence();
+    }
+
+    #[test]
+    fn victim_cache_lines_stay_coherent() {
+        let mut cfg = small_cfg(2);
+        cfg.victim_cache_lines = 4;
+        let mut m = MemorySystem::new(cfg);
+        // CPU0 dirties a line, then conflicts it out into its victim cache.
+        m.access(0, 0, va(0x0000), pa(0x0000), AccessKind::Write);
+        m.access(0, 100, va(0x0400), pa(0x0400), AccessKind::Read);
+        m.validate_coherence();
+        // CPU1 writes the line: CPU0's victim copy must be invalidated.
+        m.access(1, 10_000, va(0x0000), pa(0x0000), AccessKind::Write);
+        m.validate_coherence();
+        // CPU0's next read must fetch fresh data, not a stale victim copy.
+        let out = m.access(0, 20_000, va(0x0000), pa(0x0000), AccessKind::Read);
+        assert_ne!(out.serviced_by, ServicedBy::VictimCache, "stale copy used");
+        m.validate_coherence();
+    }
+
+    #[test]
+    fn tlb_shootdown_forces_refault() {
+        let mut m = MemorySystem::new(small_cfg(1));
+        m.access(0, 0, va(0x1000), pa(0x1000), AccessKind::Read);
+        m.shoot_down_tlb(Vpn(1));
+        let out = m.access(0, 100, va(0x1000), pa(0x1000), AccessKind::Read);
+        assert!(out.tlb_miss);
+    }
+}

@@ -1,0 +1,112 @@
+//! Differential testing of the set-associative cache against an oracle.
+//!
+//! The oracle is the textbook definition: a cache is `num_sets`
+//! independent fully-associative LRU caches of `associativity` entries,
+//! selected by the set-index bits. Any divergence between the production
+//! cache and the oracle on a random access stream is a bug.
+
+use proptest::prelude::*;
+
+use cdpc_memsim::cache::{Cache, Lookup, Mesi};
+use cdpc_memsim::config::CacheConfig;
+
+/// The oracle: per-set vectors ordered MRU-first.
+struct OracleCache {
+    cfg: CacheConfig,
+    sets: Vec<Vec<u64>>, // line addresses, MRU first
+}
+
+impl OracleCache {
+    fn new(cfg: CacheConfig) -> Self {
+        Self {
+            cfg,
+            sets: vec![Vec::new(); cfg.num_sets()],
+        }
+    }
+
+    /// Returns `true` on hit; on miss inserts and returns the victim line.
+    fn access(&mut self, addr: u64) -> (bool, Option<u64>) {
+        let line = self.cfg.line_of(addr);
+        let set = &mut self.sets[self.cfg.set_of(addr)];
+        if let Some(pos) = set.iter().position(|&l| l == line) {
+            let l = set.remove(pos);
+            set.insert(0, l);
+            return (true, None);
+        }
+        set.insert(0, line);
+        let victim = if set.len() > self.cfg.associativity() {
+            set.pop()
+        } else {
+            None
+        };
+        (false, victim)
+    }
+}
+
+fn arb_config() -> impl Strategy<Value = CacheConfig> {
+    (0u32..=3, 0u32..=2).prop_map(|(sets_pow, assoc_pow)| {
+        let line = 64usize;
+        let sets = 1usize << (sets_pow + 1);
+        let assoc = 1usize << assoc_pow;
+        CacheConfig::new(sets * assoc * line, line, assoc)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Hit/miss decisions and victim choices must match the oracle on any
+    /// access stream.
+    #[test]
+    fn cache_matches_oracle(cfg in arb_config(), stream in prop::collection::vec(0u64..4096, 1..400)) {
+        let mut cache = Cache::new(cfg);
+        let mut oracle = OracleCache::new(cfg);
+        for (i, &addr) in stream.iter().enumerate() {
+            let real_hit = matches!(cache.probe(addr), Lookup::Hit(_));
+            let (oracle_hit, oracle_victim) = oracle.access(addr);
+            prop_assert_eq!(real_hit, oracle_hit, "step {}: hit mismatch at {:#x}", i, addr);
+            if !real_hit {
+                let evicted = cache.fill(addr, Mesi::Exclusive).map(|e| e.line_addr);
+                prop_assert_eq!(evicted, oracle_victim, "step {}: victim mismatch at {:#x}", i, addr);
+            }
+        }
+    }
+
+    /// Residency never exceeds capacity, and invalidation is precise.
+    #[test]
+    fn occupancy_and_invalidation(cfg in arb_config(), stream in prop::collection::vec(0u64..4096, 1..200)) {
+        let mut cache = Cache::new(cfg);
+        for &addr in &stream {
+            if matches!(cache.probe(addr), Lookup::Miss) {
+                cache.fill(addr, Mesi::Exclusive);
+            }
+            prop_assert!(cache.resident_lines() <= cfg.num_lines());
+        }
+        // Invalidate everything that is resident; the cache must empty.
+        for &addr in &stream {
+            cache.invalidate(cfg.line_of(addr));
+        }
+        prop_assert_eq!(cache.resident_lines(), 0);
+    }
+
+    /// `peek` never changes subsequent behavior.
+    #[test]
+    fn peek_is_pure(cfg in arb_config(), stream in prop::collection::vec(0u64..2048, 1..200)) {
+        let run = |peek: bool| {
+            let mut cache = Cache::new(cfg);
+            let mut outcomes = Vec::new();
+            for &addr in &stream {
+                if peek {
+                    let _ = cache.peek(addr ^ 0x40);
+                }
+                let hit = matches!(cache.probe(addr), Lookup::Hit(_));
+                if !hit {
+                    cache.fill(addr, Mesi::Exclusive);
+                }
+                outcomes.push(hit);
+            }
+            outcomes
+        };
+        prop_assert_eq!(run(false), run(true));
+    }
+}

@@ -1,0 +1,89 @@
+//! Randomized coherence stress: drive the memory system with random
+//! multiprocessor access/prefetch streams and check the MESI/directory
+//! invariants after every step.
+
+use proptest::prelude::*;
+
+use cdpc_memsim::{AccessKind, CacheConfig, MemConfig, MemorySystem};
+use cdpc_vm::addr::{PhysAddr, VirtAddr};
+
+fn tiny_cfg(cpus: usize) -> MemConfig {
+    let mut m = MemConfig::paper_base(cpus);
+    m.l1d = CacheConfig::new(256, 32, 2);
+    m.l1i = CacheConfig::new(256, 32, 2);
+    m.l2 = CacheConfig::new(1024, 128, 1); // 8 lines: constant churn
+    m.tlb_entries = 4;
+    m
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Read(usize, u64),
+    Write(usize, u64),
+    Prefetch(usize, u64, bool),
+}
+
+fn arb_op(cpus: usize) -> impl Strategy<Value = Op> {
+    // Addresses over 4 pages so TLB and page behavior are exercised.
+    let addr = 0u64..(4 * 4096);
+    (0..cpus, addr, 0u8..4).prop_map(|(cpu, a, kind)| match kind {
+        0 => Op::Read(cpu, a),
+        1 => Op::Write(cpu, a),
+        2 => Op::Prefetch(cpu, a, false),
+        _ => Op::Prefetch(cpu, a, true),
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The coherence invariants hold after every operation of any random
+    /// 2- and 4-CPU interleaving.
+    #[test]
+    fn invariants_hold_under_random_traffic(
+        cpus in prop::sample::select(vec![2usize, 4]),
+        victim_lines in prop::sample::select(vec![0usize, 4]),
+        ops in prop::collection::vec(arb_op(4), 1..300),
+    ) {
+        let mut cfg = tiny_cfg(cpus);
+        cfg.victim_cache_lines = victim_lines;
+        let mut mem = MemorySystem::new(cfg);
+        let mut t = 0u64;
+        for op in ops {
+            t += 37;
+            match op {
+                Op::Read(cpu, a) => {
+                    let cpu = cpu % cpus;
+                    mem.access(cpu, t, VirtAddr(a), PhysAddr(a), AccessKind::Read);
+                }
+                Op::Write(cpu, a) => {
+                    let cpu = cpu % cpus;
+                    mem.access(cpu, t, VirtAddr(a), PhysAddr(a), AccessKind::Write);
+                }
+                Op::Prefetch(cpu, a, excl) => {
+                    let cpu = cpu % cpus;
+                    mem.prefetch(cpu, t, VirtAddr(a), PhysAddr(a), excl);
+                }
+            }
+            mem.validate_coherence();
+        }
+    }
+
+    /// Write visibility: after CPU A writes a line and CPU B reads it, a
+    /// write by B requires no new data fetch from memory (the directory
+    /// remembers B's copy) and the sharer count adjusts.
+    #[test]
+    fn producer_consumer_round_trips(addr in (0u64..2048).prop_map(|a| a * 2)) {
+        let mut mem = MemorySystem::new(tiny_cfg(2));
+        mem.access(0, 0, VirtAddr(addr), PhysAddr(addr), AccessKind::Write);
+        mem.validate_coherence();
+        mem.access(1, 100, VirtAddr(addr), PhysAddr(addr), AccessKind::Read);
+        mem.validate_coherence();
+        mem.access(1, 200, VirtAddr(addr), PhysAddr(addr), AccessKind::Write);
+        mem.validate_coherence();
+        // CPU0's copy must be gone after CPU1's write.
+        let out = mem.access(0, 300, VirtAddr(addr), PhysAddr(addr), AccessKind::Read);
+        prop_assert!(out.miss_class.is_some(), "CPU0 must re-fetch after invalidation");
+        mem.validate_coherence();
+    }
+}

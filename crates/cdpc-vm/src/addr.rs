@@ -1,0 +1,283 @@
+//! Address, page-number, and color newtypes shared by the whole stack.
+//!
+//! Every quantity that could be confused with a plain integer — virtual
+//! addresses, physical addresses, page numbers, cache colors — gets its own
+//! newtype so the compiler keeps us honest about which space a number lives
+//! in (the paper's bugs-by-aliasing risk is real: a `u64` that is secretly a
+//! *physical* page number indexed into a *virtual* page table is exactly the
+//! kind of error these wrappers rule out).
+
+use std::fmt;
+
+/// A byte address in an application's virtual address space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VirtAddr(pub u64);
+
+/// A byte address in physical memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PhysAddr(pub u64);
+
+/// A virtual page number (`virtual address / page size`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Vpn(pub u64);
+
+/// A physical page number (`physical address / page size`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Ppn(pub u64);
+
+/// A page color: the position a page occupies in a physically-indexed cache.
+///
+/// Two physical pages conflict in the cache iff they have the same color.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Color(pub u32);
+
+impl fmt::Display for VirtAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "va:{:#x}", self.0)
+    }
+}
+
+impl fmt::Display for PhysAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pa:{:#x}", self.0)
+    }
+}
+
+impl fmt::Display for Vpn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "vpn:{}", self.0)
+    }
+}
+
+impl fmt::Display for Ppn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ppn:{}", self.0)
+    }
+}
+
+impl fmt::Display for Color {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "color:{}", self.0)
+    }
+}
+
+impl From<u64> for VirtAddr {
+    fn from(v: u64) -> Self {
+        VirtAddr(v)
+    }
+}
+
+impl From<VirtAddr> for u64 {
+    fn from(v: VirtAddr) -> Self {
+        v.0
+    }
+}
+
+impl VirtAddr {
+    /// Returns the address advanced by `bytes`.
+    #[must_use]
+    pub fn offset(self, bytes: u64) -> VirtAddr {
+        VirtAddr(self.0 + bytes)
+    }
+}
+
+impl Vpn {
+    /// Returns the page number advanced by `pages`.
+    #[must_use]
+    pub fn offset(self, pages: u64) -> Vpn {
+        Vpn(self.0 + pages)
+    }
+}
+
+/// The page size of an address space; always a power of two.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PageGeometry {
+    page_size: usize,
+    shift: u32,
+}
+
+impl PageGeometry {
+    /// Creates a geometry for the given page size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page_size` is not a power of two or is zero.
+    pub fn new(page_size: usize) -> Self {
+        assert!(
+            page_size.is_power_of_two(),
+            "page size must be a power of two, got {page_size}"
+        );
+        Self {
+            page_size,
+            shift: page_size.trailing_zeros(),
+        }
+    }
+
+    /// The page size in bytes.
+    pub fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    /// The virtual page containing `va`.
+    pub fn vpn_of(&self, va: VirtAddr) -> Vpn {
+        Vpn(va.0 >> self.shift)
+    }
+
+    /// The physical page containing `pa`.
+    pub fn ppn_of(&self, pa: PhysAddr) -> Ppn {
+        Ppn(pa.0 >> self.shift)
+    }
+
+    /// The offset of `va` within its page.
+    pub fn offset_of(&self, va: VirtAddr) -> u64 {
+        va.0 & (self.page_size as u64 - 1)
+    }
+
+    /// The first byte of virtual page `vpn`.
+    pub fn base_of(&self, vpn: Vpn) -> VirtAddr {
+        VirtAddr(vpn.0 << self.shift)
+    }
+
+    /// Recombines a physical page number and an in-page offset.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if `offset` exceeds the page size.
+    pub fn phys_addr(&self, ppn: Ppn, offset: u64) -> PhysAddr {
+        debug_assert!(offset < self.page_size as u64);
+        PhysAddr((ppn.0 << self.shift) | offset)
+    }
+
+    /// Number of pages needed to hold `bytes` (rounded up).
+    pub fn pages_for(&self, bytes: u64) -> u64 {
+        bytes.div_ceil(self.page_size as u64)
+    }
+}
+
+/// Derives page colors from a cache configuration.
+///
+/// The number of colors is `cache_size / (page_size * associativity)`; a
+/// physical page's color is its page number modulo the number of colors
+/// (physical memory is laid out so that consecutive pages land in
+/// consecutive cache bins).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ColorSpace {
+    num_colors: u32,
+}
+
+impl ColorSpace {
+    /// Creates the color space for a physically-indexed cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache is smaller than `page_size * associativity`, or
+    /// if any argument is zero.
+    pub fn new(cache_size: usize, page_size: usize, associativity: usize) -> Self {
+        assert!(cache_size > 0 && page_size > 0 && associativity > 0);
+        let denom = page_size * associativity;
+        assert!(
+            cache_size >= denom,
+            "cache ({cache_size} B) smaller than page*assoc ({denom} B): no coloring possible"
+        );
+        Self {
+            num_colors: (cache_size / denom) as u32,
+        }
+    }
+
+    /// Creates a color space directly from a color count (for tests and
+    /// synthetic configurations).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_colors` is zero.
+    pub fn with_colors(num_colors: u32) -> Self {
+        assert!(num_colors > 0, "at least one color is required");
+        Self { num_colors }
+    }
+
+    /// Total number of distinct colors.
+    pub fn num_colors(&self) -> u32 {
+        self.num_colors
+    }
+
+    /// The color of a physical page.
+    pub fn color_of_ppn(&self, ppn: Ppn) -> Color {
+        Color((ppn.0 % self.num_colors as u64) as u32)
+    }
+
+    /// The color a *page-coloring* policy assigns to a virtual page
+    /// (consecutive virtual pages → consecutive colors).
+    pub fn color_of_vpn(&self, vpn: Vpn) -> Color {
+        Color((vpn.0 % self.num_colors as u64) as u32)
+    }
+
+    /// The color `steps` after `c`, wrapping around.
+    pub fn advance(&self, c: Color, steps: u32) -> Color {
+        Color((c.0 + steps) % self.num_colors)
+    }
+
+    /// Circular distance from color `a` to color `b` going upward.
+    pub fn distance(&self, a: Color, b: Color) -> u32 {
+        (b.0 + self.num_colors - a.0) % self.num_colors
+    }
+
+    /// Iterates over all colors in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = Color> {
+        (0..self.num_colors).map(Color)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_round_trips_addresses() {
+        let g = PageGeometry::new(4096);
+        let va = VirtAddr(5 * 4096 + 99);
+        assert_eq!(g.vpn_of(va), Vpn(5));
+        assert_eq!(g.offset_of(va), 99);
+        assert_eq!(g.base_of(Vpn(5)), VirtAddr(5 * 4096));
+        assert_eq!(g.phys_addr(Ppn(7), 99), PhysAddr(7 * 4096 + 99));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn geometry_rejects_non_power_of_two() {
+        PageGeometry::new(3000);
+    }
+
+    #[test]
+    fn pages_for_rounds_up() {
+        let g = PageGeometry::new(4096);
+        assert_eq!(g.pages_for(0), 0);
+        assert_eq!(g.pages_for(1), 1);
+        assert_eq!(g.pages_for(4096), 1);
+        assert_eq!(g.pages_for(4097), 2);
+    }
+
+    #[test]
+    fn paper_color_counts() {
+        // "in a system with a 1MB cache and 4KB page size, there are 256
+        // colors if the cache is direct-mapped, and 128 if the cache is
+        // two-way set-associative."
+        assert_eq!(ColorSpace::new(1 << 20, 4096, 1).num_colors(), 256);
+        assert_eq!(ColorSpace::new(1 << 20, 4096, 2).num_colors(), 128);
+    }
+
+    #[test]
+    fn color_arithmetic_wraps() {
+        let cs = ColorSpace::with_colors(8);
+        assert_eq!(cs.advance(Color(6), 3), Color(1));
+        assert_eq!(cs.distance(Color(6), Color(1)), 3);
+        assert_eq!(cs.distance(Color(1), Color(6)), 5);
+        assert_eq!(cs.color_of_ppn(Ppn(17)), Color(1));
+    }
+
+    #[test]
+    fn iter_visits_every_color_once() {
+        let cs = ColorSpace::with_colors(5);
+        let got: Vec<_> = cs.iter().collect();
+        assert_eq!(got, vec![Color(0), Color(1), Color(2), Color(3), Color(4)]);
+    }
+}

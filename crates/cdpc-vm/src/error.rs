@@ -1,0 +1,52 @@
+use std::error::Error;
+use std::fmt;
+
+use crate::addr::Vpn;
+
+/// Errors raised by the virtual-memory substrate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum VmError {
+    /// No physical page of any color is free.
+    OutOfMemory,
+    /// Attempted to map a virtual page that is already mapped.
+    AlreadyMapped(Vpn),
+    /// Attempted to unmap or query a virtual page that is not mapped.
+    NotMapped(Vpn),
+}
+
+impl fmt::Display for VmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmError::OutOfMemory => write!(f, "out of physical memory"),
+            VmError::AlreadyMapped(vpn) => write!(f, "virtual page {vpn} is already mapped"),
+            VmError::NotMapped(vpn) => write!(f, "virtual page {vpn} is not mapped"),
+        }
+    }
+}
+
+impl Error for VmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_specific() {
+        assert_eq!(VmError::OutOfMemory.to_string(), "out of physical memory");
+        assert_eq!(
+            VmError::AlreadyMapped(Vpn(4)).to_string(),
+            "virtual page vpn:4 is already mapped"
+        );
+        assert_eq!(
+            VmError::NotMapped(Vpn(2)).to_string(),
+            "virtual page vpn:2 is not mapped"
+        );
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<VmError>();
+    }
+}

@@ -1,0 +1,126 @@
+//! A simple single-level page table (virtual page → physical page).
+//!
+//! The simulator only needs lookup, map, unmap, and ordered iteration, so a
+//! `BTreeMap` is the whole implementation; the type exists to enforce the
+//! bijection invariant (no virtual page maps twice, no physical page is
+//! shared) that the allocator and the cache simulator rely on.
+
+use std::collections::{BTreeMap, HashSet};
+
+use crate::addr::{Ppn, Vpn};
+use crate::VmError;
+
+/// Virtual→physical page mapping for one address space.
+#[derive(Debug, Clone, Default)]
+pub struct PageTable {
+    map: BTreeMap<Vpn, Ppn>,
+    backing: HashSet<Ppn>,
+}
+
+impl PageTable {
+    /// Creates an empty page table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Looks up the physical page backing `vpn`.
+    pub fn lookup(&self, vpn: Vpn) -> Option<Ppn> {
+        self.map.get(&vpn).copied()
+    }
+
+    /// Installs a mapping.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmError::AlreadyMapped`] if `vpn` is mapped. Mapping the
+    /// same physical page under two virtual pages is a logic error and
+    /// panics in debug builds (the allocator can never hand out a page
+    /// twice).
+    pub fn map(&mut self, vpn: Vpn, ppn: Ppn) -> Result<(), VmError> {
+        if self.map.contains_key(&vpn) {
+            return Err(VmError::AlreadyMapped(vpn));
+        }
+        let fresh = self.backing.insert(ppn);
+        debug_assert!(fresh, "physical page {ppn} mapped twice");
+        self.map.insert(vpn, ppn);
+        Ok(())
+    }
+
+    /// Removes a mapping, returning the physical page that backed it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmError::NotMapped`] if `vpn` has no mapping.
+    pub fn unmap(&mut self, vpn: Vpn) -> Result<Ppn, VmError> {
+        match self.map.remove(&vpn) {
+            Some(ppn) => {
+                self.backing.remove(&ppn);
+                Ok(ppn)
+            }
+            None => Err(VmError::NotMapped(vpn)),
+        }
+    }
+
+    /// Number of installed mappings.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Returns `true` when no pages are mapped.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Iterates over mappings in ascending virtual page order.
+    pub fn iter(&self) -> impl Iterator<Item = (Vpn, Ppn)> + '_ {
+        self.map.iter().map(|(&v, &p)| (v, p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_lookup_unmap() {
+        let mut pt = PageTable::new();
+        assert!(pt.is_empty());
+        pt.map(Vpn(1), Ppn(10)).unwrap();
+        assert_eq!(pt.lookup(Vpn(1)), Some(Ppn(10)));
+        assert_eq!(pt.len(), 1);
+        assert_eq!(pt.unmap(Vpn(1)), Ok(Ppn(10)));
+        assert!(pt.is_empty());
+    }
+
+    #[test]
+    fn remap_rejected() {
+        let mut pt = PageTable::new();
+        pt.map(Vpn(1), Ppn(10)).unwrap();
+        assert_eq!(pt.map(Vpn(1), Ppn(11)), Err(VmError::AlreadyMapped(Vpn(1))));
+    }
+
+    #[test]
+    fn unmap_missing_rejected() {
+        let mut pt = PageTable::new();
+        assert_eq!(pt.unmap(Vpn(5)), Err(VmError::NotMapped(Vpn(5))));
+    }
+
+    #[test]
+    fn iteration_is_sorted_by_vpn() {
+        let mut pt = PageTable::new();
+        pt.map(Vpn(5), Ppn(1)).unwrap();
+        pt.map(Vpn(1), Ppn(2)).unwrap();
+        pt.map(Vpn(3), Ppn(3)).unwrap();
+        let keys: Vec<u64> = pt.iter().map(|(v, _)| v.0).collect();
+        assert_eq!(keys, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn physical_page_can_be_reused_after_unmap() {
+        let mut pt = PageTable::new();
+        pt.map(Vpn(1), Ppn(7)).unwrap();
+        pt.unmap(Vpn(1)).unwrap();
+        pt.map(Vpn(2), Ppn(7)).unwrap();
+        assert_eq!(pt.lookup(Vpn(2)), Some(Ppn(7)));
+    }
+}

@@ -1,0 +1,212 @@
+//! Physical page allocator with per-color free lists.
+//!
+//! Operating systems that implement page-mapping policies keep free physical
+//! pages grouped by color so that a fault asking for a particular color is an
+//! O(1) pop. Under memory pressure — when the requested color's list is
+//! empty — the allocator falls back to the *nearest* color with a free page,
+//! mirroring what IRIX and Digital UNIX do when a coloring hint cannot be
+//! honored.
+
+use std::collections::VecDeque;
+
+use crate::addr::{Color, ColorSpace, Ppn};
+use crate::VmError;
+
+/// The machine's pool of physical pages, indexed by color.
+#[derive(Debug, Clone)]
+pub struct PhysicalMemory {
+    colors: ColorSpace,
+    free_lists: Vec<VecDeque<Ppn>>,
+    free: usize,
+    total: usize,
+    /// Cursor used by [`alloc_any`](Self::alloc_any) so colorless
+    /// allocations spread over all colors instead of draining color 0.
+    rover: u32,
+}
+
+impl PhysicalMemory {
+    /// Creates a pool of `num_pages` physical pages numbered `0..num_pages`.
+    ///
+    /// Pages are distributed to per-color free lists by their page number
+    /// (`color = ppn mod num_colors`), matching a physically contiguous
+    /// memory layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_pages` is zero.
+    pub fn new(num_pages: usize, colors: ColorSpace) -> Self {
+        assert!(num_pages > 0, "physical memory must hold at least one page");
+        let n = colors.num_colors() as usize;
+        let mut free_lists = vec![VecDeque::new(); n];
+        for p in 0..num_pages as u64 {
+            let ppn = Ppn(p);
+            free_lists[colors.color_of_ppn(ppn).0 as usize].push_back(ppn);
+        }
+        Self {
+            colors,
+            free_lists,
+            free: num_pages,
+            total: num_pages,
+            rover: 0,
+        }
+    }
+
+    /// The color space this pool was built with.
+    pub fn colors(&self) -> ColorSpace {
+        self.colors
+    }
+
+    /// Number of pages currently free.
+    pub fn free_pages(&self) -> usize {
+        self.free
+    }
+
+    /// Total pool size in pages.
+    pub fn total_pages(&self) -> usize {
+        self.total
+    }
+
+    /// Number of free pages of a specific color.
+    pub fn free_pages_of(&self, color: Color) -> usize {
+        self.free_lists[color.0 as usize].len()
+    }
+
+    /// Allocates a page of exactly `color`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmError::OutOfMemory`] if no page of that color is free
+    /// (even if other colors have free pages).
+    pub fn alloc_exact(&mut self, color: Color) -> Result<Ppn, VmError> {
+        let list = &mut self.free_lists[color.0 as usize];
+        match list.pop_front() {
+            Some(ppn) => {
+                self.free -= 1;
+                Ok(ppn)
+            }
+            None => Err(VmError::OutOfMemory),
+        }
+    }
+
+    /// Allocates a page of `color` when possible, otherwise the free page
+    /// whose color is circularly nearest to `color`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmError::OutOfMemory`] only when the entire pool is empty.
+    pub fn alloc_preferring(&mut self, color: Color) -> Result<Ppn, VmError> {
+        if self.free == 0 {
+            return Err(VmError::OutOfMemory);
+        }
+        let n = self.colors.num_colors();
+        for step in 0..n {
+            let candidate = self.colors.advance(color, step);
+            if let Ok(ppn) = self.alloc_exact(candidate) {
+                return Ok(ppn);
+            }
+        }
+        unreachable!("free > 0 but no color had a free page");
+    }
+
+    /// Allocates a page of any color, cycling through colors to keep the
+    /// pool balanced.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmError::OutOfMemory`] when the pool is empty.
+    pub fn alloc_any(&mut self) -> Result<Ppn, VmError> {
+        if self.free == 0 {
+            return Err(VmError::OutOfMemory);
+        }
+        let n = self.colors.num_colors();
+        for _ in 0..n {
+            let color = Color(self.rover);
+            self.rover = (self.rover + 1) % n;
+            if let Ok(ppn) = self.alloc_exact(color) {
+                return Ok(ppn);
+            }
+        }
+        unreachable!("free > 0 but no color had a free page");
+    }
+
+    /// Returns a page to the pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if the page number is outside the pool. Double
+    /// frees are not detected; callers (the page table layer) prevent them.
+    pub fn free(&mut self, ppn: Ppn) {
+        debug_assert!((ppn.0 as usize) < self.total, "page {ppn} outside the pool");
+        let color = self.colors.color_of_ppn(ppn);
+        self.free_lists[color.0 as usize].push_back(ppn);
+        self.free += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool(pages: usize, colors: u32) -> PhysicalMemory {
+        PhysicalMemory::new(pages, ColorSpace::with_colors(colors))
+    }
+
+    #[test]
+    fn pages_distribute_round_robin_over_colors() {
+        let p = pool(8, 4);
+        for c in 0..4 {
+            assert_eq!(p.free_pages_of(Color(c)), 2);
+        }
+    }
+
+    #[test]
+    fn alloc_exact_returns_matching_color() {
+        let mut p = pool(8, 4);
+        let ppn = p.alloc_exact(Color(2)).unwrap();
+        assert_eq!(p.colors().color_of_ppn(ppn), Color(2));
+        assert_eq!(p.free_pages(), 7);
+    }
+
+    #[test]
+    fn alloc_exact_fails_when_color_exhausted() {
+        let mut p = pool(4, 4); // one page per color
+        p.alloc_exact(Color(1)).unwrap();
+        assert_eq!(p.alloc_exact(Color(1)), Err(VmError::OutOfMemory));
+        assert_eq!(p.free_pages(), 3);
+    }
+
+    #[test]
+    fn alloc_preferring_falls_back_to_nearest_color() {
+        let mut p = pool(4, 4);
+        p.alloc_exact(Color(1)).unwrap();
+        let ppn = p.alloc_preferring(Color(1)).unwrap();
+        // Nearest free color going upward from 1 is 2.
+        assert_eq!(p.colors().color_of_ppn(ppn), Color(2));
+    }
+
+    #[test]
+    fn alloc_any_balances_colors() {
+        let mut p = pool(8, 4);
+        let mut seen = [0usize; 4];
+        for _ in 0..4 {
+            let ppn = p.alloc_any().unwrap();
+            seen[p.colors().color_of_ppn(ppn).0 as usize] += 1;
+        }
+        assert_eq!(seen, [1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn exhaustion_and_free_round_trip() {
+        let mut p = pool(3, 2);
+        let a = p.alloc_any().unwrap();
+        let b = p.alloc_any().unwrap();
+        let c = p.alloc_any().unwrap();
+        assert_eq!(p.alloc_any(), Err(VmError::OutOfMemory));
+        p.free(b);
+        assert_eq!(p.free_pages(), 1);
+        let again = p.alloc_preferring(Color(0)).unwrap();
+        assert_eq!(again, b);
+        // Distinctness of handed-out pages.
+        assert!(a != b && b != c && a != c);
+    }
+}

@@ -1,0 +1,127 @@
+//! Property tests over the physical allocator and the address space:
+//! conservation, uniqueness, and color arithmetic under arbitrary
+//! alloc/free interleavings.
+
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+use cdpc_vm::addr::{Color, ColorSpace, PageGeometry, Vpn};
+use cdpc_vm::phys::PhysicalMemory;
+use cdpc_vm::policy::{BinHopping, MappingPolicy, PageColoring};
+use cdpc_vm::AddressSpace;
+
+#[derive(Debug, Clone, Copy)]
+enum AllocOp {
+    Exact(u32),
+    Preferring(u32),
+    Any,
+    FreeOldest,
+}
+
+fn arb_op() -> impl Strategy<Value = AllocOp> {
+    prop_oneof![
+        (0u32..64).prop_map(AllocOp::Exact),
+        (0u32..64).prop_map(AllocOp::Preferring),
+        Just(AllocOp::Any),
+        Just(AllocOp::FreeOldest),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Pages are never handed out twice, never lost, and colors always
+    /// match `ppn mod num_colors`.
+    #[test]
+    fn allocator_conserves_pages(
+        pages in 1usize..200,
+        colors_pow in 0u32..=6,
+        ops in prop::collection::vec(arb_op(), 1..200),
+    ) {
+        let colors = ColorSpace::with_colors(1 << colors_pow);
+        let mut pool = PhysicalMemory::new(pages, colors);
+        let mut held: Vec<cdpc_vm::addr::Ppn> = Vec::new();
+        let mut held_set = HashSet::new();
+        for op in ops {
+            match op {
+                AllocOp::Exact(c) => {
+                    let color = Color(c % colors.num_colors());
+                    if let Ok(ppn) = pool.alloc_exact(color) {
+                        prop_assert_eq!(colors.color_of_ppn(ppn), color, "exact color");
+                        prop_assert!(held_set.insert(ppn), "double allocation");
+                        held.push(ppn);
+                    }
+                }
+                AllocOp::Preferring(c) => {
+                    let color = Color(c % colors.num_colors());
+                    if let Ok(ppn) = pool.alloc_preferring(color) {
+                        prop_assert!(held_set.insert(ppn), "double allocation");
+                        held.push(ppn);
+                    } else {
+                        prop_assert_eq!(pool.free_pages(), 0, "preferring fails only when empty");
+                    }
+                }
+                AllocOp::Any => {
+                    if let Ok(ppn) = pool.alloc_any() {
+                        prop_assert!(held_set.insert(ppn), "double allocation");
+                        held.push(ppn);
+                    } else {
+                        prop_assert_eq!(pool.free_pages(), 0);
+                    }
+                }
+                AllocOp::FreeOldest => {
+                    if let Some(ppn) = (!held.is_empty()).then(|| held.remove(0)) {
+                        held_set.remove(&ppn);
+                        pool.free(ppn);
+                    }
+                }
+            }
+            prop_assert_eq!(
+                pool.free_pages() + held.len(),
+                pool.total_pages(),
+                "conservation violated"
+            );
+        }
+    }
+
+    /// Under a page-coloring policy, an address space's mappings always
+    /// satisfy `color(ppn) == vpn mod num_colors` when memory is ample,
+    /// regardless of fault order.
+    #[test]
+    fn page_coloring_invariant_any_order(order in Just(()).prop_flat_map(|_| {
+        prop::collection::vec(0u64..32, 1..32)
+    })) {
+        let colors = ColorSpace::with_colors(8);
+        let mut vm = AddressSpace::new(PageGeometry::new(4096), 256, colors);
+        let mut policy = PageColoring::new(colors);
+        let mut faulted = HashSet::new();
+        for vpn in order {
+            if faulted.insert(vpn) {
+                vm.fault(Vpn(vpn), &mut policy).unwrap();
+            }
+        }
+        for (vpn, ppn) in vm.mappings() {
+            prop_assert_eq!(colors.color_of_ppn(ppn), colors.color_of_vpn(vpn));
+        }
+    }
+
+    /// Bin hopping's colors depend only on fault *order*, never on the
+    /// virtual page numbers involved.
+    #[test]
+    fn bin_hopping_is_address_blind(
+        vpns_a in prop::collection::vec(0u64..1000, 1..40),
+        salt in 1u64..1_000,
+    ) {
+        let colors = ColorSpace::with_colors(16);
+        let unique_a: Vec<u64> = {
+            let mut seen = HashSet::new();
+            vpns_a.into_iter().filter(|v| seen.insert(*v)).collect()
+        };
+        let vpns_b: Vec<u64> = unique_a.iter().map(|v| v + salt * 1000).collect();
+        let colors_of = |vpns: &[u64]| {
+            let mut p = BinHopping::new(colors);
+            vpns.iter().map(|&v| p.preferred_color(Vpn(v)).unwrap()).collect::<Vec<_>>()
+        };
+        prop_assert_eq!(colors_of(&unique_a), colors_of(&vpns_b));
+    }
+}

@@ -1,0 +1,73 @@
+//! 110.applu — parabolic/elliptic PDE solver. 31 MB reference data set.
+//!
+//! The paper's capacity-bound benchmark: at 1 MB caches CDPC shows no
+//! benefit (the 31 MB data set swamps the aggregate cache), but the 4 MB
+//! configuration brings gains (Figure 7). Its parallel loops have exactly
+//! **33 iterations**, so 16 processors run them no faster than 11 (load
+//! imbalance, §4.1). Parallelization introduced loop tiling that inhibits
+//! the software pipelining of prefetches, and the large strides make
+//! prefetches miss the TLB and get dropped (§6.2).
+
+use cdpc_compiler::ir::{Phase, Program, Stmt, StmtKind};
+
+use crate::spec::{stencil_nest, Scale, KB};
+
+/// Builds the applu model at the given scale.
+pub fn build(scale: Scale) -> Program {
+    let mut p = Program::new("110.applu");
+    let unit = scale.bytes(184 * KB); // large-stride partition units
+    let units = 33u64; // the paper's 33-iteration loops
+    let names = ["u", "rsd", "a", "b", "c"];
+    let arrays: Vec<_> = names.iter().map(|n| p.array(*n, unit * units)).collect();
+    let (u, rsd, a, b, c) = (arrays[0], arrays[1], arrays[2], arrays[3], arrays[4]);
+
+    let jacld = stencil_nest("jacld", &[u, rsd], &[a, b], units, unit, 1, false, 3)
+        .tiled()
+        .with_code_bytes(scale.bytes(12 * KB));
+    let blts = stencil_nest("blts", &[a, b, c], &[rsd], units, unit, 1, false, 3)
+        .tiled()
+        .with_code_bytes(scale.bytes(12 * KB));
+    let update = stencil_nest("add-update", &[rsd], &[u, c], units, unit, 0, false, 2)
+        .with_code_bytes(scale.bytes(4 * KB));
+
+    p.phase(Phase {
+        name: "ssor-sweep".into(),
+        stmts: vec![
+            Stmt { kind: StmtKind::Parallel, nest: jacld },
+            Stmt { kind: StmtKind::Parallel, nest: blts },
+            Stmt { kind: StmtKind::Parallel, nest: update },
+        ],
+        count: 8,
+    });
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::MB;
+
+    #[test]
+    fn matches_table_1_size() {
+        let p = build(Scale::FULL);
+        let mb = p.data_set_bytes() as f64 / MB as f64;
+        assert!((28.0..32.5).contains(&mb), "applu is 31 MB, got {mb:.1}");
+        p.validate().unwrap();
+    }
+
+    #[test]
+    fn loops_have_thirty_three_iterations() {
+        let p = build(Scale::FULL);
+        for s in &p.phases[0].stmts {
+            assert_eq!(s.nest.iterations, 33);
+        }
+    }
+
+    #[test]
+    fn main_sweeps_are_tiled() {
+        let p = build(Scale::FULL);
+        assert!(p.phases[0].stmts[0].nest.tiled);
+        assert!(p.phases[0].stmts[1].nest.tiled);
+        assert!(!p.phases[0].stmts[2].nest.tiled);
+    }
+}

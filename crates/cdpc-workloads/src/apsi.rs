@@ -1,0 +1,67 @@
+//! 141.apsi — mesoscale pollutant distribution. 9 MB reference data set.
+//!
+//! The paper's example of *suppressed* parallelism: the loops are
+//! parallelizable but so fine-grained that exploiting them would drown in
+//! synchronization cost, so the compiler runs them on the master while the
+//! slaves idle (§4.1, "suppressed time"). apsi therefore shows no speedup,
+//! and page-mapping policy makes no difference (Figures 6 and 9 omit it /
+//! show flat lines).
+
+use cdpc_compiler::ir::{Phase, Program, Stmt, StmtKind};
+
+use crate::spec::{stencil_nest, sweep_nest, Scale, KB};
+
+/// Builds the apsi model at the given scale.
+pub fn build(scale: Scale) -> Program {
+    let mut p = Program::new("141.apsi");
+    let unit = scale.bytes(4 * KB);
+    let units = 384u64; // 1.5 MB per array at full scale
+    let names = ["t", "q", "u", "v", "w", "dc"];
+    let a: Vec<_> = names.iter().map(|n| p.array(*n, unit * units)).collect();
+
+    // Fine-grain loops: parallelizable, suppressed by the compiler.
+    let hydro = stencil_nest("hydrostatic", &[a[0], a[1]], &[a[5]], units, unit, 1, false, 4)
+        .with_code_bytes(scale.bytes(8 * KB));
+    let advec = stencil_nest("advection", &[a[2], a[3], a[4]], &[a[0], a[1]], units, unit, 1, false, 4)
+        .with_code_bytes(scale.bytes(8 * KB));
+    // A genuinely sequential setup step.
+    let filter = sweep_nest("filter", &[a[5]], &[a[2]], units, unit, 3)
+        .with_code_bytes(scale.bytes(4 * KB));
+
+    p.phase(Phase {
+        name: "timestep".into(),
+        stmts: vec![
+            Stmt { kind: StmtKind::FineGrain, nest: hydro },
+            Stmt { kind: StmtKind::FineGrain, nest: advec },
+            Stmt { kind: StmtKind::Sequential, nest: filter },
+        ],
+        count: 6,
+    });
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::MB;
+
+    #[test]
+    fn matches_table_1_size() {
+        let p = build(Scale::FULL);
+        let mb = p.data_set_bytes() as f64 / MB as f64;
+        assert!((8.0..10.0).contains(&mb), "apsi is 9 MB, got {mb:.1}");
+        p.validate().unwrap();
+    }
+
+    #[test]
+    fn parallelism_is_suppressed() {
+        use cdpc_compiler::{compile, CompileOptions};
+        let c = compile(&build(Scale::new(16)), &CompileOptions::new(8)).unwrap();
+        // No distributed statements anywhere.
+        for phase in &c.phases {
+            for stmt in &phase.stmts {
+                assert!(matches!(stmt, cdpc_compiler::CompiledStmt::Master { .. }));
+            }
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! 145.fpppp — quantum chemistry two-electron integrals. < 1 MB data set.
+//!
+//! The outlier: essentially **no loop-level parallelism** (the paper uses
+//! the native compiler for it) and a tiny data set, but enormous straight-
+//! line basic blocks whose code footprint overflows the on-chip
+//! instruction cache. Its execution is "limited entirely by instruction
+//! cache misses fetched from the external cache and puts no load on the
+//! shared bus" (§4.1). Page-mapping policy is irrelevant (Table 2 shows
+//! identical times for all three policies).
+
+use cdpc_compiler::ir::{Phase, Program, Stmt, StmtKind};
+
+use crate::spec::{sweep_nest, Scale, KB};
+
+/// Builds the fpppp model at the given scale.
+pub fn build(scale: Scale) -> Program {
+    let mut p = Program::new("145.fpppp");
+    // The 64-byte units are below the 32-byte scaling floor, so fpppp
+    // scales its *iteration count* instead of the unit size.
+    let unit = 64u64;
+    let units = (4096u64 / scale.divisor()).max(64);
+    let ints = p.array("integrals", unit * units); // 256 KB at full scale
+    let fock = p.array("fock", unit * units);
+
+    // One sequential pass with a huge code body: 200 KB of straight-line
+    // code at full scale, far beyond the 32 KB L1I.
+    let integrals = sweep_nest("twoel", &[ints], &[fock], units, unit, 20)
+        .with_code_bytes(scale.bytes(200 * KB));
+
+    p.phase(Phase {
+        name: "scf-iteration".into(),
+        stmts: vec![Stmt {
+            kind: StmtKind::Sequential,
+            nest: integrals,
+        }],
+        count: 4,
+    });
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::MB;
+
+    #[test]
+    fn matches_table_1_size() {
+        let p = build(Scale::FULL);
+        assert!(p.data_set_bytes() < MB, "fpppp's data set is under 1 MB");
+        p.validate().unwrap();
+    }
+
+    #[test]
+    fn code_overflows_the_l1i() {
+        let p = build(Scale::FULL);
+        assert!(p.phases[0].stmts[0].nest.code_bytes > 32 * KB);
+    }
+
+    #[test]
+    fn has_no_parallel_statements() {
+        let p = build(Scale::FULL);
+        assert!(p.phases[0]
+            .stmts
+            .iter()
+            .all(|s| s.kind == StmtKind::Sequential));
+    }
+}

@@ -1,0 +1,62 @@
+//! 104.hydro2d — Navier-Stokes astrophysical jets. 8 MB reference data
+//! set.
+//!
+//! Eight 1 MB arrays in stencil sweeps; each array spans exactly one color
+//! cycle, so page coloring gives every array the same start color and the
+//! same-index regions collide. The data set is small enough that the
+//! aggregate cache absorbs it early: CDPC's gains start at two processors
+//! with the 1 MB cache, and a 4 MB cache fixes the problem even without
+//! CDPC (paper Figures 6 and 7).
+
+use cdpc_compiler::ir::{Phase, Program, Stmt, StmtKind};
+
+use crate::spec::{stencil_nest, Scale, KB};
+
+/// Builds the hydro2d model at the given scale.
+pub fn build(scale: Scale) -> Program {
+    let mut p = Program::new("104.hydro2d");
+    let unit = scale.bytes(4 * KB);
+    let units = 256u64; // 1 MB per array at full scale
+    let names = ["ro", "en", "mz", "mr", "zp", "rp", "fz", "fr"];
+    let a: Vec<_> = names.iter().map(|n| p.array(*n, unit * units)).collect();
+
+    let advect_z = stencil_nest("advect-z", &[a[0], a[1], a[2]], &[a[4], a[6]], units, unit, 1, false, 2)
+        .with_code_bytes(scale.bytes(5 * KB));
+    let advect_r = stencil_nest("advect-r", &[a[0], a[1], a[3]], &[a[5], a[7]], units, unit, 1, false, 2)
+        .with_code_bytes(scale.bytes(5 * KB));
+    let update = stencil_nest("update", &[a[4], a[5], a[6], a[7]], &[a[0], a[1], a[2], a[3]], units, unit, 0, false, 2)
+        .with_code_bytes(scale.bytes(3 * KB));
+
+    p.phase(Phase {
+        name: "timestep".into(),
+        stmts: vec![
+            Stmt { kind: StmtKind::Parallel, nest: advect_z },
+            Stmt { kind: StmtKind::Parallel, nest: advect_r },
+            Stmt { kind: StmtKind::Parallel, nest: update },
+        ],
+        count: 10,
+    });
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::MB;
+
+    #[test]
+    fn matches_table_1_size() {
+        let p = build(Scale::FULL);
+        let mb = p.data_set_bytes() as f64 / MB as f64;
+        assert!((7.0..9.0).contains(&mb), "hydro2d is 8 MB, got {mb:.1}");
+        p.validate().unwrap();
+    }
+
+    #[test]
+    fn arrays_span_one_color_cycle() {
+        let p = build(Scale::FULL);
+        for a in &p.arrays {
+            assert_eq!(a.bytes, 256 * 4096);
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! Synthetic SPEC95fp workload models for the CDPC reproduction.
+//!
+//! The paper evaluates compiler-directed page coloring on the ten programs
+//! of the SPEC95fp benchmark suite. We cannot run the original Fortran
+//! (no frontend, no licenses), so each benchmark is modeled in the
+//! `cdpc-compiler` IR with:
+//!
+//! * the **reference data-set size** from the paper's Table 1,
+//! * the **array structure** the paper describes (tomcatv's seven large
+//!   arrays, applu's 33-iteration loops, turb3d's 11/66/100/120 phase
+//!   counts, …),
+//! * the **parallelism class** of its loops (coarse parallel, fine-grain
+//!   suppressed, sequential), and
+//! * the **access shape** (stencil + halo, plain sweep, gather/scatter).
+//!
+//! These are the properties the paper's analysis and CDPC's behavior
+//! depend on; see `DESIGN.md` §3 for the full per-benchmark inventory and
+//! justification.
+//!
+//! # Example
+//!
+//! ```
+//! use cdpc_workloads::{by_name, spec::Scale};
+//!
+//! let bench = by_name("102.swim").expect("swim is in the suite");
+//! let program = (bench.build)(Scale::new(16));
+//! assert!(program.validate().is_ok());
+//! ```
+
+pub mod spec;
+
+pub mod applu;
+pub mod apsi;
+pub mod fpppp;
+pub mod hydro2d;
+pub mod mgrid;
+pub mod su2cor;
+pub mod swim;
+pub mod tomcatv;
+pub mod turb3d;
+pub mod wave5;
+
+use cdpc_compiler::ir::Program;
+use spec::Scale;
+
+/// One benchmark of the suite: name, Table 1 size, and builder.
+#[derive(Debug, Clone, Copy)]
+pub struct Benchmark {
+    /// SPEC-style name (e.g. `"101.tomcatv"`).
+    pub name: &'static str,
+    /// Reference data-set size in megabytes (paper Table 1).
+    pub table1_mb: f64,
+    /// Builds the program model at a given scale.
+    pub build: fn(Scale) -> Program,
+}
+
+/// The full SPEC95fp suite in the paper's order.
+pub fn all() -> Vec<Benchmark> {
+    vec![
+        Benchmark { name: "101.tomcatv", table1_mb: 14.0, build: tomcatv::build },
+        Benchmark { name: "102.swim", table1_mb: 14.0, build: swim::build },
+        Benchmark { name: "103.su2cor", table1_mb: 23.0, build: su2cor::build },
+        Benchmark { name: "104.hydro2d", table1_mb: 8.0, build: hydro2d::build },
+        Benchmark { name: "107.mgrid", table1_mb: 7.0, build: mgrid::build },
+        Benchmark { name: "110.applu", table1_mb: 31.0, build: applu::build },
+        Benchmark { name: "125.turb3d", table1_mb: 24.0, build: turb3d::build },
+        Benchmark { name: "141.apsi", table1_mb: 9.0, build: apsi::build },
+        Benchmark { name: "145.fpppp", table1_mb: 1.0, build: fpppp::build },
+        Benchmark { name: "146.wave5", table1_mb: 40.0, build: wave5::build },
+    ]
+}
+
+/// Looks up a benchmark by its full name (`"101.tomcatv"`) or short name
+/// (`"tomcatv"`).
+pub fn by_name(name: &str) -> Option<Benchmark> {
+    all()
+        .into_iter()
+        .find(|b| b.name == name || b.name.split('.').nth(1) == Some(name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_ten_benchmarks() {
+        assert_eq!(all().len(), 10);
+    }
+
+    #[test]
+    fn every_model_validates_at_all_scales() {
+        for b in all() {
+            for s in [Scale::FULL, Scale::new(8), Scale::new(64)] {
+                let p = (b.build)(s);
+                p.validate()
+                    .unwrap_or_else(|e| panic!("{} at {:?}: {e}", b.name, s));
+            }
+        }
+    }
+
+    #[test]
+    fn full_scale_sizes_match_table_1() {
+        use spec::MB;
+        for b in all() {
+            let p = (b.build)(Scale::FULL);
+            let mb = p.data_set_bytes() as f64 / MB as f64;
+            let tolerance = (b.table1_mb * 0.15).max(0.5);
+            assert!(
+                (mb - b.table1_mb).abs() <= tolerance || (b.name.contains("fpppp") && mb < 1.0),
+                "{}: model {mb:.1} MB vs Table 1 {} MB",
+                b.name,
+                b.table1_mb
+            );
+        }
+    }
+
+    #[test]
+    fn lookup_by_short_and_full_name() {
+        assert_eq!(by_name("tomcatv").unwrap().name, "101.tomcatv");
+        assert_eq!(by_name("102.swim").unwrap().name, "102.swim");
+        assert!(by_name("nope").is_none());
+    }
+
+    #[test]
+    fn every_model_compiles_for_the_paper_cpu_counts() {
+        use cdpc_compiler::{compile, CompileOptions};
+        for b in all() {
+            let p = (b.build)(Scale::new(64));
+            for cpus in [1, 2, 4, 8, 16] {
+                compile(&p, &CompileOptions::new(cpus))
+                    .unwrap_or_else(|e| panic!("{} @{cpus}p: {e}", b.name));
+            }
+        }
+    }
+}

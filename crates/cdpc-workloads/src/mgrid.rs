@@ -1,0 +1,91 @@
+//! 107.mgrid — multigrid 3-D potential solver. 7 MB reference data set.
+//!
+//! A hierarchy of grids (4 MB, 2 MB, 1 MB at full scale) traversed by
+//! compute-dense relaxation stencils; restriction and prolongation couple
+//! adjacent levels (one coarse unit per two fine units). The number of
+//! replacement misses is small, so CDPC shows only slight improvements
+//! above eight processors (paper §6.1).
+
+use cdpc_compiler::ir::{Access, AccessPattern, LoopNest, Phase, Program, Stmt, StmtKind};
+
+use crate::spec::{stencil_nest, Scale, KB};
+
+/// Builds the mgrid model at the given scale.
+pub fn build(scale: Scale) -> Program {
+    let mut p = Program::new("107.mgrid");
+    let unit = scale.bytes(8 * KB);
+    // Grid levels: fine to coarse.
+    let u3 = p.array("u3", unit * 512); // 4 MB
+    let u2 = p.array("u2", unit * 256); // 2 MB
+    let u1 = p.array("u1", unit * 128); // 1 MB
+
+    // Red-black relaxation on the fine grid: in-place stencil update.
+    let relax_fine = stencil_nest("relax-fine", &[u3], &[u3], 512, unit, 1, false, 8)
+        .with_code_bytes(scale.bytes(6 * KB));
+
+    // Restriction: 256 iterations, each reading two fine units and writing
+    // one coarse unit.
+    let restrict = LoopNest::new("restrict", 256, (3 * unit / 32).max(1) * 8)
+        .with_access(Access::read(
+            u3,
+            AccessPattern::Stencil { unit_bytes: 2 * unit, halo_units: 1, wraparound: false },
+        ))
+        .with_access(Access::write(u2, AccessPattern::Partitioned { unit_bytes: unit }))
+        .with_code_bytes(scale.bytes(4 * KB));
+
+    let relax_coarse = LoopNest::new("relax-coarse", 128, (3 * unit / 32).max(1) * 8)
+        .with_access(Access::read(
+            u2,
+            AccessPattern::Stencil { unit_bytes: 2 * unit, halo_units: 1, wraparound: false },
+        ))
+        .with_access(Access::write(u1, AccessPattern::Partitioned { unit_bytes: unit }))
+        .with_code_bytes(scale.bytes(4 * KB));
+
+    // Prolongation: 512 iterations writing the fine grid, reading half a
+    // coarse unit each.
+    let prolong = LoopNest::new("prolongate", 512, (2 * unit / 32).max(1) * 8)
+        .with_access(Access::read(
+            u2,
+            AccessPattern::Partitioned { unit_bytes: unit / 2 },
+        ))
+        .with_access(Access::write(u3, AccessPattern::Partitioned { unit_bytes: unit }))
+        .with_code_bytes(scale.bytes(4 * KB));
+
+    p.phase(Phase {
+        name: "v-cycle".into(),
+        stmts: vec![
+            Stmt { kind: StmtKind::Parallel, nest: relax_fine },
+            Stmt { kind: StmtKind::Parallel, nest: restrict },
+            Stmt { kind: StmtKind::Parallel, nest: relax_coarse },
+            Stmt { kind: StmtKind::Parallel, nest: prolong },
+        ],
+        count: 10,
+    });
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::MB;
+
+    #[test]
+    fn matches_table_1_size() {
+        let p = build(Scale::FULL);
+        let mb = p.data_set_bytes() as f64 / MB as f64;
+        assert!((6.0..8.0).contains(&mb), "mgrid is 7 MB, got {mb:.1}");
+        p.validate().unwrap();
+    }
+
+    #[test]
+    fn restriction_halves_grid_sizes() {
+        let p = build(Scale::FULL);
+        assert_eq!(p.arrays[0].bytes, 2 * p.arrays[1].bytes);
+        assert_eq!(p.arrays[1].bytes, 2 * p.arrays[2].bytes);
+    }
+
+    #[test]
+    fn scaled_variant_validates() {
+        build(Scale::new(16)).validate().unwrap();
+    }
+}

@@ -1,0 +1,159 @@
+//! Common workload-construction helpers: scaling, Table 1 sizes, and
+//! loop-nest builders shared by the ten benchmark models.
+
+use cdpc_compiler::ir::{Access, AccessPattern, ArrayRef, LoopNest};
+
+/// One binary megabyte.
+pub const MB: u64 = 1 << 20;
+/// One binary kilobyte.
+pub const KB: u64 = 1 << 10;
+
+/// A power-of-two divisor applied to every array (and, by the experiment
+/// harness, to the caches), preserving all data:cache ratios while
+/// shrinking simulations.
+///
+/// The paper faces the same problem — full SPEC95fp runs would take a year
+/// of simulation — and solves it with representative execution windows;
+/// we window *and* scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Scale(u64);
+
+impl Scale {
+    /// Full paper-size data sets.
+    pub const FULL: Scale = Scale(1);
+
+    /// Creates a scale dividing sizes by `divisor`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `divisor` is a power of two.
+    pub fn new(divisor: u64) -> Self {
+        assert!(divisor.is_power_of_two(), "scale must be a power of two");
+        Scale(divisor)
+    }
+
+    /// The divisor.
+    pub fn divisor(&self) -> u64 {
+        self.0
+    }
+
+    /// Scales a byte count, never below 32 bytes (one reference line).
+    pub fn bytes(&self, full: u64) -> u64 {
+        (full / self.0).max(32)
+    }
+}
+
+impl Default for Scale {
+    fn default() -> Self {
+        Scale::FULL
+    }
+}
+
+/// Builds a stencil sweep: every `read` array is referenced with a halo of
+/// `halo` units, every `write` array with a plain partitioned sweep; all
+/// arrays share `units` iterations of `unit_bytes` each.
+///
+/// `flops_per_ref` sets the compute density: instructions per 32-byte
+/// reference line (drives the MCPI balance).
+#[allow(clippy::too_many_arguments)]
+pub fn stencil_nest(
+    name: &str,
+    reads: &[ArrayRef],
+    writes: &[ArrayRef],
+    units: u64,
+    unit_bytes: u64,
+    halo: u64,
+    wraparound: bool,
+    flops_per_ref: u64,
+) -> LoopNest {
+    let arrays = (reads.len() + writes.len()) as u64;
+    let refs_per_iter = (arrays * unit_bytes).div_ceil(32).max(1);
+    let mut nest = LoopNest::new(name, units, refs_per_iter * flops_per_ref);
+    for &a in reads {
+        nest = nest.with_access(Access::read(
+            a,
+            AccessPattern::Stencil {
+                unit_bytes,
+                halo_units: halo,
+                wraparound,
+            },
+        ));
+    }
+    for &a in writes {
+        nest = nest.with_access(Access::write(
+            a,
+            AccessPattern::Partitioned { unit_bytes },
+        ));
+    }
+    nest
+}
+
+/// Builds a plain partitioned sweep (no halo).
+pub fn sweep_nest(
+    name: &str,
+    reads: &[ArrayRef],
+    writes: &[ArrayRef],
+    units: u64,
+    unit_bytes: u64,
+    flops_per_ref: u64,
+) -> LoopNest {
+    let arrays = (reads.len() + writes.len()) as u64;
+    let refs_per_iter = (arrays * unit_bytes).div_ceil(32).max(1);
+    let mut nest = LoopNest::new(name, units, refs_per_iter * flops_per_ref);
+    for &a in reads {
+        nest = nest.with_access(Access::read(a, AccessPattern::Partitioned { unit_bytes }));
+    }
+    for &a in writes {
+        nest = nest.with_access(Access::write(a, AccessPattern::Partitioned { unit_bytes }));
+    }
+    nest
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdpc_compiler::ir::Program;
+
+    #[test]
+    fn scale_divides_and_clamps() {
+        let s = Scale::new(8);
+        assert_eq!(s.bytes(8 * MB), MB);
+        assert_eq!(s.bytes(64), 32, "never below one line");
+        assert_eq!(Scale::FULL.bytes(123456), 123456);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn scale_rejects_odd_divisors() {
+        Scale::new(3);
+    }
+
+    #[test]
+    fn stencil_nest_shapes_accesses() {
+        let mut p = Program::new("t");
+        let a = p.array("A", 64 * KB);
+        let b = p.array("B", 64 * KB);
+        let nest = stencil_nest("s", &[a], &[b], 64, KB, 1, false, 2);
+        assert_eq!(nest.accesses.len(), 2);
+        assert!(matches!(
+            nest.accesses[0].pattern,
+            AccessPattern::Stencil { halo_units: 1, .. }
+        ));
+        assert!(nest.accesses[1].is_write);
+        // 2 arrays × 1 KB / 32 B = 64 refs × 2 flops = 128.
+        assert_eq!(nest.work_per_iter, 128);
+    }
+
+    #[test]
+    fn sweep_nest_mixes_reads_and_writes() {
+        let mut p = Program::new("t");
+        let a = p.array("A", 64 * KB);
+        let b = p.array("B", 64 * KB);
+        let nest = sweep_nest("s", &[a], &[b], 64, KB, 1);
+        assert_eq!(nest.accesses.len(), 2);
+        assert!(!nest.accesses[0].is_write, "reads come first");
+        assert!(nest.accesses[1].is_write);
+        // 2 arrays x 1 KB / 32 B = 64 refs x 1 flop.
+        assert_eq!(nest.work_per_iter, 64);
+    }
+}

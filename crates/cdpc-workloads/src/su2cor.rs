@@ -1,0 +1,70 @@
+//! 103.su2cor — quantum-physics Monte Carlo. 23 MB reference data set.
+//!
+//! The benchmark where CDPC *slightly degrades* performance: several
+//! important data structures are accessed through gather indices the
+//! compiler cannot analyze, so CDPC colors only the regular arrays — and
+//! that mapping "happens to conflict with the other data structures"
+//! (paper §6.1). The irregular arrays here are marked
+//! [`AccessPattern::Irregular`], reproducing exactly that situation.
+
+use cdpc_compiler::ir::{Access, AccessPattern, Phase, Program, Stmt, StmtKind};
+
+use crate::spec::{sweep_nest, Scale, KB, MB};
+
+/// Builds the su2cor model at the given scale.
+pub fn build(scale: Scale) -> Program {
+    let mut p = Program::new("103.su2cor");
+    let unit = scale.bytes(8 * KB);
+    let units = 384u64; // 3 MB per regular array at full scale
+    let w1 = p.array("w1", unit * units);
+    let w2 = p.array("w2", unit * units);
+    let gauge = p.array("gauge", unit * units);
+    let prop = p.array("prop", unit * units);
+    // Gather-indexed structures: 5.5 MB each at full scale.
+    let fermion = p.array("fermion", scale.bytes(11 * MB / 2));
+    let lattice = p.array("lattice", scale.bytes(11 * MB / 2));
+
+    let sweep = sweep_nest("gauge-update", &[gauge, w1], &[w2], units, unit, 3)
+        .with_code_bytes(scale.bytes(8 * KB));
+    let gather = sweep_nest("propagator", &[w2], &[prop], units, unit, 3)
+        .with_access(Access::read(fermion, AccessPattern::Irregular { touches_per_iter: 24 }))
+        .with_access(Access::write(lattice, AccessPattern::Irregular { touches_per_iter: 8 }))
+        .with_code_bytes(scale.bytes(10 * KB));
+
+    p.phase(Phase {
+        name: "trajectory".into(),
+        stmts: vec![
+            Stmt { kind: StmtKind::Parallel, nest: sweep },
+            Stmt { kind: StmtKind::Parallel, nest: gather },
+        ],
+        count: 8,
+    });
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_table_1_size() {
+        let p = build(Scale::FULL);
+        let mb = p.data_set_bytes() as f64 / MB as f64;
+        assert!((21.0..25.0).contains(&mb), "su2cor is 23 MB, got {mb:.1}");
+        p.validate().unwrap();
+    }
+
+    #[test]
+    fn has_unanalyzable_arrays() {
+        use cdpc_compiler::{compile, CompileOptions};
+        let c = compile(&build(Scale::new(16)), &CompileOptions::new(4)).unwrap();
+        let analyzable: Vec<String> = c
+            .summary
+            .analyzable_arrays()
+            .map(|a| a.name.clone())
+            .collect();
+        assert!(!analyzable.contains(&"fermion".to_string()));
+        assert!(!analyzable.contains(&"lattice".to_string()));
+        assert!(analyzable.contains(&"gauge".to_string()));
+    }
+}

@@ -1,0 +1,91 @@
+//! 102.swim — shallow-water equations. 14 MB reference data set.
+//!
+//! Nine ~1.5 MB arrays updated by three stencil sweeps (the CALC1/2/3
+//! structure of the original Fortran). Arrays span 1.5 color cycles, so
+//! page coloring alternates their start colors (0, 128, 0, 128, …) —
+//! conflicts are real but less brutal than tomcatv's, and CDPC's gains
+//! begin at eight processors. Highly parallel; very sensitive to bus
+//! contention (the paper's AlphaServer run of swim under page coloring is
+//! limited by the bus).
+
+use cdpc_compiler::ir::{Phase, Program, Stmt, StmtKind};
+
+use crate::spec::{stencil_nest, Scale, KB};
+
+/// Builds the swim model at the given scale.
+pub fn build(scale: Scale) -> Program {
+    let mut p = Program::new("102.swim");
+    let unit = scale.bytes(4 * KB);
+    let units = 384u64; // 1.5 MB per array at full scale
+    let names = ["u", "v", "pp", "cu", "cv", "z", "h", "unew", "vnew"];
+    let a: Vec<_> = names.iter().map(|n| p.array(*n, unit * units)).collect();
+
+    let calc1 = stencil_nest(
+        "calc1",
+        &[a[0], a[1], a[2]],
+        &[a[3], a[4], a[5], a[6]],
+        units,
+        unit,
+        1,
+        true,
+        2,
+    )
+    .with_code_bytes(scale.bytes(6 * KB));
+    let calc2 = stencil_nest(
+        "calc2",
+        &[a[3], a[4], a[5], a[6]],
+        &[a[7], a[8], a[2]],
+        units,
+        unit,
+        1,
+        true,
+        2,
+    )
+    .with_code_bytes(scale.bytes(6 * KB));
+    let calc3 = stencil_nest(
+        "calc3",
+        &[a[7], a[8]],
+        &[a[0], a[1]],
+        units,
+        unit,
+        0,
+        false,
+        1,
+    )
+    .with_code_bytes(scale.bytes(2 * KB));
+
+    p.phase(Phase {
+        name: "timestep".into(),
+        stmts: vec![
+            Stmt { kind: StmtKind::Parallel, nest: calc1 },
+            Stmt { kind: StmtKind::Parallel, nest: calc2 },
+            Stmt { kind: StmtKind::Parallel, nest: calc3 },
+        ],
+        count: 12,
+    });
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::MB;
+
+    #[test]
+    fn matches_table_1_size() {
+        let p = build(Scale::FULL);
+        let mb = p.data_set_bytes() as f64 / MB as f64;
+        assert!((12.5..15.0).contains(&mb), "swim is 14 MB, got {mb:.1}");
+        p.validate().unwrap();
+    }
+
+    #[test]
+    fn has_three_parallel_sweeps() {
+        let p = build(Scale::FULL);
+        assert_eq!(p.phases[0].stmts.len(), 3);
+        assert!(p.phases[0]
+            .stmts
+            .iter()
+            .all(|s| s.kind == StmtKind::Parallel));
+    }
+}

@@ -1,0 +1,90 @@
+//! 101.tomcatv — vectorized mesh generation. 14 MB reference data set.
+//!
+//! The paper's most page-mapping-sensitive benchmark: **seven large data
+//! structures** accessed together in stencil sweeps ("only an eight-way
+//! set-associative cache of size 1MB would eliminate all conflicts for 16
+//! processors"). Each 2 MB array spans an exact multiple of the color
+//! cycle, so IRIX-style page coloring maps the same-index regions of all
+//! seven arrays to the same colors — a seven-way conflict in a
+//! direct-mapped cache. Near-linear speedup; saturates the bus at 16
+//! processors; CDPC gains start at two processors.
+
+use cdpc_compiler::ir::{Phase, Program, Stmt, StmtKind};
+
+use crate::spec::{stencil_nest, Scale, KB};
+
+/// Builds the tomcatv model at the given scale.
+pub fn build(scale: Scale) -> Program {
+    let mut p = Program::new("101.tomcatv");
+    let unit = scale.bytes(4 * KB);
+    let units = 512u64;
+    let names = ["x", "y", "rx", "ry", "aa", "dd", "d"];
+    let arrays: Vec<_> = names
+        .iter()
+        .map(|n| p.array(*n, unit * units))
+        .collect();
+    let (x, y, rx, ry, aa, dd, d) = (
+        arrays[0], arrays[1], arrays[2], arrays[3], arrays[4], arrays[5], arrays[6],
+    );
+
+    // Residual computation: read the meshes, write the residuals.
+    let residual = stencil_nest(
+        "residual",
+        &[x, y, aa, dd, d],
+        &[rx, ry],
+        units,
+        unit,
+        1,
+        false,
+        2,
+    )
+    .with_code_bytes(scale.bytes(4 * KB));
+    // Mesh update: read residuals, write meshes.
+    let update = stencil_nest("update", &[rx, ry, aa], &[x, y], units, unit, 1, false, 2)
+        .with_code_bytes(scale.bytes(4 * KB));
+    // Tridiagonal solve along the distributed dimension.
+    let solve = stencil_nest("solve", &[d, dd], &[aa], units, unit, 1, false, 3)
+        .with_code_bytes(scale.bytes(4 * KB));
+
+    p.phase(Phase {
+        name: "iteration".into(),
+        stmts: vec![
+            Stmt { kind: StmtKind::Parallel, nest: residual },
+            Stmt { kind: StmtKind::Parallel, nest: solve },
+            Stmt { kind: StmtKind::Parallel, nest: update },
+        ],
+        count: 10,
+    });
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::MB;
+
+    #[test]
+    fn matches_table_1_size() {
+        let p = build(Scale::FULL);
+        let mb = p.data_set_bytes() as f64 / MB as f64;
+        assert!((13.0..15.0).contains(&mb), "tomcatv is 14 MB, got {mb:.1}");
+        assert_eq!(p.arrays.len(), 7, "the paper counts seven large arrays");
+        p.validate().unwrap();
+    }
+
+    #[test]
+    fn arrays_are_color_cycle_multiples() {
+        // The pathology: 2 MB arrays = 512 pages = 2 × 256 colors.
+        let p = build(Scale::FULL);
+        for a in &p.arrays {
+            assert_eq!(a.bytes % (256 * 4096), 0);
+        }
+    }
+
+    #[test]
+    fn scales_down_cleanly() {
+        let p = build(Scale::new(8));
+        assert!(p.data_set_bytes() < 2 * MB);
+        p.validate().unwrap();
+    }
+}

@@ -1,0 +1,77 @@
+//! 125.turb3d — turbulence simulation. 24 MB reference data set.
+//!
+//! The paper's example of multi-phase steady state: four phases occurring
+//! **11, 66, 100 and 120 times** respectively. Compute-dense FFT-like
+//! sweeps leave few replacement misses, so CDPC yields only slight gains
+//! above four processors.
+
+use cdpc_compiler::ir::{Phase, Program, Stmt, StmtKind};
+
+use crate::spec::{stencil_nest, sweep_nest, Scale, KB};
+
+/// Builds the turb3d model at the given scale.
+pub fn build(scale: Scale) -> Program {
+    let mut p = Program::new("125.turb3d");
+    let unit = scale.bytes(8 * KB);
+    let units = 512u64; // 4 MB per array at full scale
+    let names = ["u", "v", "w", "un", "vn", "wn"];
+    let a: Vec<_> = names.iter().map(|n| p.array(*n, unit * units)).collect();
+
+    let fft_x = sweep_nest("fft-x", &[a[0], a[1]], &[a[3]], units, unit, 6)
+        .with_code_bytes(scale.bytes(10 * KB));
+    let fft_y = sweep_nest("fft-y", &[a[1], a[2]], &[a[4]], units, unit, 6)
+        .with_code_bytes(scale.bytes(10 * KB));
+    let fft_z = sweep_nest("fft-z", &[a[2], a[0]], &[a[5]], units, unit, 6)
+        .with_code_bytes(scale.bytes(10 * KB));
+    let nonlin = stencil_nest(
+        "nonlinear",
+        &[a[3], a[4], a[5]],
+        &[a[0], a[1], a[2]],
+        units,
+        unit,
+        1,
+        true,
+        4,
+    )
+    .with_code_bytes(scale.bytes(8 * KB));
+
+    let phases = [
+        ("xy-transform", vec![fft_x, fft_y], 11),
+        ("z-transform", vec![fft_z], 66),
+        ("nonlinear-term", vec![nonlin], 100),
+        ("energy", vec![sweep_nest("energy", &[a[0], a[1], a[2]], &[], units, unit, 5)
+            .with_code_bytes(scale.bytes(4 * KB))], 120),
+    ];
+    for (name, nests, count) in phases {
+        p.phase(Phase {
+            name: name.into(),
+            stmts: nests
+                .into_iter()
+                .map(|nest| Stmt { kind: StmtKind::Parallel, nest })
+                .collect(),
+            count,
+        });
+    }
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::MB;
+
+    #[test]
+    fn matches_table_1_size() {
+        let p = build(Scale::FULL);
+        let mb = p.data_set_bytes() as f64 / MB as f64;
+        assert!((22.0..26.0).contains(&mb), "turb3d is 24 MB, got {mb:.1}");
+        p.validate().unwrap();
+    }
+
+    #[test]
+    fn four_phases_with_paper_counts() {
+        let p = build(Scale::FULL);
+        let counts: Vec<u64> = p.phases.iter().map(|ph| ph.count).collect();
+        assert_eq!(counts, vec![11, 66, 100, 120]);
+    }
+}

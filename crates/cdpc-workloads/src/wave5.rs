@@ -1,0 +1,70 @@
+//! 146.wave5 — plasma particle-in-cell simulation. 40 MB reference data
+//! set (the suite's largest).
+//!
+//! Little benefit from parallelization: the particle push is fine-grained
+//! (suppressed) and the field solve communicates heavily through gather/
+//! scatter indices the compiler cannot analyze. The paper notes one phase
+//! with 30% cache-miss variance between occurrences — the seeded
+//! irregular particle accesses here are the analogue. Page mapping policy
+//! barely matters for it (Figure 9 / Table 2).
+
+use cdpc_compiler::ir::{Access, AccessPattern, Phase, Program, Stmt, StmtKind};
+
+use crate::spec::{stencil_nest, sweep_nest, Scale, KB, MB};
+
+/// Builds the wave5 model at the given scale.
+pub fn build(scale: Scale) -> Program {
+    let mut p = Program::new("146.wave5");
+    let unit = scale.bytes(8 * KB);
+    let units = 512u64; // 4 MB field arrays at full scale
+    let ex = p.array("ex", unit * units);
+    let ey = p.array("ey", unit * units);
+    let rho = p.array("rho", unit * units);
+    // Particle arrays: 28 MB of gather/scatter data at full scale.
+    let particles = p.array("particles", scale.bytes(20 * MB));
+    let sorted = p.array("sorted", scale.bytes(8 * MB));
+
+    // Field solve: coarse-grain parallel stencils.
+    let solve = stencil_nest("field-solve", &[rho], &[ex, ey], units, unit, 1, true, 3)
+        .with_code_bytes(scale.bytes(8 * KB));
+    // Particle push: fine-grained, suppressed; gathers fields, scatters
+    // charge.
+    let push = sweep_nest("particle-push", &[ex, ey], &[rho], units, unit, 2)
+        .with_access(Access::read(particles, AccessPattern::Irregular { touches_per_iter: 48 }))
+        .with_access(Access::write(particles, AccessPattern::Irregular { touches_per_iter: 16 }))
+        .with_code_bytes(scale.bytes(12 * KB));
+    // Particle sort: sequential.
+    let sort = sweep_nest("sort", &[], &[sorted], units, scale.bytes(16 * KB), 1)
+        .with_code_bytes(scale.bytes(4 * KB));
+
+    p.phase(Phase {
+        name: "timestep".into(),
+        stmts: vec![
+            Stmt { kind: StmtKind::Parallel, nest: solve },
+            Stmt { kind: StmtKind::FineGrain, nest: push },
+            Stmt { kind: StmtKind::Sequential, nest: sort },
+        ],
+        count: 6,
+    });
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_table_1_size() {
+        let p = build(Scale::FULL);
+        let mb = p.data_set_bytes() as f64 / MB as f64;
+        assert!((37.0..43.0).contains(&mb), "wave5 is 40 MB, got {mb:.1}");
+        p.validate().unwrap();
+    }
+
+    #[test]
+    fn particle_work_is_not_distributed() {
+        let p = build(Scale::FULL);
+        assert_eq!(p.phases[0].stmts[1].kind, StmtKind::FineGrain);
+        assert_eq!(p.phases[0].stmts[2].kind, StmtKind::Sequential);
+    }
+}

@@ -1,0 +1,83 @@
+//! CDPC × compiler-inserted prefetching on a streaming workload (paper
+//! §6.2): the two techniques are complementary — prefetching hides the
+//! latency CDPC cannot remove, and CDPC keeps prefetched lines resident
+//! and the bus free.
+//!
+//! ```text
+//! cargo run --release --example prefetch_interaction
+//! ```
+
+use cdpc::compiler::ir::{Access, AccessPattern, LoopNest, Phase, Program, Stmt, StmtKind};
+use cdpc::compiler::{compile, CompileOptions};
+use cdpc::machine::{run, PolicyKind, RunConfig, RunReport};
+use cdpc::memsim::{CacheConfig, MemConfig};
+
+fn streaming() -> Program {
+    // Three 256 KB arrays streamed by 4 CPUs through a 64 KB cache: the
+    // per-CPU stream (192 KB) exceeds the cache, so capacity misses remain
+    // after CDPC and prefetching has real work to do.
+    let mut prog = Program::new("daxpy-like");
+    let x = prog.array("x", 256 << 10);
+    let y = prog.array("y", 256 << 10);
+    let z = prog.array("z", 256 << 10);
+    prog.phase(Phase {
+        name: "stream".into(),
+        stmts: vec![Stmt {
+            kind: StmtKind::Parallel,
+            nest: LoopNest::new("axpy", 256, 200)
+                .with_access(Access::read(x, AccessPattern::Partitioned { unit_bytes: 1024 }))
+                .with_access(Access::read(y, AccessPattern::Partitioned { unit_bytes: 1024 }))
+                .with_access(Access::write(z, AccessPattern::Partitioned { unit_bytes: 1024 })),
+        }],
+        count: 4,
+    });
+    prog
+}
+
+fn main() {
+    let cpus = 4;
+    let mem = {
+        let mut m = MemConfig::paper_base(cpus);
+        m.l1d = CacheConfig::new(2 << 10, 32, 2);
+        m.l1i = CacheConfig::new(2 << 10, 32, 2);
+        m.l2 = CacheConfig::new(64 << 10, 128, 1);
+        m
+    };
+    let prog = streaming();
+
+    let mut results: Vec<(&str, RunReport)> = Vec::new();
+    for (label, policy, prefetch) in [
+        ("page coloring", PolicyKind::PageColoring, false),
+        ("page coloring + PF", PolicyKind::PageColoring, true),
+        ("CDPC", PolicyKind::Cdpc, false),
+        ("CDPC + PF", PolicyKind::Cdpc, true),
+    ] {
+        let mut opts = CompileOptions::new(cpus).with_l2_cache(64 << 10);
+        opts.prefetch = prefetch;
+        let compiled = compile(&prog, &opts).expect("valid program");
+        let report = run(&compiled, &RunConfig::new(mem.clone(), policy));
+        results.push((label, report));
+    }
+
+    let base = results[0].1.elapsed_cycles;
+    println!("streaming axpy on {cpus} CPUs (64 KB external caches)\n");
+    println!(
+        "{:<20} {:>12} {:>9} {:>12} {:>12}",
+        "configuration", "time (cyc)", "speedup", "pf issued", "pf hits"
+    );
+    for (label, r) in &results {
+        let agg = r.mem_stats.aggregate();
+        println!(
+            "{:<20} {:>12} {:>8.2}x {:>12} {:>12}",
+            label,
+            r.elapsed_cycles,
+            base as f64 / r.elapsed_cycles as f64,
+            agg.prefetches_issued,
+            agg.prefetch_hits,
+        );
+    }
+    println!("\nExpect: prefetching *hurts* under page coloring (prefetched lines are");
+    println!("displaced by conflicts before use, and the prefetches clog the bus) but");
+    println!("*helps* under CDPC — the paper's two interactions: CDPC keeps prefetched");
+    println!("data resident, and frees the bus bandwidth latency tolerance needs.");
+}

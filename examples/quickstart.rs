@@ -1,0 +1,76 @@
+//! Quickstart: compile a parallel program, generate CDPC hints, and watch
+//! conflict misses disappear.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use cdpc::compiler::ir::{Access, AccessPattern, LoopNest, Phase, Program, Stmt, StmtKind};
+use cdpc::compiler::{compile, CompileOptions};
+use cdpc::machine::{run, PolicyKind, RunConfig};
+use cdpc::memsim::{CacheConfig, MemConfig};
+
+fn main() {
+    // A small parallel program: two 12 KB arrays swept by a stencil on two
+    // CPUs. (Sizes are chosen so each CPU's working set fits a 32 KB
+    // external cache — the regime where CDPC eliminates *all* conflicts.)
+    let mut prog = Program::new("quickstart");
+    let a = prog.array("A", 12 << 10);
+    let b = prog.array("B", 12 << 10);
+    prog.phase(Phase {
+        name: "sweep".into(),
+        stmts: vec![Stmt {
+            kind: StmtKind::Parallel,
+            nest: LoopNest::new("stencil", 12, 500)
+                .with_access(Access::read(
+                    a,
+                    AccessPattern::Stencil {
+                        unit_bytes: 1024,
+                        halo_units: 1,
+                        wraparound: false,
+                    },
+                ))
+                .with_access(Access::write(b, AccessPattern::Partitioned { unit_bytes: 1024 })),
+        }],
+        count: 4,
+    });
+
+    // Compile for 2 CPUs: parallelization, layout, access summaries.
+    let compiled = compile(&prog, &CompileOptions::new(2)).expect("program is valid");
+    println!("compiled `{}` for {} CPUs", compiled.name, compiled.num_cpus);
+    println!(
+        "  summary: {} arrays, {} partitionings, {} communication patterns, {} groups",
+        compiled.summary.arrays.len(),
+        compiled.summary.partitionings.len(),
+        compiled.summary.communications.len(),
+        compiled.summary.groups.len()
+    );
+
+    // A scaled-down machine: 32 KB direct-mapped external cache (8 colors).
+    let mut mem = MemConfig::paper_base(2);
+    mem.l1d = CacheConfig::new(1 << 10, 32, 2);
+    mem.l1i = CacheConfig::new(1 << 10, 32, 2);
+    mem.l2 = CacheConfig::new(32 << 10, 128, 1);
+
+    println!("\npolicy comparison (same program, same machine):");
+    println!("{:<16} {:>12} {:>10} {:>10}", "policy", "time (cyc)", "conflicts", "MCPI");
+    for policy in [
+        PolicyKind::PageColoring,
+        PolicyKind::BinHopping,
+        PolicyKind::Cdpc,
+    ] {
+        let report = run(&compiled, &RunConfig::new(mem.clone(), policy));
+        println!(
+            "{:<16} {:>12} {:>10} {:>10.3}",
+            report.policy,
+            report.elapsed_cycles,
+            report.mem_stats.aggregate().misses.get(cdpc::memsim::MissClass::Conflict),
+            report.mcpi()
+        );
+    }
+    println!("\nCDPC is conflict-free *by construction*: the compiler told the OS");
+    println!("exactly which page colors keep each CPU's working set disjoint.");
+    println!("(Page coloring happens to be conflict-free on this tiny layout too;");
+    println!("bin hopping's nondeterministic fault race is not. Run the fig6/fig9");
+    println!("experiments in cdpc-bench for the full-suite comparison.)");
+}

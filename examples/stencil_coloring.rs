@@ -1,0 +1,80 @@
+//! A 2-D heat-diffusion stencil across processor counts: the workload the
+//! paper's introduction motivates. Compares the three page-mapping
+//! policies and shows where each wins.
+//!
+//! ```text
+//! cargo run --release --example stencil_coloring
+//! ```
+
+use cdpc::compiler::ir::{Access, AccessPattern, LoopNest, Phase, Program, Stmt, StmtKind};
+use cdpc::compiler::{compile, CompileOptions};
+use cdpc::machine::{run, PolicyKind, RunConfig};
+use cdpc::memsim::{CacheConfig, MemConfig};
+
+/// Builds a heat-diffusion step: `new = stencil(old)`, then swap, over
+/// `rows` rows of `row_bytes` each.
+fn heat(rows: u64, row_bytes: u64) -> Program {
+    let mut prog = Program::new("heat-2d");
+    let old = prog.array("old", rows * row_bytes);
+    let new = prog.array("new", rows * row_bytes);
+    let step = LoopNest::new("diffuse", rows, row_bytes / 4)
+        .with_access(Access::read(
+            old,
+            AccessPattern::Stencil {
+                unit_bytes: row_bytes,
+                halo_units: 1,
+                wraparound: false,
+            },
+        ))
+        .with_access(Access::write(new, AccessPattern::Partitioned { unit_bytes: row_bytes }));
+    let swap = LoopNest::new("swap", rows, 8)
+        .with_access(Access::read(new, AccessPattern::Partitioned { unit_bytes: row_bytes }))
+        .with_access(Access::write(old, AccessPattern::Partitioned { unit_bytes: row_bytes }));
+    prog.phase(Phase {
+        name: "timestep".into(),
+        stmts: vec![
+            Stmt { kind: StmtKind::Parallel, nest: step },
+            Stmt { kind: StmtKind::Parallel, nest: swap },
+        ],
+        count: 5,
+    });
+    prog
+}
+
+fn main() {
+    // 256 rows x 2 KB = 512 KB per array; 128 KB direct-mapped L2.
+    let prog = heat(256, 2048);
+    let mem_for = |cpus: usize| {
+        let mut m = MemConfig::paper_base(cpus);
+        m.l1d = CacheConfig::new(4 << 10, 32, 2);
+        m.l1i = CacheConfig::new(4 << 10, 32, 2);
+        m.l2 = CacheConfig::new(128 << 10, 128, 1);
+        m
+    };
+
+    println!("heat-2d (1 MB of grids, 128 KB external caches)\n");
+    println!(
+        "{:<6} {:>14} {:>14} {:>14} {:>10}",
+        "cpus", "page-coloring", "bin-hopping", "cdpc", "best"
+    );
+    for cpus in [1usize, 2, 4, 8, 16] {
+        let compiled = compile(&prog, &CompileOptions::new(cpus)).expect("valid program");
+        let mut times = Vec::new();
+        for policy in [
+            PolicyKind::PageColoring,
+            PolicyKind::BinHopping,
+            PolicyKind::Cdpc,
+        ] {
+            let r = run(&compiled, &RunConfig::new(mem_for(cpus), policy));
+            times.push((policy.label(), r.elapsed_cycles));
+        }
+        let best = times.iter().min_by_key(|(_, t)| *t).expect("non-empty");
+        println!(
+            "{:<6} {:>14} {:>14} {:>14} {:>10}",
+            cpus, times[0].1, times[1].1, times[2].1, best.0
+        );
+    }
+    println!("\nNeither static policy dominates the other (the paper's Figure 9");
+    println!("observation); CDPC takes over as the processor count grows and the");
+    println!("per-CPU working set approaches the cache size.");
+}

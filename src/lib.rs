@@ -1,0 +1,29 @@
+//! Compiler-directed page coloring for multiprocessors — facade crate.
+//!
+//! This crate re-exports the entire CDPC stack, a from-scratch reproduction
+//! of *Compiler-Directed Page Coloring for Multiprocessors* (Bugnion,
+//! Anderson, Mowry, Rosenblum, Lam — ASPLOS 1996):
+//!
+//! * [`core`] — the paper's contribution: access-pattern summaries and the
+//!   five-step page-coloring hint algorithm.
+//! * [`compiler`] — the SUIF-like parallelizing compiler substrate (loop
+//!   nest IR, parallelization, summary generation, prefetch insertion, data
+//!   layout).
+//! * [`vm`] — the OS substrate (physical page allocator, page tables, page
+//!   coloring / bin hopping / hint-driven mapping policies).
+//! * [`memsim`] — the SimOS-like memory hierarchy simulator (caches, TLB,
+//!   bus, MESI coherence, miss classification, prefetch slots).
+//! * [`workloads`] — SPEC95fp-like synthetic workload models.
+//! * [`machine`] — whole-machine composition, run loop, and reports.
+//!
+//! # Quickstart
+//!
+//! See `examples/quickstart.rs` for an end-to-end run that compiles a
+//! workload, generates coloring hints, and compares mapping policies.
+
+pub use cdpc_compiler as compiler;
+pub use cdpc_core as core;
+pub use cdpc_machine as machine;
+pub use cdpc_memsim as memsim;
+pub use cdpc_vm as vm;
+pub use cdpc_workloads as workloads;

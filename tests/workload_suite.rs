@@ -1,0 +1,110 @@
+//! Whole-suite smoke and consistency tests: every benchmark × policy ×
+//! machine runs, produces internally consistent reports, and is
+//! bit-for-bit deterministic.
+
+use cdpc::machine::{run, PolicyKind, RunConfig, RunReport};
+use cdpc::memsim::{CacheConfig, MemConfig};
+use cdpc::workloads::{all, spec::Scale};
+use cdpc_compiler::{compile, CompileOptions};
+
+const SCALE: u64 = 64;
+
+fn mem(cpus: usize) -> MemConfig {
+    let mut m = MemConfig::paper_base(cpus);
+    m.l2 = CacheConfig::new((1 << 20) / SCALE as usize, 128, 1);
+    m.l1d = CacheConfig::new(512, 32, 2);
+    m.l1i = CacheConfig::new(512, 32, 2);
+    m.tlb_entries = 8;
+    m
+}
+
+fn run_one(name: &str, cpus: usize, policy: PolicyKind) -> RunReport {
+    let bench = cdpc::workloads::by_name(name).expect("exists");
+    let program = (bench.build)(Scale::new(SCALE));
+    let opts = CompileOptions::new(cpus).with_l2_cache(mem(cpus).l2.size_bytes() as u64);
+    let compiled = compile(&program, &opts).expect("models compile");
+    run(&compiled, &RunConfig::new(mem(cpus), policy))
+}
+
+#[test]
+fn every_benchmark_runs_under_every_policy() {
+    for bench in all() {
+        for policy in [
+            PolicyKind::PageColoring,
+            PolicyKind::BinHopping,
+            PolicyKind::Cdpc,
+            PolicyKind::CdpcTouch,
+            PolicyKind::DynamicRecolor,
+        ] {
+            let r = run_one(bench.name, 4, policy);
+            assert!(r.instructions > 0, "{} under {:?}", bench.name, policy);
+            assert!(r.elapsed_cycles > 0);
+            assert!(
+                r.combined_cycles >= r.elapsed_cycles,
+                "combined time is a sum over processors"
+            );
+        }
+    }
+}
+
+#[test]
+fn reports_are_internally_consistent() {
+    for bench in all() {
+        let r = run_one(bench.name, 4, PolicyKind::PageColoring);
+        // Stall cycles are bounded by combined busy time.
+        assert!(
+            r.stalls.total() <= r.combined_cycles,
+            "{}: stalls {} exceed combined {}",
+            bench.name,
+            r.stalls.total(),
+            r.combined_cycles
+        );
+        // MCPI is non-negative and finite.
+        assert!(r.mcpi().is_finite() && r.mcpi() >= 0.0);
+        // Bus utilization is a fraction.
+        assert!((0.0..=1.0).contains(&r.bus.utilization));
+        // Miss *counts* are consistent with per-class stall cycles: a class
+        // with stall cycles must have misses and vice versa.
+        let agg = r.mem_stats.aggregate();
+        for class in cdpc::memsim::MissClass::ALL {
+            let misses = agg.misses.get(class);
+            let stall = agg.miss_stall_cycles.get(class);
+            assert_eq!(
+                misses == 0,
+                stall == 0,
+                "{}: class {class} misses={misses} stall={stall}",
+                bench.name
+            );
+        }
+    }
+}
+
+#[test]
+fn simulation_is_deterministic() {
+    for policy in [PolicyKind::BinHopping, PolicyKind::Cdpc, PolicyKind::DynamicRecolor] {
+        let a = run_one("hydro2d", 4, policy);
+        let b = run_one("hydro2d", 4, policy);
+        assert_eq!(a, b, "two identical runs must agree exactly ({policy:?})");
+    }
+}
+
+#[test]
+fn work_scales_down_with_processors() {
+    // Parallel benchmarks: per-CPU instruction share shrinks as CPUs grow.
+    let one = run_one("tomcatv", 1, PolicyKind::Cdpc);
+    let eight = run_one("tomcatv", 8, PolicyKind::Cdpc);
+    // Same total work modulo prefetch/fault bookkeeping.
+    let ratio = eight.instructions as f64 / one.instructions as f64;
+    assert!(
+        (0.9..1.2).contains(&ratio),
+        "total instructions should be roughly CPU-count invariant, got {ratio:.2}"
+    );
+}
+
+#[test]
+fn sequential_benchmarks_have_zero_imbalance() {
+    let r = run_one("fpppp", 8, PolicyKind::PageColoring);
+    assert_eq!(r.overheads.load_imbalance, 0);
+    assert_eq!(r.overheads.synchronization, 0);
+    assert!(r.overheads.sequential > 0, "slaves idle while the master runs");
+}
