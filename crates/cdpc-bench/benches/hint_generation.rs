@@ -3,33 +3,40 @@
 //! implement" with information "directly derived" from parallelization
 //! analysis; these benches quantify the run-time library's cost for real
 //! workload shapes and its scaling in pages and processors.
+//!
+//! Run with `cargo bench -p cdpc-bench --bench hint_generation`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use cdpc_bench::{Preset, Setup};
 use cdpc_core::{generate_hints, MachineParams};
+use cdpc_obs::selfprof::time_iters;
 
-fn bench_suite_hints(c: &mut Criterion) {
-    let setup = Setup { scale: 8 };
-    let mut group = c.benchmark_group("generate_hints/suite");
+fn bench_suite_hints() {
+    let setup = Setup::with_scale(8);
     for name in ["tomcatv", "swim", "hydro2d", "applu"] {
         let bench = cdpc_workloads::by_name(name).expect("exists");
         let compiled = setup.compile_bench(&bench, Preset::Base1MbDm, 8, false, true);
         let mem = setup.scaled_mem(Preset::Base1MbDm, 8);
-        let machine =
-            MachineParams::new(8, mem.page_size, mem.l2.size_bytes(), mem.l2.associativity());
-        group.bench_function(BenchmarkId::from_parameter(name), |b| {
-            b.iter(|| generate_hints(black_box(&compiled.summary), black_box(&machine)).unwrap())
+        let machine = MachineParams::new(
+            8,
+            mem.page_size,
+            mem.l2.size_bytes(),
+            mem.l2.associativity(),
+        );
+        let t = time_iters(10, 200, || {
+            black_box(generate_hints(black_box(&compiled.summary), black_box(&machine)).unwrap());
         });
+        println!(
+            "generate_hints/suite/{name:<10} {:>10.2} µs/call",
+            t.secs_per_iter() * 1e6
+        );
     }
-    group.finish();
 }
 
-fn bench_cpu_scaling(c: &mut Criterion) {
-    let setup = Setup { scale: 8 };
+fn bench_cpu_scaling() {
+    let setup = Setup::with_scale(8);
     let bench = cdpc_workloads::by_name("tomcatv").expect("exists");
-    let mut group = c.benchmark_group("generate_hints/cpus");
     for cpus in [1usize, 4, 16] {
         let compiled = setup.compile_bench(&bench, Preset::Base1MbDm, cpus, false, true);
         let mem = setup.scaled_mem(Preset::Base1MbDm, cpus);
@@ -39,12 +46,17 @@ fn bench_cpu_scaling(c: &mut Criterion) {
             mem.l2.size_bytes(),
             mem.l2.associativity(),
         );
-        group.bench_function(BenchmarkId::from_parameter(cpus), |b| {
-            b.iter(|| generate_hints(black_box(&compiled.summary), black_box(&machine)).unwrap())
+        let t = time_iters(10, 200, || {
+            black_box(generate_hints(black_box(&compiled.summary), black_box(&machine)).unwrap());
         });
+        println!(
+            "generate_hints/cpus/{cpus:<2}       {:>10.2} µs/call",
+            t.secs_per_iter() * 1e6
+        );
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_suite_hints, bench_cpu_scaling);
-criterion_main!(benches);
+fn main() {
+    bench_suite_hints();
+    bench_cpu_scaling();
+}

@@ -2,11 +2,15 @@
 //! it retire references? This bounds the wall-clock cost of every
 //! experiment (the paper's equivalent concern: full-detail simulation of
 //! SPEC95fp "would take more than one year").
+//!
+//! Run with `cargo bench -p cdpc-bench --bench memsim`. The harness is
+//! `cdpc_obs::selfprof::time_iters` — warm-up iterations followed by timed
+//! ones, mean-of-iterations reporting, no external dependencies.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 
 use cdpc_memsim::{AccessKind, MemConfig, MemorySystem};
+use cdpc_obs::selfprof::time_iters;
 use cdpc_vm::addr::{PhysAddr, VirtAddr};
 
 fn small_cfg(cpus: usize) -> MemConfig {
@@ -17,87 +21,81 @@ fn small_cfg(cpus: usize) -> MemConfig {
     m
 }
 
+fn report(name: &str, refs_per_iter: u64, t: cdpc_obs::selfprof::Timing) {
+    let refs_per_sec = t.iters_per_sec() * refs_per_iter as f64;
+    println!(
+        "{name:<28} {:>10.1} ns/ref   {:>12.0} refs/s",
+        t.secs_per_iter() * 1e9 / refs_per_iter as f64,
+        refs_per_sec
+    );
+}
+
 /// Sequential streaming: mostly L1/L2 hits after the first lap.
-fn bench_stream_hits(c: &mut Criterion) {
-    let mut group = c.benchmark_group("memsim/stream");
+fn bench_stream_hits() {
     const REFS: u64 = 10_000;
-    group.throughput(Throughput::Elements(REFS));
-    group.bench_function("l1_hits", |b| {
-        let mut mem = MemorySystem::new(small_cfg(1));
-        // Warm one line.
-        mem.access(0, 0, VirtAddr(0), PhysAddr(0), AccessKind::Read);
-        let mut t = 1000u64;
-        b.iter(|| {
-            for _ in 0..REFS {
-                t += 1;
-                black_box(mem.access(0, t, VirtAddr(8), PhysAddr(8), AccessKind::Read));
-            }
-        })
+    let mut mem = MemorySystem::new(small_cfg(1));
+    // Warm one line.
+    mem.access(0, 0, VirtAddr(0), PhysAddr(0), AccessKind::Read);
+    let mut t = 1000u64;
+    let timing = time_iters(3, 20, || {
+        for _ in 0..REFS {
+            t += 1;
+            black_box(mem.access(0, t, VirtAddr(8), PhysAddr(8), AccessKind::Read));
+        }
     });
-    group.bench_function("l2_walk", |b| {
-        let mut mem = MemorySystem::new(small_cfg(1));
-        let mut t = 0u64;
-        b.iter(|| {
-            for i in 0..REFS {
-                t += 10;
-                let a = (i * 32) % (64 << 10);
-                black_box(mem.access(0, t, VirtAddr(a), PhysAddr(a), AccessKind::Read));
-            }
-        })
+    report("memsim/stream/l1_hits", REFS, timing);
+
+    let mut mem = MemorySystem::new(small_cfg(1));
+    let mut t = 0u64;
+    let timing = time_iters(3, 20, || {
+        for i in 0..REFS {
+            t += 10;
+            let a = (i * 32) % (64 << 10);
+            black_box(mem.access(0, t, VirtAddr(a), PhysAddr(a), AccessKind::Read));
+        }
     });
-    group.finish();
+    report("memsim/stream/l2_walk", REFS, timing);
 }
 
 /// Worst case: every reference misses and goes over the contended bus.
-fn bench_miss_storm(c: &mut Criterion) {
-    let mut group = c.benchmark_group("memsim/miss_storm");
+fn bench_miss_storm() {
     const REFS: u64 = 2_000;
-    group.throughput(Throughput::Elements(REFS));
     for cpus in [1usize, 4, 16] {
-        group.bench_function(BenchmarkId::from_parameter(cpus), |b| {
-            let mut mem = MemorySystem::new(small_cfg(cpus));
-            let mut t = 0u64;
-            let mut addr = 0u64;
-            b.iter(|| {
-                for _ in 0..REFS {
-                    t += 50;
-                    addr += 128; // new line every time: guaranteed miss
-                    let cpu = (addr / 128) as usize % cpus;
-                    black_box(mem.access(
-                        cpu,
-                        t,
-                        VirtAddr(addr),
-                        PhysAddr(addr),
-                        AccessKind::Read,
-                    ));
-                }
-            })
+        let mut mem = MemorySystem::new(small_cfg(cpus));
+        let mut t = 0u64;
+        let mut addr = 0u64;
+        let timing = time_iters(3, 20, || {
+            for _ in 0..REFS {
+                t += 50;
+                addr += 128; // new line every time: guaranteed miss
+                let cpu = (addr / 128) as usize % cpus;
+                black_box(mem.access(cpu, t, VirtAddr(addr), PhysAddr(addr), AccessKind::Read));
+            }
         });
+        report(&format!("memsim/miss_storm/{cpus}p"), REFS, timing);
     }
-    group.finish();
 }
 
 /// Prefetch issue path, including slot management.
-fn bench_prefetch(c: &mut Criterion) {
-    let mut group = c.benchmark_group("memsim/prefetch");
+fn bench_prefetch() {
     const OPS: u64 = 2_000;
-    group.throughput(Throughput::Elements(OPS));
-    group.bench_function("issue", |b| {
-        let mut mem = MemorySystem::new(small_cfg(1));
-        // Map the TLB entry by touching the page first.
-        mem.access(0, 0, VirtAddr(0), PhysAddr(0), AccessKind::Read);
-        let mut t = 1_000u64;
-        let mut addr = 0u64;
-        b.iter(|| {
-            for _ in 0..OPS {
-                t += 300;
-                addr = (addr + 128) % 4096; // stay in the mapped page
-                black_box(mem.prefetch(0, t, VirtAddr(addr), PhysAddr(addr), false));
-            }
-        })
+    let mut mem = MemorySystem::new(small_cfg(1));
+    // Map the TLB entry by touching the page first.
+    mem.access(0, 0, VirtAddr(0), PhysAddr(0), AccessKind::Read);
+    let mut t = 1_000u64;
+    let mut addr = 0u64;
+    let timing = time_iters(3, 20, || {
+        for _ in 0..OPS {
+            t += 300;
+            addr = (addr + 128) % 4096; // stay in the mapped page
+            black_box(mem.prefetch(0, t, VirtAddr(addr), PhysAddr(addr), false));
+        }
     });
-    group.finish();
+    report("memsim/prefetch/issue", OPS, timing);
 }
 
-criterion_group!(benches, bench_stream_hits, bench_miss_storm, bench_prefetch);
-criterion_main!(benches);
+fn main() {
+    bench_stream_hits();
+    bench_miss_storm();
+    bench_prefetch();
+}

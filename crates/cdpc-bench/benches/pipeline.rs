@@ -1,47 +1,68 @@
 //! End-to-end pipeline benchmarks: compile (parallelize + layout +
 //! summarize + prefetch-plan + lower) and full machine simulation of one
 //! workload, per policy. These are the costs a user of the library pays.
+//!
+//! Run with `cargo bench -p cdpc-bench --bench pipeline`. The simulation
+//! section also reports the probes-on cost next to probes-off, which is
+//! the observability overhead budget (kept under 2% when disabled — the
+//! disabled path is `run`, whose probe hooks compile to nothing).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use cdpc_bench::{Preset, Setup};
-use cdpc_machine::{run, PolicyKind, RunConfig};
+use cdpc_machine::{run, run_observed, PolicyKind, RunConfig};
+use cdpc_obs::selfprof::time_iters;
+use cdpc_obs::CountingProbe;
 
-fn bench_compile(c: &mut Criterion) {
-    let setup = Setup { scale: 8 };
-    let mut group = c.benchmark_group("pipeline/compile");
+fn bench_compile() {
+    let setup = Setup::with_scale(8);
     for name in ["tomcatv", "su2cor", "turb3d"] {
         let bench = cdpc_workloads::by_name(name).expect("exists");
-        group.bench_function(BenchmarkId::from_parameter(name), |b| {
-            b.iter(|| black_box(setup.compile_bench(&bench, Preset::Base1MbDm, 8, true, true)))
+        let t = time_iters(2, 20, || {
+            black_box(setup.compile_bench(&bench, Preset::Base1MbDm, 8, true, true));
         });
+        println!(
+            "pipeline/compile/{name:<10} {:>10.2} ms",
+            t.secs_per_iter() * 1e3
+        );
     }
-    group.finish();
 }
 
-fn bench_simulation(c: &mut Criterion) {
+fn bench_simulation() {
     // Scale 64 keeps each full simulation to a few milliseconds.
-    let setup = Setup { scale: 64 };
+    let setup = Setup::with_scale(64);
     let bench = cdpc_workloads::by_name("hydro2d").expect("exists");
     let compiled = setup.compile_bench(&bench, Preset::Base1MbDm, 4, false, true);
-    let mut group = c.benchmark_group("pipeline/simulate_hydro2d_4p");
-    group.sample_size(20);
     for policy in [
         PolicyKind::PageColoring,
         PolicyKind::BinHopping,
         PolicyKind::Cdpc,
         PolicyKind::CdpcTouch,
     ] {
-        group.bench_function(BenchmarkId::from_parameter(policy.label()), |b| {
-            b.iter(|| {
-                let cfg = RunConfig::new(setup.scaled_mem(Preset::Base1MbDm, 4), policy);
-                black_box(run(&compiled, &cfg))
-            })
+        let t = time_iters(2, 20, || {
+            let cfg = RunConfig::new(setup.scaled_mem(Preset::Base1MbDm, 4), policy);
+            black_box(run(&compiled, &cfg));
         });
+        println!(
+            "pipeline/simulate_hydro2d_4p/{:<14} {:>10.2} ms",
+            policy.label(),
+            t.secs_per_iter() * 1e3
+        );
     }
-    group.finish();
+    // Probes-on variant: the instrumented run with a counting probe.
+    let t = time_iters(2, 20, || {
+        let cfg = RunConfig::new(setup.scaled_mem(Preset::Base1MbDm, 4), PolicyKind::Cdpc);
+        let mut probe = CountingProbe::default();
+        black_box(run_observed(&compiled, &cfg, &mut probe, None));
+    });
+    println!(
+        "pipeline/simulate_hydro2d_4p/{:<14} {:>10.2} ms",
+        "cdpc+probes",
+        t.secs_per_iter() * 1e3
+    );
 }
 
-criterion_group!(benches, bench_compile, bench_simulation);
-criterion_main!(benches);
+fn main() {
+    bench_compile();
+    bench_simulation();
+}

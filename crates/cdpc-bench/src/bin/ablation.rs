@@ -22,9 +22,27 @@ fn main() {
     let cpus = 8;
     let variants: [(&str, HintOptions); 5] = [
         ("full", HintOptions::FULL),
-        ("-set-order", HintOptions { order_sets: false, ..HintOptions::FULL }),
-        ("-seg-order", HintOptions { order_segments: false, ..HintOptions::FULL }),
-        ("-cyclic", HintOptions { cyclic_layout: false, ..HintOptions::FULL }),
+        (
+            "-set-order",
+            HintOptions {
+                order_sets: false,
+                ..HintOptions::FULL
+            },
+        ),
+        (
+            "-seg-order",
+            HintOptions {
+                order_segments: false,
+                ..HintOptions::FULL
+            },
+        ),
+        (
+            "-cyclic",
+            HintOptions {
+                cyclic_layout: false,
+                ..HintOptions::FULL
+            },
+        ),
         (
             "none",
             HintOptions {
@@ -43,13 +61,14 @@ fn main() {
         let bench = cdpc_workloads::by_name(name).expect("benchmark exists");
         let compiled = setup.compile_bench(&bench, Preset::Base1MbDm, cpus, false, true);
         println!("== {} ==", bench.name);
-        table::header(&["variant", "time", "conflict-stall", "vs full"], &[12, 10, 14, 8]);
+        table::header(
+            &["variant", "time", "conflict-stall", "vs full"],
+            &[12, 10, 14, 8],
+        );
         let mut full_time = 0u64;
         for (label, options) in variants {
-            let mut cfg = RunConfig::new(
-                setup.scaled_mem(Preset::Base1MbDm, cpus),
-                PolicyKind::Cdpc,
-            );
+            let mut cfg =
+                RunConfig::new(setup.scaled_mem(Preset::Base1MbDm, cpus), PolicyKind::Cdpc);
             cfg.hint_options = options;
             let r = run(&compiled, &cfg);
             if label == "full" {

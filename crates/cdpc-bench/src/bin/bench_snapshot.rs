@@ -1,0 +1,65 @@
+//! Regenerates `results/bench_snapshot.json`: simulator-throughput
+//! self-profiles (refs/sec, event counts) for every workload at the
+//! default scale, under the CDPC policy.
+//!
+//! ```text
+//! cargo run --release -p cdpc-bench --bin bench_snapshot            # print
+//! cargo run --release -p cdpc-bench --bin bench_snapshot -- --write # update file
+//! ```
+//!
+//! The snapshot is a machine-local perf record, not a correctness
+//! artifact: refs/sec depend on the host. What the checked-in file pins
+//! is the schema and the simulated-side numbers (`simulated_refs`,
+//! `simulated_cycles`, `events`), which are deterministic.
+
+use cdpc_bench::{Preset, Setup};
+use cdpc_machine::{run_observed, PolicyKind, RunConfig};
+use cdpc_obs::selfprof::{SelfProfile, Stopwatch};
+use cdpc_obs::{CountingProbe, JsonValue, Probe};
+
+const SNAPSHOT_PATH: &str = "results/bench_snapshot.json";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let write = args.iter().any(|a| a == "--write");
+    let setup = Setup::default(); // scale 8, the experiments' default
+    let cpus = 8;
+
+    let mut workloads = Vec::new();
+    for bench in cdpc_workloads::all() {
+        let compiled = setup.compile_bench(&bench, Preset::Base1MbDm, cpus, false, true);
+        let cfg = RunConfig::new(setup.scaled_mem(Preset::Base1MbDm, cpus), PolicyKind::Cdpc);
+        let mut probe = CountingProbe::default();
+        let watch = Stopwatch::start();
+        let (report, _) = run_observed(&compiled, &cfg, &mut probe, None);
+        let profile = SelfProfile {
+            name: bench.name.to_string(),
+            wall_secs: watch.elapsed_secs(),
+            simulated_refs: report.simulated_refs,
+            simulated_cycles: report.elapsed_cycles,
+            events: probe.event_count(),
+        };
+        eprintln!(
+            "{:<10} {:>12} refs  {:>12.0} refs/s  {:>10} events",
+            profile.name,
+            profile.simulated_refs,
+            profile.refs_per_sec(),
+            profile.events
+        );
+        workloads.push(profile.to_json());
+    }
+
+    let mut doc = JsonValue::object();
+    doc.push("scale", JsonValue::UInt(setup.scale));
+    doc.push("cpus", JsonValue::UInt(cpus as u64));
+    doc.push("policy", JsonValue::Str("cdpc".into()));
+    doc.push("workloads", JsonValue::Array(workloads));
+    let text = doc.to_string_pretty();
+    if write {
+        std::fs::write(SNAPSHOT_PATH, &text)
+            .unwrap_or_else(|e| panic!("cannot write `{SNAPSHOT_PATH}`: {e}"));
+        eprintln!("wrote {SNAPSHOT_PATH}");
+    } else {
+        print!("{text}");
+    }
+}

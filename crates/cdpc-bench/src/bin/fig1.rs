@@ -28,7 +28,11 @@ fn main() {
                         println!("  PARALLEL  {}  -> barrier", ranges.join(" "));
                     }
                     CompiledStmt::Master { spec, suppressed } => {
-                        let kind = if *suppressed { "SUPPRESSED" } else { "SEQUENTIAL" };
+                        let kind = if *suppressed {
+                            "SUPPRESSED"
+                        } else {
+                            "SEQUENTIAL"
+                        };
                         println!(
                             "  {kind}  master runs [{},{}), slaves spin",
                             spec.lo, spec.hi

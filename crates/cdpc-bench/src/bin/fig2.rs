@@ -17,19 +17,29 @@ use cdpc_machine::PolicyKind;
 fn main() {
     let setup = Setup::from_args();
     let cpu_counts = [1usize, 2, 4, 8, 16];
-    println!("Figure 2: workload characterization (1MB DM cache, page coloring, scale {})\n", setup.scale);
+    println!(
+        "Figure 2: workload characterization (1MB DM cache, page coloring, scale {})\n",
+        setup.scale
+    );
 
     for bench in cdpc_workloads::all() {
         println!("== {} ==", bench.name);
         table::header(
             &[
-                "cpus", "combined", "exec%", "mem%", "ovhd%", "| kern", "imbal", "seq",
-                "suppr", "sync", "| MCPI", "repl", "comm", "| bus",
+                "cpus", "combined", "exec%", "mem%", "ovhd%", "| kern", "imbal", "seq", "suppr",
+                "sync", "| MCPI", "repl", "comm", "| bus",
             ],
             &[4, 9, 6, 6, 6, 6, 6, 6, 6, 6, 7, 6, 6, 6],
         );
         for &cpus in &cpu_counts {
-            let r = setup.run_bench(&bench, Preset::Base1MbDm, cpus, PolicyKind::PageColoring, false, true);
+            let r = setup.run_bench(
+                &bench,
+                Preset::Base1MbDm,
+                cpus,
+                PolicyKind::PageColoring,
+                false,
+                true,
+            );
             let total = (r.exec_cycles + r.stalls.total() + r.overheads.total()).max(1);
             let o = &r.overheads;
             let mcpi = r.mcpi();

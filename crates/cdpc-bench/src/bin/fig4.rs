@@ -25,8 +25,20 @@ fn main() {
             ArrayInfo::new(b, "B", VirtAddr(8 * page), 8 * page),
         ],
         partitionings: vec![
-            ArrayPartitioning::new(a, page, 8, PartitionPolicy::Blocked, PartitionDirection::Forward),
-            ArrayPartitioning::new(b, page, 8, PartitionPolicy::Blocked, PartitionDirection::Forward),
+            ArrayPartitioning::new(
+                a,
+                page,
+                8,
+                PartitionPolicy::Blocked,
+                PartitionDirection::Forward,
+            ),
+            ArrayPartitioning::new(
+                b,
+                page,
+                8,
+                PartitionPolicy::Blocked,
+                PartitionDirection::Forward,
+            ),
         ],
         communications: vec![],
         groups: vec![GroupAccess::new(vec![a, b])],
@@ -50,7 +62,12 @@ fn main() {
     println!("\n(b) Step 2 — uniform access sets, ordered:");
     let sets = order_sets(group_into_sets(segments));
     for set in &sets {
-        println!("    procs {}  ({} segments, {} bytes)", set.procs, set.segments.len(), set.total_bytes());
+        println!(
+            "    procs {}  ({} segments, {} bytes)",
+            set.procs,
+            set.segments.len(),
+            set.total_bytes()
+        );
     }
 
     println!("\n(c) Steps 3-4 — segment ordering and cyclic page layout:");

@@ -26,8 +26,7 @@ fn main() {
             mem.l2.size_bytes(),
             mem.l2.associativity(),
         );
-        let hints =
-            generate_hints(&compiled.summary, &machine).expect("summary is valid");
+        let hints = generate_hints(&compiled.summary, &machine).expect("summary is valid");
         let positions: Vec<u64> = hints.order().iter().map(|v| v.0).collect();
         let sets = page_access_sets(&compiled, mem.page_size as u64);
         println!(

@@ -13,20 +13,39 @@ use cdpc_machine::PolicyKind;
 fn main() {
     let setup = Setup::from_args();
     let cpu_counts = [1usize, 2, 4, 8, 16];
-    println!(
-        "Figure 6: page coloring (PC) vs compiler-directed page coloring (CDPC)"
-    );
+    println!("Figure 6: page coloring (PC) vs compiler-directed page coloring (CDPC)");
     println!("1MB direct-mapped external cache, scale {}\n", setup.scale);
 
     for bench in cdpc_workloads::all() {
         println!("== {} ==", bench.name);
         table::header(
-            &["cpus", "PC time", "CDPC time", "PC repl%", "CDPC repl%", "speedup"],
+            &[
+                "cpus",
+                "PC time",
+                "CDPC time",
+                "PC repl%",
+                "CDPC repl%",
+                "speedup",
+            ],
             &[4, 10, 10, 9, 10, 8],
         );
         for &cpus in &cpu_counts {
-            let pc = setup.run_bench(&bench, Preset::Base1MbDm, cpus, PolicyKind::PageColoring, false, true);
-            let cdpc = setup.run_bench(&bench, Preset::Base1MbDm, cpus, PolicyKind::Cdpc, false, true);
+            let pc = setup.run_bench(
+                &bench,
+                Preset::Base1MbDm,
+                cpus,
+                PolicyKind::PageColoring,
+                false,
+                true,
+            );
+            let cdpc = setup.run_bench(
+                &bench,
+                Preset::Base1MbDm,
+                cpus,
+                PolicyKind::Cdpc,
+                false,
+                true,
+            );
             let repl_pct = |r: &cdpc_machine::RunReport| {
                 let total = r.exec_cycles + r.stalls.total() + r.overheads.total();
                 r.stalls.replacement() as f64 / total.max(1) as f64

@@ -13,7 +13,9 @@ use cdpc_machine::PolicyKind;
 fn main() {
     let setup = Setup::from_args();
     let cpu_counts = [1usize, 2, 4, 8, 16];
-    let apps = ["tomcatv", "swim", "su2cor", "hydro2d", "mgrid", "applu", "turb3d"];
+    let apps = [
+        "tomcatv", "swim", "su2cor", "hydro2d", "mgrid", "applu", "turb3d",
+    ];
 
     for (title, preset) in [
         ("1MB two-way set-associative", Preset::TwoWay1Mb),
@@ -24,11 +26,19 @@ fn main() {
             let bench = cdpc_workloads::by_name(name).expect("benchmark exists");
             println!("== {} ==", bench.name);
             table::header(
-                &["cpus", "PC time", "CDPC time", "PC repl%", "CDPC repl%", "speedup"],
+                &[
+                    "cpus",
+                    "PC time",
+                    "CDPC time",
+                    "PC repl%",
+                    "CDPC repl%",
+                    "speedup",
+                ],
                 &[4, 10, 10, 9, 10, 8],
             );
             for &cpus in &cpu_counts {
-                let pc = setup.run_bench(&bench, preset, cpus, PolicyKind::PageColoring, false, true);
+                let pc =
+                    setup.run_bench(&bench, preset, cpus, PolicyKind::PageColoring, false, true);
                 let cdpc = setup.run_bench(&bench, preset, cpus, PolicyKind::Cdpc, false, true);
                 let repl_pct = |r: &cdpc_machine::RunReport| {
                     let total = r.exec_cycles + r.stalls.total() + r.overheads.total();

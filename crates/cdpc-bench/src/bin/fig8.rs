@@ -14,7 +14,9 @@ use cdpc_machine::PolicyKind;
 fn main() {
     let setup = Setup::from_args();
     let cpu_counts = [1usize, 2, 4, 8, 16];
-    let apps = ["tomcatv", "swim", "su2cor", "hydro2d", "mgrid", "applu", "turb3d"];
+    let apps = [
+        "tomcatv", "swim", "su2cor", "hydro2d", "mgrid", "applu", "turb3d",
+    ];
     println!(
         "Figure 8: CDPC x prefetching (1MB DM cache, scale {})\n",
         setup.scale
@@ -24,14 +26,51 @@ fn main() {
         let bench = cdpc_workloads::by_name(name).expect("benchmark exists");
         println!("== {} ==", bench.name);
         table::header(
-            &["cpus", "PC", "PC+PF", "CDPC", "CDPC+PF", "PF gain", "CDPC gain", "both"],
+            &[
+                "cpus",
+                "PC",
+                "PC+PF",
+                "CDPC",
+                "CDPC+PF",
+                "PF gain",
+                "CDPC gain",
+                "both",
+            ],
             &[4, 9, 9, 9, 9, 8, 9, 8],
         );
         for &cpus in &cpu_counts {
-            let pc = setup.run_bench(&bench, Preset::Base1MbDm, cpus, PolicyKind::PageColoring, false, true);
-            let pc_pf = setup.run_bench(&bench, Preset::Base1MbDm, cpus, PolicyKind::PageColoring, true, true);
-            let cd = setup.run_bench(&bench, Preset::Base1MbDm, cpus, PolicyKind::Cdpc, false, true);
-            let cd_pf = setup.run_bench(&bench, Preset::Base1MbDm, cpus, PolicyKind::Cdpc, true, true);
+            let pc = setup.run_bench(
+                &bench,
+                Preset::Base1MbDm,
+                cpus,
+                PolicyKind::PageColoring,
+                false,
+                true,
+            );
+            let pc_pf = setup.run_bench(
+                &bench,
+                Preset::Base1MbDm,
+                cpus,
+                PolicyKind::PageColoring,
+                true,
+                true,
+            );
+            let cd = setup.run_bench(
+                &bench,
+                Preset::Base1MbDm,
+                cpus,
+                PolicyKind::Cdpc,
+                false,
+                true,
+            );
+            let cd_pf = setup.run_bench(
+                &bench,
+                Preset::Base1MbDm,
+                cpus,
+                PolicyKind::Cdpc,
+                true,
+                true,
+            );
             println!(
                 "{:>4} {:>9} {:>9} {:>9} {:>9} {:>8} {:>9} {:>8}",
                 cpus,

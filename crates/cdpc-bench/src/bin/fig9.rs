@@ -23,14 +23,44 @@ fn main() {
     for bench in cdpc_workloads::all() {
         println!("== {} ==", bench.name);
         table::header(
-            &["cpus", "BH-unal", "binhop", "pagecol", "CDPC", "CDPC/BH", "CDPC/PC"],
+            &[
+                "cpus", "BH-unal", "binhop", "pagecol", "CDPC", "CDPC/BH", "CDPC/PC",
+            ],
             &[4, 9, 9, 9, 9, 8, 8],
         );
         for &cpus in &cpu_counts {
-            let bh_u = setup.run_bench(&bench, Preset::Alpha, cpus, PolicyKind::BinHopping, false, false);
-            let bh = setup.run_bench(&bench, Preset::Alpha, cpus, PolicyKind::BinHopping, false, true);
-            let pc = setup.run_bench(&bench, Preset::Alpha, cpus, PolicyKind::PageColoring, false, true);
-            let cdpc = setup.run_bench(&bench, Preset::Alpha, cpus, PolicyKind::CdpcTouch, false, true);
+            let bh_u = setup.run_bench(
+                &bench,
+                Preset::Alpha,
+                cpus,
+                PolicyKind::BinHopping,
+                false,
+                false,
+            );
+            let bh = setup.run_bench(
+                &bench,
+                Preset::Alpha,
+                cpus,
+                PolicyKind::BinHopping,
+                false,
+                true,
+            );
+            let pc = setup.run_bench(
+                &bench,
+                Preset::Alpha,
+                cpus,
+                PolicyKind::PageColoring,
+                false,
+                true,
+            );
+            let cdpc = setup.run_bench(
+                &bench,
+                Preset::Alpha,
+                cpus,
+                PolicyKind::CdpcTouch,
+                false,
+                true,
+            );
             println!(
                 "{:>4} {:>9} {:>9} {:>9} {:>9} {:>8} {:>8}",
                 cpus,

@@ -1,39 +1,22 @@
 //! Inspect one run in full detail: a Figure-2-style breakdown for any
-//! (benchmark, CPU count, policy) combination.
+//! (benchmark, CPU count, policy) combination, with optional structured
+//! exports.
 //!
 //! ```text
 //! cargo run --release -p cdpc-bench --bin inspect -- tomcatv 8 cdpc
 //! cargo run --release -p cdpc-bench --bin inspect -- swim 16 bin-hopping --scale 4
+//! cargo run --release -p cdpc-bench --bin inspect -- swim 8 cdpc \
+//!     --json report.json --trace trace.json --series series.csv
 //! ```
 
 use cdpc_bench::{Preset, Setup};
-use cdpc_machine::{render_report, run, PolicyKind, RunConfig};
+use cdpc_machine::{render_report, PolicyKind};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut positional = Vec::new();
-    let mut scale = 8u64;
-    let mut i = 0;
-    while i < args.len() {
-        match args[i].as_str() {
-            "--scale" => {
-                scale = args
-                    .get(i + 1)
-                    .and_then(|s| s.parse().ok())
-                    .expect("--scale needs a power-of-two value");
-                i += 2;
-            }
-            "--full" => {
-                scale = 1;
-                i += 1;
-            }
-            other => {
-                positional.push(other.to_string());
-                i += 1;
-            }
-        }
-    }
-    let usage = "usage: inspect <benchmark> [cpus] [policy] [--scale N]\n  \
+    let (setup, positional) = Setup::from_args_with_positionals();
+    let usage = "usage: inspect <benchmark> [cpus] [policy] [--scale N] \
+                 [--json <path>] [--trace <path>] [--series <path>] \
+                 [--sample-interval <cycles>]\n  \
                  policies: page-coloring | bin-hopping | cdpc | cdpc-touch | dynamic-recolor";
     let bench_name = positional.first().cloned().unwrap_or_else(|| {
         eprintln!("{usage}");
@@ -55,7 +38,6 @@ fn main() {
         }
     };
 
-    let setup = Setup { scale };
     let bench = cdpc_workloads::by_name(&bench_name).unwrap_or_else(|| {
         eprintln!("unknown benchmark `{bench_name}`; try one of:");
         for b in cdpc_workloads::all() {
@@ -63,10 +45,6 @@ fn main() {
         }
         std::process::exit(2);
     });
-    let compiled = setup.compile_bench(&bench, Preset::Base1MbDm, cpus, false, true);
-    let report = run(
-        &compiled,
-        &RunConfig::new(setup.scaled_mem(Preset::Base1MbDm, cpus), policy),
-    );
+    let report = setup.run_bench(&bench, Preset::Base1MbDm, cpus, policy, false, true);
     print!("{}", render_report(&report));
 }

@@ -43,8 +43,18 @@ fn main() {
     let variants: [(&str, Option<LayoutMode>); 4] = [
         ("no pad", Some(LayoutMode::Padded { pad_bytes: 0 })),
         ("pad 1 line", Some(LayoutMode::Padded { pad_bytes: 128 })),
-        ("pad page/2", Some(LayoutMode::Padded { pad_bytes: page / 2 })),
-        ("pad 2 pages", Some(LayoutMode::Padded { pad_bytes: 2 * page })),
+        (
+            "pad page/2",
+            Some(LayoutMode::Padded {
+                pad_bytes: page / 2,
+            }),
+        ),
+        (
+            "pad 2 pages",
+            Some(LayoutMode::Padded {
+                pad_bytes: 2 * page,
+            }),
+        ),
     ];
     for policy in [PolicyKind::PageColoring, PolicyKind::BinHopping] {
         for (label, layout) in variants {

@@ -43,11 +43,15 @@ fn main() {
     println!();
     let pc = run(
         &compiled,
-        &RunConfig::new(setup.scaled_mem(Preset::Base1MbDm, cpus), PolicyKind::PageColoring),
+        &RunConfig::new(
+            setup.scaled_mem(Preset::Base1MbDm, cpus),
+            PolicyKind::PageColoring,
+        ),
     );
     println!(
         "{:>10} {:>10} {:>10} {:>14}   <- page coloring reference",
-        "-", "-",
+        "-",
+        "-",
         table::cycles(pc.elapsed_cycles),
         table::cycles(pc.stalls.conflict),
     );

@@ -9,18 +9,26 @@ use cdpc_workloads::spec::{Scale, MB};
 fn main() {
     let setup = Setup::from_args();
     println!("Table 1. Reference Data Set Sizes of SPEC95fp");
-    println!("(model at full scale vs. paper; runs use --scale {})\n", setup.scale);
-    println!("{:<14} {:>12} {:>10} {:>14}", "Benchmark", "model (MB)", "paper", "at --scale");
+    println!(
+        "(model at full scale vs. paper; runs use --scale {})\n",
+        setup.scale
+    );
+    println!(
+        "{:<14} {:>12} {:>10} {:>14}",
+        "Benchmark", "model (MB)", "paper", "at --scale"
+    );
     println!("{}", "-".repeat(54));
     for b in cdpc_workloads::all() {
         let full = (b.build)(Scale::FULL).data_set_bytes() as f64 / MB as f64;
-        let scaled =
-            (b.build)(setup.workload_scale()).data_set_bytes() as f64 / MB as f64;
+        let scaled = (b.build)(setup.workload_scale()).data_set_bytes() as f64 / MB as f64;
         let paper = if b.name.contains("fpppp") {
             "< 1".to_string()
         } else {
             format!("{:.0}", b.table1_mb)
         };
-        println!("{:<14} {:>12.1} {:>10} {:>11.2} MB", b.name, full, paper, scaled);
+        println!(
+            "{:<14} {:>12.1} {:>10} {:>11.2} MB",
+            b.name, full, paper, scaled
+        );
     }
 }

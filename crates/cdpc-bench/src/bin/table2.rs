@@ -19,19 +19,59 @@ fn main() {
         cpus, setup.scale
     );
     table::header(
-        &["benchmark", "binhop", "pagecol", "CDPC", "r(BH)", "r(PC)", "r(CDPC)"],
+        &[
+            "benchmark",
+            "binhop",
+            "pagecol",
+            "CDPC",
+            "r(BH)",
+            "r(PC)",
+            "r(CDPC)",
+        ],
         &[14, 9, 9, 9, 7, 7, 7],
     );
 
     let mut ratios = (Vec::new(), Vec::new(), Vec::new());
     for bench in cdpc_workloads::all() {
         let reference = setup
-            .run_bench(&bench, Preset::Alpha, 1, PolicyKind::PageColoring, false, true)
+            .run_bench(
+                &bench,
+                Preset::Alpha,
+                1,
+                PolicyKind::PageColoring,
+                false,
+                true,
+            )
             .elapsed_cycles;
-        let bh = setup.run_bench(&bench, Preset::Alpha, cpus, PolicyKind::BinHopping, false, true);
-        let pc = setup.run_bench(&bench, Preset::Alpha, cpus, PolicyKind::PageColoring, false, true);
-        let cdpc = setup.run_bench(&bench, Preset::Alpha, cpus, PolicyKind::CdpcTouch, false, true);
-        let (rb, rp, rc) = (bh.ratio(reference), pc.ratio(reference), cdpc.ratio(reference));
+        let bh = setup.run_bench(
+            &bench,
+            Preset::Alpha,
+            cpus,
+            PolicyKind::BinHopping,
+            false,
+            true,
+        );
+        let pc = setup.run_bench(
+            &bench,
+            Preset::Alpha,
+            cpus,
+            PolicyKind::PageColoring,
+            false,
+            true,
+        );
+        let cdpc = setup.run_bench(
+            &bench,
+            Preset::Alpha,
+            cpus,
+            PolicyKind::CdpcTouch,
+            false,
+            true,
+        );
+        let (rb, rp, rc) = (
+            bh.ratio(reference),
+            pc.ratio(reference),
+            cdpc.ratio(reference),
+        );
         println!(
             "{:<14} {:>9} {:>9} {:>9} {:>7.2} {:>7.2} {:>7.2}",
             bench.name,

@@ -14,10 +14,20 @@
 //! while keeping runs fast (the paper faces the same wall — full-detail
 //! SPEC95fp simulation "would take more than one year" — and answers with
 //! representative execution windows; we window *and* scale).
+//!
+//! Every experiment also accepts the observability flags (see
+//! [`ObsOptions`]): `--json <path>` exports every run report as JSON,
+//! `--trace <path>` writes a Chrome-trace-event timeline loadable in
+//! Perfetto, `--series <path>` writes an interval-metrics CSV, and
+//! `--sample-interval <cycles>` sets the series' window length.
+
+use std::cell::{Cell, RefCell};
+use std::path::{Path, PathBuf};
 
 use cdpc_compiler::{compile, CompileOptions, CompiledProgram};
-use cdpc_machine::{run, PolicyKind, RunConfig, RunReport};
+use cdpc_machine::{report_to_json, run, run_observed, PolicyKind, RunConfig, RunReport};
 use cdpc_memsim::{CacheConfig, MemConfig};
+use cdpc_obs::{IntervalSeries, JsonValue, NullProbe, TraceProbe};
 use cdpc_workloads::spec::Scale;
 use cdpc_workloads::Benchmark;
 
@@ -47,37 +57,168 @@ impl Preset {
     }
 }
 
-/// One experiment configuration: scale plus derived machine parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// Window length used for `--series` when `--sample-interval` is absent.
+pub const DEFAULT_SAMPLE_INTERVAL: u64 = 10_000;
+
+const FLAG_USAGE: &str = "supported flags: --scale N, --full, --json <path>, \
+                          --trace <path>, --series <path>, --sample-interval <cycles>";
+
+/// Observability outputs requested on the command line, shared by every
+/// experiment binary via [`Setup::from_args`].
+///
+/// One binary invocation may execute many simulation runs (a figure sweeps
+/// benchmarks × policies). The JSON file is rewritten after every run with
+/// all reports so far (`{"runs": [...]}`); trace and series files are
+/// written per run, with a `-N` suffix inserted before the extension for
+/// runs after the first.
+#[derive(Debug, Clone, Default)]
+pub struct ObsOptions {
+    /// `--json <path>`: run reports as one JSON document.
+    pub json: Option<PathBuf>,
+    /// `--trace <path>`: Chrome-trace-event timeline (load in Perfetto or
+    /// `chrome://tracing`).
+    pub trace: Option<PathBuf>,
+    /// `--series <path>`: interval-metrics CSV time series.
+    pub series: Option<PathBuf>,
+    /// `--sample-interval <cycles>`: window length for interval sampling
+    /// ([`DEFAULT_SAMPLE_INTERVAL`] when only `--series` is given).
+    pub sample_interval: Option<u64>,
+    /// Reports exported so far in this process (backs the JSON document).
+    reports: RefCell<Vec<JsonValue>>,
+    /// Runs recorded so far in this process (numbers the output files).
+    runs: Cell<usize>,
+}
+
+impl PartialEq for ObsOptions {
+    fn eq(&self, other: &Self) -> bool {
+        self.json == other.json
+            && self.trace == other.trace
+            && self.series == other.series
+            && self.sample_interval == other.sample_interval
+    }
+}
+
+impl Eq for ObsOptions {}
+
+impl ObsOptions {
+    /// True when any observability output was requested — the signal for
+    /// [`Setup::run_bench`] to switch from `run` to `run_observed`.
+    pub fn active(&self) -> bool {
+        self.json.is_some()
+            || self.trace.is_some()
+            || self.series.is_some()
+            || self.sample_interval.is_some()
+    }
+
+    /// The sampling window to run with, if interval sampling applies.
+    pub fn sampling(&self) -> Option<u64> {
+        match (self.sample_interval, &self.series) {
+            (Some(n), _) => Some(n),
+            (None, Some(_)) => Some(DEFAULT_SAMPLE_INTERVAL),
+            (None, None) => None,
+        }
+    }
+
+    /// Records one finished run: extends and rewrites the JSON document,
+    /// and writes this run's series CSV and trace files.
+    pub fn record(
+        &self,
+        report: &RunReport,
+        series: Option<&IntervalSeries>,
+        trace: Option<&TraceProbe>,
+    ) {
+        let idx = self.runs.get();
+        self.runs.set(idx + 1);
+        if let Some(path) = &self.json {
+            self.reports.borrow_mut().push(report_to_json(report));
+            let mut doc = JsonValue::object();
+            doc.push("runs", JsonValue::Array(self.reports.borrow().clone()));
+            write_text(path, &doc.to_string_pretty());
+        }
+        if let (Some(path), Some(series)) = (&self.series, series) {
+            write_text(&numbered(path, idx), &series.to_csv());
+        }
+        if let (Some(path), Some(trace)) = (&self.trace, trace) {
+            write_text(&numbered(path, idx), &trace.to_chrome_trace());
+        }
+    }
+}
+
+/// `path` for run 0, `stem-N.ext` for later runs.
+fn numbered(path: &Path, idx: usize) -> PathBuf {
+    if idx == 0 {
+        return path.to_path_buf();
+    }
+    let stem = path.file_stem().and_then(|s| s.to_str()).unwrap_or("out");
+    let name = match path.extension().and_then(|e| e.to_str()) {
+        Some(ext) => format!("{stem}-{idx}.{ext}"),
+        None => format!("{stem}-{idx}"),
+    };
+    path.with_file_name(name)
+}
+
+fn write_text(path: &Path, text: &str) {
+    std::fs::write(path, text).unwrap_or_else(|e| panic!("cannot write `{}`: {e}", path.display()));
+}
+
+/// One experiment configuration: scale, observability outputs, and derived
+/// machine parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Setup {
     /// Power-of-two divisor applied to data sets, caches, and TLBs.
     pub scale: u64,
+    /// Observability outputs for [`run_bench`](Self::run_bench).
+    pub obs: ObsOptions,
 }
 
 impl Default for Setup {
     fn default() -> Self {
-        Setup { scale: 8 }
+        Setup::with_scale(8)
     }
 }
 
 impl Setup {
-    /// Parses `--scale N` / `--full` from command-line arguments
-    /// (defaults to scale 8).
+    /// A setup at the given scale with no observability outputs.
+    pub fn with_scale(scale: u64) -> Self {
+        Setup {
+            scale,
+            obs: ObsOptions::default(),
+        }
+    }
+
+    /// Parses the shared flags (`--scale N`, `--full`, and the
+    /// [`ObsOptions`] flags) from command-line arguments; defaults to
+    /// scale 8.
     ///
     /// # Panics
     ///
-    /// Panics with a usage message on malformed arguments.
+    /// Panics with a usage message on malformed or unknown arguments.
     pub fn from_args() -> Self {
-        let args: Vec<String> = std::env::args().collect();
+        let (setup, positional) = Self::from_args_with_positionals();
+        if let Some(first) = positional.first() {
+            panic!("unknown argument `{first}` ({FLAG_USAGE})");
+        }
+        setup
+    }
+
+    /// Like [`from_args`](Self::from_args), but collects non-flag
+    /// arguments for binaries with positional parameters (e.g. `inspect`).
+    pub fn from_args_with_positionals() -> (Self, Vec<String>) {
+        let args: Vec<String> = std::env::args().skip(1).collect();
         let mut setup = Setup::default();
-        let mut i = 1;
+        let mut positional = Vec::new();
+        let mut i = 0;
+        let value = |args: &[String], i: usize, flag: &str| -> String {
+            args.get(i + 1)
+                .unwrap_or_else(|| panic!("{flag} needs a value ({FLAG_USAGE})"))
+                .clone()
+        };
         while i < args.len() {
             match args[i].as_str() {
                 "--scale" => {
-                    let v = args
-                        .get(i + 1)
-                        .and_then(|s| s.parse::<u64>().ok())
-                        .unwrap_or_else(|| panic!("usage: --scale <power-of-two>"));
+                    let v = value(&args, i, "--scale")
+                        .parse::<u64>()
+                        .unwrap_or_else(|_| panic!("--scale needs a power-of-two value"));
                     assert!(v.is_power_of_two(), "--scale must be a power of two");
                     setup.scale = v;
                     i += 2;
@@ -86,10 +227,37 @@ impl Setup {
                     setup.scale = 1;
                     i += 1;
                 }
-                other => panic!("unknown argument `{other}` (supported: --scale N, --full)"),
+                "--json" => {
+                    setup.obs.json = Some(PathBuf::from(value(&args, i, "--json")));
+                    i += 2;
+                }
+                "--trace" => {
+                    setup.obs.trace = Some(PathBuf::from(value(&args, i, "--trace")));
+                    i += 2;
+                }
+                "--series" => {
+                    setup.obs.series = Some(PathBuf::from(value(&args, i, "--series")));
+                    i += 2;
+                }
+                "--sample-interval" => {
+                    let v = value(&args, i, "--sample-interval")
+                        .parse::<u64>()
+                        .unwrap_or_else(|_| panic!("--sample-interval needs a cycle count"));
+                    assert!(v > 0, "--sample-interval must be positive");
+                    setup.obs.sample_interval = Some(v);
+                    i += 2;
+                }
+                other => {
+                    assert!(
+                        !other.starts_with("--"),
+                        "unknown flag `{other}` ({FLAG_USAGE})"
+                    );
+                    positional.push(other.to_string());
+                    i += 1;
+                }
             }
         }
-        setup
+        (setup, positional)
     }
 
     /// The workload scale.
@@ -129,6 +297,12 @@ impl Setup {
     }
 
     /// Compiles and runs one benchmark under one policy.
+    ///
+    /// With no observability outputs requested this is exactly
+    /// [`run`](cdpc_machine::run) (no probes, no sampling). When any
+    /// [`ObsOptions`] flag is set, the run goes through
+    /// [`run_observed`](cdpc_machine::run_observed) and the requested
+    /// files are written before returning.
     pub fn run_bench(
         &self,
         bench: &Benchmark,
@@ -140,7 +314,20 @@ impl Setup {
     ) -> RunReport {
         let compiled = self.compile_bench(bench, preset, cpus, prefetch, aligned);
         let cfg = RunConfig::new(self.scaled_mem(preset, cpus), policy);
-        run(&compiled, &cfg)
+        if !self.obs.active() {
+            return run(&compiled, &cfg);
+        }
+        let interval = self.obs.sampling();
+        if self.obs.trace.is_some() {
+            let mut probe = TraceProbe::new();
+            let (report, series) = run_observed(&compiled, &cfg, &mut probe, interval);
+            self.obs.record(&report, series.as_ref(), Some(&probe));
+            report
+        } else {
+            let (report, series) = run_observed(&compiled, &cfg, &mut NullProbe, interval);
+            self.obs.record(&report, series.as_ref(), None);
+            report
+        }
     }
 }
 
@@ -252,24 +439,89 @@ mod tests {
 
     #[test]
     fn scaling_shrinks_caches_with_floors() {
-        let s = Setup { scale: 8 };
+        let s = Setup::with_scale(8);
         let m = s.scaled_mem(Preset::Base1MbDm, 2);
         assert_eq!(m.l2.size_bytes(), 128 << 10);
         assert_eq!(m.l1d.size_bytes(), 4 << 10);
         assert_eq!(m.tlb_entries, 8);
         // Extreme scale: floors kick in.
-        let s = Setup { scale: 1024 };
+        let s = Setup::with_scale(1024);
         let m = s.scaled_mem(Preset::Base1MbDm, 2);
         assert!(m.l1d.size_bytes() >= m.l1d.line_bytes() * m.l1d.associativity() * 8);
     }
 
     #[test]
     fn run_bench_produces_report() {
-        let s = Setup { scale: 64 };
+        let s = Setup::with_scale(64);
         let bench = cdpc_workloads::by_name("hydro2d").unwrap();
         let r = s.run_bench(&bench, Preset::Base1MbDm, 2, PolicyKind::Cdpc, false, true);
         assert!(r.instructions > 0);
         assert_eq!(r.policy, "cdpc");
+    }
+
+    #[test]
+    fn obs_sampling_defaults_only_with_series() {
+        let mut obs = ObsOptions::default();
+        assert!(!obs.active());
+        assert_eq!(obs.sampling(), None);
+        obs.series = Some(PathBuf::from("series.csv"));
+        assert!(obs.active());
+        assert_eq!(obs.sampling(), Some(DEFAULT_SAMPLE_INTERVAL));
+        obs.sample_interval = Some(2_500);
+        assert_eq!(obs.sampling(), Some(2_500));
+    }
+
+    #[test]
+    fn numbered_suffixes_later_runs() {
+        let p = PathBuf::from("/tmp/out.json");
+        assert_eq!(numbered(&p, 0), PathBuf::from("/tmp/out.json"));
+        assert_eq!(numbered(&p, 2), PathBuf::from("/tmp/out-2.json"));
+        let bare = PathBuf::from("trace");
+        assert_eq!(numbered(&bare, 1), PathBuf::from("trace-1"));
+    }
+
+    #[test]
+    fn observed_run_bench_writes_outputs() {
+        let dir = std::env::temp_dir().join(format!("cdpc-bench-obs-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut s = Setup::with_scale(64);
+        s.obs.json = Some(dir.join("runs.json"));
+        s.obs.trace = Some(dir.join("trace.json"));
+        s.obs.series = Some(dir.join("series.csv"));
+        let bench = cdpc_workloads::by_name("hydro2d").unwrap();
+        let plain = Setup::with_scale(64).run_bench(
+            &bench,
+            Preset::Base1MbDm,
+            2,
+            PolicyKind::Cdpc,
+            false,
+            true,
+        );
+        let observed = s.run_bench(&bench, Preset::Base1MbDm, 2, PolicyKind::Cdpc, false, true);
+        assert_eq!(plain, observed, "observability must not change results");
+        // Second run: JSON grows, per-run files get a suffix.
+        s.run_bench(
+            &bench,
+            Preset::Base1MbDm,
+            2,
+            PolicyKind::PageColoring,
+            false,
+            true,
+        );
+
+        let doc = JsonValue::parse(&std::fs::read_to_string(dir.join("runs.json")).unwrap())
+            .expect("exported JSON must parse");
+        let runs = doc.get("runs").and_then(|r| r.as_array()).unwrap();
+        assert_eq!(runs.len(), 2);
+        assert_eq!(runs[0].get("policy").and_then(|p| p.as_str()), Some("cdpc"));
+        let csv = std::fs::read_to_string(dir.join("series.csv")).unwrap();
+        assert!(csv.lines().count() > 1, "series has header plus windows");
+        let trace =
+            JsonValue::parse(&std::fs::read_to_string(dir.join("trace.json")).unwrap()).unwrap();
+        assert!(trace.get("traceEvents").is_some());
+        assert!(dir.join("series-1.csv").exists());
+        assert!(dir.join("trace-1.json").exists());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

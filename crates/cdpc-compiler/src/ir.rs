@@ -293,8 +293,10 @@ mod tests {
     fn sample() -> Program {
         let mut p = Program::new("test");
         let a = p.array("A", 64 * 1024);
-        let nest = LoopNest::new("l1", 64, 100)
-            .with_access(Access::read(a, AccessPattern::Partitioned { unit_bytes: 1024 }));
+        let nest = LoopNest::new("l1", 64, 100).with_access(Access::read(
+            a,
+            AccessPattern::Partitioned { unit_bytes: 1024 },
+        ));
         p.phase(Phase {
             name: "main".into(),
             stmts: vec![Stmt {

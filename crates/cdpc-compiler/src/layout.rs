@@ -89,11 +89,8 @@ pub fn layout(program: &Program, opts: &LayoutOptions) -> DataLayout {
             }
         }
     }
-    let used_together = |a: usize, b: usize| {
-        grouped
-            .iter()
-            .any(|g| g.contains(&a) && g.contains(&b))
-    };
+    let used_together =
+        |a: usize, b: usize| grouped.iter().any(|g| g.contains(&a) && g.contains(&b));
 
     let mut bases = Vec::with_capacity(program.arrays.len());
     let mut cursor = opts.data_base;
@@ -118,12 +115,9 @@ pub fn layout(program: &Program, opts: &LayoutOptions) -> DataLayout {
                 let slot = |addr: u64| (addr % opts.l1_cache_bytes) / opts.line_bytes;
                 let max_tries = opts.l1_cache_bytes / opts.line_bytes;
                 for _ in 0..max_tries {
-                    let collision = bases
-                        .iter()
-                        .enumerate()
-                        .any(|(j, b): (usize, &VirtAddr)| {
-                            used_together(i, j) && slot(b.0) == slot(cursor)
-                        });
+                    let collision = bases.iter().enumerate().any(|(j, b): (usize, &VirtAddr)| {
+                        used_together(i, j) && slot(b.0) == slot(cursor)
+                    });
                     if !collision {
                         break;
                     }

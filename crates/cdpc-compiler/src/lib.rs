@@ -347,7 +347,10 @@ mod tests {
                     wraparound: false,
                 },
             ))
-            .with_access(Access::write(b, AccessPattern::Partitioned { unit_bytes: 1024 }));
+            .with_access(Access::write(
+                b,
+                AccessPattern::Partitioned { unit_bytes: 1024 },
+            ));
         p.phase(Phase {
             name: "main".into(),
             stmts: vec![Stmt {
@@ -394,7 +397,10 @@ mod tests {
         let c = compile(&stencil_program(), &CompileOptions::new(1)).unwrap();
         assert!(matches!(
             c.phases[0].stmts[0],
-            CompiledStmt::Master { suppressed: false, .. }
+            CompiledStmt::Master {
+                suppressed: false,
+                ..
+            }
         ));
         // On 1 CPU no loop is distributed, so the summary has no
         // partitionings and CDPC falls back to the OS policy everywhere.
@@ -410,7 +416,9 @@ mod tests {
 
     #[test]
     fn prefetch_flag_annotates_streaming_accesses() {
-        let opts = CompileOptions::new(2).with_prefetch().with_l2_cache(64 << 10);
+        let opts = CompileOptions::new(2)
+            .with_prefetch()
+            .with_l2_cache(64 << 10);
         let c = compile(&stencil_program(), &opts).unwrap();
         let CompiledStmt::Parallel { specs } = &c.phases[0].stmts[0] else {
             panic!();
@@ -448,7 +456,10 @@ mod tests {
         let c = compile(&p, &CompileOptions::new(4)).unwrap();
         assert!(matches!(
             c.phases[0].stmts[0],
-            CompiledStmt::Master { suppressed: true, .. }
+            CompiledStmt::Master {
+                suppressed: true,
+                ..
+            }
         ));
     }
 }

@@ -68,11 +68,7 @@ impl PrefetchPlan {
 
     /// `true` if any access anywhere prefetches.
     pub fn any_enabled(&self) -> bool {
-        self.decisions
-            .iter()
-            .flatten()
-            .flatten()
-            .any(|d| d.enabled)
+        self.decisions.iter().flatten().flatten().any(|d| d.enabled)
     }
 }
 
@@ -114,8 +110,7 @@ pub fn plan_prefetches(
                         // stream to pipeline.
                         AccessPattern::Irregular { .. } => 0,
                     };
-                    let loop_volume: u64 =
-                        stmt.nest.accesses.iter().map(per_access_volume).sum();
+                    let loop_volume: u64 = stmt.nest.accesses.iter().map(per_access_volume).sum();
                     stmt.nest
                         .accesses
                         .iter()
@@ -157,8 +152,10 @@ mod tests {
     fn program(array_bytes: u64, unit: u64, iters: u64, tiled: bool) -> Program {
         let mut p = Program::new("t");
         let a = p.array("A", array_bytes);
-        let mut nest = LoopNest::new("l", iters, 1000)
-            .with_access(Access::read(a, AccessPattern::Partitioned { unit_bytes: unit }));
+        let mut nest = LoopNest::new("l", iters, 1000).with_access(Access::read(
+            a,
+            AccessPattern::Partitioned { unit_bytes: unit },
+        ));
         if tiled {
             nest = nest.tiled();
         }
@@ -184,7 +181,13 @@ mod tests {
     #[test]
     fn streaming_references_get_prefetched() {
         let p = program(1 << 20, 1 << 14, 64, false); // 1 MB swept, 4 CPUs → 256 KB each
-        let plan = parallelize(&p, &ParallelizeOptions { num_cpus: 4, ..Default::default() });
+        let plan = parallelize(
+            &p,
+            &ParallelizeOptions {
+                num_cpus: 4,
+                ..Default::default()
+            },
+        );
         let pf = plan_prefetches(&p, &plan, &opts(true, 256 << 10));
         let d = pf.decision(0, 0, 0);
         assert!(d.enabled);
@@ -194,7 +197,13 @@ mod tests {
     #[test]
     fn small_footprints_are_not_prefetched() {
         let p = program(64 << 10, 1 << 10, 64, false); // 16 KB per CPU
-        let plan = parallelize(&p, &ParallelizeOptions { num_cpus: 4, ..Default::default() });
+        let plan = parallelize(
+            &p,
+            &ParallelizeOptions {
+                num_cpus: 4,
+                ..Default::default()
+            },
+        );
         let pf = plan_prefetches(&p, &plan, &opts(true, 1 << 20));
         assert!(!pf.decision(0, 0, 0).enabled);
         assert!(!pf.any_enabled());
@@ -203,7 +212,13 @@ mod tests {
     #[test]
     fn tiled_loops_lose_their_lookahead() {
         let p = program(1 << 20, 1 << 14, 64, true);
-        let plan = parallelize(&p, &ParallelizeOptions { num_cpus: 2, ..Default::default() });
+        let plan = parallelize(
+            &p,
+            &ParallelizeOptions {
+                num_cpus: 2,
+                ..Default::default()
+            },
+        );
         let pf = plan_prefetches(&p, &plan, &opts(true, 256 << 10));
         let d = pf.decision(0, 0, 0);
         assert!(d.enabled);
@@ -213,7 +228,13 @@ mod tests {
     #[test]
     fn disabled_flag_turns_everything_off() {
         let p = program(1 << 20, 1 << 14, 64, false);
-        let plan = parallelize(&p, &ParallelizeOptions { num_cpus: 4, ..Default::default() });
+        let plan = parallelize(
+            &p,
+            &ParallelizeOptions {
+                num_cpus: 4,
+                ..Default::default()
+            },
+        );
         let pf = plan_prefetches(&p, &plan, &opts(false, 1));
         assert!(!pf.any_enabled());
     }
@@ -225,8 +246,16 @@ mod tests {
         // that prefetching matters most at low processor counts.
         let p = program(1 << 20, 1 << 14, 64, false);
         let mk = |cpus| {
-            let plan = parallelize(&p, &ParallelizeOptions { num_cpus: cpus, ..Default::default() });
-            plan_prefetches(&p, &plan, &opts(true, 1 << 20)).decision(0, 0, 0).enabled
+            let plan = parallelize(
+                &p,
+                &ParallelizeOptions {
+                    num_cpus: cpus,
+                    ..Default::default()
+                },
+            );
+            plan_prefetches(&p, &plan, &opts(true, 1 << 20))
+                .decision(0, 0, 0)
+                .enabled
         };
         assert!(mk(1), "uniprocessor stream of 1 MB > 512 KB threshold");
         assert!(!mk(16), "per-CPU stream of 64 KB stays resident");

@@ -105,9 +105,7 @@ pub fn summarize(program: &Program, plan: &ParallelPlan, layout: &DataLayout) ->
                 }
             }
             if loop_arrays.len() >= 2 {
-                let exists = groups
-                    .iter()
-                    .any(|g| g.arrays() == loop_arrays.as_slice());
+                let exists = groups.iter().any(|g| g.arrays() == loop_arrays.as_slice());
                 if !exists {
                     groups.push(GroupAccess::new(loop_arrays));
                 }
@@ -157,8 +155,16 @@ mod tests {
                     wraparound: false,
                 },
             ))
-            .with_access(Access::write(b, AccessPattern::Partitioned { unit_bytes: 1024 }))
-            .with_access(Access::read(c, AccessPattern::Irregular { touches_per_iter: 4 }));
+            .with_access(Access::write(
+                b,
+                AccessPattern::Partitioned { unit_bytes: 1024 },
+            ))
+            .with_access(Access::read(
+                c,
+                AccessPattern::Irregular {
+                    touches_per_iter: 4,
+                },
+            ));
         p.phase(Phase {
             name: "main".into(),
             stmts: vec![Stmt {
@@ -238,6 +244,10 @@ mod tests {
         let m = cdpc_core::MachineParams::new(4, 4096, 16 * 4096, 1);
         let hints = cdpc_core::generate_hints(&s, &m).unwrap();
         // A and B are 16 pages each; the irregular array is unhinted.
-        assert_eq!(hints.len(), 32 + 1, "A+B pages plus one straddled boundary page");
+        assert_eq!(
+            hints.len(),
+            32 + 1,
+            "A+B pages plus one straddled boundary page"
+        );
     }
 }

@@ -398,7 +398,12 @@ mod tests {
     fn irregular_access_is_deterministic_and_in_bounds() {
         let mk = || {
             spec(
-                vec![acc(AccessPattern::Irregular { touches_per_iter: 8 }, false)],
+                vec![acc(
+                    AccessPattern::Irregular {
+                        touches_per_iter: 8,
+                    },
+                    false,
+                )],
                 0,
                 4,
                 4,

@@ -1,12 +1,14 @@
 //! Property tests over the trace generator: whatever the program shape,
 //! generated references stay inside their arrays, cover exactly the
 //! assigned iterations, and partition cleanly across processors.
-
-use proptest::prelude::*;
+//!
+//! Shapes are drawn from a seeded [`SplitMix64`], one seed per case, so
+//! failures reproduce exactly by seed number.
 
 use cdpc_compiler::ir::{Access, AccessPattern, LoopNest, Phase, Program, Stmt, StmtKind};
 use cdpc_compiler::trace::TraceOp;
 use cdpc_compiler::{compile, CompileOptions, CompiledStmt};
+use cdpc_obs::SplitMix64;
 
 #[derive(Debug, Clone)]
 struct Shape {
@@ -18,30 +20,28 @@ struct Shape {
     cpus: usize,
 }
 
-fn arb_shape() -> impl Strategy<Value = Shape> {
-    (
-        2u64..=64,
-        prop::sample::select(vec![32u64, 64, 128, 512]),
-        0u64..=2,
-        any::<bool>(),
-        any::<bool>(),
-        1usize..=8,
-    )
-        .prop_map(|(units, unit_bytes, halo, wraparound, is_write, cpus)| Shape {
-            units,
-            unit_bytes,
-            halo,
-            wraparound,
-            is_write,
-            cpus,
-        })
+fn random_shape(rng: &mut SplitMix64) -> Shape {
+    const UNIT_BYTES: [u64; 4] = [32, 64, 128, 512];
+    Shape {
+        units: rng.range(2, 64),
+        unit_bytes: UNIT_BYTES[rng.index(UNIT_BYTES.len())],
+        halo: rng.range(0, 2),
+        wraparound: rng.chance(1, 2),
+        is_write: rng.chance(1, 2),
+        cpus: rng.range(1, 8) as usize,
+    }
 }
 
 fn build(shape: &Shape) -> Program {
     let mut p = Program::new("prop");
     let a = p.array("A", shape.units * shape.unit_bytes);
     let access = if shape.is_write {
-        Access::write(a, AccessPattern::Partitioned { unit_bytes: shape.unit_bytes })
+        Access::write(
+            a,
+            AccessPattern::Partitioned {
+                unit_bytes: shape.unit_bytes,
+            },
+        )
     } else {
         Access::read(
             a,
@@ -64,12 +64,11 @@ fn build(shape: &Shape) -> Program {
     p
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
-
-    /// Every generated data reference lands inside the array it names.
-    #[test]
-    fn references_stay_in_bounds(shape in arb_shape()) {
+/// Every generated data reference lands inside the array it names.
+#[test]
+fn references_stay_in_bounds() {
+    for seed in 0..96u64 {
+        let shape = random_shape(&mut SplitMix64::new(seed));
         let program = build(&shape);
         let compiled = compile(&program, &CompileOptions::new(shape.cpus)).unwrap();
         let base = compiled.layout.bases[0].0;
@@ -83,10 +82,10 @@ proptest! {
                 for spec in specs {
                     for op in spec.ops() {
                         if let TraceOp::Load(va) | TraceOp::Store(va) = op {
-                            prop_assert!(
+                            assert!(
                                 va.0 >= base && va.0 < end,
-                                "reference {:#x} outside [{:#x},{:#x})",
-                                va.0, base, end
+                                "seed {seed}: reference {:#x} outside [{base:#x},{end:#x})",
+                                va.0
                             );
                         }
                     }
@@ -94,12 +93,17 @@ proptest! {
             }
         }
     }
+}
 
-    /// The union of all processors' written bytes covers each partitioned
-    /// array exactly once (no gaps, no double-writes) for plain sweeps.
-    #[test]
-    fn write_sweeps_partition_cleanly(shape in arb_shape()) {
-        prop_assume!(shape.is_write);
+/// The union of all processors' written bytes covers each partitioned
+/// array exactly once (no gaps, no double-writes) for plain sweeps.
+#[test]
+fn write_sweeps_partition_cleanly() {
+    for seed in 0..96u64 {
+        let shape = random_shape(&mut SplitMix64::new(seed));
+        if !shape.is_write {
+            continue;
+        }
         let program = build(&shape);
         let compiled = compile(&program, &CompileOptions::new(shape.cpus)).unwrap();
         let base = compiled.layout.bases[0].0;
@@ -120,14 +124,17 @@ proptest! {
             }
         }
         for (i, &count) in touched.iter().enumerate() {
-            prop_assert_eq!(count, 1, "line {} written {} times", i, count);
+            assert_eq!(count, 1, "seed {seed}: line {i} written {count} times");
         }
     }
+}
 
-    /// Instruction counts of the streams agree with the static counter
-    /// used for MCPI denominators.
-    #[test]
-    fn instr_counts_are_consistent(shape in arb_shape()) {
+/// Instruction counts of the streams agree with the static counter
+/// used for MCPI denominators.
+#[test]
+fn instr_counts_are_consistent() {
+    for seed in 0..96u64 {
+        let shape = random_shape(&mut SplitMix64::new(seed));
         let program = build(&shape);
         let compiled = compile(&program, &CompileOptions::new(shape.cpus)).unwrap();
         for phase in &compiled.phases {
@@ -141,7 +148,7 @@ proptest! {
                                 _ => None,
                             })
                             .sum();
-                        prop_assert_eq!(streamed, spec.instr_count());
+                        assert_eq!(streamed, spec.instr_count(), "seed {seed}");
                     }
                 }
             }

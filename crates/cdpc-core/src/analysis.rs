@@ -161,8 +161,20 @@ mod tests {
                 ArrayInfo::new(b, "B", VirtAddr(8 * PAGE), 8 * PAGE),
             ],
             partitionings: vec![
-                ArrayPartitioning::new(a, PAGE, 8, PartitionPolicy::Blocked, PartitionDirection::Forward),
-                ArrayPartitioning::new(b, PAGE, 8, PartitionPolicy::Blocked, PartitionDirection::Forward),
+                ArrayPartitioning::new(
+                    a,
+                    PAGE,
+                    8,
+                    PartitionPolicy::Blocked,
+                    PartitionDirection::Forward,
+                ),
+                ArrayPartitioning::new(
+                    b,
+                    PAGE,
+                    8,
+                    PartitionPolicy::Blocked,
+                    PartitionDirection::Forward,
+                ),
             ],
             ..Default::default()
         }
@@ -179,10 +191,8 @@ mod tests {
         // CPU... here 8 colors, each CPU has 4+4 pages on 4 colors.
         let summary = two_array_summary();
         let colors = machine().colors();
-        let profile = profile_coloring(&summary, &machine(), |vpn| {
-            Some(colors.color_of_vpn(vpn))
-        })
-        .unwrap();
+        let profile =
+            profile_coloring(&summary, &machine(), |vpn| Some(colors.color_of_vpn(vpn))).unwrap();
         assert_eq!(profile.total_overload(), 8, "every page pairs up");
         assert!((profile.mean_utilization() - 0.5).abs() < 1e-9);
         assert_eq!(profile.cpus[0].peak(), 2);
@@ -192,8 +202,7 @@ mod tests {
     fn cdpc_profile_is_flat() {
         let summary = two_array_summary();
         let hints = generate_hints(&summary, &machine()).unwrap();
-        let profile =
-            profile_coloring(&summary, &machine(), |vpn| hints.color_of(vpn)).unwrap();
+        let profile = profile_coloring(&summary, &machine(), |vpn| hints.color_of(vpn)).unwrap();
         assert_eq!(profile.total_overload(), 0, "one page per color per CPU");
         assert!((profile.mean_utilization() - 1.0).abs() < 1e-9);
     }
@@ -211,10 +220,8 @@ mod tests {
     fn profile_counts_each_cpu_page_once() {
         let summary = two_array_summary();
         let colors = machine().colors();
-        let profile = profile_coloring(&summary, &machine(), |vpn| {
-            Some(colors.color_of_vpn(vpn))
-        })
-        .unwrap();
+        let profile =
+            profile_coloring(&summary, &machine(), |vpn| Some(colors.color_of_vpn(vpn))).unwrap();
         // Each CPU touches 8 pages (half of each array).
         for c in &profile.cpus {
             assert_eq!(c.total_pages(), 8);

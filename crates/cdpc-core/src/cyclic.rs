@@ -81,7 +81,9 @@ pub fn emit_page_order_with(
     for set in sets {
         for seg in &set.segments {
             let first_vpn = geometry.vpn_of(seg.start).0;
-            let last_vpn = geometry.vpn_of(cdpc_vm::addr::VirtAddr(seg.start.0 + seg.bytes - 1)).0;
+            let last_vpn = geometry
+                .vpn_of(cdpc_vm::addr::VirtAddr(seg.start.0 + seg.bytes - 1))
+                .0;
             let pages: Vec<u64> = (first_vpn..=last_vpn)
                 .filter(|p| !emitted.contains(p))
                 .collect();
@@ -295,7 +297,14 @@ mod tests {
         let p0 = ProcSet::singleton(0);
         let summary = AccessSummary {
             arrays: (0..3)
-                .map(|i| ArrayInfo::new(ArrayId(i), format!("a{i}"), VirtAddr(i as u64 * 8 * PAGE), 8 * PAGE))
+                .map(|i| {
+                    ArrayInfo::new(
+                        ArrayId(i),
+                        format!("a{i}"),
+                        VirtAddr(i as u64 * 8 * PAGE),
+                        8 * PAGE,
+                    )
+                })
                 .collect(),
             groups: vec![GroupAccess::new(vec![ArrayId(0), ArrayId(1), ArrayId(2)])],
             ..Default::default()

@@ -204,8 +204,20 @@ mod tests {
                 ArrayInfo::new(b, "B", VirtAddr(8 * PAGE), 8 * PAGE),
             ],
             partitionings: vec![
-                ArrayPartitioning::new(a, PAGE, 8, PartitionPolicy::Blocked, PartitionDirection::Forward),
-                ArrayPartitioning::new(b, PAGE, 8, PartitionPolicy::Blocked, PartitionDirection::Forward),
+                ArrayPartitioning::new(
+                    a,
+                    PAGE,
+                    8,
+                    PartitionPolicy::Blocked,
+                    PartitionDirection::Forward,
+                ),
+                ArrayPartitioning::new(
+                    b,
+                    PAGE,
+                    8,
+                    PartitionPolicy::Blocked,
+                    PartitionDirection::Forward,
+                ),
             ],
             communications: vec![],
             groups: vec![GroupAccess::new(vec![a, b])],
@@ -246,7 +258,11 @@ mod tests {
         for vpn in [0u64, 1, 2, 3, 8, 9, 10, 11] {
             counts[table.lookup(Vpn(vpn)).unwrap().0 as usize] += 1;
         }
-        assert_eq!(counts, [2, 2, 2, 2], "CPU0's pages must cover all colors evenly");
+        assert_eq!(
+            counts,
+            [2, 2, 2, 2],
+            "CPU0's pages must cover all colors evenly"
+        );
     }
 
     #[test]
@@ -271,7 +287,12 @@ mod tests {
     #[test]
     fn unanalyzable_arrays_left_unhinted() {
         let mut s = figure4_summary();
-        s.arrays.push(ArrayInfo::new(ArrayId(2), "irr", VirtAddr(16 * PAGE), 4 * PAGE));
+        s.arrays.push(ArrayInfo::new(
+            ArrayId(2),
+            "irr",
+            VirtAddr(16 * PAGE),
+            4 * PAGE,
+        ));
         let hints = generate_hints(&s, &figure4_machine()).unwrap();
         assert_eq!(hints.len(), 16, "irregular array contributes no hints");
         assert_eq!(hints.color_of(Vpn(17)), None);

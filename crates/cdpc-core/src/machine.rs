@@ -55,7 +55,11 @@ impl MachineParams {
 
     /// The color space implied by cache and page geometry.
     pub fn colors(&self) -> ColorSpace {
-        ColorSpace::new(self.cache_size, self.geometry.page_size(), self.associativity)
+        ColorSpace::new(
+            self.cache_size,
+            self.geometry.page_size(),
+            self.associativity,
+        )
     }
 
     /// Pages needed for `bytes` of data.

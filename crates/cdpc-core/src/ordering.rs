@@ -67,7 +67,13 @@ pub fn order_sets(mut sets: Vec<AccessSet>) -> Vec<AccessSet> {
     // Insert the remaining (large) sets next to the path node with maximum
     // processor overlap.
     let mut large: Vec<usize> = (0..n).filter(|&i| !visited[i]).collect();
-    large.sort_by_key(|&i| sets[i].segments.first().map(|x| x.start).unwrap_or_default());
+    large.sort_by_key(|&i| {
+        sets[i]
+            .segments
+            .first()
+            .map(|x| x.start)
+            .unwrap_or_default()
+    });
     for i in large {
         if path.is_empty() {
             // No small sets at all (every set spans 3+ processors): start
@@ -120,13 +126,11 @@ pub fn order_segments_within(set: &mut AccessSet, summary: &AccessSummary) {
         let cur_array = set.segments[cur].array;
         // Prefer an unvisited segment whose array is grouped with the
         // current one; tie-break toward the smallest address.
-        let next = (0..n)
-            .filter(|&j| !visited[j])
-            .min_by_key(|&j| {
-                let grouped = summary.grouped_together(cur_array, set.segments[j].array)
-                    || cur_array == set.segments[j].array;
-                (!grouped, set.segments[j].start)
-            });
+        let next = (0..n).filter(|&j| !visited[j]).min_by_key(|&j| {
+            let grouped = summary.grouped_together(cur_array, set.segments[j].array)
+                || cur_array == set.segments[j].array;
+            (!grouped, set.segments[j].start)
+        });
         cursor = next;
     }
 

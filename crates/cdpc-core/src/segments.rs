@@ -154,7 +154,11 @@ pub fn build_segments(
                         CommunicationPattern::Rotate => {
                             // Wrapping extension split into linear pieces.
                             if lo >= w {
-                                ranges.push(((lo - w) * part.unit_bytes, lo * part.unit_bytes, cpu));
+                                ranges.push((
+                                    (lo - w) * part.unit_bytes,
+                                    lo * part.unit_bytes,
+                                    cpu,
+                                ));
                             } else {
                                 ranges.push((0, lo * part.unit_bytes, cpu));
                                 let wrap_lo = total_units + lo - w;
@@ -165,7 +169,11 @@ pub fn build_segments(
                                 ));
                             }
                             if hi + w <= total_units {
-                                ranges.push((hi * part.unit_bytes, (hi + w) * part.unit_bytes, cpu));
+                                ranges.push((
+                                    hi * part.unit_bytes,
+                                    (hi + w) * part.unit_bytes,
+                                    cpu,
+                                ));
                             } else {
                                 ranges.push((
                                     hi * part.unit_bytes,

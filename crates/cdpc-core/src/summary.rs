@@ -257,8 +257,7 @@ impl AccessSummary {
     /// Arrays CDPC can color: partitioned or marked shared.
     pub fn analyzable_arrays(&self) -> impl Iterator<Item = &ArrayInfo> {
         self.arrays.iter().filter(move |a| {
-            self.partitionings.iter().any(|p| p.array == a.id)
-                || self.shared_arrays.contains(&a.id)
+            self.partitionings.iter().any(|p| p.array == a.id) || self.shared_arrays.contains(&a.id)
         })
     }
 

@@ -2,8 +2,9 @@
 //! partitionings and communication patterns, segments must tile each
 //! analyzable array exactly, be maximal, and carry processor sets
 //! consistent with the partition arithmetic.
-
-use proptest::prelude::*;
+//!
+//! Cases are drawn from a seeded [`SplitMix64`], one seed per case, so
+//! failures reproduce exactly by seed number.
 
 use cdpc_core::machine::MachineParams;
 use cdpc_core::segments::{build_segments, group_into_sets};
@@ -11,6 +12,7 @@ use cdpc_core::summary::{
     AccessSummary, ArrayId, ArrayInfo, ArrayPartitioning, CommunicationPattern,
     CommunicationSummary, PartitionDirection, PartitionPolicy,
 };
+use cdpc_obs::SplitMix64;
 use cdpc_vm::addr::VirtAddr;
 
 #[derive(Debug, Clone)]
@@ -23,40 +25,33 @@ struct Case {
     cpus: usize,
 }
 
-fn arb_case() -> impl Strategy<Value = Case> {
-    (
-        2u64..=64,
-        prop::sample::select(vec![256u64, 1024, 4096, 8192]),
-        any::<bool>(),
-        any::<bool>(),
-        prop::option::of((any::<bool>(), 1u64..=3)),
-        1usize..=16,
-    )
-        .prop_map(|(units, unit_bytes, even, rev, comm, cpus)| Case {
-            units,
-            unit_bytes,
-            policy: if even {
-                PartitionPolicy::Even
-            } else {
-                PartitionPolicy::Blocked
-            },
-            direction: if rev {
-                PartitionDirection::Reverse
-            } else {
-                PartitionDirection::Forward
-            },
-            comm: comm.map(|(rot, w)| {
-                (
-                    if rot {
-                        CommunicationPattern::Rotate
-                    } else {
-                        CommunicationPattern::Shift
-                    },
-                    w,
-                )
-            }),
-            cpus,
-        })
+fn random_case(rng: &mut SplitMix64) -> Case {
+    const UNIT_BYTES: [u64; 4] = [256, 1024, 4096, 8192];
+    Case {
+        units: rng.range(2, 64),
+        unit_bytes: UNIT_BYTES[rng.index(UNIT_BYTES.len())],
+        policy: if rng.chance(1, 2) {
+            PartitionPolicy::Even
+        } else {
+            PartitionPolicy::Blocked
+        },
+        direction: if rng.chance(1, 2) {
+            PartitionDirection::Reverse
+        } else {
+            PartitionDirection::Forward
+        },
+        comm: rng.chance(1, 2).then(|| {
+            (
+                if rng.chance(1, 2) {
+                    CommunicationPattern::Rotate
+                } else {
+                    CommunicationPattern::Shift
+                },
+                rng.range(1, 3),
+            )
+        }),
+        cpus: rng.range(1, 16) as usize,
+    }
 }
 
 fn summary_of(case: &Case) -> AccessSummary {
@@ -86,41 +81,48 @@ fn summary_of(case: &Case) -> AccessSummary {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// Segments tile the array: contiguous, non-overlapping, complete.
-    #[test]
-    fn segments_tile_the_array(case in arb_case()) {
+/// Segments tile the array: contiguous, non-overlapping, complete.
+#[test]
+fn segments_tile_the_array() {
+    for seed in 0..128u64 {
+        let case = random_case(&mut SplitMix64::new(seed));
         let summary = summary_of(&case);
         let machine = MachineParams::new(case.cpus, 4096, 64 * 4096, 1);
         let segments = build_segments(&summary, &machine).unwrap();
         let bytes = case.units * case.unit_bytes;
         let mut cursor = 0x40000u64;
         for seg in &segments {
-            prop_assert_eq!(seg.start.0, cursor, "gap or overlap");
-            prop_assert!(!seg.procs.is_empty(), "empty processor set");
+            assert_eq!(seg.start.0, cursor, "seed {seed}: gap or overlap");
+            assert!(!seg.procs.is_empty(), "seed {seed}: empty processor set");
             cursor = seg.end().0;
         }
-        prop_assert_eq!(cursor, 0x40000 + bytes, "incomplete coverage");
+        assert_eq!(cursor, 0x40000 + bytes, "seed {seed}: incomplete coverage");
     }
+}
 
-    /// Maximality: adjacent segments always differ in processor set.
-    #[test]
-    fn segments_are_maximal(case in arb_case()) {
+/// Maximality: adjacent segments always differ in processor set.
+#[test]
+fn segments_are_maximal() {
+    for seed in 0..128u64 {
+        let case = random_case(&mut SplitMix64::new(seed));
         let summary = summary_of(&case);
         let machine = MachineParams::new(case.cpus, 4096, 64 * 4096, 1);
         let segments = build_segments(&summary, &machine).unwrap();
         for w in segments.windows(2) {
-            prop_assert_ne!(w[0].procs, w[1].procs, "mergeable neighbors");
+            assert_ne!(w[0].procs, w[1].procs, "seed {seed}: mergeable neighbors");
         }
     }
+}
 
-    /// Without communication, each unit's owner (per partition arithmetic)
-    /// is a member of the covering segment's processor set.
-    #[test]
-    fn ownership_matches_partition_arithmetic(case in arb_case()) {
-        prop_assume!(case.comm.is_none());
+/// Without communication, each unit's owner (per partition arithmetic)
+/// is a member of the covering segment's processor set.
+#[test]
+fn ownership_matches_partition_arithmetic() {
+    for seed in 0..128u64 {
+        let case = random_case(&mut SplitMix64::new(seed));
+        if case.comm.is_some() {
+            continue;
+        }
         let summary = summary_of(&case);
         let machine = MachineParams::new(case.cpus, 4096, 64 * 4096, 1);
         let segments = build_segments(&summary, &machine).unwrap();
@@ -132,20 +134,21 @@ proptest! {
                 .find(|s| byte >= s.start.0 && byte < s.end().0)
                 .expect("covered");
             if let Some(owner) = part.owner_of(unit, case.cpus) {
-                prop_assert!(
+                assert!(
                     seg.procs.contains(owner),
-                    "unit {} owner {} missing from {}",
-                    unit,
-                    owner,
+                    "seed {seed}: unit {unit} owner {owner} missing from {}",
                     seg.procs
                 );
             }
         }
     }
+}
 
-    /// Grouping by processor set preserves every segment exactly once.
-    #[test]
-    fn grouping_is_a_partition(case in arb_case()) {
+/// Grouping by processor set preserves every segment exactly once.
+#[test]
+fn grouping_is_a_partition() {
+    for seed in 0..128u64 {
+        let case = random_case(&mut SplitMix64::new(seed));
         let summary = summary_of(&case);
         let machine = MachineParams::new(case.cpus, 4096, 64 * 4096, 1);
         let segments = build_segments(&summary, &machine).unwrap();
@@ -154,12 +157,12 @@ proptest! {
         let sets = group_into_sets(segments);
         let grouped_n: usize = sets.iter().map(|s| s.segments.len()).sum();
         let grouped_bytes: u64 = sets.iter().map(|s| s.total_bytes()).sum();
-        prop_assert_eq!(n, grouped_n);
-        prop_assert_eq!(total_bytes, grouped_bytes);
+        assert_eq!(n, grouped_n, "seed {seed}");
+        assert_eq!(total_bytes, grouped_bytes, "seed {seed}");
         // Distinct sets have distinct processor sets.
         for i in 0..sets.len() {
             for j in i + 1..sets.len() {
-                prop_assert_ne!(sets[i].procs, sets[j].procs);
+                assert_ne!(sets[i].procs, sets[j].procs, "seed {seed}");
             }
         }
     }

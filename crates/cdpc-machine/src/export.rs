@@ -1,0 +1,191 @@
+//! Structured export of run reports — the machine-readable counterpart of
+//! [`format`](crate::format).
+//!
+//! The JSON layout is flat and stable: top-level scalars for the headline
+//! numbers, one nested object per Figure-2 view (`stalls`, `overheads`,
+//! `bus`, `faults`) plus an aggregate `memory` section. Objects preserve
+//! insertion order, so two exports of the same report are byte-identical
+//! and exports of different reports diff cleanly. Everything here is
+//! parseable back with [`JsonValue::parse`], which the golden tests use to
+//! guard the schema.
+
+use cdpc_memsim::MissClass;
+use cdpc_obs::JsonValue;
+
+use crate::report::RunReport;
+
+/// Builds the JSON tree for one run report.
+pub fn report_to_json(r: &RunReport) -> JsonValue {
+    let mut stalls = JsonValue::object();
+    stalls
+        .push("l2_hit", JsonValue::UInt(r.stalls.l2_hit))
+        .push("conflict", JsonValue::UInt(r.stalls.conflict))
+        .push("capacity", JsonValue::UInt(r.stalls.capacity))
+        .push("true_sharing", JsonValue::UInt(r.stalls.true_sharing))
+        .push("false_sharing", JsonValue::UInt(r.stalls.false_sharing))
+        .push("cold", JsonValue::UInt(r.stalls.cold))
+        .push("prefetch", JsonValue::UInt(r.stalls.prefetch))
+        .push("upgrade", JsonValue::UInt(r.stalls.upgrade))
+        .push("total", JsonValue::UInt(r.stalls.total()));
+
+    let mut overheads = JsonValue::object();
+    overheads
+        .push("kernel", JsonValue::UInt(r.overheads.kernel))
+        .push(
+            "load_imbalance",
+            JsonValue::UInt(r.overheads.load_imbalance),
+        )
+        .push("sequential", JsonValue::UInt(r.overheads.sequential))
+        .push("suppressed", JsonValue::UInt(r.overheads.suppressed))
+        .push(
+            "synchronization",
+            JsonValue::UInt(r.overheads.synchronization),
+        )
+        .push("total", JsonValue::UInt(r.overheads.total()));
+
+    let mut bus = JsonValue::object();
+    bus.push("data_cycles", JsonValue::UInt(r.bus.data_cycles))
+        .push("writeback_cycles", JsonValue::UInt(r.bus.writeback_cycles))
+        .push("upgrade_cycles", JsonValue::UInt(r.bus.upgrade_cycles))
+        .push("utilization", JsonValue::Float(r.bus.utilization));
+
+    let mut faults = JsonValue::object();
+    faults
+        .push("faults", JsonValue::UInt(r.fault_stats.faults))
+        .push("preferred", JsonValue::UInt(r.fault_stats.preferred))
+        .push("honored", JsonValue::UInt(r.fault_stats.honored))
+        .push("fallback", JsonValue::UInt(r.fault_stats.fallback))
+        .push("honor_rate", JsonValue::Float(r.fault_stats.honor_rate()));
+
+    let agg = r.mem_stats.aggregate();
+    let mut l2_misses = JsonValue::object();
+    for class in [
+        MissClass::Cold,
+        MissClass::Capacity,
+        MissClass::Conflict,
+        MissClass::TrueSharing,
+        MissClass::FalseSharing,
+    ] {
+        l2_misses.push(&class.to_string(), JsonValue::UInt(agg.misses.get(class)));
+    }
+    l2_misses.push("total", JsonValue::UInt(agg.misses.total()));
+    let mut memory = JsonValue::object();
+    memory
+        .push("data_refs", JsonValue::UInt(agg.data_refs))
+        .push("ifetch_refs", JsonValue::UInt(agg.ifetch_refs))
+        .push("l1_hits", JsonValue::UInt(agg.l1_hits))
+        .push("l2_hits", JsonValue::UInt(agg.l2_hits))
+        .push("prefetch_hits", JsonValue::UInt(agg.prefetch_hits))
+        .push("l2_misses", l2_misses)
+        .push("tlb_misses", JsonValue::UInt(agg.tlb_misses))
+        .push("prefetches_issued", JsonValue::UInt(agg.prefetches_issued))
+        .push(
+            "prefetches_dropped",
+            JsonValue::UInt(agg.prefetches_dropped_tlb + agg.prefetches_dropped_resident),
+        );
+
+    let mut root = JsonValue::object();
+    root.push("name", JsonValue::Str(r.name.clone()))
+        .push("policy", JsonValue::Str(r.policy.clone()))
+        .push("num_cpus", JsonValue::UInt(r.num_cpus as u64))
+        .push("instructions", JsonValue::UInt(r.instructions))
+        .push("exec_cycles", JsonValue::UInt(r.exec_cycles))
+        .push("elapsed_cycles", JsonValue::UInt(r.elapsed_cycles))
+        .push("combined_cycles", JsonValue::UInt(r.combined_cycles))
+        .push("mcpi", JsonValue::Float(r.mcpi()))
+        .push("l2_miss_rate", JsonValue::Float(r.l2_miss_rate()))
+        .push("simulated_refs", JsonValue::UInt(r.simulated_refs))
+        .push("recolorings", JsonValue::UInt(r.recolorings))
+        .push("stalls", stalls)
+        .push("overheads", overheads)
+        .push("bus", bus)
+        .push("faults", faults)
+        .push("memory", memory);
+    root
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::{BusReport, OverheadBreakdown, StallBreakdown};
+    use cdpc_memsim::MemStats;
+    use cdpc_vm::FaultStats;
+
+    fn report() -> RunReport {
+        RunReport {
+            name: "swim".into(),
+            num_cpus: 8,
+            policy: "cdpc".into(),
+            instructions: 2_000,
+            exec_cycles: 2_000,
+            stalls: StallBreakdown {
+                l2_hit: 10,
+                conflict: 200,
+                capacity: 30,
+                ..Default::default()
+            },
+            overheads: OverheadBreakdown {
+                kernel: 40,
+                synchronization: 8,
+                ..Default::default()
+            },
+            elapsed_cycles: 700,
+            combined_cycles: 5_600,
+            bus: BusReport {
+                data_cycles: 100,
+                writeback_cycles: 20,
+                upgrade_cycles: 4,
+                utilization: 0.125,
+            },
+            mem_stats: MemStats::default(),
+            fault_stats: FaultStats {
+                faults: 12,
+                preferred: 10,
+                honored: 10,
+                fallback: 0,
+            },
+            recolorings: 0,
+            simulated_refs: 1_234,
+        }
+    }
+
+    #[test]
+    fn json_round_trips_headline_numbers() {
+        let json = report_to_json(&report());
+        let text = json.to_string_pretty();
+        let back = JsonValue::parse(&text).expect("exporter output must parse");
+        assert_eq!(back.get("name").and_then(|v| v.as_str()), Some("swim"));
+        assert_eq!(back.get("num_cpus").and_then(|v| v.as_u64()), Some(8));
+        assert_eq!(
+            back.get("simulated_refs").and_then(|v| v.as_u64()),
+            Some(1_234)
+        );
+        let stalls = back.get("stalls").expect("stalls section");
+        assert_eq!(stalls.get("conflict").and_then(|v| v.as_u64()), Some(200));
+        assert_eq!(stalls.get("total").and_then(|v| v.as_u64()), Some(240));
+        let mcpi = back.get("mcpi").and_then(|v| v.as_f64()).unwrap();
+        assert!((mcpi - 0.12).abs() < 1e-12);
+    }
+
+    #[test]
+    fn export_is_deterministic() {
+        let a = report_to_json(&report()).to_string_compact();
+        let b = report_to_json(&report()).to_string_compact();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn miss_classes_are_spelled_out() {
+        let json = report_to_json(&report());
+        let misses = json.get("memory").and_then(|m| m.get("l2_misses")).unwrap();
+        for label in [
+            "cold",
+            "capacity",
+            "conflict",
+            "true-sharing",
+            "false-sharing",
+        ] {
+            assert!(misses.get(label).is_some(), "missing class `{label}`");
+        }
+    }
+}

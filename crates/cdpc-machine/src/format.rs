@@ -130,6 +130,7 @@ mod tests {
                 fallback: 1,
             },
             recolorings: 3,
+            simulated_refs: 400,
         }
     }
 

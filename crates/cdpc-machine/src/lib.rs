@@ -35,10 +35,12 @@
 //! # Ok::<(), cdpc_compiler::CompileError>(())
 //! ```
 
+pub mod export;
 pub mod format;
 pub mod report;
 pub mod run;
 
+pub use export::report_to_json;
 pub use format::{render_report, summary_line};
 pub use report::{geometric_mean, BusReport, OverheadBreakdown, RunReport, StallBreakdown};
-pub use run::{run, PolicyKind, RunConfig};
+pub use run::{run, run_observed, PolicyKind, RunConfig};

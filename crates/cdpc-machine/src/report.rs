@@ -132,11 +132,16 @@ pub struct RunReport {
     /// Pages moved by the dynamic-recoloring policy (zero for static
     /// policies).
     pub recolorings: u64,
+    /// Memory references simulated over the whole run (warm-up included,
+    /// demand accesses plus issued prefetches) — the simulator-throughput
+    /// numerator behind wall-clock refs/sec self-profiling.
+    pub simulated_refs: u64,
 }
 
 impl RunReport {
-    /// Memory cycles per instruction (the paper's MCPI): stall cycles per
-    /// useful instruction, averaged over processors.
+    /// Memory cycles per instruction (the paper's MCPI): total stall
+    /// cycles summed over processors, divided by total instructions summed
+    /// over processors (not a per-processor average).
     pub fn mcpi(&self) -> f64 {
         if self.instructions == 0 {
             return 0.0;
@@ -229,6 +234,7 @@ mod tests {
             mem_stats: MemStats::default(),
             fault_stats: FaultStats::default(),
             recolorings: 0,
+            simulated_refs: 0,
         }
     }
 

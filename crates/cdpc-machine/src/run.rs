@@ -24,6 +24,7 @@ use cdpc_compiler::{CompiledProgram, CompiledStmt};
 use cdpc_core::hints::HintOptions;
 use cdpc_core::{generate_hints_with, MachineParams};
 use cdpc_memsim::{AccessKind, CpuStats, MemConfig, MemStats, MemorySystem};
+use cdpc_obs::{HintOutcome, IntervalSeries, NullProbe, Probe, Sample};
 use cdpc_vm::addr::{Color, ColorSpace, PageGeometry, PhysAddr, VirtAddr, Vpn};
 use cdpc_vm::policy::{BinHopping, CdpcPolicy, MappingPolicy, PageColoring};
 use cdpc_vm::AddressSpace;
@@ -129,8 +130,50 @@ impl RunConfig {
     }
 }
 
-struct Sim {
-    mem: MemorySystem,
+/// Per-phase interval-sampling state: the counter baselines of the last
+/// closed window, the running wall clock, and the next window boundary.
+///
+/// Windows are defined on the *global* simulated wall clock (the max over
+/// per-CPU clocks seen so far), so `end_cycle` values increase
+/// monotonically across phases; windows never span a phase boundary
+/// because a partial window is flushed at every phase end. Counter deltas
+/// are scaled by the phase's occurrence count `k`, which is what makes
+/// [`IntervalSeries::totals`] equal the end-of-run aggregates exactly.
+struct Sampler {
+    interval: u64,
+    series: IntervalSeries,
+    /// Occurrence count of the phase being sampled.
+    k: u64,
+    /// Aggregate CPU counters at the last flush.
+    prev: CpuStats,
+    /// Instruction total at the last flush.
+    prev_instr: u64,
+    /// Bus occupancy (data, writeback, upgrade) at the last flush.
+    prev_bus: (u64, u64, u64),
+    /// Max simulated cycle seen so far.
+    wall: u64,
+    /// Wall cycle at which the current window closes.
+    next_boundary: u64,
+}
+
+impl Sampler {
+    fn new(interval: u64) -> Self {
+        let interval = interval.max(1);
+        Self {
+            interval,
+            series: IntervalSeries::new(interval),
+            k: 1,
+            prev: CpuStats::default(),
+            prev_instr: 0,
+            prev_bus: (0, 0, 0),
+            wall: 0,
+            next_boundary: 0,
+        }
+    }
+}
+
+struct Sim<Q: Probe> {
+    mem: MemorySystem<Q>,
     vm: AddressSpace,
     policy: Box<dyn MappingPolicy>,
     clocks: Vec<u64>,
@@ -149,19 +192,44 @@ struct Sim {
     sync: u64,
     cfg: RunConfig,
     geometry: PageGeometry,
+    /// Interval metrics, armed only during the measured pass of
+    /// [`run_observed`] when sampling was requested.
+    sampler: Option<Sampler>,
 }
 
-impl Sim {
+impl<Q: Probe> Sim<Q> {
     fn ensure_mapped(&mut self, cpu: usize, vpn: Vpn) {
         if !self.vm.is_mapped(vpn) {
+            let faults_before = self.vm.stats();
+            let hints_before = self.policy.hint_lookup_stats();
             self.vm
                 .fault(vpn, &mut self.policy)
                 .expect("physical memory exhausted: raise phys_slack");
+            let faults_after = self.vm.stats();
+            if let (Some((lb, hb)), Some((la, ha))) =
+                (hints_before, self.policy.hint_lookup_stats())
+            {
+                for i in 0..la.saturating_sub(lb) {
+                    self.mem
+                        .probe_mut()
+                        .on_hint_lookup(vpn.0, i < ha.saturating_sub(hb));
+                }
+            }
+            let outcome = if faults_after.honored > faults_before.honored {
+                HintOutcome::Honored
+            } else if faults_after.fallback > faults_before.fallback {
+                HintOutcome::Fallback
+            } else {
+                HintOutcome::NoPreference
+            };
+            let color = self.vm.color_of(vpn).expect("just mapped");
             self.clocks[cpu] += self.cfg.page_fault_cycles;
             self.fault_cycles[cpu] += self.cfg.page_fault_cycles;
+            self.mem
+                .probe_mut()
+                .on_page_fault(cpu, self.clocks[cpu], vpn.0, color.0, outcome);
             if self.dynamic {
-                let c = self.vm.color_of(vpn).expect("just mapped");
-                self.color_loads[c.0 as usize] += 1;
+                self.color_loads[color.0 as usize] += 1;
             }
         }
     }
@@ -191,9 +259,13 @@ impl Sim {
         self.color_loads[old_color.0 as usize] -= 1;
         let new_color = self.vm.color_of(vpn).expect("still mapped");
         self.color_loads[new_color.0 as usize] += 1;
-        self.mem.flush_physical_page(self.clocks[cpu], PhysAddr(old_base.0 & !(page - 1)));
+        self.mem
+            .flush_physical_page(self.clocks[cpu], PhysAddr(old_base.0 & !(page - 1)));
         self.mem.shoot_down_tlb(vpn);
         self.recolorings += 1;
+        self.mem
+            .probe_mut()
+            .on_recolor(cpu, self.clocks[cpu], vpn.0, old_color.0, new_color.0);
         // Copy cost: read + write one page over the memory system, plus a
         // fixed kernel overhead, charged to the faulting CPU...
         let copy = 2 * self.cfg.mem.bus_occupancy_cycles(page) + self.cfg.page_fault_cycles;
@@ -244,7 +316,9 @@ impl Sim {
                 let vpn = self.geometry.vpn_of(va);
                 self.ensure_mapped(cpu, vpn);
                 let pa = self.translate(va);
-                let out = self.mem.access(cpu, self.clocks[cpu], va, pa, AccessKind::IFetch);
+                let out = self
+                    .mem
+                    .access(cpu, self.clocks[cpu], va, pa, AccessKind::IFetch);
                 self.clocks[cpu] += out.latency_cycles;
             }
             TraceOp::Prefetch { addr, exclusive } => {
@@ -252,11 +326,114 @@ impl Sim {
                 // TLB probe (the page cannot be in the TLB if never
                 // demand-accessed).
                 let pa = self.vm.translate(addr).unwrap_or(PhysAddr(0));
-                let out = self.mem.prefetch(cpu, self.clocks[cpu], addr, pa, exclusive);
+                let out = self
+                    .mem
+                    .prefetch(cpu, self.clocks[cpu], addr, pa, exclusive);
                 self.clocks[cpu] += out.stall_cycles + 1;
                 self.instr[cpu] += 1;
             }
         }
+        self.sampler_tick(cpu);
+    }
+
+    /// Advances the sampling wall clock past this CPU's local clock and
+    /// closes the window if a boundary was crossed. A no-op (one `Option`
+    /// check) when sampling is off.
+    fn sampler_tick(&mut self, cpu: usize) {
+        let Some(s) = &mut self.sampler else { return };
+        let clock = self.clocks[cpu];
+        if clock > s.wall {
+            s.wall = clock;
+        }
+        if s.wall >= s.next_boundary {
+            self.sampler_flush(false);
+        }
+    }
+
+    /// Re-arms the sampler for a phase repeated `k` times. Must run right
+    /// after [`reset_phase_counters`](Self::reset_phase_counters): the
+    /// memory statistics were just zeroed, so the delta baselines restart
+    /// from zero while the wall clock keeps running.
+    fn sampler_begin_phase(&mut self, k: u64) {
+        let wall = self.clocks.iter().copied().max().unwrap_or(0);
+        if let Some(s) = &mut self.sampler {
+            s.k = k;
+            s.prev = CpuStats::default();
+            s.prev_instr = 0;
+            s.prev_bus = (0, 0, 0);
+            s.wall = wall;
+            s.next_boundary = wall + s.interval;
+        }
+    }
+
+    /// Flushes the partial window at a phase boundary so no window spans
+    /// two phases (they are scaled by different occurrence counts).
+    fn sampler_end_phase(&mut self) {
+        if self.sampler.is_none() {
+            return;
+        }
+        let wall = self.clocks.iter().copied().max().unwrap_or(0);
+        if let Some(s) = &mut self.sampler {
+            if wall > s.wall {
+                s.wall = wall;
+            }
+        }
+        self.sampler_flush(true);
+    }
+
+    /// Closes the current window: pushes the counter deltas since the last
+    /// flush (scaled by the phase count) and re-arms the next boundary.
+    fn sampler_flush(&mut self, skip_empty: bool) {
+        if self.sampler.is_none() {
+            return;
+        }
+        let stats = self.mem.stats();
+        let agg = stats.aggregate();
+        let instr: u64 = self.instr.iter().sum();
+        let s = self.sampler.as_mut().expect("checked above");
+        let (bus_d, bus_w, bus_u) = stats.bus_occupancy;
+        let prev = &s.prev;
+        // Field mapping mirrors `StallBreakdown::from_mem_stats` exactly —
+        // that is what makes the series totals reproduce the report.
+        let delta = Sample {
+            end_cycle: s.wall,
+            instructions: instr - s.prev_instr,
+            refs: (agg.data_refs + agg.ifetch_refs) - (prev.data_refs + prev.ifetch_refs),
+            misses: agg.misses.total() - prev.misses.total(),
+            tlb_misses: agg.tlb_misses - prev.tlb_misses,
+            l2_hit_stall: agg.l2_hit_stall_cycles - prev.l2_hit_stall_cycles,
+            conflict_stall: agg.miss_stall_cycles.get(cdpc_memsim::MissClass::Conflict)
+                - prev.miss_stall_cycles.get(cdpc_memsim::MissClass::Conflict),
+            capacity_stall: agg.miss_stall_cycles.get(cdpc_memsim::MissClass::Capacity)
+                - prev.miss_stall_cycles.get(cdpc_memsim::MissClass::Capacity),
+            true_sharing_stall: agg
+                .miss_stall_cycles
+                .get(cdpc_memsim::MissClass::TrueSharing)
+                - prev
+                    .miss_stall_cycles
+                    .get(cdpc_memsim::MissClass::TrueSharing),
+            false_sharing_stall: agg
+                .miss_stall_cycles
+                .get(cdpc_memsim::MissClass::FalseSharing)
+                - prev
+                    .miss_stall_cycles
+                    .get(cdpc_memsim::MissClass::FalseSharing),
+            cold_stall: agg.miss_stall_cycles.get(cdpc_memsim::MissClass::Cold)
+                - prev.miss_stall_cycles.get(cdpc_memsim::MissClass::Cold),
+            prefetch_stall: (agg.prefetch_wait_cycles + agg.prefetch_slot_stall_cycles)
+                - (prev.prefetch_wait_cycles + prev.prefetch_slot_stall_cycles),
+            upgrade_stall: agg.upgrade_stall_cycles - prev.upgrade_stall_cycles,
+            bus_data: bus_d - s.prev_bus.0,
+            bus_writeback: bus_w - s.prev_bus.1,
+            bus_upgrade: bus_u - s.prev_bus.2,
+        };
+        if !(skip_empty && delta.is_empty()) {
+            s.series.push(delta.scaled(s.k));
+        }
+        s.prev = agg;
+        s.prev_instr = instr;
+        s.prev_bus = (bus_d, bus_w, bus_u);
+        s.next_boundary = s.wall + s.interval;
     }
 
     /// Runs one statement to completion, including the trailing barrier for
@@ -266,9 +443,8 @@ impl Sim {
             CompiledStmt::Parallel { specs } => {
                 let p = specs.len();
                 let mut streams: Vec<_> = specs.iter().map(|s| s.ops()).collect();
-                let mut heap: BinaryHeap<Reverse<(u64, usize)>> = (0..p)
-                    .map(|c| Reverse((self.clocks[c], c)))
-                    .collect();
+                let mut heap: BinaryHeap<Reverse<(u64, usize)>> =
+                    (0..p).map(|c| Reverse((self.clocks[c], c))).collect();
                 while let Some(Reverse((_, cpu))) = heap.pop() {
                     match streams[cpu].next() {
                         Some(op) => {
@@ -396,12 +572,47 @@ fn build_policy(compiled: &CompiledProgram, cfg: &RunConfig) -> Box<dyn MappingP
 
 /// Runs a compiled program and reports the steady-state behavior.
 ///
+/// Equivalent to [`run_observed`] with the no-op probe and no sampling;
+/// the probe hooks compile away entirely on this path.
+///
 /// # Panics
 ///
 /// Panics if physical memory is exhausted (raise
 /// [`RunConfig::phys_slack`]) — a configuration error, not a program
 /// outcome.
 pub fn run(compiled: &CompiledProgram, cfg: &RunConfig) -> RunReport {
+    run_observed(compiled, cfg, &mut NullProbe, None).0
+}
+
+/// Runs a compiled program with an event probe attached to every layer of
+/// the machine and, optionally, interval sampling of the measured pass.
+///
+/// `probe` receives the memory-system events (L2 misses with their class,
+/// bus transactions, TLB misses, prefetch issues and drops) plus the
+/// OS-level events the run loop itself generates (page faults with their
+/// color-preference outcome, hint-table lookups, dynamic recolorings).
+/// Dispatch is static — `run` instantiates this with
+/// [`NullProbe`](cdpc_obs::NullProbe) and pays nothing.
+///
+/// With `sample_interval = Some(n)`, the measured pass is decomposed into
+/// windows of `n` simulated cycles (partial windows are flushed at phase
+/// boundaries, and each window is weighted by its phase's occurrence
+/// count), and the resulting [`IntervalSeries`] is returned alongside the
+/// report. The series' [`totals`](IntervalSeries::totals) equal the
+/// report's stall breakdown, instruction count, and bus occupancy exactly.
+/// Warm-up is never sampled.
+///
+/// # Panics
+///
+/// Panics if physical memory is exhausted (raise
+/// [`RunConfig::phys_slack`]) — a configuration error, not a program
+/// outcome.
+pub fn run_observed<P: Probe>(
+    compiled: &CompiledProgram,
+    cfg: &RunConfig,
+    probe: &mut P,
+    sample_interval: Option<u64>,
+) -> (RunReport, Option<IntervalSeries>) {
     assert_eq!(
         compiled.num_cpus, cfg.mem.num_cpus,
         "program compiled for {} CPUs but machine has {}",
@@ -447,7 +658,7 @@ pub fn run(compiled: &CompiledProgram, cfg: &RunConfig) -> RunReport {
 
     let num_colors = colors.num_colors() as usize;
     let mut sim = Sim {
-        mem: MemorySystem::new(cfg.mem.clone()),
+        mem: MemorySystem::with_probe(cfg.mem.clone(), &mut *probe),
         vm,
         policy,
         clocks: vec![0; p],
@@ -463,6 +674,7 @@ pub fn run(compiled: &CompiledProgram, cfg: &RunConfig) -> RunReport {
         sync: 0,
         cfg: cfg.clone(),
         geometry,
+        sampler: None,
     };
 
     // CDPC on Digital UNIX: serially touch every hinted page in coloring
@@ -472,9 +684,8 @@ pub fn run(compiled: &CompiledProgram, cfg: &RunConfig) -> RunReport {
     // here only pre-faults the pages, reproducing the serialized-fault
     // start-up the paper describes.)
     if cfg.policy == PolicyKind::CdpcTouch {
-        let hints =
-            generate_hints_with(&compiled.summary, &cfg.machine_params(), cfg.hint_options)
-                .expect("compiler-produced summaries are always valid");
+        let hints = generate_hints_with(&compiled.summary, &cfg.machine_params(), cfg.hint_options)
+            .expect("compiler-produced summaries are always valid");
         for &vpn in hints.order() {
             sim.ensure_mapped(0, vpn);
         }
@@ -488,6 +699,8 @@ pub fn run(compiled: &CompiledProgram, cfg: &RunConfig) -> RunReport {
     }
 
     // Measured pass: per-phase statistics weighted by occurrence count.
+    // Interval sampling (if requested) covers exactly this pass.
+    sim.sampler = sample_interval.map(Sampler::new);
     let mut instructions = 0u64;
     let mut exec_cycles = 0u64;
     let mut stalls_total = StallBreakdown::default();
@@ -499,12 +712,14 @@ pub fn run(compiled: &CompiledProgram, cfg: &RunConfig) -> RunReport {
     let mut bus_busy_weighted = 0u64;
 
     for phase in &compiled.phases {
+        let k = phase.count.max(1);
         sim.reset_phase_counters();
+        sim.sampler_begin_phase(k);
         let start: Vec<u64> = sim.clocks.clone();
         for stmt in &phase.stmts {
             sim.exec_stmt(stmt);
         }
-        let k = phase.count.max(1);
+        sim.sampler_end_phase();
         let phase_stats = sim.mem.stats();
 
         let phase_instr: u64 = sim.instr.iter().sum();
@@ -560,7 +775,7 @@ pub fn run(compiled: &CompiledProgram, cfg: &RunConfig) -> RunReport {
         },
     };
 
-    RunReport {
+    let report = RunReport {
         name: compiled.name.clone(),
         num_cpus: p,
         policy: cfg.policy.label().to_string(),
@@ -578,7 +793,10 @@ pub fn run(compiled: &CompiledProgram, cfg: &RunConfig) -> RunReport {
         },
         fault_stats: sim.vm.stats(),
         recolorings: sim.recolorings,
-    }
+        simulated_refs: sim.mem.lifetime_refs(),
+    };
+    let series = sim.sampler.take().map(|s| s.series);
+    (report, series)
 }
 
 #[cfg(test)]
@@ -612,7 +830,10 @@ mod tests {
                     wraparound: false,
                 },
             ))
-            .with_access(Access::write(b, AccessPattern::Partitioned { unit_bytes: 1024 }));
+            .with_access(Access::write(
+                b,
+                AccessPattern::Partitioned { unit_bytes: 1024 },
+            ));
         p.phase(Phase {
             name: "main".into(),
             stmts: vec![Stmt {
@@ -704,7 +925,10 @@ mod tests {
     fn hints_are_honored_with_ample_memory() {
         let r = run_with(PolicyKind::Cdpc, 2);
         assert!(r.fault_stats.preferred > 0);
-        assert_eq!(r.fault_stats.fallback, 0, "no memory pressure, no fallbacks");
+        assert_eq!(
+            r.fault_stats.fallback, 0,
+            "no memory pressure, no fallbacks"
+        );
         assert_eq!(r.fault_stats.honor_rate(), 1.0);
     }
 
@@ -716,13 +940,18 @@ mod tests {
             name: "s".into(),
             stmts: vec![Stmt {
                 kind: StmtKind::Sequential,
-                nest: LoopNest::new("l", 8, 100)
-                    .with_access(Access::read(a, AccessPattern::Partitioned { unit_bytes: 1024 })),
+                nest: LoopNest::new("l", 8, 100).with_access(Access::read(
+                    a,
+                    AccessPattern::Partitioned { unit_bytes: 1024 },
+                )),
             }],
             count: 1,
         });
         let compiled = compile(&p, &CompileOptions::new(4)).unwrap();
-        let r = run(&compiled, &RunConfig::new(small_mem(4), PolicyKind::PageColoring));
+        let r = run(
+            &compiled,
+            &RunConfig::new(small_mem(4), PolicyKind::PageColoring),
+        );
         assert!(r.overheads.sequential > 0);
         assert_eq!(r.overheads.suppressed, 0);
     }
@@ -737,11 +966,20 @@ mod tests {
         let _gap = p.array("gap", 16 << 10);
         let c = p.array("C", 16 << 10);
         let nest = LoopNest::new("sweep", 16, 300)
-            .with_access(Access::read(a, AccessPattern::Partitioned { unit_bytes: 1024 }))
-            .with_access(Access::write(c, AccessPattern::Partitioned { unit_bytes: 1024 }));
+            .with_access(Access::read(
+                a,
+                AccessPattern::Partitioned { unit_bytes: 1024 },
+            ))
+            .with_access(Access::write(
+                c,
+                AccessPattern::Partitioned { unit_bytes: 1024 },
+            ));
         p.phase(Phase {
             name: "main".into(),
-            stmts: vec![Stmt { kind: StmtKind::Parallel, nest }],
+            stmts: vec![Stmt {
+                kind: StmtKind::Parallel,
+                nest,
+            }],
             count: 6,
         });
         let compiled = compile(&p, &CompileOptions::new(2).with_l2_cache(32 << 10)).unwrap();
@@ -788,6 +1026,92 @@ mod tests {
     }
 
     #[test]
+    fn observed_run_reproduces_plain_run() {
+        let opts = CompileOptions::new(2).with_l2_cache(32 << 10);
+        let compiled = compile(&two_array_program(), &opts).unwrap();
+        let cfg = RunConfig::new(small_mem(2), PolicyKind::Cdpc);
+        let plain = run(&compiled, &cfg);
+        let mut probe = cdpc_obs::CountingProbe::default();
+        let (observed, series) = run_observed(&compiled, &cfg, &mut probe, Some(10_000));
+        assert_eq!(plain, observed, "probes must not perturb the simulation");
+        assert!(series.is_some());
+        assert!(probe.page_faults > 0, "warm-up faults must be observed");
+        assert!(probe.hint_lookups > 0, "cdpc faults consult the hint table");
+    }
+
+    #[test]
+    fn interval_series_totals_match_report_exactly() {
+        let opts = CompileOptions::new(2).with_l2_cache(32 << 10);
+        let compiled = compile(&two_array_program(), &opts).unwrap();
+        let cfg = RunConfig::new(small_mem(2), PolicyKind::PageColoring);
+        let mut probe = cdpc_obs::NullProbe;
+        let (report, series) = run_observed(&compiled, &cfg, &mut probe, Some(5_000));
+        let series = series.expect("sampling was requested");
+        assert!(series.samples.len() > 1, "run must span several windows");
+        let t = series.totals();
+        assert_eq!(t.instructions, report.instructions);
+        assert_eq!(t.l2_hit_stall, report.stalls.l2_hit);
+        assert_eq!(t.conflict_stall, report.stalls.conflict);
+        assert_eq!(t.capacity_stall, report.stalls.capacity);
+        assert_eq!(t.true_sharing_stall, report.stalls.true_sharing);
+        assert_eq!(t.false_sharing_stall, report.stalls.false_sharing);
+        assert_eq!(t.cold_stall, report.stalls.cold);
+        assert_eq!(t.prefetch_stall, report.stalls.prefetch);
+        assert_eq!(t.upgrade_stall, report.stalls.upgrade);
+        assert_eq!(t.stall_total(), report.stalls.total());
+        assert_eq!(
+            (t.bus_data, t.bus_writeback, t.bus_upgrade),
+            report.mem_stats.bus_occupancy
+        );
+        let agg = report.mem_stats.aggregate();
+        assert_eq!(t.misses, agg.misses.total());
+        assert_eq!(t.tlb_misses, agg.tlb_misses);
+        assert_eq!(t.refs, agg.data_refs + agg.ifetch_refs);
+    }
+
+    #[test]
+    fn recolorings_are_observed() {
+        let mut p = Program::new("dyn-obs");
+        let a = p.array("A", 16 << 10);
+        let _gap = p.array("gap", 16 << 10);
+        let c = p.array("C", 16 << 10);
+        let nest = LoopNest::new("sweep", 16, 300)
+            .with_access(Access::read(
+                a,
+                AccessPattern::Partitioned { unit_bytes: 1024 },
+            ))
+            .with_access(Access::write(
+                c,
+                AccessPattern::Partitioned { unit_bytes: 1024 },
+            ));
+        p.phase(Phase {
+            name: "main".into(),
+            stmts: vec![Stmt {
+                kind: StmtKind::Parallel,
+                nest,
+            }],
+            count: 6,
+        });
+        let compiled = compile(&p, &CompileOptions::new(2).with_l2_cache(32 << 10)).unwrap();
+        let mut cfg = RunConfig::new(small_mem(2), PolicyKind::DynamicRecolor);
+        cfg.recolor_threshold = 8;
+        let mut probe = cdpc_obs::CountingProbe::default();
+        let (report, _) = run_observed(&compiled, &cfg, &mut probe, None);
+        assert!(report.recolorings > 0);
+        assert_eq!(probe.recolorings, report.recolorings);
+    }
+
+    #[test]
+    fn simulated_refs_count_the_whole_run() {
+        let r = run_with(PolicyKind::PageColoring, 2);
+        // The counter spans warm-up plus one measured pass, unweighted by
+        // phase counts, so it is nonzero but independent of `count`.
+        assert!(r.simulated_refs > 0);
+        let r2 = run_with(PolicyKind::PageColoring, 2);
+        assert_eq!(r.simulated_refs, r2.simulated_refs, "deterministic");
+    }
+
+    #[test]
     fn uneven_iterations_cause_load_imbalance() {
         let mut p = Program::new("imb");
         let a = p.array("A", 33 << 10);
@@ -796,13 +1120,18 @@ mod tests {
             stmts: vec![Stmt {
                 kind: StmtKind::Parallel,
                 // 33 iterations on 4 CPUs: blocked gives 9,9,9,6.
-                nest: LoopNest::new("l", 33, 500)
-                    .with_access(Access::read(a, AccessPattern::Partitioned { unit_bytes: 1024 })),
+                nest: LoopNest::new("l", 33, 500).with_access(Access::read(
+                    a,
+                    AccessPattern::Partitioned { unit_bytes: 1024 },
+                )),
             }],
             count: 1,
         });
         let compiled = compile(&p, &CompileOptions::new(4)).unwrap();
-        let r = run(&compiled, &RunConfig::new(small_mem(4), PolicyKind::PageColoring));
+        let r = run(
+            &compiled,
+            &RunConfig::new(small_mem(4), PolicyKind::PageColoring),
+        );
         assert!(r.overheads.load_imbalance > 0);
     }
 }

@@ -1,0 +1,200 @@
+//! Golden tests for the observability stack: the JSON exporter round-trips
+//! through the hand-rolled parser, the Chrome trace is valid JSON in the
+//! trace-event shape, and the interval series sums back to the end-of-run
+//! aggregates exactly.
+
+use cdpc_compiler::ir::{Access, AccessPattern, LoopNest, Phase, Program, Stmt, StmtKind};
+use cdpc_compiler::{compile, CompileOptions};
+use cdpc_machine::{report_to_json, run, run_observed, PolicyKind, RunConfig, RunReport};
+use cdpc_memsim::MemConfig;
+use cdpc_obs::{IntervalSeries, JsonValue, TraceProbe};
+
+/// A small machine: 32 KB direct-mapped L2 (8 colors), tiny L1s.
+fn small_mem(cpus: usize) -> MemConfig {
+    let mut m = MemConfig::paper_base(cpus);
+    m.l1d = cdpc_memsim::CacheConfig::new(1 << 10, 32, 2);
+    m.l1i = cdpc_memsim::CacheConfig::new(1 << 10, 32, 2);
+    m.l2 = cdpc_memsim::CacheConfig::new(32 << 10, 128, 1);
+    m
+}
+
+/// Two arrays swept by a stencil plus a partitioned write — enough traffic
+/// to exercise every stall category and the prefetcher.
+fn observed_run() -> (RunReport, Option<IntervalSeries>, TraceProbe) {
+    let mut p = Program::new("obs-golden");
+    let a = p.array("A", 12 << 10);
+    let b = p.array("B", 12 << 10);
+    let nest = LoopNest::new("sweep", 12, 500)
+        .with_access(Access::read(
+            a,
+            AccessPattern::Stencil {
+                unit_bytes: 1024,
+                halo_units: 1,
+                wraparound: false,
+            },
+        ))
+        .with_access(Access::write(
+            b,
+            AccessPattern::Partitioned { unit_bytes: 1024 },
+        ));
+    p.phase(Phase {
+        name: "main".into(),
+        stmts: vec![Stmt {
+            kind: StmtKind::Parallel,
+            nest,
+        }],
+        count: 4,
+    });
+    let compiled = compile(&p, &CompileOptions::new(2).with_l2_cache(32 << 10)).unwrap();
+    let cfg = RunConfig::new(small_mem(2), PolicyKind::Cdpc);
+    let mut probe = TraceProbe::new();
+    let (report, series) = run_observed(&compiled, &cfg, &mut probe, Some(5_000));
+    (report, series, probe)
+}
+
+/// The exported report survives a round-trip through the hand-rolled
+/// parser with every headline number intact.
+#[test]
+fn report_json_round_trips_through_parser() {
+    let (report, _, _) = observed_run();
+    let json = report_to_json(&report);
+    let parsed = JsonValue::parse(&json.to_string_pretty()).expect("exporter emits valid JSON");
+    assert_eq!(parsed.get("name").unwrap().as_str(), Some("obs-golden"));
+    assert_eq!(parsed.get("policy").unwrap().as_str(), Some("cdpc"));
+    assert_eq!(parsed.get("num_cpus").unwrap().as_u64(), Some(2));
+    assert_eq!(
+        parsed.get("instructions").unwrap().as_u64(),
+        Some(report.instructions)
+    );
+    assert_eq!(
+        parsed.get("elapsed_cycles").unwrap().as_u64(),
+        Some(report.elapsed_cycles)
+    );
+    assert_eq!(
+        parsed.get("simulated_refs").unwrap().as_u64(),
+        Some(report.simulated_refs)
+    );
+    let mcpi = parsed.get("mcpi").unwrap().as_f64().unwrap();
+    assert!((mcpi - report.mcpi()).abs() < 1e-12);
+    let stalls = parsed.get("stalls").expect("stalls object");
+    assert_eq!(
+        stalls.get("total").unwrap().as_u64(),
+        Some(report.stalls.total())
+    );
+    assert_eq!(
+        stalls.get("conflict").unwrap().as_u64(),
+        Some(report.stalls.conflict)
+    );
+    let memory = parsed.get("memory").expect("memory object");
+    let misses = memory.get("l2_misses").expect("miss-class object");
+    for class in [
+        "cold",
+        "capacity",
+        "conflict",
+        "true-sharing",
+        "false-sharing",
+    ] {
+        assert!(misses.get(class).is_some(), "miss class `{class}` exported");
+    }
+    // Compact and pretty forms parse to the same value.
+    let reparsed = JsonValue::parse(&json.to_string_compact()).unwrap();
+    assert_eq!(
+        reparsed.to_string_pretty(),
+        parsed.to_string_pretty(),
+        "compact and pretty forms agree"
+    );
+}
+
+/// The trace export is valid JSON in the Chrome trace-event shape:
+/// a top-level `traceEvents` array of objects with ph/ts/pid/tid fields.
+#[test]
+fn chrome_trace_is_well_formed() {
+    let (_, _, probe) = observed_run();
+    assert!(probe.buffered_events() > 0, "run must produce events");
+    let trace = probe.to_chrome_trace();
+    let parsed = JsonValue::parse(&trace).expect("trace is valid JSON");
+    let events = parsed
+        .get("traceEvents")
+        .and_then(|e| e.as_array())
+        .expect("traceEvents array");
+    assert!(!events.is_empty());
+    let mut spans = 0;
+    for ev in events {
+        assert!(ev.get("name").is_some(), "every event is named");
+        assert!(ev.get("pid").is_some() && ev.get("tid").is_some());
+        match ev.get("ph").and_then(|p| p.as_str()) {
+            Some("X") => {
+                spans += 1;
+                assert!(ev.get("ts").is_some(), "spans carry a timestamp");
+                assert!(ev.get("dur").is_some(), "spans carry a duration");
+            }
+            Some("M") => {} // lane-name metadata has no timestamp
+            other => panic!("unexpected phase {other:?}"),
+        }
+    }
+    assert!(spans > 0, "trace contains real spans, not just metadata");
+}
+
+/// Summing the interval series reproduces the end-of-run aggregates
+/// exactly — no cycle and no instruction is lost at window boundaries.
+#[test]
+fn interval_series_sums_to_run_totals() {
+    let (report, series, _) = observed_run();
+    let series = series.expect("sampling was on");
+    assert!(series.samples.len() > 1, "run spans several windows");
+    let t = series.totals();
+    assert_eq!(t.instructions, report.instructions);
+    assert_eq!(t.l2_hit_stall, report.stalls.l2_hit);
+    assert_eq!(t.conflict_stall, report.stalls.conflict);
+    assert_eq!(t.capacity_stall, report.stalls.capacity);
+    assert_eq!(t.true_sharing_stall, report.stalls.true_sharing);
+    assert_eq!(t.false_sharing_stall, report.stalls.false_sharing);
+    assert_eq!(t.cold_stall, report.stalls.cold);
+    assert_eq!(t.prefetch_stall, report.stalls.prefetch);
+    assert_eq!(t.upgrade_stall, report.stalls.upgrade);
+    assert_eq!(t.stall_total(), report.stalls.total());
+    assert_eq!(t.bus_data, report.bus.data_cycles);
+    assert_eq!(t.bus_writeback, report.bus.writeback_cycles);
+    assert_eq!(t.bus_upgrade, report.bus.upgrade_cycles);
+    // The CSV renders one row per window plus a header.
+    let csv = series.to_csv();
+    assert_eq!(csv.lines().count(), series.samples.len() + 1);
+    assert!(csv.starts_with("end_cycle,instructions,"));
+}
+
+/// Observation is pure: the observed run's report equals the plain run's.
+#[test]
+fn observation_does_not_perturb_results() {
+    let mut p = Program::new("obs-golden");
+    let a = p.array("A", 12 << 10);
+    let b = p.array("B", 12 << 10);
+    let nest = LoopNest::new("sweep", 12, 500)
+        .with_access(Access::read(
+            a,
+            AccessPattern::Stencil {
+                unit_bytes: 1024,
+                halo_units: 1,
+                wraparound: false,
+            },
+        ))
+        .with_access(Access::write(
+            b,
+            AccessPattern::Partitioned { unit_bytes: 1024 },
+        ));
+    p.phase(Phase {
+        name: "main".into(),
+        stmts: vec![Stmt {
+            kind: StmtKind::Parallel,
+            nest,
+        }],
+        count: 4,
+    });
+    let compiled = compile(&p, &CompileOptions::new(2).with_l2_cache(32 << 10)).unwrap();
+    let cfg = RunConfig::new(small_mem(2), PolicyKind::Cdpc);
+    let plain = run(&compiled, &cfg);
+    let (observed, _, _) = observed_run();
+    assert_eq!(
+        plain, observed,
+        "probes and sampling must not change physics"
+    );
+}

@@ -20,6 +20,27 @@ pub enum BusUse {
     Upgrade,
 }
 
+impl BusUse {
+    /// Stable lowercase label (matches the probe/export vocabulary).
+    pub fn label(self) -> &'static str {
+        match self {
+            BusUse::Data => "data",
+            BusUse::Writeback => "writeback",
+            BusUse::Upgrade => "upgrade",
+        }
+    }
+}
+
+impl From<BusUse> for cdpc_obs::BusKind {
+    fn from(use_: BusUse) -> Self {
+        match use_ {
+            BusUse::Data => cdpc_obs::BusKind::Data,
+            BusUse::Writeback => cdpc_obs::BusKind::Writeback,
+            BusUse::Upgrade => cdpc_obs::BusKind::Upgrade,
+        }
+    }
+}
+
 /// Outcome of queueing one bus transaction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BusGrant {

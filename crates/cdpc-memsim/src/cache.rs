@@ -215,10 +215,14 @@ impl Cache {
         let a = self.cfg.associativity();
         let num_sets = self.cfg.num_sets() as u64;
         let line_bytes = self.cfg.line_bytes() as u64;
-        self.ways.iter().enumerate().filter(|(_, w)| w.valid).map(move |(i, w)| {
-            let set = (i / a) as u64;
-            ((w.tag * num_sets + set) * line_bytes, w.state)
-        })
+        self.ways
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| w.valid)
+            .map(move |(i, w)| {
+                let set = (i / a) as u64;
+                ((w.tag * num_sets + set) * line_bytes, w.state)
+            })
     }
 }
 

@@ -72,6 +72,18 @@ impl MissClass {
     ];
 }
 
+impl From<MissClass> for cdpc_obs::MissClassId {
+    fn from(class: MissClass) -> Self {
+        match class {
+            MissClass::Cold => cdpc_obs::MissClassId::Cold,
+            MissClass::Capacity => cdpc_obs::MissClassId::Capacity,
+            MissClass::Conflict => cdpc_obs::MissClassId::Conflict,
+            MissClass::TrueSharing => cdpc_obs::MissClassId::TrueSharing,
+            MissClass::FalseSharing => cdpc_obs::MissClassId::FalseSharing,
+        }
+    }
+}
+
 impl std::fmt::Display for MissClass {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let s = match self {
@@ -218,9 +230,15 @@ mod tests {
         let mut s = ShadowCache::new(2);
         assert!(!s.reference(0x000)); // cold in shadow
         assert!(!s.reference(0x100));
-        assert!(s.reference(0x000), "still resident: a real miss here is conflict");
+        assert!(
+            s.reference(0x000),
+            "still resident: a real miss here is conflict"
+        );
         assert!(!s.reference(0x200)); // evicts 0x100
-        assert!(!s.reference(0x100), "capacity-evicted: a real miss here is capacity");
+        assert!(
+            !s.reference(0x100),
+            "capacity-evicted: a real miss here is capacity"
+        );
     }
 
     #[test]
@@ -228,10 +246,7 @@ mod tests {
         let mut t = SharingTracker::new();
         t.on_invalidate(0x80, 1, 0); // cpu1 loses line, sub-block 0 written
         assert!(t.has_pending(0x80, 1));
-        assert_eq!(
-            t.classify_refetch(0x80, 1, 0),
-            Some(MissClass::TrueSharing)
-        );
+        assert_eq!(t.classify_refetch(0x80, 1, 0), Some(MissClass::TrueSharing));
         assert!(!t.has_pending(0x80, 1));
     }
 
@@ -252,7 +267,10 @@ mod tests {
         t.on_invalidate(0x80, 2, 0);
         t.on_write(0x80, 0, 3); // owner writes another sub-block
         assert_eq!(t.classify_refetch(0x80, 1, 3), Some(MissClass::TrueSharing));
-        assert_eq!(t.classify_refetch(0x80, 2, 2), Some(MissClass::FalseSharing));
+        assert_eq!(
+            t.classify_refetch(0x80, 2, 2),
+            Some(MissClass::FalseSharing)
+        );
     }
 
     #[test]
@@ -263,7 +281,10 @@ mod tests {
         // record is pending (e.g. write miss): its own write must not turn
         // its pending record into true sharing.
         t.on_write(0x80, 1, 5);
-        assert_eq!(t.classify_refetch(0x80, 1, 5), Some(MissClass::FalseSharing));
+        assert_eq!(
+            t.classify_refetch(0x80, 1, 5),
+            Some(MissClass::FalseSharing)
+        );
     }
 
     #[test]

@@ -16,8 +16,14 @@ impl CacheConfig {
     /// Panics unless sizes are powers of two, the line divides the size, and
     /// the set count is at least one.
     pub fn new(size_bytes: usize, line_bytes: usize, associativity: usize) -> Self {
-        assert!(size_bytes.is_power_of_two(), "cache size must be a power of two");
-        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            size_bytes.is_power_of_two(),
+            "cache size must be a power of two"
+        );
+        assert!(
+            line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         assert!(associativity >= 1, "associativity must be at least 1");
         assert!(
             size_bytes >= line_bytes * associativity,
@@ -84,8 +90,15 @@ impl CacheConfig {
     /// Panics if the scaled cache would not hold one set.
     #[must_use]
     pub fn scaled_down(&self, factor: usize) -> Self {
-        assert!(factor.is_power_of_two(), "scale factor must be a power of two");
-        Self::new(self.size_bytes / factor, self.line_bytes, self.associativity)
+        assert!(
+            factor.is_power_of_two(),
+            "scale factor must be a power of two"
+        );
+        Self::new(
+            self.size_bytes / factor,
+            self.line_bytes,
+            self.associativity,
+        )
     }
 }
 

@@ -23,6 +23,7 @@
 
 use std::collections::HashMap;
 
+use cdpc_obs::{NullProbe, PrefetchDropReason, Probe};
 use cdpc_vm::addr::{PhysAddr, VirtAddr, Vpn};
 
 use crate::bus::{Bus, BusUse};
@@ -119,24 +120,52 @@ struct CpuMem {
 }
 
 /// The complete multiprocessor memory system.
+///
+/// Generic over a [`Probe`] receiving fine-grained events (misses, bus
+/// transactions, TLB misses, prefetch activity). The default [`NullProbe`]
+/// has empty inlined callbacks, so uninstrumented use —
+/// [`MemorySystem::new`] — compiles to the same code as before probes
+/// existed.
 #[derive(Debug)]
-pub struct MemorySystem {
+pub struct MemorySystem<P: Probe = NullProbe> {
     cfg: MemConfig,
     cpus: Vec<CpuMem>,
     bus: Bus,
     sharing: SharingTracker,
     directory: HashMap<u64, DirEntry>,
+    probe: P,
+    /// Demand references plus issued prefetches over the system's whole
+    /// life — unlike [`CpuStats`], *not* cleared by
+    /// [`reset_stats`](Self::reset_stats). This is the denominator-free
+    /// "simulation work done" counter behind wall-clock refs/sec.
+    lifetime_refs: u64,
 }
 
 impl MemorySystem {
-    /// Builds the memory system described by `cfg`.
+    /// Builds the memory system described by `cfg`, with probing disabled.
     ///
     /// # Panics
     ///
     /// Panics if `cfg.num_cpus` is zero or exceeds 32 (the directory uses a
     /// 32-bit sharer mask; the paper simulates at most 16).
     pub fn new(cfg: MemConfig) -> Self {
-        assert!(cfg.num_cpus >= 1 && cfg.num_cpus <= 32, "1..=32 CPUs supported");
+        Self::with_probe(cfg, NullProbe)
+    }
+}
+
+impl<P: Probe> MemorySystem<P> {
+    /// Builds the memory system described by `cfg`, delivering events to
+    /// `probe`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.num_cpus` is zero or exceeds 32 (the directory uses a
+    /// 32-bit sharer mask; the paper simulates at most 16).
+    pub fn with_probe(cfg: MemConfig, probe: P) -> Self {
+        assert!(
+            cfg.num_cpus >= 1 && cfg.num_cpus <= 32,
+            "1..=32 CPUs supported"
+        );
         let cpus = (0..cfg.num_cpus)
             .map(|_| CpuMem {
                 l1d: Cache::new(cfg.l1d),
@@ -161,12 +190,35 @@ impl MemorySystem {
             bus: Bus::new(),
             sharing: SharingTracker::new(),
             directory: HashMap::new(),
+            probe,
+            lifetime_refs: 0,
         }
     }
 
     /// The configuration this system was built with.
     pub fn config(&self) -> &MemConfig {
         &self.cfg
+    }
+
+    /// The attached probe.
+    pub fn probe(&self) -> &P {
+        &self.probe
+    }
+
+    /// The attached probe, mutably (for draining buffered events).
+    pub fn probe_mut(&mut self) -> &mut P {
+        &mut self.probe
+    }
+
+    /// Consumes the system, returning the probe (and its buffers).
+    pub fn into_probe(self) -> P {
+        self.probe
+    }
+
+    /// Demand references plus issued prefetches over the system's whole
+    /// life (never reset).
+    pub fn lifetime_refs(&self) -> u64 {
+        self.lifetime_refs
     }
 
     /// Snapshot of all statistics.
@@ -205,6 +257,7 @@ impl MemorySystem {
         pa: PhysAddr,
         kind: AccessKind,
     ) -> AccessOutcome {
+        self.lifetime_refs += 1;
         let is_ifetch = kind == AccessKind::IFetch;
         let is_write = kind == AccessKind::Write;
         if is_ifetch {
@@ -223,6 +276,7 @@ impl MemorySystem {
             self.cpus[cpu].stats.tlb_misses += 1;
             self.cpus[cpu].stats.tlb_stall_cycles += penalty;
             latency += penalty;
+            self.probe.on_tlb_miss(cpu, now, vpn.0);
         }
         let now = now + latency;
 
@@ -312,8 +366,7 @@ impl MemorySystem {
 
         // Victim-cache swap-back (extension feature): the line was evicted
         // recently and is still in the per-CPU victim buffer.
-        let vc_state = self
-            .cpus[cpu]
+        let vc_state = self.cpus[cpu]
             .victim
             .as_mut()
             .and_then(|vc| vc.take(pa_l2_line));
@@ -366,6 +419,8 @@ impl MemorySystem {
             stats.misses.add(class, 1);
             stats.miss_stall_cycles.add(class, service_latency);
         }
+        self.probe
+            .on_l2_miss(cpu, now, class.into(), service_latency);
 
         AccessOutcome {
             latency_cycles: latency,
@@ -389,15 +444,17 @@ impl MemorySystem {
         exclusive: bool,
     ) -> PrefetchOutcome {
         let vpn = Vpn(va.0 / self.cfg.page_size as u64);
+        let pa_l2_line = self.cfg.l2.line_of(pa.0);
         if !self.cpus[cpu].tlb.probe(vpn) {
             self.cpus[cpu].stats.prefetches_dropped_tlb += 1;
+            self.probe
+                .on_prefetch_dropped(cpu, now, pa_l2_line, PrefetchDropReason::TlbMiss);
             return PrefetchOutcome {
                 issued: false,
                 stall_cycles: 0,
             };
         }
         self.complete_prefetches(cpu, now);
-        let pa_l2_line = self.cfg.l2.line_of(pa.0);
         let resident = matches!(self.cpus[cpu].l2.peek(pa_l2_line), Lookup::Hit(_))
             || self.cpus[cpu].inflight.contains_key(&pa_l2_line)
             || self.cpus[cpu]
@@ -406,11 +463,14 @@ impl MemorySystem {
                 .is_some_and(|vc| vc.contains(pa_l2_line));
         if resident {
             self.cpus[cpu].stats.prefetches_dropped_resident += 1;
+            self.probe
+                .on_prefetch_dropped(cpu, now, pa_l2_line, PrefetchDropReason::Resident);
             return PrefetchOutcome {
                 issued: false,
                 stall_cycles: 0,
             };
         }
+        self.lifetime_refs += 1;
         let grant = self.cpus[cpu].slots.reserve(now);
         let issue_at = grant.issue_at;
         self.complete_prefetches(cpu, issue_at);
@@ -419,12 +479,16 @@ impl MemorySystem {
             self.service_miss(cpu, issue_at, pa_l2_line, sub, exclusive);
         let completion = issue_at + service_latency;
         self.cpus[cpu].slots.occupy(completion);
-        self.cpus[cpu].inflight.insert(pa_l2_line, (completion, fill_state));
+        self.cpus[cpu]
+            .inflight
+            .insert(pa_l2_line, (completion, fill_state));
         {
             let stats = &mut self.cpus[cpu].stats;
             stats.prefetches_issued += 1;
             stats.prefetch_slot_stall_cycles += grant.stall_cycles;
         }
+        self.probe
+            .on_prefetch_issued(cpu, issue_at, pa_l2_line, grant.stall_cycles);
         PrefetchOutcome {
             issued: true,
             stall_cycles: grant.stall_cycles,
@@ -451,7 +515,7 @@ impl MemorySystem {
                 if let Lookup::Hit(state) = self.cpus[cpu].l2.peek(line_addr) {
                     if state == Mesi::Modified {
                         let occ = self.cfg.bus_occupancy_cycles(line);
-                        self.bus.request(now, occ, BusUse::Writeback);
+                        self.bus_request(now, occ, BusUse::Writeback);
                     }
                     self.drop_line(cpu, line_addr);
                 }
@@ -478,8 +542,11 @@ impl MemorySystem {
     /// Panics when any invariant is violated.
     pub fn validate_coherence(&self) {
         for (cpu, c) in self.cpus.iter().enumerate() {
-            let vc_lines: Vec<(u64, Mesi)> =
-                c.victim.as_ref().map(|v| v.iter().collect()).unwrap_or_default();
+            let vc_lines: Vec<(u64, Mesi)> = c
+                .victim
+                .as_ref()
+                .map(|v| v.iter().collect())
+                .unwrap_or_default();
             for (line, state) in c.l2.resident().chain(vc_lines) {
                 let entry = self.directory.get(&line).unwrap_or_else(|| {
                     panic!("cpu{cpu} holds {line:#x} but the directory has no entry")
@@ -541,6 +608,19 @@ impl MemorySystem {
 
     // --- internals -------------------------------------------------------
 
+    /// Requests the bus and reports the transaction to the probe.
+    fn bus_request(
+        &mut self,
+        now: u64,
+        occupancy_cycles: u64,
+        use_: BusUse,
+    ) -> crate::bus::BusGrant {
+        let grant = self.bus.request(now, occupancy_cycles, use_);
+        self.probe
+            .on_bus_transaction(now, use_.into(), grant.queue_cycles, grant.occupancy_cycles);
+        grant
+    }
+
     /// Handles the coherence side of a write that hits the local hierarchy:
     /// upgrades a `Shared` line, silently dirties an `Exclusive` one, and
     /// feeds the sharing tracker. Returns extra stall cycles.
@@ -554,7 +634,7 @@ impl MemorySystem {
         let mut extra = 0;
         if state.needs_upgrade_for_write() {
             let occ = self.cfg.bus_occupancy_cycles(self.cfg.upgrade_bus_bytes);
-            let grant = self.bus.request(now, occ, BusUse::Upgrade);
+            let grant = self.bus_request(now, occ, BusUse::Upgrade);
             extra += grant.total_cycles();
             self.cpus[cpu].stats.upgrade_stall_cycles += grant.total_cycles();
             self.invalidate_other_copies(cpu, pa_l2_line, sub);
@@ -622,7 +702,9 @@ impl MemorySystem {
     ) -> (u64, ServicedBy, Mesi) {
         let entry = self.directory.get(&pa_l2_line).copied().unwrap_or_default();
         let others = entry.sharers & !(1u32 << cpu);
-        let occ = self.cfg.bus_occupancy_cycles(self.cfg.l2.line_bytes() as u64);
+        let occ = self
+            .cfg
+            .bus_occupancy_cycles(self.cfg.l2.line_bytes() as u64);
         let (base, source) = match entry.dirty_owner {
             Some(owner) if owner != cpu => {
                 // Cache-to-cache transfer.
@@ -645,7 +727,8 @@ impl MemorySystem {
                     // Shared so a later write by their owner pays an
                     // upgrade.
                     for other in 0..self.cfg.num_cpus {
-                        if other != cpu && others & (1 << other) != 0
+                        if other != cpu
+                            && others & (1 << other) != 0
                             && !self.cpus[other].l2.set_state(pa_l2_line, Mesi::Shared)
                         {
                             if let Some(vc) = self.cpus[other].victim.as_mut() {
@@ -657,7 +740,7 @@ impl MemorySystem {
                 (self.cfg.mem_latency_cycles(), ServicedBy::Memory)
             }
         };
-        let grant = self.bus.request(now, occ, BusUse::Data);
+        let grant = self.bus_request(now, occ, BusUse::Data);
         let latency = base + grant.queue_cycles;
 
         let entry = self.directory.entry(pa_l2_line).or_default();
@@ -692,8 +775,7 @@ impl MemorySystem {
         // rights included); only a line falling out of the victim buffer
         // is truly released.
         if self.cpus[cpu].victim.is_some() {
-            let pushed_out = self
-                .cpus[cpu]
+            let pushed_out = self.cpus[cpu]
                 .victim
                 .as_mut()
                 .expect("checked above")
@@ -712,8 +794,10 @@ impl MemorySystem {
     /// directory rights.
     fn release_line(&mut self, cpu: CpuId, now: u64, line: u64, dirty: bool) {
         if dirty {
-            let occ = self.cfg.bus_occupancy_cycles(self.cfg.l2.line_bytes() as u64);
-            self.bus.request(now, occ, BusUse::Writeback);
+            let occ = self
+                .cfg
+                .bus_occupancy_cycles(self.cfg.l2.line_bytes() as u64);
+            self.bus_request(now, occ, BusUse::Writeback);
         }
         if let Some(entry) = self.directory.get_mut(&line) {
             entry.sharers &= !(1u32 << cpu);
@@ -868,7 +952,7 @@ mod tests {
         // mapping → different conflict behaviour.
         let mut cfg = small_cfg(1);
         cfg.l2 = crate::config::CacheConfig::new(8192, 128, 1); // 2 pages
-        // Conflicting mapping: two pages, same color (pa 0 and 8192).
+                                                                // Conflicting mapping: two pages, same color (pa 0 and 8192).
         let mut m = MemorySystem::new(cfg.clone());
         m.access(0, 0, va(0), pa(0), AccessKind::Read);
         m.access(0, 10, va(4096), pa(8192), AccessKind::Read);
@@ -940,8 +1024,14 @@ mod tests {
         // Four CPUs miss at the same instant; later grants queue.
         let lat: Vec<u64> = (0..4)
             .map(|c| {
-                m.access(c, 0, va(0x1000 * (c as u64 + 1)), pa(0x1000 * (c as u64 + 1)), AccessKind::Read)
-                    .latency_cycles
+                m.access(
+                    c,
+                    0,
+                    va(0x1000 * (c as u64 + 1)),
+                    pa(0x1000 * (c as u64 + 1)),
+                    AccessKind::Read,
+                )
+                .latency_cycles
             })
             .collect();
         assert!(lat[3] > lat[0], "queued miss must be slower: {lat:?}");
@@ -1093,6 +1183,34 @@ mod tests {
         let out = m.access(0, 20_000, va(0x0000), pa(0x0000), AccessKind::Read);
         assert_ne!(out.serviced_by, ServicedBy::VictimCache, "stale copy used");
         m.validate_coherence();
+    }
+
+    #[test]
+    fn counting_probe_sees_misses_bus_and_prefetches() {
+        let mut m = MemorySystem::with_probe(small_cfg(2), cdpc_obs::CountingProbe::new());
+        m.access(0, 0, va(0x1000), pa(0x1000), AccessKind::Read);
+        m.access(1, 100, va(0x1000), pa(0x1000), AccessKind::Read);
+        m.access(0, 10_000, va(0x1000), pa(0x1000), AccessKind::Write); // upgrade
+        m.prefetch(0, 20_000, va(0x1080), pa(0x1080), false);
+        m.prefetch(0, 30_000, va(0x9000), pa(0x9000), false); // TLB drop
+        let stats = m.stats().aggregate();
+        let p = m.probe();
+        assert_eq!(p.l2_misses, stats.misses.total());
+        assert_eq!(p.tlb_misses, stats.tlb_misses);
+        assert_eq!(p.prefetches_issued, stats.prefetches_issued);
+        assert_eq!(p.prefetches_dropped, stats.prefetches_dropped_tlb);
+        assert_eq!(p.bus_transactions, m.stats().bus_transactions);
+        assert!(p.event_count() > 0);
+    }
+
+    #[test]
+    fn lifetime_refs_survive_stats_reset() {
+        let mut m = MemorySystem::new(small_cfg(1));
+        m.access(0, 0, va(0x1000), pa(0x1000), AccessKind::Read);
+        m.prefetch(0, 100, va(0x1080), pa(0x1080), false);
+        m.reset_stats();
+        m.access(0, 1000, va(0x2000), pa(0x2000), AccessKind::Read);
+        assert_eq!(m.lifetime_refs(), 3, "1 ref + 1 issued prefetch + 1 ref");
     }
 
     #[test]

@@ -66,6 +66,16 @@ impl Tlb {
     pub fn misses(&self) -> u64 {
         self.misses
     }
+
+    /// Demand hit rate (0.0–1.0; 0.0 before any access).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
 }
 
 #[cfg(test)]
@@ -98,6 +108,15 @@ mod tests {
         let mut t = Tlb::new(2);
         assert!(!t.probe(Vpn(9)));
         assert!(!t.access(Vpn(9)), "probe must not have filled the entry");
+    }
+
+    #[test]
+    fn hit_rate_tracks_accesses() {
+        let mut t = Tlb::new(4);
+        assert_eq!(t.hit_rate(), 0.0);
+        t.access(Vpn(1));
+        t.access(Vpn(1));
+        assert!((t.hit_rate() - 0.5).abs() < 1e-12);
     }
 
     #[test]

@@ -4,11 +4,14 @@
 //! independent fully-associative LRU caches of `associativity` entries,
 //! selected by the set-index bits. Any divergence between the production
 //! cache and the oracle on a random access stream is a bug.
-
-use proptest::prelude::*;
+//!
+//! Streams are drawn from a seeded [`SplitMix64`], one seed per case, so
+//! failures reproduce exactly by seed number with no external test
+//! framework.
 
 use cdpc_memsim::cache::{Cache, Lookup, Mesi};
 use cdpc_memsim::config::CacheConfig;
+use cdpc_obs::SplitMix64;
 
 /// The oracle: per-set vectors ordered MRU-first.
 struct OracleCache {
@@ -43,55 +46,80 @@ impl OracleCache {
     }
 }
 
-fn arb_config() -> impl Strategy<Value = CacheConfig> {
-    (0u32..=3, 0u32..=2).prop_map(|(sets_pow, assoc_pow)| {
-        let line = 64usize;
-        let sets = 1usize << (sets_pow + 1);
-        let assoc = 1usize << assoc_pow;
-        CacheConfig::new(sets * assoc * line, line, assoc)
-    })
+/// A random geometry: 2–16 sets × 1–4 ways × 64-byte lines.
+fn random_config(rng: &mut SplitMix64) -> CacheConfig {
+    let line = 64usize;
+    let sets = 1usize << (rng.range(0, 3) + 1);
+    let assoc = 1usize << rng.range(0, 2);
+    CacheConfig::new(sets * assoc * line, line, assoc)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+/// A random access stream of 1..400 addresses below `addr_bound`.
+fn random_stream(rng: &mut SplitMix64, max_len: u64, addr_bound: u64) -> Vec<u64> {
+    let len = rng.range(1, max_len);
+    (0..len).map(|_| rng.below(addr_bound)).collect()
+}
 
-    /// Hit/miss decisions and victim choices must match the oracle on any
-    /// access stream.
-    #[test]
-    fn cache_matches_oracle(cfg in arb_config(), stream in prop::collection::vec(0u64..4096, 1..400)) {
+/// Hit/miss decisions and victim choices must match the oracle on any
+/// access stream.
+#[test]
+fn cache_matches_oracle() {
+    for seed in 0..128u64 {
+        let mut rng = SplitMix64::new(seed);
+        let cfg = random_config(&mut rng);
+        let stream = random_stream(&mut rng, 399, 4096);
         let mut cache = Cache::new(cfg);
         let mut oracle = OracleCache::new(cfg);
         for (i, &addr) in stream.iter().enumerate() {
             let real_hit = matches!(cache.probe(addr), Lookup::Hit(_));
             let (oracle_hit, oracle_victim) = oracle.access(addr);
-            prop_assert_eq!(real_hit, oracle_hit, "step {}: hit mismatch at {:#x}", i, addr);
+            assert_eq!(
+                real_hit, oracle_hit,
+                "seed {seed} step {i}: hit mismatch at {addr:#x}"
+            );
             if !real_hit {
                 let evicted = cache.fill(addr, Mesi::Exclusive).map(|e| e.line_addr);
-                prop_assert_eq!(evicted, oracle_victim, "step {}: victim mismatch at {:#x}", i, addr);
+                assert_eq!(
+                    evicted, oracle_victim,
+                    "seed {seed} step {i}: victim mismatch at {addr:#x}"
+                );
             }
         }
     }
+}
 
-    /// Residency never exceeds capacity, and invalidation is precise.
-    #[test]
-    fn occupancy_and_invalidation(cfg in arb_config(), stream in prop::collection::vec(0u64..4096, 1..200)) {
+/// Residency never exceeds capacity, and invalidation is precise.
+#[test]
+fn occupancy_and_invalidation() {
+    for seed in 0..128u64 {
+        let mut rng = SplitMix64::new(seed);
+        let cfg = random_config(&mut rng);
+        let stream = random_stream(&mut rng, 199, 4096);
         let mut cache = Cache::new(cfg);
         for &addr in &stream {
             if matches!(cache.probe(addr), Lookup::Miss) {
                 cache.fill(addr, Mesi::Exclusive);
             }
-            prop_assert!(cache.resident_lines() <= cfg.num_lines());
+            assert!(
+                cache.resident_lines() <= cfg.num_lines(),
+                "seed {seed}: residency exceeds capacity"
+            );
         }
         // Invalidate everything that is resident; the cache must empty.
         for &addr in &stream {
             cache.invalidate(cfg.line_of(addr));
         }
-        prop_assert_eq!(cache.resident_lines(), 0);
+        assert_eq!(cache.resident_lines(), 0, "seed {seed}");
     }
+}
 
-    /// `peek` never changes subsequent behavior.
-    #[test]
-    fn peek_is_pure(cfg in arb_config(), stream in prop::collection::vec(0u64..2048, 1..200)) {
+/// `peek` never changes subsequent behavior.
+#[test]
+fn peek_is_pure() {
+    for seed in 0..128u64 {
+        let mut rng = SplitMix64::new(seed);
+        let cfg = random_config(&mut rng);
+        let stream = random_stream(&mut rng, 199, 2048);
         let run = |peek: bool| {
             let mut cache = Cache::new(cfg);
             let mut outcomes = Vec::new();
@@ -107,6 +135,6 @@ proptest! {
             }
             outcomes
         };
-        prop_assert_eq!(run(false), run(true));
+        assert_eq!(run(false), run(true), "seed {seed}");
     }
 }

@@ -1,10 +1,12 @@
 //! Randomized coherence stress: drive the memory system with random
 //! multiprocessor access/prefetch streams and check the MESI/directory
 //! invariants after every step.
-
-use proptest::prelude::*;
+//!
+//! Traffic is drawn from a seeded [`SplitMix64`], one seed per case, so
+//! failures reproduce exactly by seed number.
 
 use cdpc_memsim::{AccessKind, CacheConfig, MemConfig, MemorySystem};
+use cdpc_obs::SplitMix64;
 use cdpc_vm::addr::{PhysAddr, VirtAddr};
 
 fn tiny_cfg(cpus: usize) -> MemConfig {
@@ -23,35 +25,35 @@ enum Op {
     Prefetch(usize, u64, bool),
 }
 
-fn arb_op(cpus: usize) -> impl Strategy<Value = Op> {
-    // Addresses over 4 pages so TLB and page behavior are exercised.
-    let addr = 0u64..(4 * 4096);
-    (0..cpus, addr, 0u8..4).prop_map(|(cpu, a, kind)| match kind {
+/// A random operation over 4 CPUs. Addresses span 4 pages so TLB and
+/// page behavior are exercised.
+fn random_op(rng: &mut SplitMix64) -> Op {
+    let cpu = rng.index(4);
+    let a = rng.below(4 * 4096);
+    match rng.below(4) {
         0 => Op::Read(cpu, a),
         1 => Op::Write(cpu, a),
         2 => Op::Prefetch(cpu, a, false),
         _ => Op::Prefetch(cpu, a, true),
-    })
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// The coherence invariants hold after every operation of any random
-    /// 2- and 4-CPU interleaving.
-    #[test]
-    fn invariants_hold_under_random_traffic(
-        cpus in prop::sample::select(vec![2usize, 4]),
-        victim_lines in prop::sample::select(vec![0usize, 4]),
-        ops in prop::collection::vec(arb_op(4), 1..300),
-    ) {
+/// The coherence invariants hold after every operation of any random
+/// 2- and 4-CPU interleaving.
+#[test]
+fn invariants_hold_under_random_traffic() {
+    for seed in 0..48u64 {
+        let mut rng = SplitMix64::new(seed);
+        let cpus = if rng.chance(1, 2) { 2 } else { 4 };
+        let victim_lines = if rng.chance(1, 2) { 0 } else { 4 };
+        let num_ops = rng.range(1, 299);
         let mut cfg = tiny_cfg(cpus);
         cfg.victim_cache_lines = victim_lines;
         let mut mem = MemorySystem::new(cfg);
         let mut t = 0u64;
-        for op in ops {
+        for _ in 0..num_ops {
             t += 37;
-            match op {
+            match random_op(&mut rng) {
                 Op::Read(cpu, a) => {
                     let cpu = cpu % cpus;
                     mem.access(cpu, t, VirtAddr(a), PhysAddr(a), AccessKind::Read);
@@ -68,12 +70,16 @@ proptest! {
             mem.validate_coherence();
         }
     }
+}
 
-    /// Write visibility: after CPU A writes a line and CPU B reads it, a
-    /// write by B requires no new data fetch from memory (the directory
-    /// remembers B's copy) and the sharer count adjusts.
-    #[test]
-    fn producer_consumer_round_trips(addr in (0u64..2048).prop_map(|a| a * 2)) {
+/// Write visibility: after CPU A writes a line and CPU B reads it, a
+/// write by B requires no new data fetch from memory (the directory
+/// remembers B's copy) and the sharer count adjusts.
+#[test]
+fn producer_consumer_round_trips() {
+    let mut rng = SplitMix64::new(0xC0FE);
+    for _ in 0..64 {
+        let addr = rng.below(2048) * 2;
         let mut mem = MemorySystem::new(tiny_cfg(2));
         mem.access(0, 0, VirtAddr(addr), PhysAddr(addr), AccessKind::Write);
         mem.validate_coherence();
@@ -83,7 +89,10 @@ proptest! {
         mem.validate_coherence();
         // CPU0's copy must be gone after CPU1's write.
         let out = mem.access(0, 300, VirtAddr(addr), PhysAddr(addr), AccessKind::Read);
-        prop_assert!(out.miss_class.is_some(), "CPU0 must re-fetch after invalidation");
+        assert!(
+            out.miss_class.is_some(),
+            "addr {addr:#x}: CPU0 must re-fetch after invalidation"
+        );
         mem.validate_coherence();
     }
 }

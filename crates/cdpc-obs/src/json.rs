@@ -1,0 +1,545 @@
+//! A small hand-rolled JSON model, writer, and parser.
+//!
+//! crates.io is not reachable from every build environment this repo must
+//! compile in, so serde is off the table; this module is the entire
+//! serialization stack. It covers exactly what the exporters need:
+//!
+//! * [`JsonValue`] — an order-preserving value tree (objects keep insertion
+//!   order so reports diff cleanly).
+//! * [`JsonValue::to_string_compact`] / [`JsonValue::to_string_pretty`] —
+//!   writers with correct string escaping and shortest-roundtrip float
+//!   formatting (Rust's `{}` for `f64` is already shortest-roundtrip).
+//! * [`JsonValue::parse`] — a recursive-descent parser, used by the golden
+//!   round-trip tests and by anything that wants to re-read a report.
+
+use std::fmt::Write as _;
+
+/// A JSON value. Objects preserve insertion order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Integer written without a decimal point.
+    Int(i64),
+    /// Unsigned integer written without a decimal point (cycle counters
+    /// exceed `i64` comfortably in long runs).
+    UInt(u64),
+    /// Finite float. NaN/infinity are not representable in JSON; the writer
+    /// panics on them rather than emitting garbage.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Array(Vec<JsonValue>),
+    /// Object, insertion-ordered.
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// An empty object.
+    pub fn object() -> Self {
+        JsonValue::Object(Vec::new())
+    }
+
+    /// Appends `key: value` to an object; panics if `self` is not one.
+    pub fn push(&mut self, key: &str, value: JsonValue) -> &mut Self {
+        match self {
+            JsonValue::Object(fields) => fields.push((key.to_string(), value)),
+            _ => panic!("push on non-object JsonValue"),
+        }
+        self
+    }
+
+    /// Looks up `key` in an object; `None` for missing keys or non-objects.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as u64 if it is an integer-kind number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            JsonValue::UInt(u) => Some(u),
+            JsonValue::Int(i) if i >= 0 => Some(i as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as f64 if it is any number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            JsonValue::Float(f) => Some(f),
+            JsonValue::Int(i) => Some(i as f64),
+            JsonValue::UInt(u) => Some(u as f64),
+            _ => None,
+        }
+    }
+
+    /// The value as &str if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a slice if it is an array.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Single-line rendering.
+    pub fn to_string_compact(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Indented rendering (two spaces per level), trailing newline.
+    pub fn to_string_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            JsonValue::UInt(u) => {
+                let _ = write!(out, "{u}");
+            }
+            JsonValue::Float(f) => {
+                assert!(f.is_finite(), "JSON cannot represent {f}");
+                // `{}` on f64 is shortest-roundtrip, but renders integral
+                // values without a point; keep the float-ness visible.
+                if f.fract() == 0.0 && f.abs() < 1e15 {
+                    let _ = write!(out, "{f:.1}");
+                } else {
+                    let _ = write!(out, "{f}");
+                }
+            }
+            JsonValue::Str(s) => write_escaped(out, s),
+            JsonValue::Array(items) => {
+                write_seq(out, indent, depth, '[', ']', items.len(), |out, i, d| {
+                    items[i].write(out, indent, d);
+                });
+            }
+            JsonValue::Object(fields) => {
+                write_seq(out, indent, depth, '{', '}', fields.len(), |out, i, d| {
+                    let (k, v) = &fields[i];
+                    write_escaped(out, k);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    v.write(out, indent, d);
+                });
+            }
+        }
+    }
+
+    /// Parses a complete JSON document. Errors carry a byte offset.
+    pub fn parse(text: &str) -> Result<JsonValue, JsonError> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let value = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing characters after value"));
+        }
+        Ok(value)
+    }
+}
+
+fn write_seq(
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+    open: char,
+    close: char,
+    len: usize,
+    mut item: impl FnMut(&mut String, usize, usize),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(step) = indent {
+            out.push('\n');
+            for _ in 0..step * (depth + 1) {
+                out.push(' ');
+            }
+        }
+        item(out, i, depth + 1);
+    }
+    if let Some(step) = indent {
+        out.push('\n');
+        for _ in 0..step * depth {
+            out.push(' ');
+        }
+    }
+    out.push(close);
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// A parse failure, with the byte offset it occurred at.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// What went wrong.
+    pub message: String,
+    /// Byte offset into the input.
+    pub offset: usize,
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "JSON error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: &str) -> JsonError {
+        JsonError {
+            message: message.to_string(),
+            offset: self.pos,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", byte as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: JsonValue) -> Result<JsonValue, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected '{word}'")))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, JsonError> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(JsonValue::Str(self.string()?)),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.err("expected a value")),
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, JsonError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            fields.push((key, self.value()?));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Object(fields));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let cp = self.hex4()?;
+                            // Surrogate pairs: only BMP escapes are produced
+                            // by our writer, but accept pairs for robustness.
+                            let c = if (0xD800..0xDC00).contains(&cp) {
+                                if self.peek() != Some(b'\\') {
+                                    return Err(self.err("lone high surrogate"));
+                                }
+                                self.pos += 1;
+                                if self.peek() != Some(b'u') {
+                                    return Err(self.err("lone high surrogate"));
+                                }
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(self.err("invalid low surrogate"));
+                                }
+                                let combined = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+                                char::from_u32(combined)
+                            } else {
+                                char::from_u32(cp)
+                            };
+                            match c {
+                                Some(c) => out.push(c),
+                                None => return Err(self.err("invalid \\u escape")),
+                            }
+                            // hex4 leaves pos on the last hex digit's
+                            // successor already; skip the shared += 1 below.
+                            continue;
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one full UTF-8 scalar.
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|_| self.err("invalid UTF-8"))?;
+                    let c = s.chars().next().expect("non-empty by peek");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    /// Consumes `uXXXX` (the caller has consumed the backslash and peeked
+    /// the 'u'); returns the code unit and leaves `pos` past the digits.
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        self.pos += 1; // the 'u'
+        if self.pos + 4 > self.bytes.len() {
+            return Err(self.err("truncated \\u escape"));
+        }
+        let digits = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+            .map_err(|_| self.err("invalid \\u escape"))?;
+        let cp = u32::from_str_radix(digits, 16).map_err(|_| self.err("invalid \\u escape"))?;
+        self.pos += 4;
+        Ok(cp)
+    }
+
+    fn number(&mut self) -> Result<JsonValue, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number bytes are ASCII");
+        if !is_float {
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(JsonValue::UInt(u));
+            }
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(JsonValue::Int(i));
+            }
+        }
+        text.parse::<f64>()
+            .map(JsonValue::Float)
+            .map_err(|_| JsonError {
+                message: format!("invalid number '{text}'"),
+                offset: start,
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> JsonValue {
+        let mut obj = JsonValue::object();
+        obj.push("name", JsonValue::Str("fig2 \"engine\"\n".into()));
+        obj.push("cycles", JsonValue::UInt(18_446_744_073_709_551_615));
+        obj.push("delta", JsonValue::Int(-42));
+        obj.push("mcpi", JsonValue::Float(0.418));
+        obj.push("whole", JsonValue::Float(3.0));
+        obj.push("ok", JsonValue::Bool(true));
+        obj.push("none", JsonValue::Null);
+        obj.push(
+            "series",
+            JsonValue::Array(vec![JsonValue::UInt(1), JsonValue::UInt(2)]),
+        );
+        obj
+    }
+
+    #[test]
+    fn compact_rendering_is_stable() {
+        assert_eq!(
+            sample().to_string_compact(),
+            "{\"name\":\"fig2 \\\"engine\\\"\\n\",\
+             \"cycles\":18446744073709551615,\
+             \"delta\":-42,\
+             \"mcpi\":0.418,\
+             \"whole\":3.0,\
+             \"ok\":true,\
+             \"none\":null,\
+             \"series\":[1,2]}"
+        );
+    }
+
+    #[test]
+    fn pretty_round_trips() {
+        let v = sample();
+        let text = v.to_string_pretty();
+        assert!(text.ends_with('\n'));
+        assert_eq!(JsonValue::parse(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn compact_round_trips() {
+        let v = sample();
+        assert_eq!(JsonValue::parse(&v.to_string_compact()).unwrap(), v);
+    }
+
+    #[test]
+    fn parses_nested_and_whitespace() {
+        let v = JsonValue::parse(" { \"a\" : [ 1 , { \"b\" : null } ] } ").unwrap();
+        let arr = v.get("a").unwrap().as_array().unwrap();
+        assert_eq!(arr[0].as_u64(), Some(1));
+        assert_eq!(arr[1].get("b"), Some(&JsonValue::Null));
+    }
+
+    #[test]
+    fn parses_escapes_and_unicode() {
+        let v = JsonValue::parse(r#""\u0041\u00e9\t\ud83d\ude00""#).unwrap();
+        assert_eq!(v.as_str(), Some("Aé\t😀"));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(JsonValue::parse("{").is_err());
+        assert!(JsonValue::parse("[1,]").is_err());
+        assert!(JsonValue::parse("tru").is_err());
+        assert!(JsonValue::parse("1 2").is_err());
+        assert!(JsonValue::parse("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn negative_and_float_numbers() {
+        assert_eq!(JsonValue::parse("-7").unwrap(), JsonValue::Int(-7));
+        assert_eq!(JsonValue::parse("2.5e2").unwrap(), JsonValue::Float(250.0));
+    }
+}

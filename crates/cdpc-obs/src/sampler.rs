@@ -1,0 +1,283 @@
+//! Interval metrics: time series of stall, miss-class, and bus activity.
+//!
+//! A [`Sample`] is the *delta* of the aggregate machine counters over one
+//! fixed window of simulated cycles; an [`IntervalSeries`] is the ordered
+//! sequence of windows from one measured run. The defining property —
+//! enforced by the producers in `cdpc-machine` and asserted by integration
+//! tests — is that the [`totals`](IntervalSeries::totals) of a series equal
+//! the end-of-run aggregates *exactly*, so the series is a lossless
+//! decomposition of the final report over time, not an approximation.
+//!
+//! The field vocabulary mirrors `cdpc-machine`'s `StallBreakdown` (l2-hit,
+//! five miss classes, prefetch, upgrade) plus reference/miss/TLB counts and
+//! per-kind bus occupancy, which is what the MCPI-over-time and
+//! bus-utilization plots need.
+
+use std::fmt::Write as _;
+
+/// Counter deltas over one sampling window (or, via
+/// [`IntervalSeries::totals`], over a whole run).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Sample {
+    /// Simulated cycle at which this window closed (end-exclusive).
+    pub end_cycle: u64,
+    /// Instructions retired in the window, summed over CPUs.
+    pub instructions: u64,
+    /// Memory references (data + ifetch) in the window, summed over CPUs.
+    pub refs: u64,
+    /// L2 misses in the window, all classes, summed over CPUs.
+    pub misses: u64,
+    /// Demand TLB misses in the window.
+    pub tlb_misses: u64,
+    /// Stall cycles on first-level misses that hit in L2.
+    pub l2_hit_stall: u64,
+    /// Stall cycles on conflict misses.
+    pub conflict_stall: u64,
+    /// Stall cycles on capacity misses.
+    pub capacity_stall: u64,
+    /// Stall cycles on true-sharing misses.
+    pub true_sharing_stall: u64,
+    /// Stall cycles on false-sharing misses.
+    pub false_sharing_stall: u64,
+    /// Stall cycles on cold misses.
+    pub cold_stall: u64,
+    /// Stall cycles waiting on in-flight prefetches or prefetch slots.
+    pub prefetch_stall: u64,
+    /// Stall cycles on ownership upgrades.
+    pub upgrade_stall: u64,
+    /// Bus cycles occupied by data transfers in the window.
+    pub bus_data: u64,
+    /// Bus cycles occupied by write-backs in the window.
+    pub bus_writeback: u64,
+    /// Bus cycles occupied by upgrades in the window.
+    pub bus_upgrade: u64,
+}
+
+impl Sample {
+    /// All memory stall cycles in the window.
+    pub fn stall_total(&self) -> u64 {
+        self.l2_hit_stall
+            + self.conflict_stall
+            + self.capacity_stall
+            + self.true_sharing_stall
+            + self.false_sharing_stall
+            + self.cold_stall
+            + self.prefetch_stall
+            + self.upgrade_stall
+    }
+
+    /// Memory stall cycles per instruction over the window (the paper's
+    /// MCPI, computed locally in time).
+    pub fn mcpi(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.stall_total() as f64 / self.instructions as f64
+        }
+    }
+
+    /// Bus cycles occupied in the window, all kinds.
+    pub fn bus_total(&self) -> u64 {
+        self.bus_data + self.bus_writeback + self.bus_upgrade
+    }
+
+    /// Accumulates `other`'s counters into `self` (keeps `self.end_cycle`
+    /// at the max of the two).
+    pub fn add(&mut self, other: &Sample) {
+        self.end_cycle = self.end_cycle.max(other.end_cycle);
+        self.instructions += other.instructions;
+        self.refs += other.refs;
+        self.misses += other.misses;
+        self.tlb_misses += other.tlb_misses;
+        self.l2_hit_stall += other.l2_hit_stall;
+        self.conflict_stall += other.conflict_stall;
+        self.capacity_stall += other.capacity_stall;
+        self.true_sharing_stall += other.true_sharing_stall;
+        self.false_sharing_stall += other.false_sharing_stall;
+        self.cold_stall += other.cold_stall;
+        self.prefetch_stall += other.prefetch_stall;
+        self.upgrade_stall += other.upgrade_stall;
+        self.bus_data += other.bus_data;
+        self.bus_writeback += other.bus_writeback;
+        self.bus_upgrade += other.bus_upgrade;
+    }
+
+    /// Every counter multiplied by `k` (used when one simulated pass
+    /// stands for `k` repetitions of a phase). `end_cycle` is unchanged.
+    pub fn scaled(&self, k: u64) -> Sample {
+        Sample {
+            end_cycle: self.end_cycle,
+            instructions: self.instructions * k,
+            refs: self.refs * k,
+            misses: self.misses * k,
+            tlb_misses: self.tlb_misses * k,
+            l2_hit_stall: self.l2_hit_stall * k,
+            conflict_stall: self.conflict_stall * k,
+            capacity_stall: self.capacity_stall * k,
+            true_sharing_stall: self.true_sharing_stall * k,
+            false_sharing_stall: self.false_sharing_stall * k,
+            cold_stall: self.cold_stall * k,
+            prefetch_stall: self.prefetch_stall * k,
+            upgrade_stall: self.upgrade_stall * k,
+            bus_data: self.bus_data * k,
+            bus_writeback: self.bus_writeback * k,
+            bus_upgrade: self.bus_upgrade * k,
+        }
+    }
+
+    /// True when every counter (ignoring `end_cycle`) is zero.
+    pub fn is_empty(&self) -> bool {
+        self.instructions == 0
+            && self.refs == 0
+            && self.misses == 0
+            && self.tlb_misses == 0
+            && self.stall_total() == 0
+            && self.bus_total() == 0
+    }
+}
+
+/// An ordered sequence of sampling windows from one run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct IntervalSeries {
+    /// Window length in simulated cycles the producer aimed for (windows at
+    /// phase boundaries may be shorter).
+    pub interval: u64,
+    /// The windows, in time order.
+    pub samples: Vec<Sample>,
+}
+
+impl IntervalSeries {
+    /// An empty series with the given nominal window length.
+    pub fn new(interval: u64) -> Self {
+        Self {
+            interval,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Appends a window. Empty windows are kept — a silent gap and a quiet
+    /// phase look different in a plot.
+    pub fn push(&mut self, sample: Sample) {
+        self.samples.push(sample);
+    }
+
+    /// Sum of all windows. By construction this equals the end-of-run
+    /// aggregates exactly.
+    pub fn totals(&self) -> Sample {
+        let mut total = Sample::default();
+        for s in &self.samples {
+            total.add(s);
+        }
+        total
+    }
+
+    /// CSV rendering: a header row, then one row per window. Derived
+    /// columns (`mcpi`, `stall_total`, `bus_total`) are included for direct
+    /// plotting.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "end_cycle,instructions,refs,misses,tlb_misses,\
+             l2_hit_stall,conflict_stall,capacity_stall,true_sharing_stall,\
+             false_sharing_stall,cold_stall,prefetch_stall,upgrade_stall,\
+             stall_total,mcpi,bus_data,bus_writeback,bus_upgrade,bus_total\n",
+        );
+        for s in &self.samples {
+            let _ = writeln!(
+                out,
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{:.6},{},{},{},{}",
+                s.end_cycle,
+                s.instructions,
+                s.refs,
+                s.misses,
+                s.tlb_misses,
+                s.l2_hit_stall,
+                s.conflict_stall,
+                s.capacity_stall,
+                s.true_sharing_stall,
+                s.false_sharing_stall,
+                s.cold_stall,
+                s.prefetch_stall,
+                s.upgrade_stall,
+                s.stall_total(),
+                s.mcpi(),
+                s.bus_data,
+                s.bus_writeback,
+                s.bus_upgrade,
+                s.bus_total(),
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(end: u64, instr: u64, stall: u64) -> Sample {
+        Sample {
+            end_cycle: end,
+            instructions: instr,
+            refs: instr / 2,
+            misses: 3,
+            conflict_stall: stall,
+            bus_data: stall / 2,
+            ..Sample::default()
+        }
+    }
+
+    #[test]
+    fn totals_sum_every_window() {
+        let mut series = IntervalSeries::new(1000);
+        series.push(sample(1000, 800, 120));
+        series.push(sample(2000, 500, 40));
+        series.push(sample(2600, 200, 0));
+        let t = series.totals();
+        assert_eq!(t.end_cycle, 2600);
+        assert_eq!(t.instructions, 1500);
+        assert_eq!(t.refs, 750);
+        assert_eq!(t.misses, 9);
+        assert_eq!(t.conflict_stall, 160);
+        assert_eq!(t.stall_total(), 160);
+        assert_eq!(t.bus_data, 80);
+    }
+
+    #[test]
+    fn mcpi_is_stalls_over_instructions() {
+        let s = sample(1000, 800, 120);
+        assert!((s.mcpi() - 0.15).abs() < 1e-12);
+        assert_eq!(Sample::default().mcpi(), 0.0);
+    }
+
+    #[test]
+    fn scaled_multiplies_counters_not_time() {
+        let s = sample(1000, 800, 120).scaled(3);
+        assert_eq!(s.end_cycle, 1000);
+        assert_eq!(s.instructions, 2400);
+        assert_eq!(s.conflict_stall, 360);
+    }
+
+    #[test]
+    fn csv_has_header_and_one_row_per_window() {
+        let mut series = IntervalSeries::new(1000);
+        series.push(sample(1000, 800, 120));
+        series.push(sample(2000, 0, 0));
+        let csv = series.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("end_cycle,instructions,"));
+        assert!(lines[1].starts_with("1000,800,400,3,0,"));
+        let cols = lines[0].split(',').count();
+        assert!(lines.iter().all(|l| l.split(',').count() == cols));
+    }
+
+    #[test]
+    fn is_empty_detects_quiet_windows() {
+        assert!(Sample {
+            end_cycle: 5000,
+            ..Sample::default()
+        }
+        .is_empty());
+        assert!(!sample(1000, 1, 0).is_empty());
+    }
+}

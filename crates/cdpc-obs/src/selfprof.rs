@@ -1,0 +1,210 @@
+//! Self-profiling of the simulator itself: how fast does the simulation
+//! run, in wall-clock terms?
+//!
+//! The ROADMAP's perf-trajectory work needs a structured, diffable record
+//! of simulator throughput (`results/bench_snapshot.json`). The primitives
+//! here — a [`Stopwatch`], a [`SelfProfile`] row, and a tiny
+//! [`time_iters`] harness — are what the `cdpc-bench` micro-benchmarks and
+//! the snapshot generator use in place of an external benchmarking crate.
+
+use std::time::{Duration, Instant};
+
+use crate::json::JsonValue;
+
+/// A wall-clock stopwatch.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    started: Instant,
+}
+
+impl Stopwatch {
+    /// Starts timing now.
+    pub fn start() -> Self {
+        Self {
+            started: Instant::now(),
+        }
+    }
+
+    /// Seconds elapsed since start.
+    pub fn elapsed_secs(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+}
+
+impl Default for Stopwatch {
+    fn default() -> Self {
+        Self::start()
+    }
+}
+
+/// One self-profiling measurement: how much simulation happened in how much
+/// wall-clock time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelfProfile {
+    /// What was measured (workload / configuration name).
+    pub name: String,
+    /// Wall-clock seconds the measured region took.
+    pub wall_secs: f64,
+    /// Simulated memory references executed in the region.
+    pub simulated_refs: u64,
+    /// Simulated cycles covered by the region.
+    pub simulated_cycles: u64,
+    /// Probe events observed during the region (0 when probes were off).
+    pub events: u64,
+}
+
+impl SelfProfile {
+    /// Simulated references per wall-clock second — the headline
+    /// throughput number tracked across PRs.
+    pub fn refs_per_sec(&self) -> f64 {
+        if self.wall_secs > 0.0 {
+            self.simulated_refs as f64 / self.wall_secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Simulated cycles per wall-clock second.
+    pub fn cycles_per_sec(&self) -> f64 {
+        if self.wall_secs > 0.0 {
+            self.simulated_cycles as f64 / self.wall_secs
+        } else {
+            0.0
+        }
+    }
+
+    /// This measurement as a JSON object (one row of
+    /// `results/bench_snapshot.json`).
+    pub fn to_json(&self) -> JsonValue {
+        let mut obj = JsonValue::object();
+        obj.push("name", JsonValue::Str(self.name.clone()));
+        obj.push("wall_secs", JsonValue::Float(self.wall_secs));
+        obj.push("simulated_refs", JsonValue::UInt(self.simulated_refs));
+        obj.push("simulated_cycles", JsonValue::UInt(self.simulated_cycles));
+        obj.push(
+            "refs_per_sec",
+            JsonValue::Float(round3(self.refs_per_sec())),
+        );
+        obj.push(
+            "cycles_per_sec",
+            JsonValue::Float(round3(self.cycles_per_sec())),
+        );
+        obj.push("events", JsonValue::UInt(self.events));
+        obj
+    }
+}
+
+fn round3(v: f64) -> f64 {
+    (v * 1000.0).round() / 1000.0
+}
+
+/// Timing of a repeated measurement from [`time_iters`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Timing {
+    /// Iterations measured.
+    pub iters: u64,
+    /// Total wall-clock time over all iterations.
+    pub total: Duration,
+}
+
+impl Timing {
+    /// Mean seconds per iteration.
+    pub fn secs_per_iter(&self) -> f64 {
+        if self.iters == 0 {
+            0.0
+        } else {
+            self.total.as_secs_f64() / self.iters as f64
+        }
+    }
+
+    /// Mean iterations per second.
+    pub fn iters_per_sec(&self) -> f64 {
+        let spi = self.secs_per_iter();
+        if spi > 0.0 {
+            1.0 / spi
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Runs `f` for `warmup` untimed iterations, then `iters` timed ones.
+///
+/// This is the whole benchmark harness: no statistics beyond the mean, but
+/// deterministic, dependency-free, and honest about what it measures. Use
+/// [`std::hint::black_box`] inside `f` to keep the optimizer from deleting
+/// the work.
+pub fn time_iters(warmup: u64, iters: u64, mut f: impl FnMut()) -> Timing {
+    for _ in 0..warmup {
+        f();
+    }
+    let started = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    Timing {
+        iters,
+        total: started.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn refs_per_sec_divides() {
+        let p = SelfProfile {
+            name: "engine".into(),
+            wall_secs: 2.0,
+            simulated_refs: 1_000_000,
+            simulated_cycles: 4_000_000,
+            events: 0,
+        };
+        assert_eq!(p.refs_per_sec(), 500_000.0);
+        assert_eq!(p.cycles_per_sec(), 2_000_000.0);
+    }
+
+    #[test]
+    fn zero_wall_time_yields_zero_rate() {
+        let p = SelfProfile {
+            name: "x".into(),
+            wall_secs: 0.0,
+            simulated_refs: 10,
+            simulated_cycles: 10,
+            events: 0,
+        };
+        assert_eq!(p.refs_per_sec(), 0.0);
+    }
+
+    #[test]
+    fn to_json_round_trips() {
+        let p = SelfProfile {
+            name: "engine".into(),
+            wall_secs: 0.5,
+            simulated_refs: 123,
+            simulated_cycles: 456,
+            events: 7,
+        };
+        let text = p.to_json().to_string_compact();
+        let v = JsonValue::parse(&text).unwrap();
+        assert_eq!(v.get("name").unwrap().as_str(), Some("engine"));
+        assert_eq!(v.get("simulated_refs").unwrap().as_u64(), Some(123));
+        assert_eq!(v.get("refs_per_sec").unwrap().as_f64(), Some(246.0));
+    }
+
+    #[test]
+    fn time_iters_counts_and_times() {
+        let mut calls = 0u64;
+        let t = time_iters(2, 5, || calls += 1);
+        assert_eq!(calls, 7, "warmup + timed iterations all run");
+        assert_eq!(t.iters, 5);
+        assert!(t.secs_per_iter() >= 0.0);
+    }
+
+    #[test]
+    fn stopwatch_moves_forward() {
+        let w = Stopwatch::start();
+        assert!(w.elapsed_secs() >= 0.0);
+    }
+}

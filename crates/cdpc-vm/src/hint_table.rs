@@ -5,6 +5,7 @@
 //! colors in a *single system call*; the kernel stores them in a table that
 //! the VM subsystem consults during page faults. This module is that table.
 
+use std::cell::Cell;
 use std::collections::BTreeMap;
 
 use crate::addr::{Color, Vpn};
@@ -13,10 +14,24 @@ use crate::addr::{Color, Vpn};
 ///
 /// Hints are advisory: pages without hints use the OS's native policy, and
 /// hinted colors may be overridden by the allocator under memory pressure.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+///
+/// The table keeps lookup statistics (total lookups and hits) in interior-
+/// mutable counters so [`lookup`](Self::lookup) can stay `&self`; equality
+/// and hashing consider only the hints themselves.
+#[derive(Debug, Clone, Default)]
 pub struct HintTable {
     hints: BTreeMap<Vpn, Color>,
+    lookups: Cell<u64>,
+    hits: Cell<u64>,
 }
+
+impl PartialEq for HintTable {
+    fn eq(&self, other: &Self) -> bool {
+        self.hints == other.hints
+    }
+}
+
+impl Eq for HintTable {}
 
 impl HintTable {
     /// Creates an empty hint table.
@@ -43,9 +58,27 @@ impl HintTable {
         self.hints.remove(&vpn)
     }
 
-    /// The hint for `vpn`, if any.
+    /// The hint for `vpn`, if any. Counted in
+    /// [`lookup_stats`](Self::lookup_stats).
     pub fn lookup(&self, vpn: Vpn) -> Option<Color> {
-        self.hints.get(&vpn).copied()
+        self.lookups.set(self.lookups.get() + 1);
+        let hint = self.hints.get(&vpn).copied();
+        if hint.is_some() {
+            self.hits.set(self.hits.get() + 1);
+        }
+        hint
+    }
+
+    /// `(lookups, hits)` performed so far. A miss means the fault fell back
+    /// to the base mapping policy.
+    pub fn lookup_stats(&self) -> (u64, u64) {
+        (self.lookups.get(), self.hits.get())
+    }
+
+    /// Clears the lookup counters (hints are untouched).
+    pub fn reset_lookup_stats(&self) {
+        self.lookups.set(0);
+        self.hits.set(0);
     }
 
     /// Number of hinted pages.
@@ -68,6 +101,8 @@ impl FromIterator<(Vpn, Color)> for HintTable {
     fn from_iter<I: IntoIterator<Item = (Vpn, Color)>>(iter: I) -> Self {
         Self {
             hints: iter.into_iter().collect(),
+            lookups: Cell::new(0),
+            hits: Cell::new(0),
         }
     }
 }
@@ -120,8 +155,32 @@ mod tests {
     }
 
     #[test]
+    fn lookup_stats_count_hits_and_misses() {
+        let mut t = HintTable::new();
+        t.advise(Vpn(4), Color(2));
+        t.lookup(Vpn(4));
+        t.lookup(Vpn(5));
+        t.lookup(Vpn(4));
+        assert_eq!(t.lookup_stats(), (3, 2));
+        t.reset_lookup_stats();
+        assert_eq!(t.lookup_stats(), (0, 0));
+    }
+
+    #[test]
+    fn equality_ignores_lookup_counters() {
+        let mut a = HintTable::new();
+        let mut b = HintTable::new();
+        a.advise(Vpn(1), Color(0));
+        b.advise(Vpn(1), Color(0));
+        a.lookup(Vpn(1));
+        assert_eq!(a, b, "counters must not affect equality");
+    }
+
+    #[test]
     fn collect_and_extend() {
-        let t: HintTable = vec![(Vpn(2), Color(1)), (Vpn(1), Color(0))].into_iter().collect();
+        let t: HintTable = vec![(Vpn(2), Color(1)), (Vpn(1), Color(0))]
+            .into_iter()
+            .collect();
         let order: Vec<u64> = t.iter().map(|(v, _)| v.0).collect();
         assert_eq!(order, vec![1, 2]);
         let mut t2 = t.clone();

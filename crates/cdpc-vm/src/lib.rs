@@ -109,7 +109,10 @@ impl AddressSpace {
     ///
     /// Panics if `phys_pages` is zero.
     pub fn new(geometry: PageGeometry, phys_pages: usize, colors: ColorSpace) -> Self {
-        assert!(phys_pages > 0, "physical memory must hold at least one page");
+        assert!(
+            phys_pages > 0,
+            "physical memory must hold at least one page"
+        );
         Self {
             geometry,
             colors,
@@ -212,10 +215,7 @@ impl AddressSpace {
     /// [`VmError::OutOfMemory`] when no replacement page exists (the
     /// original mapping is left untouched in that case).
     pub fn recolor(&mut self, vpn: Vpn, color: addr::Color) -> Result<(Ppn, Ppn), VmError> {
-        let old = self
-            .page_table
-            .lookup(vpn)
-            .ok_or(VmError::NotMapped(vpn))?;
+        let old = self.page_table.lookup(vpn).ok_or(VmError::NotMapped(vpn))?;
         let new = self.phys.alloc_preferring(color)?;
         self.page_table.unmap(vpn).expect("checked above");
         self.page_table.map(vpn, new).expect("just unmapped");
@@ -250,6 +250,23 @@ impl AddressSpace {
             .lookup(vpn)
             .map(|ppn| self.colors.color_of_ppn(ppn))
     }
+
+    /// Number of currently mapped virtual pages.
+    pub fn mapped_pages(&self) -> usize {
+        self.page_table.iter().count()
+    }
+
+    /// How many mapped pages are backed by each color — the mapping's
+    /// color balance, one bucket per color. A skewed histogram is the
+    /// visible signature of a hostile mapping (many same-colored pages →
+    /// cache conflicts).
+    pub fn color_histogram(&self) -> Vec<u64> {
+        let mut hist = vec![0u64; self.colors.num_colors() as usize];
+        for (_, ppn) in self.page_table.iter() {
+            hist[self.colors.color_of_ppn(ppn).0 as usize] += 1;
+        }
+        hist
+    }
 }
 
 #[cfg(test)]
@@ -277,7 +294,10 @@ mod tests {
     fn double_fault_is_rejected() {
         let (mut vm, mut policy) = space();
         vm.fault(Vpn(0), &mut policy).unwrap();
-        assert_eq!(vm.fault(Vpn(0), &mut policy), Err(VmError::AlreadyMapped(Vpn(0))));
+        assert_eq!(
+            vm.fault(Vpn(0), &mut policy),
+            Err(VmError::AlreadyMapped(Vpn(0)))
+        );
     }
 
     #[test]
@@ -323,6 +343,20 @@ mod tests {
         s.preferred = 4;
         s.honored = 3;
         assert_eq!(s.honor_rate(), 0.75);
+    }
+
+    #[test]
+    fn color_histogram_counts_backing_colors() {
+        let (mut vm, mut policy) = space();
+        assert_eq!(vm.mapped_pages(), 0);
+        vm.fault(Vpn(0), &mut policy).unwrap(); // color 0
+        vm.fault(Vpn(1), &mut policy).unwrap(); // color 1
+        vm.fault(Vpn(16), &mut policy).unwrap(); // wraps to color 0
+        let hist = vm.color_histogram();
+        assert_eq!(hist.len(), 16);
+        assert_eq!(hist[0], 2);
+        assert_eq!(hist[1], 1);
+        assert_eq!(hist.iter().sum::<u64>(), vm.mapped_pages() as u64);
     }
 
     #[test]

@@ -39,6 +39,14 @@ pub trait MappingPolicy {
 
     /// A short human-readable policy name for reports.
     fn name(&self) -> &'static str;
+
+    /// `(lookups, hits)` of the policy's hint table, if it has one.
+    /// Policies without a hint table (everything except [`CdpcPolicy`])
+    /// return `None`. Lets observers meter hint-table traffic through a
+    /// `dyn MappingPolicy` without downcasting.
+    fn hint_lookup_stats(&self) -> Option<(u64, u64)> {
+        None
+    }
 }
 
 /// IRIX-style page coloring: `color = vpn mod num_colors`.
@@ -178,6 +186,10 @@ impl<P: MappingPolicy> MappingPolicy for CdpcPolicy<P> {
     fn name(&self) -> &'static str {
         "cdpc"
     }
+
+    fn hint_lookup_stats(&self) -> Option<(u64, u64)> {
+        Some(self.hints.lookup_stats())
+    }
 }
 
 /// A policy with no color preference: the allocator's balanced `alloc_any`
@@ -231,6 +243,10 @@ impl<P: MappingPolicy + ?Sized> MappingPolicy for Box<P> {
     fn name(&self) -> &'static str {
         (**self).name()
     }
+
+    fn hint_lookup_stats(&self) -> Option<(u64, u64)> {
+        (**self).hint_lookup_stats()
+    }
 }
 
 #[cfg(test)]
@@ -277,7 +293,9 @@ mod tests {
     fn bin_hopping_race_is_deterministic_per_seed() {
         let run = |seed| {
             let mut p = BinHopping::with_race_perturbation(colors(), 3, seed);
-            (0..32).map(|i| p.preferred_color(Vpn(i)).unwrap().0).collect::<Vec<_>>()
+            (0..32)
+                .map(|i| p.preferred_color(Vpn(i)).unwrap().0)
+                .collect::<Vec<_>>()
         };
         assert_eq!(run(7), run(7));
         assert_ne!(run(7), run(8));

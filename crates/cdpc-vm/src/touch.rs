@@ -67,7 +67,9 @@ pub fn touch_order(
     // count (otherwise the wrap point breaks the +1 sequence). When it is
     // not — or no page wants the cursor color — keep the given order and
     // let the caller align the cursor with [`burn_count`] dummy faults.
-    let rotatable = assignment.len().is_multiple_of(colors.num_colors() as usize);
+    let rotatable = assignment
+        .len()
+        .is_multiple_of(colors.num_colors() as usize);
     let first = if rotatable {
         assignment
             .iter()

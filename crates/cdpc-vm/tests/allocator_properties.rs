@@ -1,10 +1,13 @@
 //! Property tests over the physical allocator and the address space:
 //! conservation, uniqueness, and color arithmetic under arbitrary
 //! alloc/free interleavings.
+//!
+//! Interleavings are drawn from a seeded [`SplitMix64`], one seed per
+//! case, so failures reproduce exactly by seed number.
 
-use proptest::prelude::*;
 use std::collections::HashSet;
 
+use cdpc_obs::SplitMix64;
 use cdpc_vm::addr::{Color, ColorSpace, PageGeometry, Vpn};
 use cdpc_vm::phys::PhysicalMemory;
 use cdpc_vm::policy::{BinHopping, MappingPolicy, PageColoring};
@@ -18,55 +21,57 @@ enum AllocOp {
     FreeOldest,
 }
 
-fn arb_op() -> impl Strategy<Value = AllocOp> {
-    prop_oneof![
-        (0u32..64).prop_map(AllocOp::Exact),
-        (0u32..64).prop_map(AllocOp::Preferring),
-        Just(AllocOp::Any),
-        Just(AllocOp::FreeOldest),
-    ]
+fn random_op(rng: &mut SplitMix64) -> AllocOp {
+    match rng.below(4) {
+        0 => AllocOp::Exact(rng.below(64) as u32),
+        1 => AllocOp::Preferring(rng.below(64) as u32),
+        2 => AllocOp::Any,
+        _ => AllocOp::FreeOldest,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
-
-    /// Pages are never handed out twice, never lost, and colors always
-    /// match `ppn mod num_colors`.
-    #[test]
-    fn allocator_conserves_pages(
-        pages in 1usize..200,
-        colors_pow in 0u32..=6,
-        ops in prop::collection::vec(arb_op(), 1..200),
-    ) {
+/// Pages are never handed out twice, never lost, and colors always
+/// match `ppn mod num_colors`.
+#[test]
+fn allocator_conserves_pages() {
+    for seed in 0..96u64 {
+        let mut rng = SplitMix64::new(seed);
+        let pages = rng.range(1, 199) as usize;
+        let colors_pow = rng.range(0, 6) as u32;
+        let num_ops = rng.range(1, 199);
         let colors = ColorSpace::with_colors(1 << colors_pow);
         let mut pool = PhysicalMemory::new(pages, colors);
         let mut held: Vec<cdpc_vm::addr::Ppn> = Vec::new();
         let mut held_set = HashSet::new();
-        for op in ops {
-            match op {
+        for _ in 0..num_ops {
+            match random_op(&mut rng) {
                 AllocOp::Exact(c) => {
                     let color = Color(c % colors.num_colors());
                     if let Ok(ppn) = pool.alloc_exact(color) {
-                        prop_assert_eq!(colors.color_of_ppn(ppn), color, "exact color");
-                        prop_assert!(held_set.insert(ppn), "double allocation");
+                        assert_eq!(colors.color_of_ppn(ppn), color, "seed {seed}: exact color");
+                        assert!(held_set.insert(ppn), "seed {seed}: double allocation");
                         held.push(ppn);
                     }
                 }
                 AllocOp::Preferring(c) => {
                     let color = Color(c % colors.num_colors());
                     if let Ok(ppn) = pool.alloc_preferring(color) {
-                        prop_assert!(held_set.insert(ppn), "double allocation");
+                        assert!(held_set.insert(ppn), "seed {seed}: double allocation");
                         held.push(ppn);
                     } else {
-                        prop_assert_eq!(pool.free_pages(), 0, "preferring fails only when empty");
+                        assert_eq!(
+                            pool.free_pages(),
+                            0,
+                            "seed {seed}: preferring fails only when empty"
+                        );
                     }
                 }
                 AllocOp::Any => {
                     if let Ok(ppn) = pool.alloc_any() {
-                        prop_assert!(held_set.insert(ppn), "double allocation");
+                        assert!(held_set.insert(ppn), "seed {seed}: double allocation");
                         held.push(ppn);
                     } else {
-                        prop_assert_eq!(pool.free_pages(), 0);
+                        assert_eq!(pool.free_pages(), 0, "seed {seed}");
                     }
                 }
                 AllocOp::FreeOldest => {
@@ -76,21 +81,24 @@ proptest! {
                     }
                 }
             }
-            prop_assert_eq!(
+            assert_eq!(
                 pool.free_pages() + held.len(),
                 pool.total_pages(),
-                "conservation violated"
+                "seed {seed}: conservation violated"
             );
         }
     }
+}
 
-    /// Under a page-coloring policy, an address space's mappings always
-    /// satisfy `color(ppn) == vpn mod num_colors` when memory is ample,
-    /// regardless of fault order.
-    #[test]
-    fn page_coloring_invariant_any_order(order in Just(()).prop_flat_map(|_| {
-        prop::collection::vec(0u64..32, 1..32)
-    })) {
+/// Under a page-coloring policy, an address space's mappings always
+/// satisfy `color(ppn) == vpn mod num_colors` when memory is ample,
+/// regardless of fault order.
+#[test]
+fn page_coloring_invariant_any_order() {
+    for seed in 0..96u64 {
+        let mut rng = SplitMix64::new(seed);
+        let len = rng.range(1, 31);
+        let order: Vec<u64> = (0..len).map(|_| rng.below(32)).collect();
         let colors = ColorSpace::with_colors(8);
         let mut vm = AddressSpace::new(PageGeometry::new(4096), 256, colors);
         let mut policy = PageColoring::new(colors);
@@ -101,17 +109,24 @@ proptest! {
             }
         }
         for (vpn, ppn) in vm.mappings() {
-            prop_assert_eq!(colors.color_of_ppn(ppn), colors.color_of_vpn(vpn));
+            assert_eq!(
+                colors.color_of_ppn(ppn),
+                colors.color_of_vpn(vpn),
+                "seed {seed}"
+            );
         }
     }
+}
 
-    /// Bin hopping's colors depend only on fault *order*, never on the
-    /// virtual page numbers involved.
-    #[test]
-    fn bin_hopping_is_address_blind(
-        vpns_a in prop::collection::vec(0u64..1000, 1..40),
-        salt in 1u64..1_000,
-    ) {
+/// Bin hopping's colors depend only on fault *order*, never on the
+/// virtual page numbers involved.
+#[test]
+fn bin_hopping_is_address_blind() {
+    for seed in 0..96u64 {
+        let mut rng = SplitMix64::new(seed);
+        let len = rng.range(1, 39);
+        let vpns_a: Vec<u64> = (0..len).map(|_| rng.below(1000)).collect();
+        let salt = rng.range(1, 999);
         let colors = ColorSpace::with_colors(16);
         let unique_a: Vec<u64> = {
             let mut seen = HashSet::new();
@@ -120,8 +135,10 @@ proptest! {
         let vpns_b: Vec<u64> = unique_a.iter().map(|v| v + salt * 1000).collect();
         let colors_of = |vpns: &[u64]| {
             let mut p = BinHopping::new(colors);
-            vpns.iter().map(|&v| p.preferred_color(Vpn(v)).unwrap()).collect::<Vec<_>>()
+            vpns.iter()
+                .map(|&v| p.preferred_color(Vpn(v)).unwrap())
+                .collect::<Vec<_>>()
         };
-        prop_assert_eq!(colors_of(&unique_a), colors_of(&vpns_b));
+        assert_eq!(colors_of(&unique_a), colors_of(&vpns_b), "seed {seed}");
     }
 }

@@ -33,9 +33,18 @@ pub fn build(scale: Scale) -> Program {
     p.phase(Phase {
         name: "ssor-sweep".into(),
         stmts: vec![
-            Stmt { kind: StmtKind::Parallel, nest: jacld },
-            Stmt { kind: StmtKind::Parallel, nest: blts },
-            Stmt { kind: StmtKind::Parallel, nest: update },
+            Stmt {
+                kind: StmtKind::Parallel,
+                nest: jacld,
+            },
+            Stmt {
+                kind: StmtKind::Parallel,
+                nest: blts,
+            },
+            Stmt {
+                kind: StmtKind::Parallel,
+                nest: update,
+            },
         ],
         count: 8,
     });

@@ -20,20 +20,47 @@ pub fn build(scale: Scale) -> Program {
     let a: Vec<_> = names.iter().map(|n| p.array(*n, unit * units)).collect();
 
     // Fine-grain loops: parallelizable, suppressed by the compiler.
-    let hydro = stencil_nest("hydrostatic", &[a[0], a[1]], &[a[5]], units, unit, 1, false, 4)
-        .with_code_bytes(scale.bytes(8 * KB));
-    let advec = stencil_nest("advection", &[a[2], a[3], a[4]], &[a[0], a[1]], units, unit, 1, false, 4)
-        .with_code_bytes(scale.bytes(8 * KB));
+    let hydro = stencil_nest(
+        "hydrostatic",
+        &[a[0], a[1]],
+        &[a[5]],
+        units,
+        unit,
+        1,
+        false,
+        4,
+    )
+    .with_code_bytes(scale.bytes(8 * KB));
+    let advec = stencil_nest(
+        "advection",
+        &[a[2], a[3], a[4]],
+        &[a[0], a[1]],
+        units,
+        unit,
+        1,
+        false,
+        4,
+    )
+    .with_code_bytes(scale.bytes(8 * KB));
     // A genuinely sequential setup step.
-    let filter = sweep_nest("filter", &[a[5]], &[a[2]], units, unit, 3)
-        .with_code_bytes(scale.bytes(4 * KB));
+    let filter =
+        sweep_nest("filter", &[a[5]], &[a[2]], units, unit, 3).with_code_bytes(scale.bytes(4 * KB));
 
     p.phase(Phase {
         name: "timestep".into(),
         stmts: vec![
-            Stmt { kind: StmtKind::FineGrain, nest: hydro },
-            Stmt { kind: StmtKind::FineGrain, nest: advec },
-            Stmt { kind: StmtKind::Sequential, nest: filter },
+            Stmt {
+                kind: StmtKind::FineGrain,
+                nest: hydro,
+            },
+            Stmt {
+                kind: StmtKind::FineGrain,
+                nest: advec,
+            },
+            Stmt {
+                kind: StmtKind::Sequential,
+                nest: filter,
+            },
         ],
         count: 6,
     });

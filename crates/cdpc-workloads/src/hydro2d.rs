@@ -20,19 +20,55 @@ pub fn build(scale: Scale) -> Program {
     let names = ["ro", "en", "mz", "mr", "zp", "rp", "fz", "fr"];
     let a: Vec<_> = names.iter().map(|n| p.array(*n, unit * units)).collect();
 
-    let advect_z = stencil_nest("advect-z", &[a[0], a[1], a[2]], &[a[4], a[6]], units, unit, 1, false, 2)
-        .with_code_bytes(scale.bytes(5 * KB));
-    let advect_r = stencil_nest("advect-r", &[a[0], a[1], a[3]], &[a[5], a[7]], units, unit, 1, false, 2)
-        .with_code_bytes(scale.bytes(5 * KB));
-    let update = stencil_nest("update", &[a[4], a[5], a[6], a[7]], &[a[0], a[1], a[2], a[3]], units, unit, 0, false, 2)
-        .with_code_bytes(scale.bytes(3 * KB));
+    let advect_z = stencil_nest(
+        "advect-z",
+        &[a[0], a[1], a[2]],
+        &[a[4], a[6]],
+        units,
+        unit,
+        1,
+        false,
+        2,
+    )
+    .with_code_bytes(scale.bytes(5 * KB));
+    let advect_r = stencil_nest(
+        "advect-r",
+        &[a[0], a[1], a[3]],
+        &[a[5], a[7]],
+        units,
+        unit,
+        1,
+        false,
+        2,
+    )
+    .with_code_bytes(scale.bytes(5 * KB));
+    let update = stencil_nest(
+        "update",
+        &[a[4], a[5], a[6], a[7]],
+        &[a[0], a[1], a[2], a[3]],
+        units,
+        unit,
+        0,
+        false,
+        2,
+    )
+    .with_code_bytes(scale.bytes(3 * KB));
 
     p.phase(Phase {
         name: "timestep".into(),
         stmts: vec![
-            Stmt { kind: StmtKind::Parallel, nest: advect_z },
-            Stmt { kind: StmtKind::Parallel, nest: advect_r },
-            Stmt { kind: StmtKind::Parallel, nest: update },
+            Stmt {
+                kind: StmtKind::Parallel,
+                nest: advect_z,
+            },
+            Stmt {
+                kind: StmtKind::Parallel,
+                nest: advect_r,
+            },
+            Stmt {
+                kind: StmtKind::Parallel,
+                nest: update,
+            },
         ],
         count: 10,
     });

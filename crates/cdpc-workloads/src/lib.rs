@@ -57,16 +57,56 @@ pub struct Benchmark {
 /// The full SPEC95fp suite in the paper's order.
 pub fn all() -> Vec<Benchmark> {
     vec![
-        Benchmark { name: "101.tomcatv", table1_mb: 14.0, build: tomcatv::build },
-        Benchmark { name: "102.swim", table1_mb: 14.0, build: swim::build },
-        Benchmark { name: "103.su2cor", table1_mb: 23.0, build: su2cor::build },
-        Benchmark { name: "104.hydro2d", table1_mb: 8.0, build: hydro2d::build },
-        Benchmark { name: "107.mgrid", table1_mb: 7.0, build: mgrid::build },
-        Benchmark { name: "110.applu", table1_mb: 31.0, build: applu::build },
-        Benchmark { name: "125.turb3d", table1_mb: 24.0, build: turb3d::build },
-        Benchmark { name: "141.apsi", table1_mb: 9.0, build: apsi::build },
-        Benchmark { name: "145.fpppp", table1_mb: 1.0, build: fpppp::build },
-        Benchmark { name: "146.wave5", table1_mb: 40.0, build: wave5::build },
+        Benchmark {
+            name: "101.tomcatv",
+            table1_mb: 14.0,
+            build: tomcatv::build,
+        },
+        Benchmark {
+            name: "102.swim",
+            table1_mb: 14.0,
+            build: swim::build,
+        },
+        Benchmark {
+            name: "103.su2cor",
+            table1_mb: 23.0,
+            build: su2cor::build,
+        },
+        Benchmark {
+            name: "104.hydro2d",
+            table1_mb: 8.0,
+            build: hydro2d::build,
+        },
+        Benchmark {
+            name: "107.mgrid",
+            table1_mb: 7.0,
+            build: mgrid::build,
+        },
+        Benchmark {
+            name: "110.applu",
+            table1_mb: 31.0,
+            build: applu::build,
+        },
+        Benchmark {
+            name: "125.turb3d",
+            table1_mb: 24.0,
+            build: turb3d::build,
+        },
+        Benchmark {
+            name: "141.apsi",
+            table1_mb: 9.0,
+            build: apsi::build,
+        },
+        Benchmark {
+            name: "145.fpppp",
+            table1_mb: 1.0,
+            build: fpppp::build,
+        },
+        Benchmark {
+            name: "146.wave5",
+            table1_mb: 40.0,
+            build: wave5::build,
+        },
     ]
 }
 

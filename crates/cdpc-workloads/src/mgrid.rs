@@ -28,17 +28,31 @@ pub fn build(scale: Scale) -> Program {
     let restrict = LoopNest::new("restrict", 256, (3 * unit / 32).max(1) * 8)
         .with_access(Access::read(
             u3,
-            AccessPattern::Stencil { unit_bytes: 2 * unit, halo_units: 1, wraparound: false },
+            AccessPattern::Stencil {
+                unit_bytes: 2 * unit,
+                halo_units: 1,
+                wraparound: false,
+            },
         ))
-        .with_access(Access::write(u2, AccessPattern::Partitioned { unit_bytes: unit }))
+        .with_access(Access::write(
+            u2,
+            AccessPattern::Partitioned { unit_bytes: unit },
+        ))
         .with_code_bytes(scale.bytes(4 * KB));
 
     let relax_coarse = LoopNest::new("relax-coarse", 128, (3 * unit / 32).max(1) * 8)
         .with_access(Access::read(
             u2,
-            AccessPattern::Stencil { unit_bytes: 2 * unit, halo_units: 1, wraparound: false },
+            AccessPattern::Stencil {
+                unit_bytes: 2 * unit,
+                halo_units: 1,
+                wraparound: false,
+            },
         ))
-        .with_access(Access::write(u1, AccessPattern::Partitioned { unit_bytes: unit }))
+        .with_access(Access::write(
+            u1,
+            AccessPattern::Partitioned { unit_bytes: unit },
+        ))
         .with_code_bytes(scale.bytes(4 * KB));
 
     // Prolongation: 512 iterations writing the fine grid, reading half a
@@ -46,18 +60,35 @@ pub fn build(scale: Scale) -> Program {
     let prolong = LoopNest::new("prolongate", 512, (2 * unit / 32).max(1) * 8)
         .with_access(Access::read(
             u2,
-            AccessPattern::Partitioned { unit_bytes: unit / 2 },
+            AccessPattern::Partitioned {
+                unit_bytes: unit / 2,
+            },
         ))
-        .with_access(Access::write(u3, AccessPattern::Partitioned { unit_bytes: unit }))
+        .with_access(Access::write(
+            u3,
+            AccessPattern::Partitioned { unit_bytes: unit },
+        ))
         .with_code_bytes(scale.bytes(4 * KB));
 
     p.phase(Phase {
         name: "v-cycle".into(),
         stmts: vec![
-            Stmt { kind: StmtKind::Parallel, nest: relax_fine },
-            Stmt { kind: StmtKind::Parallel, nest: restrict },
-            Stmt { kind: StmtKind::Parallel, nest: relax_coarse },
-            Stmt { kind: StmtKind::Parallel, nest: prolong },
+            Stmt {
+                kind: StmtKind::Parallel,
+                nest: relax_fine,
+            },
+            Stmt {
+                kind: StmtKind::Parallel,
+                nest: restrict,
+            },
+            Stmt {
+                kind: StmtKind::Parallel,
+                nest: relax_coarse,
+            },
+            Stmt {
+                kind: StmtKind::Parallel,
+                nest: prolong,
+            },
         ],
         count: 10,
     });

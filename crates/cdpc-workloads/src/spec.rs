@@ -80,10 +80,7 @@ pub fn stencil_nest(
         ));
     }
     for &a in writes {
-        nest = nest.with_access(Access::write(
-            a,
-            AccessPattern::Partitioned { unit_bytes },
-        ));
+        nest = nest.with_access(Access::write(a, AccessPattern::Partitioned { unit_bytes }));
     }
     nest
 }

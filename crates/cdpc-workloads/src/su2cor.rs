@@ -27,15 +27,31 @@ pub fn build(scale: Scale) -> Program {
     let sweep = sweep_nest("gauge-update", &[gauge, w1], &[w2], units, unit, 3)
         .with_code_bytes(scale.bytes(8 * KB));
     let gather = sweep_nest("propagator", &[w2], &[prop], units, unit, 3)
-        .with_access(Access::read(fermion, AccessPattern::Irregular { touches_per_iter: 24 }))
-        .with_access(Access::write(lattice, AccessPattern::Irregular { touches_per_iter: 8 }))
+        .with_access(Access::read(
+            fermion,
+            AccessPattern::Irregular {
+                touches_per_iter: 24,
+            },
+        ))
+        .with_access(Access::write(
+            lattice,
+            AccessPattern::Irregular {
+                touches_per_iter: 8,
+            },
+        ))
         .with_code_bytes(scale.bytes(10 * KB));
 
     p.phase(Phase {
         name: "trajectory".into(),
         stmts: vec![
-            Stmt { kind: StmtKind::Parallel, nest: sweep },
-            Stmt { kind: StmtKind::Parallel, nest: gather },
+            Stmt {
+                kind: StmtKind::Parallel,
+                nest: sweep,
+            },
+            Stmt {
+                kind: StmtKind::Parallel,
+                nest: gather,
+            },
         ],
         count: 8,
     });

@@ -57,9 +57,18 @@ pub fn build(scale: Scale) -> Program {
     p.phase(Phase {
         name: "timestep".into(),
         stmts: vec![
-            Stmt { kind: StmtKind::Parallel, nest: calc1 },
-            Stmt { kind: StmtKind::Parallel, nest: calc2 },
-            Stmt { kind: StmtKind::Parallel, nest: calc3 },
+            Stmt {
+                kind: StmtKind::Parallel,
+                nest: calc1,
+            },
+            Stmt {
+                kind: StmtKind::Parallel,
+                nest: calc2,
+            },
+            Stmt {
+                kind: StmtKind::Parallel,
+                nest: calc3,
+            },
         ],
         count: 12,
     });

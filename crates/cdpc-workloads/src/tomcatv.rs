@@ -19,10 +19,7 @@ pub fn build(scale: Scale) -> Program {
     let unit = scale.bytes(4 * KB);
     let units = 512u64;
     let names = ["x", "y", "rx", "ry", "aa", "dd", "d"];
-    let arrays: Vec<_> = names
-        .iter()
-        .map(|n| p.array(*n, unit * units))
-        .collect();
+    let arrays: Vec<_> = names.iter().map(|n| p.array(*n, unit * units)).collect();
     let (x, y, rx, ry, aa, dd, d) = (
         arrays[0], arrays[1], arrays[2], arrays[3], arrays[4], arrays[5], arrays[6],
     );
@@ -49,9 +46,18 @@ pub fn build(scale: Scale) -> Program {
     p.phase(Phase {
         name: "iteration".into(),
         stmts: vec![
-            Stmt { kind: StmtKind::Parallel, nest: residual },
-            Stmt { kind: StmtKind::Parallel, nest: solve },
-            Stmt { kind: StmtKind::Parallel, nest: update },
+            Stmt {
+                kind: StmtKind::Parallel,
+                nest: residual,
+            },
+            Stmt {
+                kind: StmtKind::Parallel,
+                nest: solve,
+            },
+            Stmt {
+                kind: StmtKind::Parallel,
+                nest: update,
+            },
         ],
         count: 10,
     });

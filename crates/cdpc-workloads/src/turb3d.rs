@@ -39,15 +39,24 @@ pub fn build(scale: Scale) -> Program {
         ("xy-transform", vec![fft_x, fft_y], 11),
         ("z-transform", vec![fft_z], 66),
         ("nonlinear-term", vec![nonlin], 100),
-        ("energy", vec![sweep_nest("energy", &[a[0], a[1], a[2]], &[], units, unit, 5)
-            .with_code_bytes(scale.bytes(4 * KB))], 120),
+        (
+            "energy",
+            vec![
+                sweep_nest("energy", &[a[0], a[1], a[2]], &[], units, unit, 5)
+                    .with_code_bytes(scale.bytes(4 * KB)),
+            ],
+            120,
+        ),
     ];
     for (name, nests, count) in phases {
         p.phase(Phase {
             name: name.into(),
             stmts: nests
                 .into_iter()
-                .map(|nest| Stmt { kind: StmtKind::Parallel, nest })
+                .map(|nest| Stmt {
+                    kind: StmtKind::Parallel,
+                    nest,
+                })
                 .collect(),
             count,
         });

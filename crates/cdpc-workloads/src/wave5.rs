@@ -30,8 +30,18 @@ pub fn build(scale: Scale) -> Program {
     // Particle push: fine-grained, suppressed; gathers fields, scatters
     // charge.
     let push = sweep_nest("particle-push", &[ex, ey], &[rho], units, unit, 2)
-        .with_access(Access::read(particles, AccessPattern::Irregular { touches_per_iter: 48 }))
-        .with_access(Access::write(particles, AccessPattern::Irregular { touches_per_iter: 16 }))
+        .with_access(Access::read(
+            particles,
+            AccessPattern::Irregular {
+                touches_per_iter: 48,
+            },
+        ))
+        .with_access(Access::write(
+            particles,
+            AccessPattern::Irregular {
+                touches_per_iter: 16,
+            },
+        ))
         .with_code_bytes(scale.bytes(12 * KB));
     // Particle sort: sequential.
     let sort = sweep_nest("sort", &[], &[sorted], units, scale.bytes(16 * KB), 1)
@@ -40,9 +50,18 @@ pub fn build(scale: Scale) -> Program {
     p.phase(Phase {
         name: "timestep".into(),
         stmts: vec![
-            Stmt { kind: StmtKind::Parallel, nest: solve },
-            Stmt { kind: StmtKind::FineGrain, nest: push },
-            Stmt { kind: StmtKind::Sequential, nest: sort },
+            Stmt {
+                kind: StmtKind::Parallel,
+                nest: solve,
+            },
+            Stmt {
+                kind: StmtKind::FineGrain,
+                nest: push,
+            },
+            Stmt {
+                kind: StmtKind::Sequential,
+                nest: sort,
+            },
         ],
         count: 6,
     });

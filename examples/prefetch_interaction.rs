@@ -25,9 +25,18 @@ fn streaming() -> Program {
         stmts: vec![Stmt {
             kind: StmtKind::Parallel,
             nest: LoopNest::new("axpy", 256, 200)
-                .with_access(Access::read(x, AccessPattern::Partitioned { unit_bytes: 1024 }))
-                .with_access(Access::read(y, AccessPattern::Partitioned { unit_bytes: 1024 }))
-                .with_access(Access::write(z, AccessPattern::Partitioned { unit_bytes: 1024 })),
+                .with_access(Access::read(
+                    x,
+                    AccessPattern::Partitioned { unit_bytes: 1024 },
+                ))
+                .with_access(Access::read(
+                    y,
+                    AccessPattern::Partitioned { unit_bytes: 1024 },
+                ))
+                .with_access(Access::write(
+                    z,
+                    AccessPattern::Partitioned { unit_bytes: 1024 },
+                )),
         }],
         count: 4,
     });

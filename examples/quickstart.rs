@@ -30,14 +30,20 @@ fn main() {
                         wraparound: false,
                     },
                 ))
-                .with_access(Access::write(b, AccessPattern::Partitioned { unit_bytes: 1024 })),
+                .with_access(Access::write(
+                    b,
+                    AccessPattern::Partitioned { unit_bytes: 1024 },
+                )),
         }],
         count: 4,
     });
 
     // Compile for 2 CPUs: parallelization, layout, access summaries.
     let compiled = compile(&prog, &CompileOptions::new(2)).expect("program is valid");
-    println!("compiled `{}` for {} CPUs", compiled.name, compiled.num_cpus);
+    println!(
+        "compiled `{}` for {} CPUs",
+        compiled.name, compiled.num_cpus
+    );
     println!(
         "  summary: {} arrays, {} partitionings, {} communication patterns, {} groups",
         compiled.summary.arrays.len(),
@@ -53,7 +59,10 @@ fn main() {
     mem.l2 = CacheConfig::new(32 << 10, 128, 1);
 
     println!("\npolicy comparison (same program, same machine):");
-    println!("{:<16} {:>12} {:>10} {:>10}", "policy", "time (cyc)", "conflicts", "MCPI");
+    println!(
+        "{:<16} {:>12} {:>10} {:>10}",
+        "policy", "time (cyc)", "conflicts", "MCPI"
+    );
     for policy in [
         PolicyKind::PageColoring,
         PolicyKind::BinHopping,
@@ -64,7 +73,11 @@ fn main() {
             "{:<16} {:>12} {:>10} {:>10.3}",
             report.policy,
             report.elapsed_cycles,
-            report.mem_stats.aggregate().misses.get(cdpc::memsim::MissClass::Conflict),
+            report
+                .mem_stats
+                .aggregate()
+                .misses
+                .get(cdpc::memsim::MissClass::Conflict),
             report.mcpi()
         );
     }

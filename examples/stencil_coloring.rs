@@ -26,15 +26,36 @@ fn heat(rows: u64, row_bytes: u64) -> Program {
                 wraparound: false,
             },
         ))
-        .with_access(Access::write(new, AccessPattern::Partitioned { unit_bytes: row_bytes }));
+        .with_access(Access::write(
+            new,
+            AccessPattern::Partitioned {
+                unit_bytes: row_bytes,
+            },
+        ));
     let swap = LoopNest::new("swap", rows, 8)
-        .with_access(Access::read(new, AccessPattern::Partitioned { unit_bytes: row_bytes }))
-        .with_access(Access::write(old, AccessPattern::Partitioned { unit_bytes: row_bytes }));
+        .with_access(Access::read(
+            new,
+            AccessPattern::Partitioned {
+                unit_bytes: row_bytes,
+            },
+        ))
+        .with_access(Access::write(
+            old,
+            AccessPattern::Partitioned {
+                unit_bytes: row_bytes,
+            },
+        ));
     prog.phase(Phase {
         name: "timestep".into(),
         stmts: vec![
-            Stmt { kind: StmtKind::Parallel, nest: step },
-            Stmt { kind: StmtKind::Parallel, nest: swap },
+            Stmt {
+                kind: StmtKind::Parallel,
+                nest: step,
+            },
+            Stmt {
+                kind: StmtKind::Parallel,
+                nest: swap,
+            },
         ],
         count: 5,
     });

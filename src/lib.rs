@@ -15,6 +15,8 @@
 //!   bus, MESI coherence, miss classification, prefetch slots).
 //! * [`workloads`] — SPEC95fp-like synthetic workload models.
 //! * [`machine`] — whole-machine composition, run loop, and reports.
+//! * [`obs`] — observability: probe events, interval metrics, JSON/CSV/
+//!   Chrome-trace exporters, simulator self-profiling.
 //!
 //! # Quickstart
 //!
@@ -25,5 +27,6 @@ pub use cdpc_compiler as compiler;
 pub use cdpc_core as core;
 pub use cdpc_machine as machine;
 pub use cdpc_memsim as memsim;
+pub use cdpc_obs as obs;
 pub use cdpc_vm as vm;
 pub use cdpc_workloads as workloads;

@@ -26,7 +26,10 @@ fn stencil_program(array_kb: u64, arrays: usize, units: u64) -> Program {
                 },
             ));
         } else {
-            nest = nest.with_access(Access::write(r, AccessPattern::Partitioned { unit_bytes: unit }));
+            nest = nest.with_access(Access::write(
+                r,
+                AccessPattern::Partitioned { unit_bytes: unit },
+            ));
         }
     }
     p.phase(Phase {
@@ -52,7 +55,10 @@ fn small_machine(cpus: usize, l2_kb: usize) -> MemConfig {
 fn run_policy(p: &Program, cpus: usize, l2_kb: usize, policy: PolicyKind) -> RunReport {
     let opts = CompileOptions::new(cpus).with_l2_cache((l2_kb as u64) << 10);
     let compiled = compile(p, &opts).expect("test programs are valid");
-    run(&compiled, &RunConfig::new(small_machine(cpus, l2_kb), policy))
+    run(
+        &compiled,
+        &RunConfig::new(small_machine(cpus, l2_kb), policy),
+    )
 }
 
 #[test]
@@ -71,7 +77,10 @@ fn full_pipeline_summary_feeds_hint_generation() {
             last - first + 1
         })
         .sum();
-    assert!(hints.len() as u64 >= total_pages - 4, "straddled pages may merge");
+    assert!(
+        hints.len() as u64 >= total_pages - 4,
+        "straddled pages may merge"
+    );
     // The coloring is realizable on a bin-hopping kernel (Digital UNIX path).
     realizable(&hints.assignments(), hints.colors()).unwrap();
 }
@@ -133,7 +142,11 @@ fn touch_and_kernel_cdpc_agree() {
 #[test]
 fn warmup_leaves_no_cold_misses() {
     let p = stencil_program(32, 4, 32);
-    for policy in [PolicyKind::PageColoring, PolicyKind::BinHopping, PolicyKind::Cdpc] {
+    for policy in [
+        PolicyKind::PageColoring,
+        PolicyKind::BinHopping,
+        PolicyKind::Cdpc,
+    ] {
         let r = run_policy(&p, 2, 64, policy);
         assert_eq!(
             r.mem_stats.aggregate().misses.get(MissClass::Cold),
@@ -178,8 +191,14 @@ fn unaligned_layout_causes_false_sharing() {
         stmts: vec![Stmt {
             kind: StmtKind::Parallel,
             nest: LoopNest::new("w", 8, 2000)
-                .with_access(Access::write(a, AccessPattern::Partitioned { unit_bytes: 512 }))
-                .with_access(Access::write(b, AccessPattern::Partitioned { unit_bytes: 512 })),
+                .with_access(Access::write(
+                    a,
+                    AccessPattern::Partitioned { unit_bytes: 512 },
+                ))
+                .with_access(Access::write(
+                    b,
+                    AccessPattern::Partitioned { unit_bytes: 512 },
+                )),
         }],
         count: 6,
     });
@@ -187,7 +206,10 @@ fn unaligned_layout_causes_false_sharing() {
         let mut opts = CompileOptions::new(2).with_l2_cache(64 << 10);
         opts.aligned = aligned;
         let compiled = compile(&p, &opts).unwrap();
-        let r = run(&compiled, &RunConfig::new(small_machine(2, 64), PolicyKind::BinHopping));
+        let r = run(
+            &compiled,
+            &RunConfig::new(small_machine(2, 64), PolicyKind::BinHopping),
+        );
         r.mem_stats.aggregate().misses.get(MissClass::FalseSharing)
             + r.mem_stats.aggregate().misses.get(MissClass::TrueSharing)
     };

@@ -180,7 +180,9 @@ fn applu_load_imbalance_at_sixteen_processors() {
 /// suite, and CDPC's geometric mean beats both.
 #[test]
 fn cdpc_geomean_beats_both_static_policies() {
-    let apps = ["tomcatv", "swim", "su2cor", "hydro2d", "mgrid", "applu", "turb3d"];
+    let apps = [
+        "tomcatv", "swim", "su2cor", "hydro2d", "mgrid", "applu", "turb3d",
+    ];
     let mut wins_pc = 0;
     let mut wins_bh = 0;
     let mut r_bh = Vec::new();
@@ -205,8 +207,14 @@ fn cdpc_geomean_beats_both_static_policies() {
         geometric_mean(&r_pc),
         geometric_mean(&r_cdpc),
     );
-    assert!(gc >= gb, "CDPC geomean must be at least bin hopping's: {gc:.2} vs {gb:.2}");
-    assert!(gc >= gp, "CDPC geomean must be at least page coloring's: {gc:.2} vs {gp:.2}");
+    assert!(
+        gc >= gb,
+        "CDPC geomean must be at least bin hopping's: {gc:.2} vs {gb:.2}"
+    );
+    assert!(
+        gc >= gp,
+        "CDPC geomean must be at least page coloring's: {gc:.2} vs {gp:.2}"
+    );
     // "Neither existing page mapping policy dominates the other."
     assert!(
         wins_pc > 0 && wins_bh > 0,

@@ -81,7 +81,11 @@ fn reports_are_internally_consistent() {
 
 #[test]
 fn simulation_is_deterministic() {
-    for policy in [PolicyKind::BinHopping, PolicyKind::Cdpc, PolicyKind::DynamicRecolor] {
+    for policy in [
+        PolicyKind::BinHopping,
+        PolicyKind::Cdpc,
+        PolicyKind::DynamicRecolor,
+    ] {
         let a = run_one("hydro2d", 4, policy);
         let b = run_one("hydro2d", 4, policy);
         assert_eq!(a, b, "two identical runs must agree exactly ({policy:?})");
@@ -106,5 +110,8 @@ fn sequential_benchmarks_have_zero_imbalance() {
     let r = run_one("fpppp", 8, PolicyKind::PageColoring);
     assert_eq!(r.overheads.load_imbalance, 0);
     assert_eq!(r.overheads.synchronization, 0);
-    assert!(r.overheads.sequential > 0, "slaves idle while the master runs");
+    assert!(
+        r.overheads.sequential > 0,
+        "slaves idle while the master runs"
+    );
 }
