@@ -15,7 +15,7 @@
 
 use cdpc_bench::{table, Preset, Setup};
 use cdpc_core::HintOptions;
-use cdpc_machine::{run, PolicyKind, RunConfig};
+use cdpc_machine::{PolicyKind, RunConfig, SweepJob};
 
 fn main() {
     let setup = Setup::from_args();
@@ -57,20 +57,31 @@ fn main() {
         "CDPC step ablation (1MB DM cache, {} CPUs, scale {})\n",
         cpus, setup.scale
     );
-    for name in ["tomcatv", "swim", "hydro2d"] {
-        let bench = cdpc_workloads::by_name(name).expect("benchmark exists");
-        let compiled = setup.compile_bench(&bench, Preset::Base1MbDm, cpus, false, true);
+    let benches: Vec<_> = ["tomcatv", "swim", "hydro2d"]
+        .iter()
+        .map(|&name| cdpc_workloads::by_name(name).expect("benchmark exists"))
+        .collect();
+    let mut jobs = Vec::new();
+    for bench in &benches {
+        let compiled = setup.compile_bench(bench, Preset::Base1MbDm, cpus, false, true);
+        for (_, options) in variants {
+            let mut cfg =
+                RunConfig::new(setup.scaled_mem(Preset::Base1MbDm, cpus), PolicyKind::Cdpc);
+            cfg.hint_options = options;
+            jobs.push(SweepJob::new(compiled.clone(), cfg));
+        }
+    }
+    let mut reports = setup.run_jobs(&jobs).into_iter();
+
+    for bench in &benches {
         println!("== {} ==", bench.name);
         table::header(
             &["variant", "time", "conflict-stall", "vs full"],
             &[12, 10, 14, 8],
         );
         let mut full_time = 0u64;
-        for (label, options) in variants {
-            let mut cfg =
-                RunConfig::new(setup.scaled_mem(Preset::Base1MbDm, cpus), PolicyKind::Cdpc);
-            cfg.hint_options = options;
-            let r = run(&compiled, &cfg);
+        for (label, _) in variants {
+            let r = reports.next().expect("one report per variant");
             if label == "full" {
                 full_time = r.elapsed_cycles;
             }

@@ -1,11 +1,19 @@
 //! Regenerates `results/bench_snapshot.json`: simulator-throughput
 //! self-profiles (refs/sec, event counts) for every workload at the
-//! default scale, under the CDPC policy.
+//! default scale under the CDPC policy, plus the miss-storm microbenchmark
+//! that bounds the memory-system hot path.
 //!
 //! ```text
-//! cargo run --release -p cdpc-bench --bin bench_snapshot            # print
-//! cargo run --release -p cdpc-bench --bin bench_snapshot -- --write # update file
+//! cargo run --release -p cdpc-bench --bin bench_snapshot             # print
+//! cargo run --release -p cdpc-bench --bin bench_snapshot -- --write  # update file
+//! cargo run --release -p cdpc-bench --bin bench_snapshot -- --quick  # microbench only
+//! cargo run --release -p cdpc-bench --bin bench_snapshot -- --quick --check
 //! ```
+//!
+//! `--quick` skips the per-workload simulations and runs only the
+//! miss-storm microbenchmark; `--check` then compares its throughput
+//! against the committed snapshot and exits non-zero on a regression of
+//! more than 30% — the CI smoke gate for the simulator hot path.
 //!
 //! The snapshot is a machine-local perf record, not a correctness
 //! artifact: refs/sec depend on the host. What the checked-in file pins
@@ -13,46 +21,226 @@
 //! `simulated_cycles`, `events`), which are deterministic.
 
 use cdpc_bench::{Preset, Setup};
-use cdpc_machine::{run_observed, PolicyKind, RunConfig};
-use cdpc_obs::selfprof::{SelfProfile, Stopwatch};
+use cdpc_machine::{run_observed, sweep_map, PolicyKind};
+use cdpc_memsim::{AccessKind, MemConfig, MemorySystem};
+use cdpc_obs::selfprof::{time_iters, SelfProfile, Stopwatch};
 use cdpc_obs::{CountingProbe, JsonValue, Probe};
+use cdpc_vm::addr::{PhysAddr, VirtAddr};
 
 const SNAPSHOT_PATH: &str = "results/bench_snapshot.json";
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let write = args.iter().any(|a| a == "--write");
-    let setup = Setup::default(); // scale 8, the experiments' default
-    let cpus = 8;
+/// Throughput below `committed * (1 - REGRESSION_TOLERANCE)` fails
+/// `--check`.
+const REGRESSION_TOLERANCE: f64 = 0.30;
 
-    let mut workloads = Vec::new();
-    for bench in cdpc_workloads::all() {
-        let compiled = setup.compile_bench(&bench, Preset::Base1MbDm, cpus, false, true);
-        let cfg = RunConfig::new(setup.scaled_mem(Preset::Base1MbDm, cpus), PolicyKind::Cdpc);
-        let mut probe = CountingProbe::default();
-        let watch = Stopwatch::start();
-        let (report, _) = run_observed(&compiled, &cfg, &mut probe, None);
-        let profile = SelfProfile {
-            name: bench.name.to_string(),
-            wall_secs: watch.elapsed_secs(),
-            simulated_refs: report.simulated_refs,
-            simulated_cycles: report.elapsed_cycles,
-            events: probe.event_count(),
+fn small_cfg(cpus: usize) -> MemConfig {
+    let mut m = MemConfig::paper_base(cpus);
+    m.l2 = cdpc_memsim::CacheConfig::new(128 << 10, 128, 1);
+    m.l1d = cdpc_memsim::CacheConfig::new(4 << 10, 32, 2);
+    m.l1i = cdpc_memsim::CacheConfig::new(4 << 10, 32, 2);
+    m
+}
+
+/// The worst case for the memory system: every reference misses and goes
+/// over the contended bus (same shape as `benches/memsim.rs`).
+fn miss_storm(cpus: usize) -> (f64, u64) {
+    const REFS: u64 = 2_000;
+    let mut mem = MemorySystem::new(small_cfg(cpus));
+    let mut t = 0u64;
+    let mut addr = 0u64;
+    let timing = time_iters(3, 20, || {
+        for _ in 0..REFS {
+            t += 50;
+            addr += 128; // new line every time: guaranteed miss
+            let cpu = (addr / 128) as usize % cpus;
+            std::hint::black_box(mem.access(
+                cpu,
+                t,
+                VirtAddr(addr),
+                PhysAddr(addr),
+                AccessKind::Read,
+            ));
+        }
+    });
+    (timing.iters_per_sec() * REFS as f64, REFS)
+}
+
+/// Runs the miss-storm microbenchmark for 1/4/16 CPUs, returning
+/// `(name, refs_per_sec)` pairs. Each configuration is measured three
+/// times and the best run is kept: throughput noise on a shared host is
+/// one-sided (interference only slows the run down), so the maximum is
+/// the stable estimator.
+fn run_microbench() -> Vec<(String, f64)> {
+    [1usize, 4, 16]
+        .iter()
+        .map(|&cpus| {
+            let mut best = 0.0f64;
+            let mut refs = 0;
+            for _ in 0..3 {
+                let (refs_per_sec, r) = miss_storm(cpus);
+                best = best.max(refs_per_sec);
+                refs = r;
+            }
+            eprintln!(
+                "miss_storm/{cpus}p {:>12} refs  {:>12.0} refs/s (best of 3)",
+                refs * 20,
+                best
+            );
+            (format!("miss_storm_{cpus}p"), best)
+        })
+        .collect()
+}
+
+/// Compares fresh microbench throughput against the committed snapshot.
+/// Returns false (check failed) on a >30% regression of any entry.
+fn check_against_snapshot(fresh: &[(String, f64)]) -> bool {
+    let text = match std::fs::read_to_string(SNAPSHOT_PATH) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("--check: cannot read `{SNAPSHOT_PATH}` ({e}); nothing to compare");
+            return true;
+        }
+    };
+    let doc = JsonValue::parse(&text).expect("committed snapshot must be valid JSON");
+    let Some(entries) = doc.get("microbench").and_then(|m| m.as_array()) else {
+        eprintln!("--check: committed snapshot has no `microbench` section; skipping");
+        return true;
+    };
+    let mut ok = true;
+    for (name, measured) in fresh {
+        let committed = entries.iter().find_map(|e| {
+            (e.get("name").and_then(|n| n.as_str()) == Some(name))
+                .then(|| e.get("refs_per_sec").and_then(|r| r.as_f64()))
+                .flatten()
+        });
+        let Some(committed) = committed else {
+            eprintln!("--check: `{name}` not in committed snapshot; skipping");
+            continue;
+        };
+        let floor = committed * (1.0 - REGRESSION_TOLERANCE);
+        let verdict = if *measured >= floor {
+            "ok"
+        } else {
+            "REGRESSED"
         };
         eprintln!(
-            "{:<10} {:>12} refs  {:>12.0} refs/s  {:>10} events",
-            profile.name,
-            profile.simulated_refs,
-            profile.refs_per_sec(),
-            profile.events
+            "--check: {name}: {measured:.0} refs/s vs committed {committed:.0} (floor {floor:.0}) {verdict}"
         );
-        workloads.push(profile.to_json());
+        ok &= *measured >= floor;
+    }
+    ok
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut write = false;
+    let mut quick = false;
+    let mut check = false;
+    let mut setup = Setup::default(); // scale 8, the experiments' default
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--write" => write = true,
+            "--quick" => quick = true,
+            "--check" => check = true,
+            "--threads" => {
+                i += 1;
+                let v = args
+                    .get(i)
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .unwrap_or_else(|| panic!("--threads needs a thread count"));
+                assert!(v >= 1, "--threads must be at least 1");
+                setup.threads = v;
+            }
+            other => panic!(
+                "unknown argument `{other}` (supported: --write, --quick, --check, --threads N)"
+            ),
+        }
+        i += 1;
+    }
+    assert!(
+        !(quick && write),
+        "--quick skips the workload profiles; refusing to overwrite the full snapshot"
+    );
+    let cpus = 8;
+
+    let micro = run_microbench();
+    if check && !check_against_snapshot(&micro) {
+        eprintln!("--check: miss-storm throughput regressed more than 30%");
+        std::process::exit(1);
+    }
+
+    let workloads: Vec<JsonValue> = if quick {
+        Vec::new()
+    } else {
+        let benches = cdpc_workloads::all();
+        let jobs: Vec<_> = benches
+            .iter()
+            .map(|bench| {
+                setup.job(
+                    bench,
+                    Preset::Base1MbDm,
+                    cpus,
+                    PolicyKind::Cdpc,
+                    false,
+                    true,
+                )
+            })
+            .collect();
+        let profiles = sweep_map(&jobs, setup.threads, |job| {
+            let mut probe = CountingProbe::default();
+            let watch = Stopwatch::start();
+            let (report, _) = run_observed(&job.compiled, &job.cfg, &mut probe, None);
+            (report, probe.event_count(), watch.elapsed_secs())
+        });
+        benches
+            .iter()
+            .zip(profiles)
+            .map(|(bench, (report, events, wall_secs))| {
+                let profile = SelfProfile {
+                    name: bench.name.to_string(),
+                    wall_secs,
+                    simulated_refs: report.simulated_refs,
+                    simulated_cycles: report.elapsed_cycles,
+                    events,
+                };
+                eprintln!(
+                    "{:<10} {:>12} refs  {:>12.0} refs/s  {:>10} events",
+                    profile.name,
+                    profile.simulated_refs,
+                    profile.refs_per_sec(),
+                    profile.events
+                );
+                profile.to_json()
+            })
+            .collect()
+    };
+
+    if quick && !write {
+        return; // microbench (and optional check) was the whole job
     }
 
     let mut doc = JsonValue::object();
     doc.push("scale", JsonValue::UInt(setup.scale));
     doc.push("cpus", JsonValue::UInt(cpus as u64));
     doc.push("policy", JsonValue::Str("cdpc".into()));
+    doc.push(
+        "microbench",
+        JsonValue::Array(
+            micro
+                .iter()
+                .map(|(name, refs_per_sec)| {
+                    let mut e = JsonValue::object();
+                    e.push("name", JsonValue::Str(name.clone()));
+                    e.push(
+                        "refs_per_sec",
+                        JsonValue::Float((refs_per_sec * 1000.0).round() / 1000.0),
+                    );
+                    e
+                })
+                .collect(),
+        ),
+    );
     doc.push("workloads", JsonValue::Array(workloads));
     let text = doc.to_string_pretty();
     if write {

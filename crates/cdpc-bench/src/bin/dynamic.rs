@@ -16,7 +16,7 @@
 //! knowledge beats run-time repair here.
 
 use cdpc_bench::{table, Preset, Setup};
-use cdpc_machine::{run, PolicyKind, RunConfig};
+use cdpc_machine::{PolicyKind, RunConfig, SweepJob};
 
 fn main() {
     let setup = Setup::from_args();
@@ -25,26 +25,38 @@ fn main() {
         "Dynamic recoloring vs CDPC (1MB DM cache, {} CPUs, scale {})\n",
         cpus, setup.scale
     );
-    for name in ["tomcatv", "swim", "hydro2d", "su2cor"] {
-        let bench = cdpc_workloads::by_name(name).expect("benchmark exists");
-        let compiled = setup.compile_bench(&bench, Preset::Base1MbDm, cpus, false, true);
+    let variants = [
+        (PolicyKind::PageColoring, 0),
+        (PolicyKind::DynamicRecolor, 16),
+        (PolicyKind::DynamicRecolor, 64),
+        (PolicyKind::Cdpc, 0),
+    ];
+    let benches: Vec<_> = ["tomcatv", "swim", "hydro2d", "su2cor"]
+        .iter()
+        .map(|&name| cdpc_workloads::by_name(name).expect("benchmark exists"))
+        .collect();
+    let mut jobs = Vec::new();
+    for bench in &benches {
+        let compiled = setup.compile_bench(bench, Preset::Base1MbDm, cpus, false, true);
+        for &(policy, threshold) in &variants {
+            let mut cfg = RunConfig::new(setup.scaled_mem(Preset::Base1MbDm, cpus), policy);
+            if threshold > 0 {
+                cfg.recolor_threshold = threshold;
+            }
+            jobs.push(SweepJob::new(compiled.clone(), cfg));
+        }
+    }
+    let mut reports = setup.run_jobs(&jobs).into_iter();
+
+    for bench in &benches {
         println!("== {} ==", bench.name);
         table::header(
             &["policy", "time", "conflict-stall", "recolorings", "vs PC"],
             &[16, 10, 14, 12, 8],
         );
         let mut pc_time = 0u64;
-        for (policy, threshold) in [
-            (PolicyKind::PageColoring, 0),
-            (PolicyKind::DynamicRecolor, 16),
-            (PolicyKind::DynamicRecolor, 64),
-            (PolicyKind::Cdpc, 0),
-        ] {
-            let mut cfg = RunConfig::new(setup.scaled_mem(Preset::Base1MbDm, cpus), policy);
-            if threshold > 0 {
-                cfg.recolor_threshold = threshold;
-            }
-            let r = run(&compiled, &cfg);
+        for &(policy, threshold) in &variants {
+            let r = reports.next().expect("one report per variant");
             if policy == PolicyKind::PageColoring {
                 pc_time = r.elapsed_cycles;
             }

@@ -22,7 +22,25 @@ fn main() {
         setup.scale
     );
 
-    for bench in cdpc_workloads::all() {
+    let benches = cdpc_workloads::all();
+    let jobs: Vec<_> = benches
+        .iter()
+        .flat_map(|bench| {
+            cpu_counts.iter().map(|&cpus| {
+                setup.job(
+                    bench,
+                    Preset::Base1MbDm,
+                    cpus,
+                    PolicyKind::PageColoring,
+                    false,
+                    true,
+                )
+            })
+        })
+        .collect();
+    let mut reports = setup.run_jobs(&jobs).into_iter();
+
+    for bench in &benches {
         println!("== {} ==", bench.name);
         table::header(
             &[
@@ -32,14 +50,7 @@ fn main() {
             &[4, 9, 6, 6, 6, 6, 6, 6, 6, 6, 7, 6, 6, 6],
         );
         for &cpus in &cpu_counts {
-            let r = setup.run_bench(
-                &bench,
-                Preset::Base1MbDm,
-                cpus,
-                PolicyKind::PageColoring,
-                false,
-                true,
-            );
+            let r = reports.next().expect("one report per job");
             let total = (r.exec_cycles + r.stalls.total() + r.overheads.total()).max(1);
             let o = &r.overheads;
             let mcpi = r.mcpi();

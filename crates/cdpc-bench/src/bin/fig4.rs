@@ -15,6 +15,10 @@ use cdpc_core::{cyclic, hints::ColorHints};
 use cdpc_vm::addr::VirtAddr;
 
 fn main() {
+    // Accept the shared flags (--scale, --threads, the obs outputs) like
+    // every other experiment binary; the walkthrough itself is a
+    // fixed-size example that runs no simulations.
+    let _ = cdpc_bench::Setup::from_args();
     let page = 4096u64;
     let a = ArrayId(0);
     let b = ArrayId(1);

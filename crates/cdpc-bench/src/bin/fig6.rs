@@ -16,7 +16,19 @@ fn main() {
     println!("Figure 6: page coloring (PC) vs compiler-directed page coloring (CDPC)");
     println!("1MB direct-mapped external cache, scale {}\n", setup.scale);
 
-    for bench in cdpc_workloads::all() {
+    let benches = cdpc_workloads::all();
+    let jobs: Vec<_> = benches
+        .iter()
+        .flat_map(|bench| {
+            cpu_counts.iter().flat_map(|&cpus| {
+                [PolicyKind::PageColoring, PolicyKind::Cdpc]
+                    .map(|policy| setup.job(bench, Preset::Base1MbDm, cpus, policy, false, true))
+            })
+        })
+        .collect();
+    let mut reports = setup.run_jobs(&jobs).into_iter();
+
+    for bench in &benches {
         println!("== {} ==", bench.name);
         table::header(
             &[
@@ -30,22 +42,8 @@ fn main() {
             &[4, 10, 10, 9, 10, 8],
         );
         for &cpus in &cpu_counts {
-            let pc = setup.run_bench(
-                &bench,
-                Preset::Base1MbDm,
-                cpus,
-                PolicyKind::PageColoring,
-                false,
-                true,
-            );
-            let cdpc = setup.run_bench(
-                &bench,
-                Preset::Base1MbDm,
-                cpus,
-                PolicyKind::Cdpc,
-                false,
-                true,
-            );
+            let pc = reports.next().expect("one PC report per row");
+            let cdpc = reports.next().expect("one CDPC report per row");
             let repl_pct = |r: &cdpc_machine::RunReport| {
                 let total = r.exec_cycles + r.stalls.total() + r.overheads.total();
                 r.stalls.replacement() as f64 / total.max(1) as f64

@@ -17,13 +17,29 @@ fn main() {
         "tomcatv", "swim", "su2cor", "hydro2d", "mgrid", "applu", "turb3d",
     ];
 
-    for (title, preset) in [
+    let presets = [
         ("1MB two-way set-associative", Preset::TwoWay1Mb),
         ("4MB direct-mapped", Preset::FourMbDm),
-    ] {
+    ];
+    let benches: Vec<_> = apps
+        .iter()
+        .map(|&name| cdpc_workloads::by_name(name).expect("benchmark exists"))
+        .collect();
+    let mut jobs = Vec::new();
+    for &(_, preset) in &presets {
+        for bench in &benches {
+            for &cpus in &cpu_counts {
+                for policy in [PolicyKind::PageColoring, PolicyKind::Cdpc] {
+                    jobs.push(setup.job(bench, preset, cpus, policy, false, true));
+                }
+            }
+        }
+    }
+    let mut reports = setup.run_jobs(&jobs).into_iter();
+
+    for (title, _) in presets {
         println!("Figure 7 ({title}, scale {}):\n", setup.scale);
-        for name in apps {
-            let bench = cdpc_workloads::by_name(name).expect("benchmark exists");
+        for bench in &benches {
             println!("== {} ==", bench.name);
             table::header(
                 &[
@@ -37,9 +53,8 @@ fn main() {
                 &[4, 10, 10, 9, 10, 8],
             );
             for &cpus in &cpu_counts {
-                let pc =
-                    setup.run_bench(&bench, preset, cpus, PolicyKind::PageColoring, false, true);
-                let cdpc = setup.run_bench(&bench, preset, cpus, PolicyKind::Cdpc, false, true);
+                let pc = reports.next().expect("one PC report per row");
+                let cdpc = reports.next().expect("one CDPC report per row");
                 let repl_pct = |r: &cdpc_machine::RunReport| {
                     let total = r.exec_cycles + r.stalls.total() + r.overheads.total();
                     r.stalls.replacement() as f64 / total.max(1) as f64

@@ -22,8 +22,28 @@ fn main() {
         setup.scale
     );
 
-    for name in apps {
-        let bench = cdpc_workloads::by_name(name).expect("benchmark exists");
+    let benches: Vec<_> = apps
+        .iter()
+        .map(|&name| cdpc_workloads::by_name(name).expect("benchmark exists"))
+        .collect();
+    // Four configurations per row: {PC, CDPC} x {no prefetch, prefetch}.
+    let configs = [
+        (PolicyKind::PageColoring, false),
+        (PolicyKind::PageColoring, true),
+        (PolicyKind::Cdpc, false),
+        (PolicyKind::Cdpc, true),
+    ];
+    let mut jobs = Vec::new();
+    for bench in &benches {
+        for &cpus in &cpu_counts {
+            for &(policy, prefetch) in &configs {
+                jobs.push(setup.job(bench, Preset::Base1MbDm, cpus, policy, prefetch, true));
+            }
+        }
+    }
+    let mut reports = setup.run_jobs(&jobs).into_iter();
+
+    for bench in &benches {
         println!("== {} ==", bench.name);
         table::header(
             &[
@@ -39,38 +59,10 @@ fn main() {
             &[4, 9, 9, 9, 9, 8, 9, 8],
         );
         for &cpus in &cpu_counts {
-            let pc = setup.run_bench(
-                &bench,
-                Preset::Base1MbDm,
-                cpus,
-                PolicyKind::PageColoring,
-                false,
-                true,
-            );
-            let pc_pf = setup.run_bench(
-                &bench,
-                Preset::Base1MbDm,
-                cpus,
-                PolicyKind::PageColoring,
-                true,
-                true,
-            );
-            let cd = setup.run_bench(
-                &bench,
-                Preset::Base1MbDm,
-                cpus,
-                PolicyKind::Cdpc,
-                false,
-                true,
-            );
-            let cd_pf = setup.run_bench(
-                &bench,
-                Preset::Base1MbDm,
-                cpus,
-                PolicyKind::Cdpc,
-                true,
-                true,
-            );
+            let pc = reports.next().expect("one PC report per row");
+            let pc_pf = reports.next().expect("one PC+PF report per row");
+            let cd = reports.next().expect("one CDPC report per row");
+            let cd_pf = reports.next().expect("one CDPC+PF report per row");
             println!(
                 "{:>4} {:>9} {:>9} {:>9} {:>9} {:>8} {:>9} {:>8}",
                 cpus,

@@ -20,7 +20,26 @@ fn main() {
         setup.scale
     );
 
-    for bench in cdpc_workloads::all() {
+    let benches = cdpc_workloads::all();
+    // Four configurations per row: bin hopping with unaligned data, bin
+    // hopping, page coloring, and CDPC-over-bin-hopping.
+    let configs = [
+        (PolicyKind::BinHopping, false),
+        (PolicyKind::BinHopping, true),
+        (PolicyKind::PageColoring, true),
+        (PolicyKind::CdpcTouch, true),
+    ];
+    let mut jobs = Vec::new();
+    for bench in &benches {
+        for &cpus in &cpu_counts {
+            for &(policy, aligned) in &configs {
+                jobs.push(setup.job(bench, Preset::Alpha, cpus, policy, false, aligned));
+            }
+        }
+    }
+    let mut reports = setup.run_jobs(&jobs).into_iter();
+
+    for bench in &benches {
         println!("== {} ==", bench.name);
         table::header(
             &[
@@ -29,38 +48,10 @@ fn main() {
             &[4, 9, 9, 9, 9, 8, 8],
         );
         for &cpus in &cpu_counts {
-            let bh_u = setup.run_bench(
-                &bench,
-                Preset::Alpha,
-                cpus,
-                PolicyKind::BinHopping,
-                false,
-                false,
-            );
-            let bh = setup.run_bench(
-                &bench,
-                Preset::Alpha,
-                cpus,
-                PolicyKind::BinHopping,
-                false,
-                true,
-            );
-            let pc = setup.run_bench(
-                &bench,
-                Preset::Alpha,
-                cpus,
-                PolicyKind::PageColoring,
-                false,
-                true,
-            );
-            let cdpc = setup.run_bench(
-                &bench,
-                Preset::Alpha,
-                cpus,
-                PolicyKind::CdpcTouch,
-                false,
-                true,
-            );
+            let bh_u = reports.next().expect("one BH-unaligned report per row");
+            let bh = reports.next().expect("one BH report per row");
+            let pc = reports.next().expect("one PC report per row");
+            let cdpc = reports.next().expect("one CDPC report per row");
             println!(
                 "{:>4} {:>9} {:>9} {:>9} {:>9} {:>8} {:>8}",
                 cpus,

@@ -14,7 +14,7 @@
 use cdpc_bench::{table, Preset, Setup};
 use cdpc_compiler::layout::LayoutMode;
 use cdpc_compiler::{compile, CompileOptions};
-use cdpc_machine::{run, PolicyKind, RunConfig};
+use cdpc_machine::{PolicyKind, RunConfig, SweepJob};
 
 fn main() {
     let setup = Setup::from_args();
@@ -56,10 +56,26 @@ fn main() {
             }),
         ),
     ];
-    for policy in [PolicyKind::PageColoring, PolicyKind::BinHopping] {
-        for (label, layout) in variants {
-            let compiled = compile_with(layout);
-            let r = run(&compiled, &RunConfig::new(mem.clone(), policy));
+    let policies = [PolicyKind::PageColoring, PolicyKind::BinHopping];
+    let mut jobs = Vec::new();
+    for policy in policies {
+        for (_, layout) in variants {
+            jobs.push(SweepJob::new(
+                compile_with(layout),
+                RunConfig::new(mem.clone(), policy),
+            ));
+        }
+    }
+    // The CDPC reference line.
+    jobs.push(SweepJob::new(
+        compile_with(None),
+        RunConfig::new(mem.clone(), PolicyKind::Cdpc),
+    ));
+    let mut reports = setup.run_jobs(&jobs).into_iter();
+
+    for policy in policies {
+        for (label, _) in variants {
+            let r = reports.next().expect("one report per padding variant");
             println!(
                 "{:<16} {:<14} {:>10} {:>14}",
                 label,
@@ -70,9 +86,7 @@ fn main() {
         }
         println!();
     }
-    // The CDPC reference line.
-    let compiled = compile_with(None);
-    let r = run(&compiled, &RunConfig::new(mem.clone(), PolicyKind::Cdpc));
+    let r = reports.next().expect("one CDPC reference report");
     println!(
         "{:<16} {:<14} {:>10} {:>14}",
         "aligned",

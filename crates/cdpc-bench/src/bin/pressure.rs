@@ -9,7 +9,7 @@
 //! honor rate against the conflict stall.
 
 use cdpc_bench::{table, Preset, Setup};
-use cdpc_machine::{run, PolicyKind, RunConfig};
+use cdpc_machine::{PolicyKind, RunConfig, SweepJob};
 
 fn main() {
     let setup = Setup::from_args();
@@ -27,11 +27,25 @@ fn main() {
     );
     // A co-resident job pins a growing share of physical memory,
     // concentrated in the lower half of the color space.
-    for hog in [0.0, 0.2, 0.4, 0.6, 0.7] {
+    let hogs = [0.0, 0.2, 0.4, 0.6, 0.7];
+    let mut jobs = Vec::new();
+    for &hog in &hogs {
         let mut cfg = RunConfig::new(setup.scaled_mem(Preset::Base1MbDm, cpus), PolicyKind::Cdpc);
         cfg.phys_slack = 4.0;
         cfg.hog_fraction = hog;
-        let r = run(&compiled, &cfg);
+        jobs.push(SweepJob::new(compiled.clone(), cfg));
+    }
+    jobs.push(SweepJob::new(
+        compiled.clone(),
+        RunConfig::new(
+            setup.scaled_mem(Preset::Base1MbDm, cpus),
+            PolicyKind::PageColoring,
+        ),
+    ));
+    let mut reports = setup.run_jobs(&jobs).into_iter();
+
+    for &hog in &hogs {
+        let r = reports.next().expect("one report per hog fraction");
         println!(
             "{:>10} {:>10} {:>10} {:>14}",
             table::pct(hog),
@@ -41,13 +55,7 @@ fn main() {
         );
     }
     println!();
-    let pc = run(
-        &compiled,
-        &RunConfig::new(
-            setup.scaled_mem(Preset::Base1MbDm, cpus),
-            PolicyKind::PageColoring,
-        ),
-    );
+    let pc = reports.next().expect("one page-coloring reference report");
     println!(
         "{:>10} {:>10} {:>10} {:>14}   <- page coloring reference",
         "-",

@@ -31,42 +31,55 @@ fn main() {
         &[14, 9, 9, 9, 7, 7, 7],
     );
 
-    let mut ratios = (Vec::new(), Vec::new(), Vec::new());
-    for bench in cdpc_workloads::all() {
-        let reference = setup
-            .run_bench(
-                &bench,
-                Preset::Alpha,
-                1,
-                PolicyKind::PageColoring,
-                false,
-                true,
-            )
-            .elapsed_cycles;
-        let bh = setup.run_bench(
-            &bench,
+    let benches = cdpc_workloads::all();
+    // Per benchmark: the uniprocessor page-coloring reference, then the
+    // three policies at the full CPU count.
+    let mut jobs = Vec::new();
+    for bench in &benches {
+        jobs.push(setup.job(
+            bench,
+            Preset::Alpha,
+            1,
+            PolicyKind::PageColoring,
+            false,
+            true,
+        ));
+        jobs.push(setup.job(
+            bench,
             Preset::Alpha,
             cpus,
             PolicyKind::BinHopping,
             false,
             true,
-        );
-        let pc = setup.run_bench(
-            &bench,
+        ));
+        jobs.push(setup.job(
+            bench,
             Preset::Alpha,
             cpus,
             PolicyKind::PageColoring,
             false,
             true,
-        );
-        let cdpc = setup.run_bench(
-            &bench,
+        ));
+        jobs.push(setup.job(
+            bench,
             Preset::Alpha,
             cpus,
             PolicyKind::CdpcTouch,
             false,
             true,
-        );
+        ));
+    }
+    let mut reports = setup.run_jobs(&jobs).into_iter();
+
+    let mut ratios = (Vec::new(), Vec::new(), Vec::new());
+    for bench in &benches {
+        let reference = reports
+            .next()
+            .expect("one reference report per benchmark")
+            .elapsed_cycles;
+        let bh = reports.next().expect("one BH report per benchmark");
+        let pc = reports.next().expect("one PC report per benchmark");
+        let cdpc = reports.next().expect("one CDPC report per benchmark");
         let (rb, rp, rc) = (
             bh.ratio(reference),
             pc.ratio(reference),

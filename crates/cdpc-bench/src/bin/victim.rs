@@ -9,7 +9,7 @@
 //! mapping policy can.
 
 use cdpc_bench::{table, Preset, Setup};
-use cdpc_machine::{run, PolicyKind, RunConfig};
+use cdpc_machine::{PolicyKind, RunConfig, SweepJob};
 
 fn main() {
     let setup = Setup::from_args();
@@ -18,25 +18,37 @@ fn main() {
         "Victim cache vs CDPC (1MB DM cache, {} CPUs, scale {})\n",
         cpus, setup.scale
     );
-    for name in ["tomcatv", "swim", "hydro2d"] {
-        let bench = cdpc_workloads::by_name(name).expect("benchmark exists");
-        let compiled = setup.compile_bench(&bench, Preset::Base1MbDm, cpus, false, true);
+    let variants = [
+        ("PC", 0usize, PolicyKind::PageColoring),
+        ("PC + VC(8)", 8, PolicyKind::PageColoring),
+        ("PC + VC(32)", 32, PolicyKind::PageColoring),
+        ("CDPC", 0, PolicyKind::Cdpc),
+        ("CDPC + VC(8)", 8, PolicyKind::Cdpc),
+    ];
+    let benches: Vec<_> = ["tomcatv", "swim", "hydro2d"]
+        .iter()
+        .map(|&name| cdpc_workloads::by_name(name).expect("benchmark exists"))
+        .collect();
+    let mut jobs = Vec::new();
+    for bench in &benches {
+        let compiled = setup.compile_bench(bench, Preset::Base1MbDm, cpus, false, true);
+        for &(_, victim_lines, policy) in &variants {
+            let mut mem = setup.scaled_mem(Preset::Base1MbDm, cpus);
+            mem.victim_cache_lines = victim_lines;
+            jobs.push(SweepJob::new(compiled.clone(), RunConfig::new(mem, policy)));
+        }
+    }
+    let mut reports = setup.run_jobs(&jobs).into_iter();
+
+    for bench in &benches {
         println!("== {} ==", bench.name);
         table::header(
             &["config", "time", "conflict-stall", "victim hits", "vs PC"],
             &[16, 10, 14, 12, 8],
         );
         let mut pc_time = 0u64;
-        for (label, victim_lines, policy) in [
-            ("PC", 0usize, PolicyKind::PageColoring),
-            ("PC + VC(8)", 8, PolicyKind::PageColoring),
-            ("PC + VC(32)", 32, PolicyKind::PageColoring),
-            ("CDPC", 0, PolicyKind::Cdpc),
-            ("CDPC + VC(8)", 8, PolicyKind::Cdpc),
-        ] {
-            let mut mem = setup.scaled_mem(Preset::Base1MbDm, cpus);
-            mem.victim_cache_lines = victim_lines;
-            let r = run(&compiled, &RunConfig::new(mem, policy));
+        for &(label, _, _) in &variants {
+            let r = reports.next().expect("one report per variant");
             if label == "PC" {
                 pc_time = r.elapsed_cycles;
             }

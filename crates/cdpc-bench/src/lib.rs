@@ -25,7 +25,9 @@ use std::cell::{Cell, RefCell};
 use std::path::{Path, PathBuf};
 
 use cdpc_compiler::{compile, CompileOptions, CompiledProgram};
-use cdpc_machine::{report_to_json, run, run_observed, PolicyKind, RunConfig, RunReport};
+use cdpc_machine::{
+    report_to_json, run_observed, run_sweep, sweep_map, PolicyKind, RunConfig, RunReport, SweepJob,
+};
 use cdpc_memsim::{CacheConfig, MemConfig};
 use cdpc_obs::{IntervalSeries, JsonValue, NullProbe, TraceProbe};
 use cdpc_workloads::spec::Scale;
@@ -60,7 +62,7 @@ impl Preset {
 /// Window length used for `--series` when `--sample-interval` is absent.
 pub const DEFAULT_SAMPLE_INTERVAL: u64 = 10_000;
 
-const FLAG_USAGE: &str = "supported flags: --scale N, --full, --json <path>, \
+const FLAG_USAGE: &str = "supported flags: --scale N, --full, --threads N, --json <path>, \
                           --trace <path>, --series <path>, --sample-interval <cycles>";
 
 /// Observability outputs requested on the command line, shared by every
@@ -167,6 +169,10 @@ fn write_text(path: &Path, text: &str) {
 pub struct Setup {
     /// Power-of-two divisor applied to data sets, caches, and TLBs.
     pub scale: u64,
+    /// Worker threads for [`run_jobs`](Self::run_jobs) (`--threads N`;
+    /// defaults to the host's available parallelism). Reports are
+    /// bit-identical for every value.
+    pub threads: usize,
     /// Observability outputs for [`run_bench`](Self::run_bench).
     pub obs: ObsOptions,
 }
@@ -182,6 +188,7 @@ impl Setup {
     pub fn with_scale(scale: u64) -> Self {
         Setup {
             scale,
+            threads: cdpc_machine::default_threads(),
             obs: ObsOptions::default(),
         }
     }
@@ -226,6 +233,14 @@ impl Setup {
                 "--full" => {
                     setup.scale = 1;
                     i += 1;
+                }
+                "--threads" => {
+                    let v = value(&args, i, "--threads")
+                        .parse::<usize>()
+                        .unwrap_or_else(|_| panic!("--threads needs a thread count"));
+                    assert!(v >= 1, "--threads must be at least 1");
+                    setup.threads = v;
+                    i += 2;
                 }
                 "--json" => {
                     setup.obs.json = Some(PathBuf::from(value(&args, i, "--json")));
@@ -296,13 +311,62 @@ impl Setup {
         compile(&program, &opts).expect("workload models always compile")
     }
 
-    /// Compiles and runs one benchmark under one policy.
+    /// Compiles one benchmark into a [`SweepJob`] for
+    /// [`run_jobs`](Self::run_jobs). Callers may tweak the returned
+    /// `job.cfg` (hint options, hog fraction, victim-cache size, ...)
+    /// before queueing it.
+    pub fn job(
+        &self,
+        bench: &Benchmark,
+        preset: Preset,
+        cpus: usize,
+        policy: PolicyKind,
+        prefetch: bool,
+        aligned: bool,
+    ) -> SweepJob {
+        let compiled = self.compile_bench(bench, preset, cpus, prefetch, aligned);
+        let cfg = RunConfig::new(self.scaled_mem(preset, cpus), policy);
+        SweepJob::new(compiled, cfg)
+    }
+
+    /// Runs a batch of jobs across [`Setup::threads`] workers, returning
+    /// reports in input order.
     ///
-    /// With no observability outputs requested this is exactly
-    /// [`run`](cdpc_machine::run) (no probes, no sampling). When any
-    /// [`ObsOptions`] flag is set, the run goes through
-    /// [`run_observed`](cdpc_machine::run_observed) and the requested
-    /// files are written before returning.
+    /// With no observability outputs this is
+    /// [`run_sweep`](cdpc_machine::run_sweep): pure simulation fan-out,
+    /// bit-identical for any thread count. When [`ObsOptions`] flags are
+    /// set, each worker runs [`run_observed`](cdpc_machine::run_observed)
+    /// with its own probe, and the files are recorded on the calling
+    /// thread in input order afterwards — so file contents and numbering
+    /// are also independent of the thread count.
+    pub fn run_jobs(&self, jobs: &[SweepJob]) -> Vec<RunReport> {
+        if !self.obs.active() {
+            return run_sweep(jobs, self.threads);
+        }
+        let interval = self.obs.sampling();
+        let want_trace = self.obs.trace.is_some();
+        let results = sweep_map(jobs, self.threads, |job| {
+            if want_trace {
+                let mut probe = TraceProbe::new();
+                let (report, series) = run_observed(&job.compiled, &job.cfg, &mut probe, interval);
+                (report, series, Some(probe))
+            } else {
+                let (report, series) =
+                    run_observed(&job.compiled, &job.cfg, &mut NullProbe, interval);
+                (report, series, None)
+            }
+        });
+        results
+            .into_iter()
+            .map(|(report, series, probe)| {
+                self.obs.record(&report, series.as_ref(), probe.as_ref());
+                report
+            })
+            .collect()
+    }
+
+    /// Compiles and runs one benchmark under one policy (a one-job
+    /// [`run_jobs`](Self::run_jobs)).
     pub fn run_bench(
         &self,
         bench: &Benchmark,
@@ -312,22 +376,10 @@ impl Setup {
         prefetch: bool,
         aligned: bool,
     ) -> RunReport {
-        let compiled = self.compile_bench(bench, preset, cpus, prefetch, aligned);
-        let cfg = RunConfig::new(self.scaled_mem(preset, cpus), policy);
-        if !self.obs.active() {
-            return run(&compiled, &cfg);
-        }
-        let interval = self.obs.sampling();
-        if self.obs.trace.is_some() {
-            let mut probe = TraceProbe::new();
-            let (report, series) = run_observed(&compiled, &cfg, &mut probe, interval);
-            self.obs.record(&report, series.as_ref(), Some(&probe));
-            report
-        } else {
-            let (report, series) = run_observed(&compiled, &cfg, &mut NullProbe, interval);
-            self.obs.record(&report, series.as_ref(), None);
-            report
-        }
+        let job = self.job(bench, preset, cpus, policy, prefetch, aligned);
+        self.run_jobs(std::slice::from_ref(&job))
+            .pop()
+            .expect("one job yields one report")
     }
 }
 

@@ -75,6 +75,7 @@
 
 pub mod analysis;
 pub mod cyclic;
+pub mod fastmap;
 pub mod hints;
 pub mod machine;
 pub mod ordering;
@@ -85,6 +86,7 @@ pub mod summary;
 mod error;
 
 pub use error::CdpcError;
+pub use fastmap::{DenseSet64, FxMap64, FxSet64};
 pub use hints::{generate_hints, generate_hints_with, ColorHints, HintOptions};
 pub use machine::MachineParams;
 pub use procset::ProcSet;

@@ -39,8 +39,10 @@ pub mod export;
 pub mod format;
 pub mod report;
 pub mod run;
+pub mod sweep;
 
 pub use export::report_to_json;
 pub use format::{render_report, summary_line};
 pub use report::{geometric_mean, BusReport, OverheadBreakdown, RunReport, StallBreakdown};
 pub use run::{run, run_observed, PolicyKind, RunConfig};
+pub use sweep::{default_threads, run_sweep, sweep_map, SweepJob};

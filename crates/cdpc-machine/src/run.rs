@@ -180,7 +180,7 @@ struct Sim<Q: Probe> {
     /// Dynamic recoloring state: per-page conflict counters, per-color
     /// mapped-page loads, and the number of recolorings performed.
     dynamic: bool,
-    conflict_counts: std::collections::HashMap<Vpn, u32>,
+    conflict_counts: cdpc_core::fastmap::FxMap64<u32>,
     color_loads: Vec<u32>,
     recolorings: u64,
     // Per-phase accumulators (reset at phase boundaries).
@@ -304,7 +304,7 @@ impl<Q: Probe> Sim<Q> {
                 self.clocks[cpu] += out.latency_cycles + 1;
                 self.instr[cpu] += 1;
                 if self.dynamic && out.miss_class == Some(cdpc_memsim::MissClass::Conflict) {
-                    let count = self.conflict_counts.entry(vpn).or_insert(0);
+                    let count = self.conflict_counts.entry_or_insert_with(vpn.0, || 0);
                     *count += 1;
                     if *count >= self.cfg.recolor_threshold {
                         *count = 0;
@@ -644,14 +644,12 @@ pub fn run_observed<P: Probe>(
     if cfg.hog_fraction > 0.0 {
         let hog_pages = ((phys_pages as f64) * cfg.hog_fraction.clamp(0.0, 0.95)) as usize;
         let half = (colors.num_colors() / 2).max(1);
-        let mut hog = cdpc_vm::policy::FixedColor::new(Color(0));
         for i in 0..hog_pages {
-            hog = cdpc_vm::policy::FixedColor::new(Color(i as u32 % half));
+            let mut hog = cdpc_vm::policy::FixedColor::new(Color(i as u32 % half));
             // Hog pages live in a distant VA region the program never uses.
             let vpn = Vpn(u64::MAX / 2 + i as u64);
             vm.fault(vpn, &mut hog).expect("hog stays below capacity");
         }
-        let _ = hog;
     }
     let policy = build_policy(compiled, cfg);
     let p = cfg.mem.num_cpus;
@@ -663,7 +661,7 @@ pub fn run_observed<P: Probe>(
         policy,
         clocks: vec![0; p],
         dynamic: cfg.policy == PolicyKind::DynamicRecolor,
-        conflict_counts: std::collections::HashMap::new(),
+        conflict_counts: cdpc_core::fastmap::FxMap64::new(),
         color_loads: vec![0; num_colors],
         recolorings: 0,
         instr: vec![0; p],

@@ -29,7 +29,7 @@
 //! workload (as in the paper), so the distortion does not affect any
 //! conclusion.
 
-use std::collections::HashMap;
+use cdpc_core::fastmap::FxMap64;
 
 use crate::lru::LruSet;
 
@@ -145,7 +145,7 @@ impl ShadowCache {
 pub struct SharingTracker {
     /// line address → (victim cpu → mask of sub-blocks written since the
     /// victim lost the line).
-    pending: HashMap<u64, HashMap<usize, u64>>,
+    pending: FxMap64<FxMap64<u64>>,
 }
 
 impl SharingTracker {
@@ -160,19 +160,17 @@ impl SharingTracker {
         debug_assert!(sub_block < 64);
         *self
             .pending
-            .entry(line_addr)
-            .or_default()
-            .entry(victim)
-            .or_insert(0) |= 1 << sub_block;
+            .entry_or_insert_with(line_addr, FxMap64::new)
+            .entry_or_insert_with(victim as u64, || 0) |= 1 << sub_block;
     }
 
     /// Records a write of `sub_block` by `writer`; accumulates into every
     /// other processor's pending record for the line.
     pub fn on_write(&mut self, line_addr: u64, writer: usize, sub_block: u32) {
         debug_assert!(sub_block < 64);
-        if let Some(victims) = self.pending.get_mut(&line_addr) {
-            for (&victim, mask) in victims.iter_mut() {
-                if victim != writer {
+        if let Some(victims) = self.pending.get_mut(line_addr) {
+            for (victim, mask) in victims.iter_mut() {
+                if victim != writer as u64 {
                     *mask |= 1 << sub_block;
                 }
             }
@@ -183,8 +181,8 @@ impl SharingTracker {
     /// line — i.e. its next miss on the line is a communication miss.
     pub fn has_pending(&self, line_addr: u64, cpu: usize) -> bool {
         self.pending
-            .get(&line_addr)
-            .is_some_and(|v| v.contains_key(&cpu))
+            .get(line_addr)
+            .is_some_and(|v| v.contains_key(cpu as u64))
     }
 
     /// Resolves a coherence miss: removes the pending record and classifies
@@ -197,10 +195,10 @@ impl SharingTracker {
         sub_block: u32,
     ) -> Option<MissClass> {
         debug_assert!(sub_block < 64);
-        let victims = self.pending.get_mut(&line_addr)?;
-        let mask = victims.remove(&cpu)?;
+        let victims = self.pending.get_mut(line_addr)?;
+        let mask = victims.remove(cpu as u64)?;
         if victims.is_empty() {
-            self.pending.remove(&line_addr);
+            self.pending.remove(line_addr);
         }
         Some(if mask & (1 << sub_block) != 0 {
             MissClass::TrueSharing

@@ -21,8 +21,7 @@
 //!   for later requesters, which is how contention appears (as in the
 //!   paper, where bus saturation more than doubles tomcatv's MCPI).
 
-use std::collections::HashMap;
-
+use cdpc_core::fastmap::{DenseSet64, FxMap64, FxSet64};
 use cdpc_obs::{NullProbe, PrefetchDropReason, Probe};
 use cdpc_vm::addr::{PhysAddr, VirtAddr, Vpn};
 
@@ -104,16 +103,24 @@ struct CpuMem {
     l2: Cache,
     tlb: Tlb,
     shadow: ShadowCache,
-    seen_lines: std::collections::HashSet<u64>,
+    /// L2-line *indices* (line address / line size) this CPU has ever
+    /// held — the cold-miss filter. Grows monotonically with the physical
+    /// footprint, so it lives in a dense bitmap rather than a hash set:
+    /// one probe per L2 miss must not become a DRAM miss into a
+    /// multi-megabyte table.
+    seen_lines: DenseSet64,
     /// pa L1-line → va L1-line, for inclusion invalidations.
-    l1_map: HashMap<u64, u64>,
+    l1_map: FxMap64<u64>,
     /// va L1-line → pa L1-line (reverse of `l1_map`).
-    l1_rev: HashMap<u64, u64>,
+    l1_rev: FxMap64<u64>,
     /// pa L2-line → (completion cycle, fill state) of in-flight prefetches.
-    inflight: HashMap<u64, (u64, Mesi)>,
+    inflight: FxMap64<(u64, Mesi)>,
     /// Prefetch-filled lines not yet referenced by a demand access (for
     /// prefetch-hit accounting).
-    pf_filled: std::collections::HashSet<u64>,
+    pf_filled: FxSet64,
+    /// Reusable drain buffer for [`MemorySystem::complete_prefetches`], so
+    /// the per-reference completion sweep allocates nothing in steady state.
+    pf_done: Vec<(u64, u64, Mesi)>,
     slots: PrefetchSlots,
     stats: CpuStats,
     victim: Option<VictimCache>,
@@ -132,7 +139,7 @@ pub struct MemorySystem<P: Probe = NullProbe> {
     cpus: Vec<CpuMem>,
     bus: Bus,
     sharing: SharingTracker,
-    directory: HashMap<u64, DirEntry>,
+    directory: FxMap64<DirEntry>,
     probe: P,
     /// Demand references plus issued prefetches over the system's whole
     /// life — unlike [`CpuStats`], *not* cleared by
@@ -173,11 +180,12 @@ impl<P: Probe> MemorySystem<P> {
                 l2: Cache::new(cfg.l2),
                 tlb: Tlb::new(cfg.tlb_entries),
                 shadow: ShadowCache::new(cfg.l2.num_lines()),
-                seen_lines: std::collections::HashSet::new(),
-                l1_map: HashMap::new(),
-                l1_rev: HashMap::new(),
-                inflight: HashMap::new(),
-                pf_filled: std::collections::HashSet::new(),
+                seen_lines: DenseSet64::new(),
+                l1_map: FxMap64::new(),
+                l1_rev: FxMap64::new(),
+                inflight: FxMap64::new(),
+                pf_filled: FxSet64::new(),
+                pf_done: Vec::new(),
                 slots: PrefetchSlots::new(cfg.max_outstanding_prefetches),
                 stats: CpuStats::default(),
                 victim: (cfg.victim_cache_lines > 0)
@@ -189,7 +197,7 @@ impl<P: Probe> MemorySystem<P> {
             cpus,
             bus: Bus::new(),
             sharing: SharingTracker::new(),
-            directory: HashMap::new(),
+            directory: FxMap64::new(),
             probe,
             lifetime_refs: 0,
         }
@@ -325,7 +333,7 @@ impl<P: Probe> MemorySystem<P> {
             latency += hit_cycles;
             self.cpus[cpu].stats.l2_hits += 1;
             self.cpus[cpu].stats.l2_hit_stall_cycles += hit_cycles;
-            if self.cpus[cpu].pf_filled.remove(&pa_l2_line) {
+            if self.cpus[cpu].pf_filled.remove(pa_l2_line) {
                 self.cpus[cpu].stats.prefetch_hits += 1;
             }
             if is_write {
@@ -341,7 +349,7 @@ impl<P: Probe> MemorySystem<P> {
         }
 
         // In-flight prefetch?
-        if let Some(&(completion, _state)) = self.cpus[cpu].inflight.get(&pa_l2_line) {
+        if let Some(&(completion, _state)) = self.cpus[cpu].inflight.get(pa_l2_line) {
             let wait = completion.saturating_sub(now);
             self.complete_prefetches(cpu, completion.max(now));
             let hit_cycles = self.cfg.l2_hit_cycles();
@@ -395,14 +403,19 @@ impl<P: Probe> MemorySystem<P> {
         // replacement; cold only when the CPU never saw the line).
         let class = if let Some(c) = self.sharing.classify_refetch(pa_l2_line, cpu, sub) {
             c
-        } else if !self.cpus[cpu].seen_lines.contains(&pa_l2_line) {
+        } else if !self.cpus[cpu]
+            .seen_lines
+            .contains(pa_l2_line / self.cfg.l2.line_bytes() as u64)
+        {
             MissClass::Cold
         } else if fa_hit {
             MissClass::Conflict
         } else {
             MissClass::Capacity
         };
-        self.cpus[cpu].seen_lines.insert(pa_l2_line);
+        self.cpus[cpu]
+            .seen_lines
+            .insert(pa_l2_line / self.cfg.l2.line_bytes() as u64);
 
         let (service_latency, serviced_by, fill_state) =
             self.service_miss(cpu, now, pa_l2_line, sub, is_write);
@@ -456,7 +469,7 @@ impl<P: Probe> MemorySystem<P> {
         }
         self.complete_prefetches(cpu, now);
         let resident = matches!(self.cpus[cpu].l2.peek(pa_l2_line), Lookup::Hit(_))
-            || self.cpus[cpu].inflight.contains_key(&pa_l2_line)
+            || self.cpus[cpu].inflight.contains_key(pa_l2_line)
             || self.cpus[cpu]
                 .victim
                 .as_ref()
@@ -520,7 +533,7 @@ impl<P: Probe> MemorySystem<P> {
                     self.drop_line(cpu, line_addr);
                 }
             }
-            self.directory.remove(&line_addr);
+            self.directory.remove(line_addr);
         }
     }
 
@@ -542,13 +555,9 @@ impl<P: Probe> MemorySystem<P> {
     /// Panics when any invariant is violated.
     pub fn validate_coherence(&self) {
         for (cpu, c) in self.cpus.iter().enumerate() {
-            let vc_lines: Vec<(u64, Mesi)> = c
-                .victim
-                .as_ref()
-                .map(|v| v.iter().collect())
-                .unwrap_or_default();
+            let vc_lines = c.victim.as_ref().into_iter().flat_map(|v| v.iter());
             for (line, state) in c.l2.resident().chain(vc_lines) {
-                let entry = self.directory.get(&line).unwrap_or_else(|| {
+                let entry = self.directory.get(line).unwrap_or_else(|| {
                     panic!("cpu{cpu} holds {line:#x} but the directory has no entry")
                 });
                 assert!(
@@ -588,11 +597,11 @@ impl<P: Probe> MemorySystem<P> {
                 }
             }
         }
-        for (&line, entry) in &self.directory {
+        for (line, entry) in self.directory.iter() {
             for cpu in 0..self.cfg.num_cpus {
                 if entry.sharers & (1 << cpu) != 0 {
                     let resident = matches!(self.cpus[cpu].l2.peek(line), Lookup::Hit(_));
-                    let in_flight = self.cpus[cpu].inflight.contains_key(&line);
+                    let in_flight = self.cpus[cpu].inflight.contains_key(line);
                     let in_vc = self.cpus[cpu]
                         .victim
                         .as_ref()
@@ -639,12 +648,16 @@ impl<P: Probe> MemorySystem<P> {
             self.cpus[cpu].stats.upgrade_stall_cycles += grant.total_cycles();
             self.invalidate_other_copies(cpu, pa_l2_line, sub);
             self.cpus[cpu].l2.set_state(pa_l2_line, Mesi::Modified);
-            let entry = self.directory.entry(pa_l2_line).or_default();
+            let entry = self
+                .directory
+                .entry_or_insert_with(pa_l2_line, DirEntry::default);
             entry.sharers = 1 << cpu;
             entry.dirty_owner = Some(cpu);
         } else if state == Mesi::Exclusive {
             self.cpus[cpu].l2.set_state(pa_l2_line, Mesi::Modified);
-            let entry = self.directory.entry(pa_l2_line).or_default();
+            let entry = self
+                .directory
+                .entry_or_insert_with(pa_l2_line, DirEntry::default);
             entry.dirty_owner = Some(cpu);
         }
         self.sharing.on_write(pa_l2_line, cpu, sub);
@@ -654,7 +667,7 @@ impl<P: Probe> MemorySystem<P> {
     /// Invalidates every other CPU's copy of a line (write miss or
     /// upgrade), recording sharing-tracker victims.
     fn invalidate_other_copies(&mut self, cpu: CpuId, pa_l2_line: u64, sub: u32) {
-        let entry = self.directory.get(&pa_l2_line).copied().unwrap_or_default();
+        let entry = self.directory.get(pa_l2_line).copied().unwrap_or_default();
         for victim in 0..self.cfg.num_cpus {
             if victim == cpu || entry.sharers & (1 << victim) == 0 {
                 continue;
@@ -669,8 +682,8 @@ impl<P: Probe> MemorySystem<P> {
     fn drop_line(&mut self, cpu: CpuId, pa_l2_line: u64) {
         self.cpus[cpu].l2.invalidate(pa_l2_line);
         self.cpus[cpu].shadow.invalidate(pa_l2_line);
-        self.cpus[cpu].inflight.remove(&pa_l2_line);
-        self.cpus[cpu].pf_filled.remove(&pa_l2_line);
+        self.cpus[cpu].inflight.remove(pa_l2_line);
+        self.cpus[cpu].pf_filled.remove(pa_l2_line);
         if let Some(vc) = self.cpus[cpu].victim.as_mut() {
             vc.invalidate(pa_l2_line);
         }
@@ -682,8 +695,8 @@ impl<P: Probe> MemorySystem<P> {
         let n = self.cfg.l2.line_bytes() as u64 / l1_line;
         for k in 0..n {
             let pa_sub = pa_l2_line + k * l1_line;
-            if let Some(va_sub) = self.cpus[cpu].l1_map.remove(&pa_sub) {
-                self.cpus[cpu].l1_rev.remove(&va_sub);
+            if let Some(va_sub) = self.cpus[cpu].l1_map.remove(pa_sub) {
+                self.cpus[cpu].l1_rev.remove(va_sub);
                 self.cpus[cpu].l1d.invalidate(va_sub);
                 self.cpus[cpu].l1i.invalidate(va_sub);
             }
@@ -700,7 +713,7 @@ impl<P: Probe> MemorySystem<P> {
         sub: u32,
         for_write: bool,
     ) -> (u64, ServicedBy, Mesi) {
-        let entry = self.directory.get(&pa_l2_line).copied().unwrap_or_default();
+        let entry = self.directory.get(pa_l2_line).copied().unwrap_or_default();
         let others = entry.sharers & !(1u32 << cpu);
         let occ = self
             .cfg
@@ -743,7 +756,9 @@ impl<P: Probe> MemorySystem<P> {
         let grant = self.bus_request(now, occ, BusUse::Data);
         let latency = base + grant.queue_cycles;
 
-        let entry = self.directory.entry(pa_l2_line).or_default();
+        let entry = self
+            .directory
+            .entry_or_insert_with(pa_l2_line, DirEntry::default);
         let fill_state = if for_write {
             entry.sharers = 1 << cpu;
             entry.dirty_owner = Some(cpu);
@@ -770,7 +785,7 @@ impl<P: Probe> MemorySystem<P> {
     fn handle_l2_eviction_state(&mut self, cpu: CpuId, now: u64, victim_line: u64, state: Mesi) {
         // A prefetched line displaced before its first demand use is a
         // wasted prefetch, not a future prefetch hit.
-        self.cpus[cpu].pf_filled.remove(&victim_line);
+        self.cpus[cpu].pf_filled.remove(victim_line);
         // With a victim cache, the line stays on this CPU (directory
         // rights included); only a line falling out of the victim buffer
         // is truly released.
@@ -799,13 +814,13 @@ impl<P: Probe> MemorySystem<P> {
                 .bus_occupancy_cycles(self.cfg.l2.line_bytes() as u64);
             self.bus_request(now, occ, BusUse::Writeback);
         }
-        if let Some(entry) = self.directory.get_mut(&line) {
+        if let Some(entry) = self.directory.get_mut(line) {
             entry.sharers &= !(1u32 << cpu);
             if entry.dirty_owner == Some(cpu) {
                 entry.dirty_owner = None;
             }
             if entry.sharers == 0 {
-                self.directory.remove(&line);
+                self.directory.remove(line);
             }
         }
     }
@@ -818,8 +833,8 @@ impl<P: Probe> MemorySystem<P> {
             return;
         }
         if let Some(evicted) = l1.fill(va_line, Mesi::Exclusive) {
-            if let Some(pa_old) = c.l1_rev.remove(&evicted.line_addr) {
-                c.l1_map.remove(&pa_old);
+            if let Some(pa_old) = c.l1_rev.remove(evicted.line_addr) {
+                c.l1_map.remove(pa_old);
             }
         }
         c.l1_map.insert(pa_sub, va_line);
@@ -831,20 +846,27 @@ impl<P: Probe> MemorySystem<P> {
         if self.cpus[cpu].inflight.is_empty() {
             return;
         }
-        let done: Vec<(u64, u64, Mesi)> = self.cpus[cpu]
-            .inflight
-            .iter()
-            .filter(|&(_, &(c, _))| c <= now)
-            .map(|(&line, &(c, s))| (line, c, s))
-            .collect();
-        for (line, completion, recorded) in done {
-            self.cpus[cpu].inflight.remove(&line);
+        // Drain into the per-CPU scratch buffer (no allocation in steady
+        // state) and apply fills ordered by completion time, ties broken by
+        // line address — a physical order, not an artifact of map layout.
+        let mut done = std::mem::take(&mut self.cpus[cpu].pf_done);
+        done.clear();
+        done.extend(
+            self.cpus[cpu]
+                .inflight
+                .iter()
+                .filter(|&(_, &(c, _))| c <= now)
+                .map(|(line, &(c, s))| (c, line, s)),
+        );
+        done.sort_unstable_by_key(|&(c, line, _)| (c, line));
+        for &(completion, line, recorded) in &done {
+            self.cpus[cpu].inflight.remove(line);
             // A racing invalidation may have removed the entry's directory
             // rights; only fill if we still appear as a sharer. The fill
             // state is re-derived from the directory: another CPU may have
             // read the line while it was in flight, downgrading an
             // exclusive prefetch's recorded `Modified` to `Shared`.
-            let entry = self.directory.get(&line).copied();
+            let entry = self.directory.get(line).copied();
             let state = match entry {
                 Some(e) if e.sharers & (1 << cpu) == 0 => continue,
                 Some(e) if e.dirty_owner == Some(cpu) => Mesi::Modified,
@@ -862,6 +884,8 @@ impl<P: Probe> MemorySystem<P> {
                 self.cpus[cpu].pf_filled.insert(line);
             }
         }
+        done.clear();
+        self.cpus[cpu].pf_done = done;
     }
 }
 

@@ -1,20 +1,43 @@
-//! A simple single-level page table (virtual page → physical page).
+//! A flat single-level page table (virtual page → physical page).
 //!
-//! The simulator only needs lookup, map, unmap, and ordered iteration, so a
-//! `BTreeMap` is the whole implementation; the type exists to enforce the
-//! bijection invariant (no virtual page maps twice, no physical page is
-//! shared) that the allocator and the cache simulator rely on.
-
-use std::collections::{BTreeMap, HashSet};
+//! The run loop consults the page table on every TLB miss, and the page
+//! allocator walks it when recoloring, so `lookup` must be cheap. The old
+//! implementation was a `BTreeMap` (a pointer-chasing tree walk per
+//! lookup); this one is **flat**: virtual pages below [`DENSE_LIMIT`] live
+//! in a plain `Vec` indexed by VPN (one bounds check and one load), and the
+//! rare far-away pages — e.g. the synthetic memory-pressure "hog" region
+//! placed at `u64::MAX / 2` — live in a sorted overflow vector searched by
+//! binary search, so a distant VPN costs O(log n) in the number of *mapped*
+//! far pages, never memory proportional to the address itself.
+//!
+//! The type also enforces the bijection invariant (no virtual page maps
+//! twice, no physical page is shared) that the allocator and the cache
+//! simulator rely on.
 
 use crate::addr::{Ppn, Vpn};
 use crate::VmError;
 
+/// Virtual pages below this bound are stored in the dense vector (2^20
+/// pages = 4 GiB of virtual address space at 4 KiB pages; the dense vector
+/// itself grows only to the highest mapped VPN, so small address spaces
+/// stay small).
+const DENSE_LIMIT: u64 = 1 << 20;
+
 /// Virtual→physical page mapping for one address space.
 #[derive(Debug, Clone, Default)]
 pub struct PageTable {
-    map: BTreeMap<Vpn, Ppn>,
-    backing: HashSet<Ppn>,
+    /// `dense[vpn] == ppn + 1`, or 0 when unmapped. Indexed directly by
+    /// VPN for `vpn < DENSE_LIMIT`; grown on demand to the highest mapped
+    /// VPN + 1.
+    dense: Vec<u64>,
+    /// Sorted `(vpn, ppn)` pairs for `vpn >= DENSE_LIMIT`.
+    sparse: Vec<(u64, u64)>,
+    /// Count of mapped pages across both regions.
+    len: usize,
+    /// Debug-only reverse check that no physical page backs two virtual
+    /// pages (the allocator can never hand out a page twice).
+    #[cfg(debug_assertions)]
+    backing: std::collections::HashSet<Ppn>,
 }
 
 impl PageTable {
@@ -24,8 +47,19 @@ impl PageTable {
     }
 
     /// Looks up the physical page backing `vpn`.
+    #[inline]
     pub fn lookup(&self, vpn: Vpn) -> Option<Ppn> {
-        self.map.get(&vpn).copied()
+        if vpn.0 < DENSE_LIMIT {
+            match self.dense.get(vpn.0 as usize) {
+                Some(&slot) if slot != 0 => Some(Ppn(slot - 1)),
+                _ => None,
+            }
+        } else {
+            self.sparse
+                .binary_search_by_key(&vpn.0, |&(v, _)| v)
+                .ok()
+                .map(|i| Ppn(self.sparse[i].1))
+        }
     }
 
     /// Installs a mapping.
@@ -37,12 +71,27 @@ impl PageTable {
     /// panics in debug builds (the allocator can never hand out a page
     /// twice).
     pub fn map(&mut self, vpn: Vpn, ppn: Ppn) -> Result<(), VmError> {
-        if self.map.contains_key(&vpn) {
-            return Err(VmError::AlreadyMapped(vpn));
+        debug_assert!(ppn.0 < u64::MAX, "ppn sentinel overflow");
+        if vpn.0 < DENSE_LIMIT {
+            let idx = vpn.0 as usize;
+            if idx >= self.dense.len() {
+                self.dense.resize(idx + 1, 0);
+            }
+            if self.dense[idx] != 0 {
+                return Err(VmError::AlreadyMapped(vpn));
+            }
+            self.check_backing(ppn);
+            self.dense[idx] = ppn.0 + 1;
+        } else {
+            match self.sparse.binary_search_by_key(&vpn.0, |&(v, _)| v) {
+                Ok(_) => return Err(VmError::AlreadyMapped(vpn)),
+                Err(pos) => {
+                    self.check_backing(ppn);
+                    self.sparse.insert(pos, (vpn.0, ppn.0));
+                }
+            }
         }
-        let fresh = self.backing.insert(ppn);
-        debug_assert!(fresh, "physical page {ppn} mapped twice");
-        self.map.insert(vpn, ppn);
+        self.len += 1;
         Ok(())
     }
 
@@ -52,28 +101,72 @@ impl PageTable {
     ///
     /// Returns [`VmError::NotMapped`] if `vpn` has no mapping.
     pub fn unmap(&mut self, vpn: Vpn) -> Result<Ppn, VmError> {
-        match self.map.remove(&vpn) {
-            Some(ppn) => {
-                self.backing.remove(&ppn);
-                Ok(ppn)
+        let ppn = if vpn.0 < DENSE_LIMIT {
+            match self.dense.get_mut(vpn.0 as usize) {
+                Some(slot) if *slot != 0 => {
+                    let ppn = Ppn(*slot - 1);
+                    *slot = 0;
+                    ppn
+                }
+                _ => return Err(VmError::NotMapped(vpn)),
             }
-            None => Err(VmError::NotMapped(vpn)),
-        }
+        } else {
+            match self.sparse.binary_search_by_key(&vpn.0, |&(v, _)| v) {
+                Ok(i) => Ppn(self.sparse.remove(i).1),
+                Err(_) => return Err(VmError::NotMapped(vpn)),
+            }
+        };
+        self.len -= 1;
+        self.release_backing(ppn);
+        Ok(ppn)
     }
 
     /// Number of installed mappings.
     pub fn len(&self) -> usize {
-        self.map.len()
+        self.len
     }
 
     /// Returns `true` when no pages are mapped.
     pub fn is_empty(&self) -> bool {
-        self.map.is_empty()
+        self.len == 0
     }
 
     /// Iterates over mappings in ascending virtual page order.
     pub fn iter(&self) -> impl Iterator<Item = (Vpn, Ppn)> + '_ {
-        self.map.iter().map(|(&v, &p)| (v, p))
+        let dense = self
+            .dense
+            .iter()
+            .enumerate()
+            .filter(|&(_, &slot)| slot != 0)
+            .map(|(v, &slot)| (Vpn(v as u64), Ppn(slot - 1)));
+        let sparse = self.sparse.iter().map(|&(v, p)| (Vpn(v), Ppn(p)));
+        // Every sparse VPN is >= DENSE_LIMIT > every dense VPN, so plain
+        // chaining preserves ascending order.
+        dense.chain(sparse)
+    }
+
+    #[cfg(debug_assertions)]
+    fn check_backing(&mut self, ppn: Ppn) {
+        let fresh = self.backing.insert(ppn);
+        debug_assert!(fresh, "physical page {ppn} mapped twice");
+    }
+
+    #[cfg(not(debug_assertions))]
+    fn check_backing(&mut self, _ppn: Ppn) {}
+
+    #[cfg(debug_assertions)]
+    fn release_backing(&mut self, ppn: Ppn) {
+        self.backing.remove(&ppn);
+    }
+
+    #[cfg(not(debug_assertions))]
+    fn release_backing(&mut self, _ppn: Ppn) {}
+
+    /// Bytes of table metadata currently allocated (test hook for the
+    /// sparse-region memory bound).
+    #[cfg(test)]
+    fn allocated_slots(&self) -> usize {
+        self.dense.capacity() + self.sparse.capacity()
     }
 }
 
@@ -122,5 +215,74 @@ mod tests {
         pt.unmap(Vpn(1)).unwrap();
         pt.map(Vpn(2), Ppn(7)).unwrap();
         assert_eq!(pt.lookup(Vpn(2)), Some(Ppn(7)));
+    }
+
+    #[test]
+    fn sparse_vpns_roundtrip() {
+        let mut pt = PageTable::new();
+        let base = u64::MAX / 2;
+        for i in 0..100 {
+            pt.map(Vpn(base + i), Ppn(1000 + i)).unwrap();
+        }
+        assert_eq!(pt.len(), 100);
+        for i in 0..100 {
+            assert_eq!(pt.lookup(Vpn(base + i)), Some(Ppn(1000 + i)));
+        }
+        assert_eq!(pt.lookup(Vpn(base + 100)), None);
+        assert_eq!(pt.lookup(Vpn(base - 1)), None);
+        assert_eq!(
+            pt.map(Vpn(base), Ppn(5000)),
+            Err(VmError::AlreadyMapped(Vpn(base)))
+        );
+        assert_eq!(pt.unmap(Vpn(base + 50)), Ok(Ppn(1050)));
+        assert_eq!(pt.lookup(Vpn(base + 50)), None);
+        assert_eq!(pt.len(), 99);
+    }
+
+    #[test]
+    fn hog_region_does_not_allocate_proportional_memory() {
+        // Mapping N pages at u64::MAX / 2 must cost O(N) slots, not
+        // O(address): the dense vector must not try to span the VPN.
+        let mut pt = PageTable::new();
+        let base = u64::MAX / 2;
+        for i in 0..4096 {
+            pt.map(Vpn(base + i), Ppn(i)).unwrap();
+        }
+        assert_eq!(pt.len(), 4096);
+        assert!(
+            pt.allocated_slots() < 4096 * 4,
+            "far mappings must stay O(mapped pages), got {} slots",
+            pt.allocated_slots()
+        );
+        assert_eq!(pt.lookup(Vpn(base + 4095)), Some(Ppn(4095)));
+    }
+
+    #[test]
+    fn dense_and_sparse_regions_interleave_in_iteration() {
+        let mut pt = PageTable::new();
+        let far = u64::MAX / 2;
+        pt.map(Vpn(far + 1), Ppn(1)).unwrap();
+        pt.map(Vpn(2), Ppn(2)).unwrap();
+        pt.map(Vpn(far), Ppn(3)).unwrap();
+        pt.map(Vpn(0), Ppn(4)).unwrap();
+        let keys: Vec<u64> = pt.iter().map(|(v, _)| v.0).collect();
+        assert_eq!(keys, vec![0, 2, far, far + 1]);
+        assert_eq!(pt.len(), 4);
+    }
+
+    #[test]
+    fn dense_boundary_pages() {
+        // Pages straddling DENSE_LIMIT land in different regions but
+        // behave identically.
+        let mut pt = PageTable::new();
+        pt.map(Vpn(DENSE_LIMIT - 1), Ppn(1)).unwrap();
+        pt.map(Vpn(DENSE_LIMIT), Ppn(2)).unwrap();
+        assert_eq!(pt.lookup(Vpn(DENSE_LIMIT - 1)), Some(Ppn(1)));
+        assert_eq!(pt.lookup(Vpn(DENSE_LIMIT)), Some(Ppn(2)));
+        let keys: Vec<u64> = pt.iter().map(|(v, _)| v.0).collect();
+        assert_eq!(keys, vec![DENSE_LIMIT - 1, DENSE_LIMIT]);
+        assert_eq!(pt.unmap(Vpn(DENSE_LIMIT)), Ok(Ppn(2)));
+        assert_eq!(pt.unmap(Vpn(DENSE_LIMIT - 1)), Ok(Ppn(1)));
+        assert!(pt.is_empty());
     }
 }
