@@ -1,0 +1,256 @@
+//! The cache-color conflict predictor.
+//!
+//! The paper's core observation: with a physically indexed external
+//! cache, the OS's page→frame assignment decides which virtual pages
+//! collide in the cache. With naive (page-color = vpn mod colors)
+//! placement, two hot pages whose vpns differ by `colors x page_size`
+//! map to the same cache sets and evict each other on every sweep —
+//! conflict misses that page coloring (the paper's §4) removes.
+//!
+//! The lint computes, per distributed statement and processor, the pages
+//! the processor touches and their colors under vpn-mod placement. If
+//! the footprint *fits* in the cache (so conflict, not capacity, is the
+//! failure mode) but some color is loaded with more pages than the cache
+//! has ways, the statement will thrash and is flagged
+//! `conflict/color-pressure` (Warn).
+
+use cdpc_compiler::ir::Program;
+use cdpc_compiler::layout::DataLayout;
+use cdpc_compiler::parallelize::{ParallelPlan, StmtSchedule};
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::diag::{Diagnostic, Location, Report, Severity};
+use crate::footprint::cpu_intervals;
+use crate::machine::MachineModel;
+
+/// Rule id: more same-colored hot pages than cache ways.
+pub const RULE_COLOR_PRESSURE: &str = "conflict/color-pressure";
+
+/// Runs the conflict predictor over every distributed statement.
+pub fn check(
+    program: &Program,
+    plan: &ParallelPlan,
+    layout: &DataLayout,
+    machine: &MachineModel,
+    report: &mut Report,
+) {
+    let p = plan.num_cpus();
+    let colors = machine.num_colors();
+    let page = machine.page_bytes;
+    if colors <= 1 || page == 0 {
+        return;
+    }
+    for (pi, phase) in program.phases.iter().enumerate() {
+        for (si, stmt) in phase.stmts.iter().enumerate() {
+            let StmtSchedule::Distributed { policy, direction } = plan.schedule(pi, si) else {
+                continue;
+            };
+            let nest = &stmt.nest;
+            // Worst (cpu, color, pages-on-color, total-pages) over the stmt.
+            let mut worst: Option<(usize, u64, u64, usize)> = None;
+            for cpu in 0..p {
+                let mut pages: BTreeSet<u64> = BTreeSet::new();
+                for acc in &nest.accesses {
+                    if acc.array.0 >= layout.bases.len() {
+                        continue;
+                    }
+                    let bytes = program.arrays.get(acc.array.0).map_or(0, |d| d.bytes);
+                    let Some(intervals) = cpu_intervals(
+                        acc.pattern,
+                        nest.iterations,
+                        bytes,
+                        policy,
+                        direction,
+                        cpu,
+                        p,
+                        false,
+                    ) else {
+                        continue; // irregular: no static page set
+                    };
+                    let base = layout.base(acc.array).0;
+                    for (lo, hi) in intervals {
+                        let first = (base + lo) / page;
+                        let last = (base + hi - 1) / page;
+                        pages.extend(first..=last);
+                    }
+                }
+                // A footprint larger than the cache misses for capacity no
+                // matter how pages are colored — not this lint's business.
+                if pages.is_empty() || pages.len() as u64 > machine.cache_pages() {
+                    continue;
+                }
+                let mut by_color: BTreeMap<u64, u64> = BTreeMap::new();
+                for vpn in &pages {
+                    *by_color.entry(vpn % colors).or_insert(0) += 1;
+                }
+                let (&color, &count) = by_color.iter().max_by_key(|&(_, c)| *c).unwrap();
+                if count > machine.l2_assoc && worst.is_none_or(|(_, _, w, _)| count > w) {
+                    worst = Some((cpu, color, count, pages.len()));
+                }
+            }
+            if let Some((cpu, color, count, total)) = worst {
+                let arrays: Vec<&str> = nest
+                    .accesses
+                    .iter()
+                    .filter_map(|a| program.arrays.get(a.array.0).map(|d| d.name.as_str()))
+                    .collect::<BTreeSet<_>>()
+                    .into_iter()
+                    .collect();
+                report.push(Diagnostic::new(
+                    RULE_COLOR_PRESSURE,
+                    Severity::Warn,
+                    Location {
+                        phase: Some(phase.name.clone()),
+                        loop_name: Some(nest.name.clone()),
+                        array: None,
+                    },
+                    format!(
+                        "CPU {cpu} touches {total} pages that fit the cache, but {count} of \
+                         them share color {color} against {}-way sets ({} colors): naive page \
+                         placement will conflict-thrash arrays [{}]. Color pages explicitly \
+                         (compiler hints) or stagger the array bases.",
+                        machine.l2_assoc,
+                        colors,
+                        arrays.join(", ")
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdpc_compiler::ir::{Access, AccessPattern as P, LoopNest, Phase, Stmt, StmtKind};
+    use cdpc_compiler::layout::DataLayout;
+    use cdpc_compiler::parallelize::{parallelize, ParallelizeOptions};
+    use cdpc_vm::addr::VirtAddr;
+
+    /// 32 KB direct-mapped cache, 4 KB pages: 8 colors, 8 cache pages.
+    fn small_machine() -> MachineModel {
+        MachineModel {
+            num_cpus: 2,
+            page_bytes: 4096,
+            l2_bytes: 32 << 10,
+            l2_line_bytes: 128,
+            l2_assoc: 1,
+        }
+    }
+
+    /// Two arrays, each CPU touching two pages of each, at given bases.
+    fn two_array_program() -> Program {
+        let mut p = Program::new("conflict-test");
+        let a = p.array("A", 16 * 1024);
+        let b = p.array("B", 16 * 1024);
+        p.phase(Phase {
+            name: "main".into(),
+            stmts: vec![Stmt {
+                kind: StmtKind::Parallel,
+                nest: LoopNest::new("sweep", 4, 100)
+                    .with_access(Access::read(a, P::Partitioned { unit_bytes: 4096 }))
+                    .with_access(Access::write(b, P::Partitioned { unit_bytes: 4096 })),
+            }],
+            count: 1,
+        });
+        p
+    }
+
+    fn lint_at(program: &Program, bases: Vec<u64>, machine: &MachineModel) -> Report {
+        let plan = parallelize(
+            program,
+            &ParallelizeOptions {
+                num_cpus: machine.num_cpus,
+                suppress_threshold: 0,
+                ..ParallelizeOptions::default()
+            },
+        );
+        let lay = DataLayout {
+            bases: bases.into_iter().map(VirtAddr).collect(),
+            code_base: VirtAddr(0),
+            total_data_bytes: 0,
+        };
+        let mut report = Report::new(&program.name, machine.num_cpus, &program.lint_allows);
+        check(program, &plan, &lay, machine, &mut report);
+        report
+    }
+
+    fn rules(r: &Report) -> Vec<&str> {
+        r.diagnostics.iter().map(|d| d.rule.as_str()).collect()
+    }
+
+    #[test]
+    fn cache_distance_bases_conflict() {
+        // B exactly one cache size after A: every page of B shares its
+        // color with the corresponding page of A.
+        let p = two_array_program();
+        let r = lint_at(&p, vec![0, 32 << 10], &small_machine());
+        assert_eq!(rules(&r), vec![RULE_COLOR_PRESSURE]);
+        assert!(r.diagnostics[0].message.contains("share color"));
+    }
+
+    #[test]
+    fn multiple_of_cache_size_also_conflicts() {
+        let p = two_array_program();
+        let r = lint_at(&p, vec![0, 3 * (32 << 10)], &small_machine());
+        assert_eq!(rules(&r), vec![RULE_COLOR_PRESSURE]);
+    }
+
+    #[test]
+    fn higher_associativity_absorbs_two_way_pressure() {
+        // Same colliding bases, but a 2-way cache holds both pages.
+        let p = two_array_program();
+        let mut m = small_machine();
+        m.l2_assoc = 2;
+        let r = lint_at(&p, vec![0, 64 << 10], &m);
+        assert!(rules(&r).is_empty(), "got {:?}", rules(&r));
+    }
+
+    #[test]
+    fn staggered_bases_are_clean() {
+        // B offset by half the cache: A's and B's pages use distinct colors.
+        let p = two_array_program();
+        let r = lint_at(&p, vec![0, 48 << 10], &small_machine());
+        assert!(rules(&r).is_empty(), "got {:?}", rules(&r));
+    }
+
+    #[test]
+    fn capacity_sized_footprints_are_not_conflicts() {
+        // One array far larger than the cache: every color is loaded, but
+        // that is a capacity problem, not a placement problem.
+        let mut p = Program::new("capacity");
+        let a = p.array("A", 256 * 1024);
+        p.phase(Phase {
+            name: "main".into(),
+            stmts: vec![Stmt {
+                kind: StmtKind::Parallel,
+                nest: LoopNest::new("sweep", 64, 100)
+                    .with_access(Access::write(a, P::Partitioned { unit_bytes: 4096 })),
+            }],
+            count: 1,
+        });
+        let r = lint_at(&p, vec![0], &small_machine());
+        assert!(rules(&r).is_empty(), "got {:?}", rules(&r));
+    }
+
+    #[test]
+    fn irregular_accesses_have_no_prediction() {
+        let mut p = Program::new("irregular");
+        let a = p.array("A", 64 * 1024);
+        p.phase(Phase {
+            name: "main".into(),
+            stmts: vec![Stmt {
+                kind: StmtKind::Parallel,
+                nest: LoopNest::new("gather", 64, 100).with_access(Access::read(
+                    a,
+                    P::Irregular {
+                        touches_per_iter: 4,
+                    },
+                )),
+            }],
+            count: 1,
+        });
+        let r = lint_at(&p, vec![0], &small_machine());
+        assert!(rules(&r).is_empty());
+    }
+}

@@ -1,0 +1,339 @@
+//! The diagnostics vocabulary: severities, locations, findings, reports.
+//!
+//! Every lint and the runtime sanitizer speak this one language. A
+//! [`Diagnostic`] names its rule (`"race/write-write"`,
+//! `"conflict/color-pressure"`, ...), carries a severity, points at a
+//! program location (phase / loop / array — the IR has no source lines),
+//! and renders both as human text and as JSON via `cdpc_obs::json`.
+
+use cdpc_obs::JsonValue;
+
+/// How bad a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Informational: worth knowing, never actionable by itself.
+    Info,
+    /// Suspicious: likely performance loss, not a correctness problem.
+    Warn,
+    /// A correctness problem (or an inconsistency that would corrupt
+    /// downstream results). Unallowed Errors fail `--lint` runs and CI.
+    Error,
+}
+
+impl Severity {
+    /// Stable lowercase label used by every exporter.
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warn => "warn",
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// Where in the program a finding points. All parts are optional: a
+/// summary-level finding may name only an array; a sanitizer finding
+/// names none (it carries cycle/line context in its message).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Location {
+    /// Phase name (e.g. `"timestep"`).
+    pub phase: Option<String>,
+    /// Loop-nest name within the phase.
+    pub loop_name: Option<String>,
+    /// Array name.
+    pub array: Option<String>,
+}
+
+impl Location {
+    /// A location naming just an array.
+    pub fn array(name: impl Into<String>) -> Self {
+        Location {
+            array: Some(name.into()),
+            ..Location::default()
+        }
+    }
+
+    /// A location naming phase, loop, and array.
+    pub fn at(
+        phase: impl Into<String>,
+        loop_name: impl Into<String>,
+        array: impl Into<String>,
+    ) -> Self {
+        Location {
+            phase: Some(phase.into()),
+            loop_name: Some(loop_name.into()),
+            array: Some(array.into()),
+        }
+    }
+
+    /// `phase/loop/array` with `-` for missing parts; `<global>` when all
+    /// parts are missing.
+    pub fn path(&self) -> String {
+        if self.phase.is_none() && self.loop_name.is_none() && self.array.is_none() {
+            return "<global>".to_string();
+        }
+        let part = |o: &Option<String>| o.clone().unwrap_or_else(|| "-".to_string());
+        format!(
+            "{}/{}/{}",
+            part(&self.phase),
+            part(&self.loop_name),
+            part(&self.array)
+        )
+    }
+}
+
+/// One finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Rule id, `family/name` (e.g. `"race/write-write"`).
+    pub rule: String,
+    /// Severity.
+    pub severity: Severity,
+    /// Program location.
+    pub location: Location,
+    /// Human-readable explanation, including the suggested fix when the
+    /// rule has one.
+    pub message: String,
+    /// `true` when the program carries an `allow_lint` annotation for this
+    /// rule: the finding is still reported but does not fail the run.
+    pub allowed: bool,
+}
+
+impl Diagnostic {
+    /// Creates a finding (not yet allowed; [`Report::push`] applies the
+    /// program's annotations).
+    pub fn new(
+        rule: impl Into<String>,
+        severity: Severity,
+        location: Location,
+        message: impl Into<String>,
+    ) -> Self {
+        Diagnostic {
+            rule: rule.into(),
+            severity,
+            location,
+            message: message.into(),
+            allowed: false,
+        }
+    }
+
+    /// `rule severity location: message` on one line.
+    pub fn render(&self) -> String {
+        let allowed = if self.allowed { " (allowed)" } else { "" };
+        format!(
+            "{} [{}]{} {}: {}",
+            self.severity.label(),
+            self.rule,
+            allowed,
+            self.location.path(),
+            self.message
+        )
+    }
+
+    /// The finding as a JSON object.
+    pub fn to_json(&self) -> JsonValue {
+        let mut obj = JsonValue::object();
+        obj.push("rule", JsonValue::Str(self.rule.clone()));
+        obj.push("severity", JsonValue::Str(self.severity.label().into()));
+        let mut loc = JsonValue::object();
+        let opt = |o: &Option<String>| match o {
+            Some(s) => JsonValue::Str(s.clone()),
+            None => JsonValue::Null,
+        };
+        loc.push("phase", opt(&self.location.phase));
+        loc.push("loop", opt(&self.location.loop_name));
+        loc.push("array", opt(&self.location.array));
+        obj.push("location", loc);
+        obj.push("message", JsonValue::Str(self.message.clone()));
+        obj.push("allowed", JsonValue::Bool(self.allowed));
+        obj
+    }
+}
+
+/// All findings for one analyzed program.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Report {
+    /// Program name.
+    pub program: String,
+    /// Processor count the plan was analyzed for.
+    pub num_cpus: usize,
+    /// Findings in discovery order (structural, races, false sharing,
+    /// conflicts).
+    pub diagnostics: Vec<Diagnostic>,
+    /// Rule ids the program's `allow_lint` annotations cover.
+    pub allows: Vec<String>,
+}
+
+impl Report {
+    /// An empty report for a program.
+    pub fn new(program: impl Into<String>, num_cpus: usize, allows: &[String]) -> Self {
+        Report {
+            program: program.into(),
+            num_cpus,
+            diagnostics: Vec::new(),
+            allows: allows.to_vec(),
+        }
+    }
+
+    /// Adds a finding, marking it allowed when the program's annotations
+    /// cover its rule.
+    pub fn push(&mut self, mut d: Diagnostic) {
+        d.allowed = self.allows.iter().any(|a| a == &d.rule);
+        self.diagnostics.push(d);
+    }
+
+    /// Findings of one severity.
+    pub fn of_severity(&self, s: Severity) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics.iter().filter(move |d| d.severity == s)
+    }
+
+    /// Findings with a given rule id.
+    pub fn with_rule<'a>(&'a self, rule: &'a str) -> impl Iterator<Item = &'a Diagnostic> {
+        self.diagnostics.iter().filter(move |d| d.rule == rule)
+    }
+
+    /// Error findings *not* covered by an allow annotation — the ones that
+    /// fail `--lint` and CI.
+    pub fn unallowed_errors(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error && !d.allowed)
+    }
+
+    /// `true` when [`Report::unallowed_errors`] is non-empty.
+    pub fn has_errors(&self) -> bool {
+        self.unallowed_errors().next().is_some()
+    }
+
+    /// Counts as `(errors, warnings, infos)`, allowed Errors excluded from
+    /// the error count.
+    pub fn counts(&self) -> (usize, usize, usize) {
+        (
+            self.unallowed_errors().count(),
+            self.of_severity(Severity::Warn).count(),
+            self.of_severity(Severity::Info).count(),
+        )
+    }
+
+    /// Multi-line human rendering (one line per finding plus a summary).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&d.render());
+            out.push('\n');
+        }
+        let (e, w, i) = self.counts();
+        out.push_str(&format!(
+            "{}: {e} error(s), {w} warning(s), {i} info(s)\n",
+            self.program
+        ));
+        out
+    }
+
+    /// The report as a JSON object.
+    pub fn to_json(&self) -> JsonValue {
+        let mut obj = JsonValue::object();
+        obj.push("program", JsonValue::Str(self.program.clone()));
+        obj.push("num_cpus", JsonValue::UInt(self.num_cpus as u64));
+        let (e, w, i) = self.counts();
+        obj.push("errors", JsonValue::UInt(e as u64));
+        obj.push("warnings", JsonValue::UInt(w as u64));
+        obj.push("infos", JsonValue::UInt(i as u64));
+        obj.push(
+            "allows",
+            JsonValue::Array(self.allows.iter().cloned().map(JsonValue::Str).collect()),
+        );
+        obj.push(
+            "diagnostics",
+            JsonValue::Array(self.diagnostics.iter().map(Diagnostic::to_json).collect()),
+        );
+        obj
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_orders_and_labels() {
+        assert!(Severity::Error > Severity::Warn);
+        assert!(Severity::Warn > Severity::Info);
+        assert_eq!(Severity::Error.label(), "error");
+    }
+
+    #[test]
+    fn location_paths() {
+        assert_eq!(Location::default().path(), "<global>");
+        assert_eq!(Location::array("A").path(), "-/-/A");
+        assert_eq!(Location::at("ph", "lp", "A").path(), "ph/lp/A");
+    }
+
+    #[test]
+    fn allow_annotations_downgrade_errors() {
+        let mut r = Report::new("p", 4, &["race/irregular-write".to_string()]);
+        r.push(Diagnostic::new(
+            "race/irregular-write",
+            Severity::Error,
+            Location::array("L"),
+            "irregular write",
+        ));
+        r.push(Diagnostic::new(
+            "race/write-write",
+            Severity::Error,
+            Location::array("M"),
+            "overlap",
+        ));
+        assert_eq!(r.diagnostics.len(), 2);
+        assert!(r.diagnostics[0].allowed);
+        assert!(!r.diagnostics[1].allowed);
+        assert_eq!(r.unallowed_errors().count(), 1);
+        assert!(r.has_errors());
+        assert!(r.diagnostics[0].render().contains("(allowed)"));
+    }
+
+    /// Golden test: the JSON shape is a contract (CI and the `analyze`
+    /// binary parse it back).
+    #[test]
+    fn diagnostic_json_golden() {
+        let d = Diagnostic::new(
+            "sharing/false-boundary",
+            Severity::Warn,
+            Location::at("timestep", "sweep", "A"),
+            "partition boundary at 0x1234 shares an L2 line",
+        );
+        assert_eq!(
+            d.to_json().to_string_compact(),
+            r#"{"rule":"sharing/false-boundary","severity":"warn","location":{"phase":"timestep","loop":"sweep","array":"A"},"message":"partition boundary at 0x1234 shares an L2 line","allowed":false}"#
+        );
+    }
+
+    #[test]
+    fn report_json_golden_roundtrips() {
+        let mut r = Report::new("101.tomcatv", 8, &[]);
+        r.push(Diagnostic::new(
+            "conflict/color-pressure",
+            Severity::Warn,
+            Location::array("X"),
+            "2 pages per color",
+        ));
+        let json = r.to_json();
+        assert_eq!(
+            json.to_string_compact(),
+            r#"{"program":"101.tomcatv","num_cpus":8,"errors":0,"warnings":1,"infos":0,"allows":[],"diagnostics":[{"rule":"conflict/color-pressure","severity":"warn","location":{"phase":null,"loop":null,"array":"X"},"message":"2 pages per color","allowed":false}]}"#
+        );
+        // And it survives the parser (the `analyze` binary's consumers).
+        let parsed = JsonValue::parse(&json.to_string_pretty()).expect("valid JSON");
+        assert_eq!(
+            parsed.get("program").and_then(|v| v.as_str()),
+            Some("101.tomcatv")
+        );
+        assert_eq!(
+            parsed
+                .get("diagnostics")
+                .and_then(|v| v.as_array())
+                .map(<[JsonValue]>::len),
+            Some(1)
+        );
+    }
+}

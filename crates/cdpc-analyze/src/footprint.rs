@@ -1,0 +1,227 @@
+//! Per-processor affine footprints of one access in a distributed loop.
+//!
+//! The race, false-sharing, and conflict lints all reason about the same
+//! object: the byte intervals of an array one processor touches while a
+//! distributed loop runs. For the affine patterns of the IR these are
+//! exact (the same arithmetic [`ArrayPartitioning::unit_range`] uses);
+//! irregular accesses have no static footprint and return `None`.
+
+use cdpc_compiler::ir::AccessPattern;
+use cdpc_core::summary::{ArrayPartitioning, PartitionDirection, PartitionPolicy};
+
+/// Byte interval `[start, end)` relative to the array's first byte.
+pub type Interval = (u64, u64);
+
+/// The unit range `[lo, hi)` a CPU owns, without constructing a summary
+/// object (tolerates `num_units == 0`, which the summary type rejects).
+pub fn unit_range(
+    policy: PartitionPolicy,
+    direction: PartitionDirection,
+    num_units: u64,
+    cpu: usize,
+    num_cpus: usize,
+) -> (u64, u64) {
+    if num_units == 0 {
+        return (0, 0);
+    }
+    ArrayPartitioning::new(
+        cdpc_core::summary::ArrayId(0),
+        1,
+        num_units,
+        policy,
+        direction,
+    )
+    .unit_range(cpu, num_cpus)
+}
+
+/// The byte intervals of its array that `cpu` touches through one access
+/// of a loop distributed as (`policy`, `direction`) over `iterations`
+/// units across `num_cpus` processors.
+///
+/// * `writes_only` restricts a stencil to its core (stencils write the
+///   owned units; the halo is read-only).
+/// * Returns `None` for [`AccessPattern::Irregular`] — no static bound.
+/// * Intervals are clamped to the accessed region
+///   `[0, iterations × unit_bytes)`; a stencil with periodic boundaries
+///   (`wraparound`) may return two intervals.
+#[allow(clippy::too_many_arguments)]
+pub fn cpu_intervals(
+    pattern: AccessPattern,
+    iterations: u64,
+    array_bytes: u64,
+    policy: PartitionPolicy,
+    direction: PartitionDirection,
+    cpu: usize,
+    num_cpus: usize,
+    writes_only: bool,
+) -> Option<Vec<Interval>> {
+    match pattern {
+        AccessPattern::Partitioned { unit_bytes } => {
+            let (lo, hi) = unit_range(policy, direction, iterations, cpu, num_cpus);
+            Some(byte_intervals(lo, hi, unit_bytes))
+        }
+        AccessPattern::Stencil {
+            unit_bytes,
+            halo_units,
+            wraparound,
+        } => {
+            let (lo, hi) = unit_range(policy, direction, iterations, cpu, num_cpus);
+            if lo == hi {
+                return Some(Vec::new());
+            }
+            if writes_only {
+                return Some(byte_intervals(lo, hi, unit_bytes));
+            }
+            let mut out = byte_intervals(
+                lo.saturating_sub(halo_units),
+                (hi + halo_units).min(iterations),
+                unit_bytes,
+            );
+            if wraparound {
+                // Periodic boundary: the first owner also reads the last
+                // units and vice versa.
+                if lo < halo_units {
+                    let wrap_lo = iterations.saturating_sub(halo_units - lo);
+                    out.extend(byte_intervals(wrap_lo, iterations, unit_bytes));
+                }
+                if hi + halo_units > iterations {
+                    let wrap_hi = (hi + halo_units - iterations).min(iterations);
+                    out.extend(byte_intervals(0, wrap_hi, unit_bytes));
+                }
+            }
+            Some(normalize(out))
+        }
+        AccessPattern::WholeArray => Some(if array_bytes > 0 {
+            vec![(0, array_bytes)]
+        } else {
+            Vec::new()
+        }),
+        AccessPattern::Irregular { .. } => None,
+    }
+}
+
+fn byte_intervals(lo_unit: u64, hi_unit: u64, unit_bytes: u64) -> Vec<Interval> {
+    if lo_unit >= hi_unit || unit_bytes == 0 {
+        Vec::new()
+    } else {
+        vec![(lo_unit * unit_bytes, hi_unit * unit_bytes)]
+    }
+}
+
+/// Sorts and merges touching/overlapping intervals.
+pub fn normalize(mut intervals: Vec<Interval>) -> Vec<Interval> {
+    intervals.retain(|&(a, b)| a < b);
+    intervals.sort_unstable();
+    let mut out: Vec<Interval> = Vec::with_capacity(intervals.len());
+    for (a, b) in intervals {
+        match out.last_mut() {
+            Some(last) if a <= last.1 => last.1 = last.1.max(b),
+            _ => out.push((a, b)),
+        }
+    }
+    out
+}
+
+/// The intersection of two interval lists (both need not be normalized).
+pub fn intersect(a: &[Interval], b: &[Interval]) -> Vec<Interval> {
+    let mut out = Vec::new();
+    for &(a0, a1) in a {
+        for &(b0, b1) in b {
+            let lo = a0.max(b0);
+            let hi = a1.min(b1);
+            if lo < hi {
+                out.push((lo, hi));
+            }
+        }
+    }
+    normalize(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use AccessPattern as P;
+    use PartitionDirection::Forward;
+    use PartitionPolicy::Blocked;
+
+    #[test]
+    fn partitioned_footprints_tile_disjointly() {
+        let fps: Vec<_> = (0..4)
+            .map(|c| {
+                cpu_intervals(
+                    P::Partitioned { unit_bytes: 100 },
+                    8,
+                    800,
+                    Blocked,
+                    Forward,
+                    c,
+                    4,
+                    false,
+                )
+                .unwrap()
+            })
+            .collect();
+        assert_eq!(fps[0], vec![(0, 200)]);
+        assert_eq!(fps[3], vec![(600, 800)]);
+        for i in 0..4 {
+            for j in i + 1..4 {
+                assert!(intersect(&fps[i], &fps[j]).is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn stencil_reads_extend_writes_do_not() {
+        let pat = P::Stencil {
+            unit_bytes: 100,
+            halo_units: 1,
+            wraparound: false,
+        };
+        let reads = cpu_intervals(pat, 8, 800, Blocked, Forward, 1, 4, false).unwrap();
+        let writes = cpu_intervals(pat, 8, 800, Blocked, Forward, 1, 4, true).unwrap();
+        assert_eq!(reads, vec![(100, 500)]); // units 2..4 plus one halo unit each side
+        assert_eq!(writes, vec![(200, 400)]);
+    }
+
+    #[test]
+    fn wraparound_stencil_wraps_both_ends() {
+        let pat = P::Stencil {
+            unit_bytes: 10,
+            halo_units: 1,
+            wraparound: true,
+        };
+        let first = cpu_intervals(pat, 8, 80, Blocked, Forward, 0, 4, false).unwrap();
+        assert_eq!(first, vec![(0, 30), (70, 80)]);
+        let last = cpu_intervals(pat, 8, 80, Blocked, Forward, 3, 4, false).unwrap();
+        assert_eq!(last, vec![(0, 10), (50, 80)]);
+    }
+
+    #[test]
+    fn irregular_has_no_static_footprint() {
+        assert_eq!(
+            cpu_intervals(
+                P::Irregular {
+                    touches_per_iter: 4
+                },
+                8,
+                800,
+                Blocked,
+                Forward,
+                0,
+                4,
+                false
+            ),
+            None
+        );
+    }
+
+    #[test]
+    fn normalize_merges_and_intersect_clips() {
+        assert_eq!(
+            normalize(vec![(5, 10), (0, 5), (20, 30)]),
+            vec![(0, 10), (20, 30)]
+        );
+        assert_eq!(intersect(&[(0, 10)], &[(5, 20)]), vec![(5, 10)]);
+        assert_eq!(intersect(&[(0, 5)], &[(5, 20)]), Vec::<Interval>::new());
+    }
+}

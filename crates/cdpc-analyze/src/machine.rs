@@ -1,0 +1,92 @@
+//! The machine parameters the static lints reason about.
+//!
+//! A [`MachineModel`] is the analyzer's view of the target: enough cache
+//! and page geometry to predict line sharing and color pressure, nothing
+//! more. It can be built from the simulator's full
+//! [`MemConfig`](cdpc_memsim::MemConfig) so a `--lint` bench run analyzes
+//! exactly the machine it simulates.
+
+use cdpc_memsim::MemConfig;
+
+/// Cache/page geometry for the static analyses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MachineModel {
+    /// Processor count.
+    pub num_cpus: usize,
+    /// Page size, bytes.
+    pub page_bytes: u64,
+    /// External (L2) cache size per CPU, bytes.
+    pub l2_bytes: u64,
+    /// External-cache line size, bytes.
+    pub l2_line_bytes: u64,
+    /// External-cache associativity.
+    pub l2_assoc: u64,
+}
+
+impl MachineModel {
+    /// The paper's base machine: 4 KB pages, 1 MB direct-mapped external
+    /// cache with 128 B lines.
+    pub fn paper_base(num_cpus: usize) -> Self {
+        MachineModel {
+            num_cpus,
+            page_bytes: 4096,
+            l2_bytes: 1 << 20,
+            l2_line_bytes: 128,
+            l2_assoc: 1,
+        }
+    }
+
+    /// The analyzer view of a simulator configuration.
+    pub fn from_mem(cfg: &MemConfig) -> Self {
+        MachineModel {
+            num_cpus: cfg.num_cpus,
+            page_bytes: cfg.page_size as u64,
+            l2_bytes: cfg.l2.size_bytes() as u64,
+            l2_line_bytes: cfg.l2.line_bytes() as u64,
+            l2_assoc: cfg.l2.associativity() as u64,
+        }
+    }
+
+    /// Number of page colors: pages that map to disjoint cache sets.
+    /// 1 means the cache cannot page-conflict (e.g. cache no larger than
+    /// `associativity` pages).
+    pub fn num_colors(&self) -> u64 {
+        (self.l2_bytes / (self.page_bytes * self.l2_assoc)).max(1)
+    }
+
+    /// Pages of one CPU's cache (`colors × associativity`).
+    pub fn cache_pages(&self) -> u64 {
+        self.num_colors() * self.l2_assoc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn color_math_matches_paper() {
+        let m = MachineModel::paper_base(8);
+        assert_eq!(m.num_colors(), 256); // 1 MB / 4 KB pages, direct-mapped
+        assert_eq!(m.cache_pages(), 256);
+    }
+
+    #[test]
+    fn associativity_divides_colors() {
+        let mut m = MachineModel::paper_base(4);
+        m.l2_assoc = 2;
+        assert_eq!(m.num_colors(), 128);
+        assert_eq!(m.cache_pages(), 256);
+    }
+
+    #[test]
+    fn from_mem_mirrors_config() {
+        let cfg = MemConfig::paper_base(4);
+        let m = MachineModel::from_mem(&cfg);
+        assert_eq!(m.num_cpus, 4);
+        assert_eq!(m.l2_bytes, 1 << 20);
+        assert_eq!(m.l2_line_bytes, 128);
+        assert_eq!(m.l2_assoc, 1);
+        assert_eq!(m.page_bytes, 4096);
+    }
+}

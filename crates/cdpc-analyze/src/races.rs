@@ -1,0 +1,474 @@
+//! The static race detector.
+//!
+//! A distributed loop runs its iterations concurrently on all processors
+//! with a barrier at the end, so the race domain is *one statement*: two
+//! processors' footprints of the same array may not overlap unless the
+//! overlap is boundary communication the compiler summarized (a stencil
+//! halo read of a neighbor's units — the paper's shift/rotate patterns).
+//!
+//! Rules:
+//!
+//! * `race/write-write` — two processors' write footprints intersect
+//!   (mismatched partition units, or a whole-array write in a distributed
+//!   loop).
+//! * `race/read-write` — a processor reads bytes another writes, and the
+//!   overlap is not a stencil-halo exchange between neighbors.
+//! * `race/irregular-write` — an irregular (gather/scatter) write in a
+//!   distributed loop: no static footprint exists, so disjointness cannot
+//!   be established. Programs that synchronize such writes by other means
+//!   annotate `allow_lint("race/irregular-write")`.
+
+use cdpc_compiler::ir::{Access, AccessPattern, Program};
+use cdpc_compiler::parallelize::{ParallelPlan, StmtSchedule};
+
+use crate::diag::{Diagnostic, Location, Report, Severity};
+use crate::footprint::{cpu_intervals, intersect, Interval};
+
+/// Rule id: overlapping write footprints.
+pub const RULE_WRITE_WRITE: &str = "race/write-write";
+/// Rule id: read/write overlap not explained by communication.
+pub const RULE_READ_WRITE: &str = "race/read-write";
+/// Rule id: statically unboundable write in a distributed loop.
+pub const RULE_IRREGULAR_WRITE: &str = "race/irregular-write";
+
+/// Runs the race lints over every distributed statement.
+pub fn check(program: &Program, plan: &ParallelPlan, report: &mut Report) {
+    let p = plan.num_cpus();
+    if p < 2 {
+        return;
+    }
+    for (pi, phase) in program.phases.iter().enumerate() {
+        for (si, stmt) in phase.stmts.iter().enumerate() {
+            let StmtSchedule::Distributed { policy, direction } = plan.schedule(pi, si) else {
+                continue;
+            };
+            let nest = &stmt.nest;
+            let loc = |array: usize| {
+                Location::at(
+                    phase.name.clone(),
+                    nest.name.clone(),
+                    program
+                        .arrays
+                        .get(array)
+                        .map_or_else(|| format!("#{array}"), |d| d.name.clone()),
+                )
+            };
+            // Rules already reported for an array in this statement (one
+            // finding per array per rule, not one per CPU pair).
+            let mut reported: Vec<(usize, &str)> = Vec::new();
+            let mut emit = |report: &mut Report, array: usize, rule: &'static str, msg: String| {
+                if !reported.contains(&(array, rule)) {
+                    reported.push((array, rule));
+                    report.push(Diagnostic::new(rule, Severity::Error, loc(array), msg));
+                }
+            };
+
+            for acc in &nest.accesses {
+                if !acc.is_write {
+                    continue;
+                }
+                match acc.pattern {
+                    AccessPattern::Irregular { .. } => emit(
+                        report,
+                        acc.array.0,
+                        RULE_IRREGULAR_WRITE,
+                        format!(
+                            "irregular write in distributed loop `{}`: the footprint has no \
+                             static bound, so cross-processor disjointness cannot be \
+                             established",
+                            nest.name
+                        ),
+                    ),
+                    AccessPattern::WholeArray => emit(
+                        report,
+                        acc.array.0,
+                        RULE_WRITE_WRITE,
+                        format!(
+                            "whole-array write in distributed loop `{}`: all {p} processors \
+                             write every byte concurrently",
+                            nest.name
+                        ),
+                    ),
+                    _ => {}
+                }
+            }
+
+            for (i, a) in nest.accesses.iter().enumerate() {
+                for b in &nest.accesses[i..] {
+                    if a.array != b.array
+                        || (!a.is_write && !b.is_write)
+                        || is_unbounded_or_covered(a)
+                        || is_unbounded_or_covered(b)
+                    {
+                        continue;
+                    }
+                    if let Some((rule, msg)) = first_overlap(
+                        a,
+                        b,
+                        nest.iterations,
+                        array_bytes(program, a.array.0),
+                        policy,
+                        direction,
+                        p,
+                    ) {
+                        emit(report, a.array.0, rule, msg);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Accesses the pairwise footprint check skips: irregular (no footprint)
+/// and whole-array writes (already reported as `race/write-write`).
+fn is_unbounded_or_covered(a: &Access) -> bool {
+    matches!(a.pattern, AccessPattern::Irregular { .. })
+        || (a.is_write && matches!(a.pattern, AccessPattern::WholeArray))
+}
+
+fn array_bytes(program: &Program, array: usize) -> u64 {
+    program.arrays.get(array).map_or(0, |d| d.bytes)
+}
+
+/// Searches CPU pairs for an unexplained overlap between two accesses,
+/// returning the rule and message of the first one found.
+#[allow(clippy::too_many_arguments)]
+fn first_overlap(
+    a: &Access,
+    b: &Access,
+    iterations: u64,
+    bytes: u64,
+    policy: cdpc_core::summary::PartitionPolicy,
+    direction: cdpc_core::summary::PartitionDirection,
+    p: usize,
+) -> Option<(&'static str, String)> {
+    if iterations == 0 || unit_of(a) == Some(0) || unit_of(b) == Some(0) {
+        return None; // structural lints own degenerate shapes
+    }
+    for c1 in 0..p {
+        let fa = cpu_intervals(
+            a.pattern, iterations, bytes, policy, direction, c1, p, a.is_write,
+        )?;
+        for c2 in 0..p {
+            if c1 == c2 {
+                continue;
+            }
+            let fb = cpu_intervals(
+                b.pattern, iterations, bytes, policy, direction, c2, p, b.is_write,
+            )?;
+            let overlap = intersect(&fa, &fb);
+            if overlap.is_empty() {
+                continue;
+            }
+            if a.is_write && b.is_write {
+                return Some((
+                    RULE_WRITE_WRITE,
+                    format!(
+                        "CPU {c1} and CPU {c2} write footprints overlap at bytes {}; \
+                         partition units {} vs {} tile the array differently",
+                        fmt_intervals(&overlap),
+                        unit_str(a),
+                        unit_str(b),
+                    ),
+                ));
+            }
+            let (reader, writer, rc, wc) = if a.is_write {
+                (b, a, c2, c1)
+            } else {
+                (a, b, c1, c2)
+            };
+            if halo_explains(
+                reader, writer, iterations, bytes, policy, direction, rc, wc, p, &overlap,
+            ) {
+                continue;
+            }
+            return Some((
+                RULE_READ_WRITE,
+                format!(
+                    "CPU {rc} reads bytes {} that CPU {wc} writes concurrently, and the overlap \
+                     is not a neighbor halo exchange the communication summary covers",
+                    fmt_intervals(&overlap),
+                ),
+            ));
+        }
+    }
+    None
+}
+
+/// `true` when an R/W overlap is exactly the boundary communication the
+/// compiler would summarize: the reader is a stencil, the overlap lies
+/// entirely in its halo extension (outside its own core units), the unit
+/// sizes agree, and the two CPUs are neighbors (or the wraparound pair).
+#[allow(clippy::too_many_arguments)]
+fn halo_explains(
+    reader: &Access,
+    writer: &Access,
+    iterations: u64,
+    bytes: u64,
+    policy: cdpc_core::summary::PartitionPolicy,
+    direction: cdpc_core::summary::PartitionDirection,
+    rc: usize,
+    wc: usize,
+    p: usize,
+    overlap: &[Interval],
+) -> bool {
+    let AccessPattern::Stencil {
+        unit_bytes,
+        halo_units,
+        wraparound,
+    } = reader.pattern
+    else {
+        return false;
+    };
+    if halo_units == 0 || unit_of(writer) != Some(unit_bytes) {
+        return false;
+    }
+    let adjacent = rc.abs_diff(wc) == 1 || (wraparound && rc.min(wc) == 0 && rc.max(wc) == p - 1);
+    if !adjacent {
+        return false;
+    }
+    // Core footprint: what the reader *owns* (its write region). A stencil
+    // is affine, so `cpu_intervals` cannot return `None` here.
+    let Some(core) = cpu_intervals(
+        reader.pattern,
+        iterations,
+        bytes,
+        policy,
+        direction,
+        rc,
+        p,
+        true,
+    ) else {
+        return false;
+    };
+    intersect(overlap, &core).is_empty()
+}
+
+fn unit_of(a: &Access) -> Option<u64> {
+    match a.pattern {
+        AccessPattern::Partitioned { unit_bytes } | AccessPattern::Stencil { unit_bytes, .. } => {
+            Some(unit_bytes)
+        }
+        _ => None,
+    }
+}
+
+fn unit_str(a: &Access) -> String {
+    match unit_of(a) {
+        Some(u) => format!("{u} B"),
+        None => "whole-array".to_string(),
+    }
+}
+
+fn fmt_intervals(iv: &[Interval]) -> String {
+    iv.iter()
+        .map(|(a, b)| format!("[{a:#x}, {b:#x})"))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdpc_compiler::ir::{AccessPattern as P, LoopNest, Phase, Stmt, StmtKind};
+    use cdpc_compiler::parallelize::{parallelize, ParallelizeOptions};
+
+    fn one_stmt_program(kind: StmtKind, bytes: u64, accesses: Vec<Access>) -> Program {
+        let mut p = Program::new("race-test");
+        let a = p.array("A", bytes);
+        let mut nest = LoopNest::new("sweep", 8, 100);
+        for acc in accesses {
+            let mut acc = acc;
+            acc.array = a;
+            nest = nest.with_access(acc);
+        }
+        p.phase(Phase {
+            name: "main".into(),
+            stmts: vec![Stmt { kind, nest }],
+            count: 1,
+        });
+        p
+    }
+
+    fn lint(program: &Program, cpus: usize) -> Report {
+        let plan = parallelize(
+            program,
+            &ParallelizeOptions {
+                num_cpus: cpus,
+                suppress_threshold: 0,
+                ..ParallelizeOptions::default()
+            },
+        );
+        let mut report = Report::new(&program.name, cpus, &program.lint_allows);
+        check(program, &plan, &mut report);
+        report
+    }
+
+    fn rules(report: &Report) -> Vec<&str> {
+        report.diagnostics.iter().map(|d| d.rule.as_str()).collect()
+    }
+
+    #[test]
+    fn mismatched_write_units_race() {
+        let p = one_stmt_program(
+            StmtKind::Parallel,
+            1600,
+            vec![
+                Access::write(
+                    cdpc_compiler::ir::ArrayRef(0),
+                    P::Partitioned { unit_bytes: 100 },
+                ),
+                Access::write(
+                    cdpc_compiler::ir::ArrayRef(0),
+                    P::Partitioned { unit_bytes: 150 },
+                ),
+            ],
+        );
+        let r = lint(&p, 2);
+        assert_eq!(rules(&r), vec![RULE_WRITE_WRITE]);
+        assert!(r.has_errors());
+    }
+
+    #[test]
+    fn irregular_write_flagged() {
+        let p = one_stmt_program(
+            StmtKind::Parallel,
+            800,
+            vec![Access::write(
+                cdpc_compiler::ir::ArrayRef(0),
+                P::Irregular {
+                    touches_per_iter: 4,
+                },
+            )],
+        );
+        let r = lint(&p, 4);
+        assert_eq!(rules(&r), vec![RULE_IRREGULAR_WRITE]);
+    }
+
+    #[test]
+    fn whole_array_write_flagged() {
+        let p = one_stmt_program(
+            StmtKind::Parallel,
+            800,
+            vec![Access::write(cdpc_compiler::ir::ArrayRef(0), P::WholeArray)],
+        );
+        let r = lint(&p, 4);
+        assert_eq!(rules(&r), vec![RULE_WRITE_WRITE]);
+        assert!(r.diagnostics[0].message.contains("whole-array write"));
+    }
+
+    #[test]
+    fn whole_array_read_of_partitioned_writes_races() {
+        let p = one_stmt_program(
+            StmtKind::Parallel,
+            800,
+            vec![
+                Access::read(cdpc_compiler::ir::ArrayRef(0), P::WholeArray),
+                Access::write(
+                    cdpc_compiler::ir::ArrayRef(0),
+                    P::Partitioned { unit_bytes: 100 },
+                ),
+            ],
+        );
+        let r = lint(&p, 4);
+        assert_eq!(rules(&r), vec![RULE_READ_WRITE]);
+    }
+
+    #[test]
+    fn disjoint_partitioned_writes_are_clean() {
+        let p = one_stmt_program(
+            StmtKind::Parallel,
+            800,
+            vec![
+                Access::read(
+                    cdpc_compiler::ir::ArrayRef(0),
+                    P::Partitioned { unit_bytes: 100 },
+                ),
+                Access::write(
+                    cdpc_compiler::ir::ArrayRef(0),
+                    P::Partitioned { unit_bytes: 100 },
+                ),
+            ],
+        );
+        for cpus in [2, 4, 8] {
+            assert!(rules(&lint(&p, cpus)).is_empty(), "cpus={cpus}");
+        }
+    }
+
+    #[test]
+    fn stencil_halo_reads_are_explained() {
+        let p = one_stmt_program(
+            StmtKind::Parallel,
+            800,
+            vec![
+                Access::read(
+                    cdpc_compiler::ir::ArrayRef(0),
+                    P::Stencil {
+                        unit_bytes: 100,
+                        halo_units: 1,
+                        wraparound: true,
+                    },
+                ),
+                Access::write(
+                    cdpc_compiler::ir::ArrayRef(0),
+                    P::Partitioned { unit_bytes: 100 },
+                ),
+            ],
+        );
+        let r = lint(&p, 4);
+        assert!(rules(&r).is_empty(), "got {:?}", rules(&r));
+    }
+
+    #[test]
+    fn stencil_with_mismatched_write_unit_races() {
+        // Same shape as the clean case above, but the writer's tiling does
+        // not match the stencil's units, so the overlap is not a halo.
+        let p = one_stmt_program(
+            StmtKind::Parallel,
+            1600,
+            vec![
+                Access::read(
+                    cdpc_compiler::ir::ArrayRef(0),
+                    P::Stencil {
+                        unit_bytes: 100,
+                        halo_units: 1,
+                        wraparound: false,
+                    },
+                ),
+                Access::write(
+                    cdpc_compiler::ir::ArrayRef(0),
+                    P::Partitioned { unit_bytes: 150 },
+                ),
+            ],
+        );
+        let r = lint(&p, 4);
+        assert_eq!(rules(&r), vec![RULE_READ_WRITE]);
+    }
+
+    #[test]
+    fn non_distributed_statements_are_not_checked() {
+        for kind in [StmtKind::Sequential, StmtKind::FineGrain] {
+            let p = one_stmt_program(
+                kind,
+                800,
+                vec![Access::write(
+                    cdpc_compiler::ir::ArrayRef(0),
+                    P::Irregular {
+                        touches_per_iter: 4,
+                    },
+                )],
+            );
+            assert!(rules(&lint(&p, 4)).is_empty(), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn single_cpu_has_no_races() {
+        let p = one_stmt_program(
+            StmtKind::Parallel,
+            800,
+            vec![Access::write(cdpc_compiler::ir::ArrayRef(0), P::WholeArray)],
+        );
+        assert!(rules(&lint(&p, 1)).is_empty());
+    }
+}

@@ -20,10 +20,18 @@
 //! `--trace <path>` writes a Chrome-trace-event timeline loadable in
 //! Perfetto, `--series <path>` writes an interval-metrics CSV, and
 //! `--sample-interval <cycles>` sets the series' window length.
+//!
+//! Two analysis flags hook in the `cdpc-analyze` crate: `--lint` runs the
+//! static lints on every compiled workload (failing on unallowed `Error`
+//! diagnostics), and `--sanitize` shadows every simulation with the
+//! fail-fast MESI coherence sanitizer. The standalone `analyze` binary
+//! lints the whole workload suite and emits a JSON report.
 
 use std::cell::{Cell, RefCell};
 use std::path::{Path, PathBuf};
 
+use cdpc_analyze::SanitizerProbe;
+use cdpc_compiler::ir::Program;
 use cdpc_compiler::{compile, CompileOptions, CompiledProgram};
 use cdpc_machine::{
     report_to_json, run_observed, run_sweep, sweep_map, PolicyKind, RunConfig, RunReport, SweepJob,
@@ -62,8 +70,9 @@ impl Preset {
 /// Window length used for `--series` when `--sample-interval` is absent.
 pub const DEFAULT_SAMPLE_INTERVAL: u64 = 10_000;
 
-const FLAG_USAGE: &str = "supported flags: --scale N, --full, --threads N, --json <path>, \
-                          --trace <path>, --series <path>, --sample-interval <cycles>";
+const FLAG_USAGE: &str = "supported flags: --scale N, --full, --threads N, --lint, --sanitize, \
+                          --json <path>, --trace <path>, --series <path>, \
+                          --sample-interval <cycles>";
 
 /// Observability outputs requested on the command line, shared by every
 /// experiment binary via [`Setup::from_args`].
@@ -175,6 +184,14 @@ pub struct Setup {
     pub threads: usize,
     /// Observability outputs for [`run_bench`](Self::run_bench).
     pub obs: ObsOptions,
+    /// `--lint`: run the `cdpc-analyze` static lints on every program
+    /// compiled through [`compile_bench`](Self::compile_bench), printing
+    /// diagnostics and panicking on unallowed `Error`s.
+    pub lint: bool,
+    /// `--sanitize`: shadow every simulation with a
+    /// [`SanitizerProbe`](cdpc_analyze::SanitizerProbe) (fail-fast MESI
+    /// invariant checks) and validate coherence at phase boundaries.
+    pub sanitize: bool,
 }
 
 impl Default for Setup {
@@ -190,6 +207,8 @@ impl Setup {
             scale,
             threads: cdpc_machine::default_threads(),
             obs: ObsOptions::default(),
+            lint: false,
+            sanitize: false,
         }
     }
 
@@ -241,6 +260,14 @@ impl Setup {
                     assert!(v >= 1, "--threads must be at least 1");
                     setup.threads = v;
                     i += 2;
+                }
+                "--lint" => {
+                    setup.lint = true;
+                    i += 1;
+                }
+                "--sanitize" => {
+                    setup.sanitize = true;
+                    i += 1;
                 }
                 "--json" => {
                     setup.obs.json = Some(PathBuf::from(value(&args, i, "--json")));
@@ -308,6 +335,18 @@ impl Setup {
         opts.prefetch = prefetch;
         opts.aligned = aligned;
         opts.l1_cache_bytes = mem.l1d.size_bytes() as u64;
+        if self.lint {
+            let report = lint_program(&program, &opts, &mem);
+            if !report.diagnostics.is_empty() {
+                eprint!("{}", report.render());
+            }
+            assert!(
+                !report.has_errors(),
+                "`{}` failed lints (diagnostics above); annotate the model with \
+                 `allow_lint` if the behavior is intended",
+                program.name
+            );
+        }
         compile(&program, &opts).expect("workload models always compile")
     }
 
@@ -325,7 +364,8 @@ impl Setup {
         aligned: bool,
     ) -> SweepJob {
         let compiled = self.compile_bench(bench, preset, cpus, prefetch, aligned);
-        let cfg = RunConfig::new(self.scaled_mem(preset, cpus), policy);
+        let mut cfg = RunConfig::new(self.scaled_mem(preset, cpus), policy);
+        cfg.validate_coherence = self.sanitize;
         SweepJob::new(compiled, cfg)
     }
 
@@ -339,27 +379,51 @@ impl Setup {
     /// with its own probe, and the files are recorded on the calling
     /// thread in input order afterwards — so file contents and numbering
     /// are also independent of the thread count.
+    /// With `--sanitize`, every run is additionally shadowed by a
+    /// fail-fast [`SanitizerProbe`](cdpc_analyze::SanitizerProbe)
+    /// (composed with the trace probe when both are requested), so a MESI
+    /// invariant violation aborts the experiment at the offending event.
     pub fn run_jobs(&self, jobs: &[SweepJob]) -> Vec<RunReport> {
-        if !self.obs.active() {
+        if !self.obs.active() && !self.sanitize {
             return run_sweep(jobs, self.threads);
         }
         let interval = self.obs.sampling();
         let want_trace = self.obs.trace.is_some();
+        let sanitize = self.sanitize;
         let results = sweep_map(jobs, self.threads, |job| {
-            if want_trace {
-                let mut probe = TraceProbe::new();
-                let (report, series) = run_observed(&job.compiled, &job.cfg, &mut probe, interval);
-                (report, series, Some(probe))
-            } else {
-                let (report, series) =
-                    run_observed(&job.compiled, &job.cfg, &mut NullProbe, interval);
-                (report, series, None)
+            let cpus = job.cfg.mem.num_cpus;
+            match (sanitize, want_trace) {
+                (true, true) => {
+                    let mut probe = (SanitizerProbe::new(cpus), TraceProbe::new());
+                    let (report, series) =
+                        run_observed(&job.compiled, &job.cfg, &mut probe, interval);
+                    (report, series, Some(probe.1))
+                }
+                (true, false) => {
+                    let mut probe = (SanitizerProbe::new(cpus), NullProbe);
+                    let (report, series) =
+                        run_observed(&job.compiled, &job.cfg, &mut probe, interval);
+                    (report, series, None)
+                }
+                (false, true) => {
+                    let mut probe = TraceProbe::new();
+                    let (report, series) =
+                        run_observed(&job.compiled, &job.cfg, &mut probe, interval);
+                    (report, series, Some(probe))
+                }
+                (false, false) => {
+                    let (report, series) =
+                        run_observed(&job.compiled, &job.cfg, &mut NullProbe, interval);
+                    (report, series, None)
+                }
             }
         });
         results
             .into_iter()
             .map(|(report, series, probe)| {
-                self.obs.record(&report, series.as_ref(), probe.as_ref());
+                if self.obs.active() {
+                    self.obs.record(&report, series.as_ref(), probe.as_ref());
+                }
                 report
             })
             .collect()
@@ -381,6 +445,17 @@ impl Setup {
             .pop()
             .expect("one job yields one report")
     }
+}
+
+/// Runs the `cdpc-analyze` static lints on a workload model as `opts`
+/// would compile it for the `mem` machine — the shared entry point of the
+/// `--lint` flag and the `analyze` binary.
+pub fn lint_program(
+    program: &Program,
+    opts: &CompileOptions,
+    mem: &MemConfig,
+) -> cdpc_analyze::Report {
+    cdpc_analyze::analyze_program(program, opts, &cdpc_analyze::MachineModel::from_mem(mem))
 }
 
 /// Collects the set of virtual (data) pages each processor touches in the
@@ -509,6 +584,20 @@ mod tests {
         let r = s.run_bench(&bench, Preset::Base1MbDm, 2, PolicyKind::Cdpc, false, true);
         assert!(r.instructions > 0);
         assert_eq!(r.policy, "cdpc");
+    }
+
+    #[test]
+    fn sanitized_linted_run_matches_plain() {
+        // --lint --sanitize must not perturb the simulation: same report,
+        // no sanitizer violation, no lint failure on a real workload.
+        let plain = Setup::with_scale(64);
+        let mut checked = Setup::with_scale(64);
+        checked.lint = true;
+        checked.sanitize = true;
+        let bench = cdpc_workloads::by_name("swim").unwrap();
+        let a = plain.run_bench(&bench, Preset::Base1MbDm, 4, PolicyKind::Cdpc, false, true);
+        let b = checked.run_bench(&bench, Preset::Base1MbDm, 4, PolicyKind::Cdpc, false, true);
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -217,6 +217,10 @@ pub struct Program {
     pub arrays: Vec<ArrayDecl>,
     /// Steady-state phases.
     pub phases: Vec<Phase>,
+    /// Lint rule ids (`cdpc-analyze` vocabulary, e.g. `"race/irregular-write"`)
+    /// that this program deliberately triggers; the analyzer downgrades
+    /// matching Error diagnostics to allowed findings.
+    pub lint_allows: Vec<String>,
 }
 
 impl Program {
@@ -226,7 +230,15 @@ impl Program {
             name: name.into(),
             arrays: Vec::new(),
             phases: Vec::new(),
+            lint_allows: Vec::new(),
         }
+    }
+
+    /// Annotates the program as deliberately triggering lint `rule`
+    /// (the analyzer reports but does not fail on allowed rules).
+    pub fn allow_lint(&mut self, rule: impl Into<String>) -> &mut Self {
+        self.lint_allows.push(rule.into());
+        self
     }
 
     /// Declares an array, returning its handle.

@@ -103,6 +103,33 @@ impl CompileOptions {
         }
     }
 
+    /// The parallelizer settings these flags imply. Exposed so analysis
+    /// passes (`cdpc-analyze`) reproduce exactly the plan [`compile`]
+    /// would build.
+    pub fn parallelize_options(&self) -> ParallelizeOptions {
+        ParallelizeOptions {
+            num_cpus: self.num_cpus,
+            suppress_threshold: self.suppress_threshold,
+            policy: self.partition_policy,
+            direction: self.partition_direction,
+        }
+    }
+
+    /// The layout settings these flags imply (same contract as
+    /// [`CompileOptions::parallelize_options`]).
+    pub fn layout_options(&self) -> LayoutOptions {
+        LayoutOptions {
+            mode: self.layout_override.unwrap_or(if self.aligned {
+                LayoutMode::Aligned
+            } else {
+                LayoutMode::Unaligned
+            }),
+            line_bytes: self.l2_line_bytes,
+            l1_cache_bytes: self.l1_cache_bytes,
+            ..Default::default()
+        }
+    }
+
     /// Builder-style: disable alignment and padding.
     #[must_use]
     pub fn unaligned(mut self) -> Self {
@@ -205,28 +232,8 @@ impl CompiledProgram {
 pub fn compile(program: &Program, opts: &CompileOptions) -> Result<CompiledProgram, CompileError> {
     program.validate()?;
 
-    let plan = parallelize::parallelize(
-        program,
-        &ParallelizeOptions {
-            num_cpus: opts.num_cpus,
-            suppress_threshold: opts.suppress_threshold,
-            policy: opts.partition_policy,
-            direction: opts.partition_direction,
-        },
-    );
-    let data_layout = layout::layout(
-        program,
-        &LayoutOptions {
-            mode: opts.layout_override.unwrap_or(if opts.aligned {
-                LayoutMode::Aligned
-            } else {
-                LayoutMode::Unaligned
-            }),
-            line_bytes: opts.l2_line_bytes,
-            l1_cache_bytes: opts.l1_cache_bytes,
-            ..Default::default()
-        },
-    );
+    let plan = parallelize::parallelize(program, &opts.parallelize_options());
+    let data_layout = layout::layout(program, &opts.layout_options());
     let summary = summarize::summarize(program, &plan, &data_layout);
     let prefetch = locality::plan_prefetches(
         program,

@@ -93,6 +93,10 @@ pub struct RunConfig {
     /// space (models the "memory pressure" under which the OS cannot
     /// honor hints, paper §5 stage 3). 0.0 disables.
     pub hog_fraction: f64,
+    /// Run `MemorySystem::validate_coherence` at every phase boundary
+    /// (always on in `debug_assertions` builds; this flag forces it in
+    /// release builds, e.g. for `--sanitize` bench runs).
+    pub validate_coherence: bool,
 }
 
 impl RunConfig {
@@ -109,6 +113,7 @@ impl RunConfig {
             hint_options: HintOptions::FULL,
             recolor_threshold: 64,
             hog_fraction: 0.0,
+            validate_coherence: false,
         }
     }
 
@@ -694,6 +699,9 @@ pub fn run_observed<P: Probe>(
         for stmt in &phase.stmts {
             sim.exec_stmt(stmt);
         }
+        if cfg.validate_coherence || cfg!(debug_assertions) {
+            sim.mem.validate_coherence();
+        }
     }
 
     // Measured pass: per-phase statistics weighted by occurrence count.
@@ -718,6 +726,9 @@ pub fn run_observed<P: Probe>(
             sim.exec_stmt(stmt);
         }
         sim.sampler_end_phase();
+        if cfg.validate_coherence || cfg!(debug_assertions) {
+            sim.mem.validate_coherence();
+        }
         let phase_stats = sim.mem.stats();
 
         let phase_instr: u64 = sim.instr.iter().sum();

@@ -20,6 +20,16 @@ pub enum Mesi {
     Shared,
 }
 
+impl From<Mesi> for cdpc_obs::LineState {
+    fn from(s: Mesi) -> Self {
+        match s {
+            Mesi::Modified => cdpc_obs::LineState::Modified,
+            Mesi::Exclusive => cdpc_obs::LineState::Exclusive,
+            Mesi::Shared => cdpc_obs::LineState::Shared,
+        }
+    }
+}
+
 impl Mesi {
     /// Whether a write hit in this state needs a bus upgrade first.
     pub fn needs_upgrade_for_write(self) -> bool {

@@ -22,7 +22,7 @@
 //!   paper, where bus saturation more than doubles tomcatv's MCPI).
 
 use cdpc_core::fastmap::{DenseSet64, FxMap64, FxSet64};
-use cdpc_obs::{NullProbe, PrefetchDropReason, Probe};
+use cdpc_obs::{LineState, NullProbe, PrefetchDropReason, Probe};
 use cdpc_vm::addr::{PhysAddr, VirtAddr, Vpn};
 
 use crate::bus::{Bus, BusUse};
@@ -525,7 +525,16 @@ impl<P: Probe> MemorySystem<P> {
         for k in 0..(page / line) {
             let line_addr = page_base.0 + k * line;
             for cpu in 0..self.cfg.num_cpus {
-                if let Lookup::Hit(state) = self.cpus[cpu].l2.peek(line_addr) {
+                // The copy may live in the L2 proper or (after an eviction)
+                // in the victim buffer, which retains directory rights.
+                let held = match self.cpus[cpu].l2.peek(line_addr) {
+                    Lookup::Hit(state) => Some(state),
+                    Lookup::Miss => self.cpus[cpu]
+                        .victim
+                        .as_mut()
+                        .and_then(|vc| vc.take(line_addr)),
+                };
+                if let Some(state) = held {
                     if state == Mesi::Modified {
                         let occ = self.cfg.bus_occupancy_cycles(line);
                         self.bus_request(now, occ, BusUse::Writeback);
@@ -535,6 +544,7 @@ impl<P: Probe> MemorySystem<P> {
             }
             self.directory.remove(line_addr);
         }
+        self.probe.on_page_flush(page_base.0, page);
     }
 
     /// Checks the global coherence invariants; panics with a description on
@@ -653,12 +663,16 @@ impl<P: Probe> MemorySystem<P> {
                 .entry_or_insert_with(pa_l2_line, DirEntry::default);
             entry.sharers = 1 << cpu;
             entry.dirty_owner = Some(cpu);
+            self.probe
+                .on_line_state(cpu, pa_l2_line, LineState::Modified);
         } else if state == Mesi::Exclusive {
             self.cpus[cpu].l2.set_state(pa_l2_line, Mesi::Modified);
             let entry = self
                 .directory
                 .entry_or_insert_with(pa_l2_line, DirEntry::default);
             entry.dirty_owner = Some(cpu);
+            self.probe
+                .on_line_state(cpu, pa_l2_line, LineState::Modified);
         }
         self.sharing.on_write(pa_l2_line, cpu, sub);
         extra
@@ -680,6 +694,8 @@ impl<P: Probe> MemorySystem<P> {
     /// Removes a line from one CPU's L2, L1s, shadow cache, and in-flight
     /// prefetch set (coherence invalidation).
     fn drop_line(&mut self, cpu: CpuId, pa_l2_line: u64) {
+        self.probe
+            .on_line_state(cpu, pa_l2_line, LineState::Invalid);
         self.cpus[cpu].l2.invalidate(pa_l2_line);
         self.cpus[cpu].shadow.invalidate(pa_l2_line);
         self.cpus[cpu].inflight.remove(pa_l2_line);
@@ -724,10 +740,16 @@ impl<P: Probe> MemorySystem<P> {
                 if for_write {
                     self.drop_line(owner, pa_l2_line);
                     self.sharing.on_invalidate(pa_l2_line, owner, sub);
-                } else if !self.cpus[owner].l2.set_state(pa_l2_line, Mesi::Shared) {
-                    // The owner's copy may live in its victim cache.
-                    if let Some(vc) = self.cpus[owner].victim.as_mut() {
-                        vc.set_state(pa_l2_line, Mesi::Shared);
+                } else {
+                    let downgraded = self.cpus[owner].l2.set_state(pa_l2_line, Mesi::Shared)
+                        // The owner's copy may live in its victim cache.
+                        || self.cpus[owner]
+                            .victim
+                            .as_mut()
+                            .is_some_and(|vc| vc.set_state(pa_l2_line, Mesi::Shared));
+                    if downgraded {
+                        self.probe
+                            .on_line_state(owner, pa_l2_line, LineState::Shared);
                     }
                 }
                 (self.cfg.remote_latency_cycles(), ServicedBy::RemoteCache)
@@ -740,13 +762,17 @@ impl<P: Probe> MemorySystem<P> {
                     // Shared so a later write by their owner pays an
                     // upgrade.
                     for other in 0..self.cfg.num_cpus {
-                        if other != cpu
-                            && others & (1 << other) != 0
-                            && !self.cpus[other].l2.set_state(pa_l2_line, Mesi::Shared)
-                        {
-                            if let Some(vc) = self.cpus[other].victim.as_mut() {
-                                vc.set_state(pa_l2_line, Mesi::Shared);
-                            }
+                        if other == cpu || others & (1 << other) == 0 {
+                            continue;
+                        }
+                        let downgraded = self.cpus[other].l2.set_state(pa_l2_line, Mesi::Shared)
+                            || self.cpus[other]
+                                .victim
+                                .as_mut()
+                                .is_some_and(|vc| vc.set_state(pa_l2_line, Mesi::Shared));
+                        if downgraded {
+                            self.probe
+                                .on_line_state(other, pa_l2_line, LineState::Shared);
                         }
                     }
                 }
@@ -777,6 +803,7 @@ impl<P: Probe> MemorySystem<P> {
 
     /// Installs a line in `cpu`'s L2, handling the victim.
     fn fill_l2(&mut self, cpu: CpuId, now: u64, pa_l2_line: u64, state: Mesi) {
+        self.probe.on_line_state(cpu, pa_l2_line, state.into());
         if let Some(evicted) = self.cpus[cpu].l2.fill(pa_l2_line, state) {
             self.handle_l2_eviction_state(cpu, now, evicted.line_addr, evicted.state);
         }
@@ -808,6 +835,7 @@ impl<P: Probe> MemorySystem<P> {
     /// Fully releases a line from this CPU: write back if dirty, clear
     /// directory rights.
     fn release_line(&mut self, cpu: CpuId, now: u64, line: u64, dirty: bool) {
+        self.probe.on_line_state(cpu, line, LineState::Invalid);
         if dirty {
             let occ = self
                 .cfg
@@ -868,7 +896,12 @@ impl<P: Probe> MemorySystem<P> {
             // exclusive prefetch's recorded `Modified` to `Shared`.
             let entry = self.directory.get(line).copied();
             let state = match entry {
-                Some(e) if e.sharers & (1 << cpu) == 0 => continue,
+                Some(e) if e.sharers & (1 << cpu) == 0 => {
+                    // Rights were revoked while in flight: report the
+                    // discarded claim so shadow trackers stay exact.
+                    self.probe.on_line_state(cpu, line, LineState::Invalid);
+                    continue;
+                }
                 Some(e) if e.dirty_owner == Some(cpu) => Mesi::Modified,
                 Some(e) if e.sharers == 1 << cpu => match recorded {
                     // Sole sharer but no longer dirty owner: ownership was
@@ -877,7 +910,10 @@ impl<P: Probe> MemorySystem<P> {
                     s => s,
                 },
                 Some(_) => Mesi::Shared,
-                None => continue,
+                None => {
+                    self.probe.on_line_state(cpu, line, LineState::Invalid);
+                    continue;
+                }
             };
             if !matches!(self.cpus[cpu].l2.peek(line), Lookup::Hit(_)) {
                 self.fill_l2(cpu, completion, line, state);
@@ -1244,5 +1280,101 @@ mod tests {
         m.shoot_down_tlb(Vpn(1));
         let out = m.access(0, 100, va(0x1000), pa(0x1000), AccessKind::Read);
         assert!(out.tlb_miss);
+    }
+
+    #[test]
+    #[should_panic(expected = "has other sharers")]
+    fn validate_coherence_catches_injected_bogus_sharer() {
+        let mut m = MemorySystem::new(small_cfg(2));
+        m.access(0, 0, va(0x1000), pa(0x1000), AccessKind::Write);
+        // Corrupt the directory: pretend CPU1 also shares the Modified line.
+        let line = m.cfg.l2.line_of(0x1000);
+        m.directory.get_mut(line).expect("entry exists").sharers |= 0b10;
+        m.validate_coherence();
+    }
+
+    #[test]
+    #[should_panic(expected = "directory owner")]
+    fn validate_coherence_catches_injected_lost_owner() {
+        let mut m = MemorySystem::new(small_cfg(2));
+        m.access(0, 0, va(0x1000), pa(0x1000), AccessKind::Write);
+        // Corrupt the directory: drop the dirty owner while the L2 copy
+        // stays Modified.
+        let line = m.cfg.l2.line_of(0x1000);
+        m.directory.get_mut(line).expect("entry exists").dirty_owner = None;
+        m.validate_coherence();
+    }
+
+    #[test]
+    fn flush_reaches_victim_cache_copies() {
+        let mut cfg = small_cfg(1);
+        cfg.victim_cache_lines = 4;
+        let mut m = MemorySystem::new(cfg);
+        // Dirty 0x0000, then conflict it out of the 1 KB direct-mapped L2
+        // into the victim buffer (0x0400 maps to the same set).
+        m.access(0, 0, va(0x0000), pa(0x0000), AccessKind::Write);
+        m.access(0, 100, va(0x0400), pa(0x0400), AccessKind::Read);
+        assert!(m.cpus[0].victim.as_ref().expect("enabled").contains(0));
+        let (_, wb_before, _) = m.stats().bus_occupancy;
+        // Both lines sit in page 0; the flush must reach the victim-held
+        // copy too (and write it back — it is Modified).
+        m.flush_physical_page(1_000, pa(0x0000));
+        let (_, wb_after, _) = m.stats().bus_occupancy;
+        assert!(
+            wb_after > wb_before,
+            "dirty victim copy must be written back"
+        );
+        m.validate_coherence();
+        let out = m.access(0, 2_000, va(0x0000), pa(0x0000), AccessKind::Read);
+        assert_ne!(out.serviced_by, ServicedBy::VictimCache, "stale copy used");
+        assert_ne!(out.serviced_by, ServicedBy::L2);
+    }
+
+    #[derive(Default)]
+    struct StateLog {
+        events: Vec<(CpuId, u64, cdpc_obs::LineState)>,
+        flushes: u64,
+    }
+
+    impl Probe for StateLog {
+        fn on_line_state(&mut self, cpu: usize, line_addr: u64, state: cdpc_obs::LineState) {
+            self.events.push((cpu, line_addr, state));
+        }
+
+        fn on_page_flush(&mut self, _page_base: u64, _page_bytes: u64) {
+            self.flushes += 1;
+        }
+    }
+
+    #[test]
+    fn line_state_events_track_mesi_transitions() {
+        use cdpc_obs::LineState as S;
+        let mut m = MemorySystem::with_probe(small_cfg(2), StateLog::default());
+        let line = m.cfg.l2.line_of(0x1000);
+        // CPU0 read → Exclusive fill; CPU1 read → CPU0 downgrade + Shared
+        // fill; CPU0 write → upgrade (CPU1 invalidated, CPU0 Modified).
+        m.access(0, 0, va(0x1000), pa(0x1000), AccessKind::Read);
+        m.access(1, 1_000, va(0x1000), pa(0x1000), AccessKind::Read);
+        m.access(0, 10_000, va(0x1000), pa(0x1000), AccessKind::Write);
+        let ev = &m.probe().events;
+        let pos = |e| {
+            ev.iter()
+                .position(|&x| x == e)
+                .unwrap_or_else(|| panic!("missing {e:?}"))
+        };
+        let excl = pos((0, line, S::Exclusive));
+        let down = pos((0, line, S::Shared));
+        let fill1 = pos((1, line, S::Shared));
+        let inval = pos((1, line, S::Invalid));
+        let upg = pos((0, line, S::Modified));
+        assert!(
+            excl < down && down < fill1,
+            "downgrade precedes shared fill"
+        );
+        assert!(inval < upg, "invalidation precedes the upgrade to Modified");
+        // Flush emits one page event after the per-line drops.
+        m.flush_physical_page(20_000, pa(0x1000));
+        assert_eq!(m.probe().flushes, 1);
+        assert!(m.probe().events.contains(&(0, line, S::Invalid)));
     }
 }

@@ -39,7 +39,8 @@ pub mod trace;
 
 pub use json::JsonValue;
 pub use probe::{
-    BusKind, CountingProbe, HintOutcome, MissClassId, NullProbe, PrefetchDropReason, Probe,
+    BusKind, CountingProbe, HintOutcome, LineState, MissClassId, NullProbe, PrefetchDropReason,
+    Probe,
 };
 pub use rng::SplitMix64;
 pub use sampler::{IntervalSeries, Sample};

@@ -112,6 +112,32 @@ impl HintOutcome {
     }
 }
 
+/// Coherence state of an external-cache line as seen by probes (mirrors
+/// `cdpc_memsim::Mesi`, plus `Invalid` for drops).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LineState {
+    /// Sole dirty copy; memory is stale.
+    Modified,
+    /// Sole clean copy.
+    Exclusive,
+    /// One of possibly many clean copies.
+    Shared,
+    /// The copy was dropped (invalidation, eviction, or page flush).
+    Invalid,
+}
+
+impl LineState {
+    /// Stable lowercase label used by every exporter.
+    pub fn label(self) -> &'static str {
+        match self {
+            LineState::Modified => "modified",
+            LineState::Exclusive => "exclusive",
+            LineState::Shared => "shared",
+            LineState::Invalid => "invalid",
+        }
+    }
+}
+
 /// Receiver of simulation events.
 ///
 /// All methods default to no-ops; implement only what you need. Cycle
@@ -198,6 +224,22 @@ pub trait Probe {
         let _ = (cpu, cycle, vpn, from_color, to_color);
     }
 
+    /// `cpu`'s external-cache copy of the line at `line_addr` changed
+    /// coherence state (fills, upgrades, downgrades, invalidations; a
+    /// [`LineState::Invalid`] event means the copy was dropped).
+    #[inline]
+    fn on_line_state(&mut self, cpu: usize, line_addr: u64, state: LineState) {
+        let _ = (cpu, line_addr, state);
+    }
+
+    /// Every cached line of the physical page at `page_base` has been
+    /// flushed (individual drops were reported via [`Probe::on_line_state`]
+    /// first) and its directory rights revoked.
+    #[inline]
+    fn on_page_flush(&mut self, page_base: u64, page_bytes: u64) {
+        let _ = (page_base, page_bytes);
+    }
+
     /// Total events this probe has observed (0 for probes that don't
     /// count). Used for simulator self-profiling (peak event volume).
     fn event_count(&self) -> u64 {
@@ -280,8 +322,118 @@ impl<P: Probe + ?Sized> Probe for &mut P {
         (**self).on_recolor(cpu, cycle, vpn, from_color, to_color);
     }
 
+    #[inline]
+    fn on_line_state(&mut self, cpu: usize, line_addr: u64, state: LineState) {
+        (**self).on_line_state(cpu, line_addr, state);
+    }
+
+    #[inline]
+    fn on_page_flush(&mut self, page_base: u64, page_bytes: u64) {
+        (**self).on_page_flush(page_base, page_bytes);
+    }
+
     fn event_count(&self) -> u64 {
         (**self).event_count()
+    }
+}
+
+/// Fan-out combinator: every event is delivered to `A` first, then `B`.
+///
+/// Lets one run feed two independent probes (say, a sanitizer and a
+/// tracer) without either knowing about the other; still static dispatch,
+/// so `(SanitizerProbe, NullProbe)` costs exactly a `SanitizerProbe`.
+impl<A: Probe, B: Probe> Probe for (A, B) {
+    #[inline]
+    fn on_l2_miss(&mut self, cpu: usize, cycle: u64, class: MissClassId, stall_cycles: u64) {
+        self.0.on_l2_miss(cpu, cycle, class, stall_cycles);
+        self.1.on_l2_miss(cpu, cycle, class, stall_cycles);
+    }
+
+    #[inline]
+    fn on_bus_transaction(
+        &mut self,
+        cycle: u64,
+        kind: BusKind,
+        queue_cycles: u64,
+        occupancy_cycles: u64,
+    ) {
+        self.0
+            .on_bus_transaction(cycle, kind, queue_cycles, occupancy_cycles);
+        self.1
+            .on_bus_transaction(cycle, kind, queue_cycles, occupancy_cycles);
+    }
+
+    #[inline]
+    fn on_tlb_miss(&mut self, cpu: usize, cycle: u64, vpn: u64) {
+        self.0.on_tlb_miss(cpu, cycle, vpn);
+        self.1.on_tlb_miss(cpu, cycle, vpn);
+    }
+
+    #[inline]
+    fn on_prefetch_issued(
+        &mut self,
+        cpu: usize,
+        cycle: u64,
+        line_addr: u64,
+        slot_stall_cycles: u64,
+    ) {
+        self.0
+            .on_prefetch_issued(cpu, cycle, line_addr, slot_stall_cycles);
+        self.1
+            .on_prefetch_issued(cpu, cycle, line_addr, slot_stall_cycles);
+    }
+
+    #[inline]
+    fn on_prefetch_dropped(
+        &mut self,
+        cpu: usize,
+        cycle: u64,
+        line_addr: u64,
+        reason: PrefetchDropReason,
+    ) {
+        self.0.on_prefetch_dropped(cpu, cycle, line_addr, reason);
+        self.1.on_prefetch_dropped(cpu, cycle, line_addr, reason);
+    }
+
+    #[inline]
+    fn on_page_fault(
+        &mut self,
+        cpu: usize,
+        cycle: u64,
+        vpn: u64,
+        color: u32,
+        outcome: HintOutcome,
+    ) {
+        self.0.on_page_fault(cpu, cycle, vpn, color, outcome);
+        self.1.on_page_fault(cpu, cycle, vpn, color, outcome);
+    }
+
+    #[inline]
+    fn on_hint_lookup(&mut self, vpn: u64, hit: bool) {
+        self.0.on_hint_lookup(vpn, hit);
+        self.1.on_hint_lookup(vpn, hit);
+    }
+
+    #[inline]
+    fn on_recolor(&mut self, cpu: usize, cycle: u64, vpn: u64, from_color: u32, to_color: u32) {
+        self.0.on_recolor(cpu, cycle, vpn, from_color, to_color);
+        self.1.on_recolor(cpu, cycle, vpn, from_color, to_color);
+    }
+
+    #[inline]
+    fn on_line_state(&mut self, cpu: usize, line_addr: u64, state: LineState) {
+        self.0.on_line_state(cpu, line_addr, state);
+        self.1.on_line_state(cpu, line_addr, state);
+    }
+
+    #[inline]
+    fn on_page_flush(&mut self, page_base: u64, page_bytes: u64) {
+        self.0.on_page_flush(page_base, page_bytes);
+        self.1.on_page_flush(page_base, page_bytes);
+    }
+
+    fn event_count(&self) -> u64 {
+        self.0.event_count() + self.1.event_count()
     }
 }
 
@@ -447,5 +599,52 @@ mod tests {
         assert_eq!(BusKind::Writeback.label(), "writeback");
         assert_eq!(PrefetchDropReason::TlbMiss.label(), "tlb-miss");
         assert_eq!(HintOutcome::Fallback.label(), "fallback");
+        assert_eq!(LineState::Exclusive.label(), "exclusive");
+        assert_eq!(LineState::Invalid.label(), "invalid");
+    }
+
+    #[derive(Default)]
+    struct StateRecorder {
+        states: Vec<(usize, u64, LineState)>,
+        flushes: Vec<(u64, u64)>,
+    }
+
+    impl Probe for StateRecorder {
+        fn on_line_state(&mut self, cpu: usize, line_addr: u64, state: LineState) {
+            self.states.push((cpu, line_addr, state));
+        }
+
+        fn on_page_flush(&mut self, page_base: u64, page_bytes: u64) {
+            self.flushes.push((page_base, page_bytes));
+        }
+
+        fn event_count(&self) -> u64 {
+            (self.states.len() + self.flushes.len()) as u64
+        }
+    }
+
+    #[test]
+    fn line_state_events_forward_through_mut_ref() {
+        let mut p = StateRecorder::default();
+        {
+            let fwd = &mut p;
+            fwd.on_line_state(1, 0x100, LineState::Modified);
+            fwd.on_page_flush(0x1000, 4096);
+        }
+        assert_eq!(p.states, vec![(1, 0x100, LineState::Modified)]);
+        assert_eq!(p.flushes, vec![(0x1000, 4096)]);
+    }
+
+    #[test]
+    fn tuple_probe_fans_out_to_both() {
+        let mut pair = (StateRecorder::default(), CountingProbe::new());
+        pair.on_line_state(0, 0x80, LineState::Shared);
+        pair.on_tlb_miss(0, 1, 7);
+        pair.on_page_flush(0x2000, 4096);
+        assert_eq!(pair.0.states.len(), 1);
+        assert_eq!(pair.0.flushes.len(), 1);
+        assert_eq!(pair.1.tlb_misses, 1);
+        // StateRecorder saw 2 events, CountingProbe 1.
+        assert_eq!(pair.event_count(), 3);
     }
 }

@@ -17,12 +17,15 @@
 //! * [`machine`] — whole-machine composition, run loop, and reports.
 //! * [`obs`] — observability: probe events, interval metrics, JSON/CSV/
 //!   Chrome-trace exporters, simulator self-profiling.
+//! * [`analyze`] — static race / false-sharing / cache-conflict lints over
+//!   the compiler summaries, plus a runtime MESI coherence sanitizer.
 //!
 //! # Quickstart
 //!
 //! See `examples/quickstart.rs` for an end-to-end run that compiles a
 //! workload, generates coloring hints, and compares mapping policies.
 
+pub use cdpc_analyze as analyze;
 pub use cdpc_compiler as compiler;
 pub use cdpc_core as core;
 pub use cdpc_machine as machine;
