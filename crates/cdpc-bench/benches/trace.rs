@@ -1,0 +1,150 @@
+//! Micro-benchmarks of the streaming trace engine: how fast can the
+//! compiler's `OpSpec` generate reference streams? Before the `OpCursor`
+//! rewrite this path allocated a fresh `Vec<TraceOp>` per loop iteration;
+//! now it streams from a fixed scratch buffer, so the steady state is
+//! allocation-free and these numbers measure pure generation work.
+//!
+//! Run with `cargo bench -p cdpc-bench --bench trace`. The harness is
+//! `cdpc_obs::selfprof::time_iters` — warm-up iterations followed by timed
+//! ones, mean-of-iterations reporting, no external dependencies.
+
+use std::hint::black_box;
+
+use cdpc_compiler::ir::AccessPattern;
+use cdpc_compiler::locality::AccessPrefetch;
+use cdpc_compiler::trace::{OpSpec, ResolvedAccess, TraceOp};
+use cdpc_obs::selfprof::time_iters;
+
+fn report(name: &str, ops_per_iter: u64, t: cdpc_obs::selfprof::Timing) {
+    let ops_per_sec = t.iters_per_sec() * ops_per_iter as f64;
+    println!(
+        "{name:<28} {:>10.1} ns/op    {:>12.0} ops/s",
+        t.secs_per_iter() * 1e9 / ops_per_iter as f64,
+        ops_per_sec
+    );
+}
+
+fn spec_with(accesses: Vec<ResolvedAccess>, iters: u64) -> OpSpec {
+    OpSpec {
+        lo: 0,
+        hi: iters,
+        total_iters: iters,
+        accesses,
+        work_per_iter: 100,
+        code_base: 0x100_000,
+        code_bytes: 256,
+        granularity: 32,
+        l2_line: 128,
+        seed: 42,
+    }
+}
+
+fn acc(pattern: AccessPattern, is_write: bool, prefetch: AccessPrefetch) -> ResolvedAccess {
+    ResolvedAccess {
+        base: 0x10_000,
+        bytes: 64 << 10,
+        pattern,
+        is_write,
+        prefetch,
+    }
+}
+
+/// Drains a rewound cursor, folding ops into a checksum the optimizer
+/// cannot remove. The cursor's scratch buffer is already warm, so the
+/// timed region performs zero heap allocations.
+fn drain_ops(spec: &OpSpec, name: &str) {
+    let ops_per_drain = spec.ops().count() as u64;
+    let mut cursor = spec.ops();
+    cursor.by_ref().for_each(drop); // warm the scratch buffer
+    let timing = time_iters(3, 50, || {
+        cursor.rewind();
+        let mut sum = 0u64;
+        for op in cursor.by_ref() {
+            sum = sum.wrapping_add(match op {
+                TraceOp::Instr(n) => n,
+                TraceOp::Load(a) | TraceOp::Store(a) | TraceOp::IFetch(a) => a.0,
+                TraceOp::Prefetch { addr, .. } => addr.0,
+            });
+        }
+        black_box(sum);
+    });
+    report(name, ops_per_drain, timing);
+}
+
+/// A partitioned write sweep: the cheapest common pattern.
+fn bench_partitioned() {
+    let spec = spec_with(
+        vec![acc(
+            AccessPattern::Partitioned { unit_bytes: 256 },
+            true,
+            AccessPrefetch::OFF,
+        )],
+        512,
+    );
+    drain_ops(&spec, "trace/partitioned");
+}
+
+/// A stencil read with software-pipelined prefetches: the op-richest
+/// regular pattern (prologue issue + steady-state lookahead).
+fn bench_stencil_prefetch() {
+    let spec = spec_with(
+        vec![acc(
+            AccessPattern::Stencil {
+                unit_bytes: 256,
+                halo_units: 1,
+                wraparound: true,
+            },
+            false,
+            AccessPrefetch {
+                enabled: true,
+                lookahead: 2,
+            },
+        )],
+        512,
+    );
+    drain_ops(&spec, "trace/stencil+prefetch");
+}
+
+/// All four generators at once — the mix the zero-allocation test pins.
+fn bench_mixed() {
+    let spec = spec_with(
+        vec![
+            acc(
+                AccessPattern::Stencil {
+                    unit_bytes: 256,
+                    halo_units: 1,
+                    wraparound: true,
+                },
+                false,
+                AccessPrefetch {
+                    enabled: true,
+                    lookahead: 2,
+                },
+            ),
+            acc(
+                AccessPattern::Partitioned { unit_bytes: 256 },
+                true,
+                AccessPrefetch {
+                    enabled: true,
+                    lookahead: 0,
+                },
+            ),
+            acc(AccessPattern::WholeArray, false, AccessPrefetch::OFF),
+            acc(
+                AccessPattern::Irregular {
+                    touches_per_iter: 4,
+                },
+                true,
+                AccessPrefetch::OFF,
+            ),
+        ],
+        256,
+    );
+    drain_ops(&spec, "trace/mixed4");
+}
+
+fn main() {
+    bench_partitioned();
+    bench_stencil_prefetch();
+    bench_mixed();
+}

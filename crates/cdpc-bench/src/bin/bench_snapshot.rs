@@ -1,7 +1,9 @@
 //! Regenerates `results/bench_snapshot.json`: simulator-throughput
 //! self-profiles (refs/sec, event counts) for every workload at the
-//! default scale under the CDPC policy, plus the miss-storm microbenchmark
-//! that bounds the memory-system hot path.
+//! default scale under the CDPC policy, plus microbenchmarks covering each
+//! hot path: the miss-storm bound on the memory system, the streaming
+//! trace generator (`trace_stream`), the L1-hit fast path (`l1_hit_1p`),
+//! and an end-to-end run-loop measurement (`run_loop_tomcatv_8p`).
 //!
 //! ```text
 //! cargo run --release -p cdpc-bench --bin bench_snapshot             # print
@@ -11,9 +13,11 @@
 //! ```
 //!
 //! `--quick` skips the per-workload simulations and runs only the
-//! miss-storm microbenchmark; `--check` then compares its throughput
-//! against the committed snapshot and exits non-zero on a regression of
-//! more than 30% — the CI smoke gate for the simulator hot path.
+//! microbenchmarks; `--check` then compares their throughput against the
+//! committed snapshot and exits non-zero on a regression of more than
+//! 50% — the CI smoke gate for the simulator hot paths, including the
+//! end-to-end tomcatv refs/sec metric. The band is wide because shared
+//! runners are noisy; a genuine hot-path regression costs 2x or more.
 //!
 //! The snapshot is a machine-local perf record, not a correctness
 //! artifact: refs/sec depend on the host. What the checked-in file pins
@@ -21,7 +25,10 @@
 //! `simulated_cycles`, `events`), which are deterministic.
 
 use cdpc_bench::{Preset, Setup};
-use cdpc_machine::{run_observed, sweep_map, PolicyKind};
+use cdpc_compiler::ir::AccessPattern;
+use cdpc_compiler::locality::AccessPrefetch;
+use cdpc_compiler::trace::{OpSpec, ResolvedAccess, TraceOp};
+use cdpc_machine::{run, run_observed, sweep_map, PolicyKind};
 use cdpc_memsim::{AccessKind, MemConfig, MemorySystem};
 use cdpc_obs::selfprof::{time_iters, SelfProfile, Stopwatch};
 use cdpc_obs::{CountingProbe, JsonValue, Probe};
@@ -30,8 +37,11 @@ use cdpc_vm::addr::{PhysAddr, VirtAddr};
 const SNAPSHOT_PATH: &str = "results/bench_snapshot.json";
 
 /// Throughput below `committed * (1 - REGRESSION_TOLERANCE)` fails
-/// `--check`.
-const REGRESSION_TOLERANCE: f64 = 0.30;
+/// `--check`. The band is wide on purpose: shared CI runners (and the
+/// oversubscribed 4/16-thread miss storms in particular) swing well over
+/// 30% between scheduling windows, while the regressions this gate
+/// exists to catch — losing a hot-path optimization — cost 2x or more.
+const REGRESSION_TOLERANCE: f64 = 0.50;
 
 fn small_cfg(cpus: usize) -> MemConfig {
     let mut m = MemConfig::paper_base(cpus);
@@ -65,34 +75,149 @@ fn miss_storm(cpus: usize) -> (f64, u64) {
     (timing.iters_per_sec() * REFS as f64, REFS)
 }
 
-/// Runs the miss-storm microbenchmark for 1/4/16 CPUs, returning
-/// `(name, refs_per_sec)` pairs. Each configuration is measured three
-/// times and the best run is kept: throughput noise on a shared host is
-/// one-sided (interference only slows the run down), so the maximum is
-/// the stable estimator.
-fn run_microbench() -> Vec<(String, f64)> {
-    [1usize, 4, 16]
-        .iter()
-        .map(|&cpus| {
-            let mut best = 0.0f64;
-            let mut refs = 0;
-            for _ in 0..3 {
-                let (refs_per_sec, r) = miss_storm(cpus);
-                best = best.max(refs_per_sec);
-                refs = r;
+/// The opposite extreme from the miss storm: a working set of 32 lines
+/// that fits the L1 with room to spare, so after warm-up every reference
+/// takes the early L1-hit return in `MemorySystem::access`.
+fn l1_hit_storm() -> (f64, u64) {
+    const REFS: u64 = 2_000;
+    const LINES: u64 = 32;
+    let mut mem = MemorySystem::new(small_cfg(1));
+    let mut t = 0u64;
+    for i in 0..LINES {
+        t += 50;
+        let a = i * 32;
+        mem.access(0, t, VirtAddr(a), PhysAddr(a), AccessKind::Read);
+    }
+    let timing = time_iters(3, 20, || {
+        for i in 0..REFS {
+            t += 1;
+            let a = (i % LINES) * 32;
+            std::hint::black_box(mem.access(0, t, VirtAddr(a), PhysAddr(a), AccessKind::Read));
+        }
+    });
+    (timing.iters_per_sec() * REFS as f64, REFS)
+}
+
+/// A spec exercising every trace generator: cyclic ifetch, instruction
+/// work, software-pipelined prefetches, a wraparound stencil, a
+/// whole-array stream, and an irregular (xorshift) stream. Mirrors the
+/// zero-allocation test in `cdpc-compiler`.
+fn trace_spec() -> OpSpec {
+    let acc = |pattern, is_write, prefetch| ResolvedAccess {
+        base: 0x10_000,
+        bytes: 64 << 10,
+        pattern,
+        is_write,
+        prefetch,
+    };
+    OpSpec {
+        lo: 0,
+        hi: 256,
+        total_iters: 256,
+        accesses: vec![
+            acc(
+                AccessPattern::Stencil {
+                    unit_bytes: 256,
+                    halo_units: 1,
+                    wraparound: true,
+                },
+                false,
+                AccessPrefetch {
+                    enabled: true,
+                    lookahead: 2,
+                },
+            ),
+            acc(
+                AccessPattern::Partitioned { unit_bytes: 256 },
+                true,
+                AccessPrefetch {
+                    enabled: true,
+                    lookahead: 0,
+                },
+            ),
+            acc(AccessPattern::WholeArray, false, AccessPrefetch::OFF),
+            acc(
+                AccessPattern::Irregular {
+                    touches_per_iter: 4,
+                },
+                true,
+                AccessPrefetch::OFF,
+            ),
+        ],
+        work_per_iter: 100,
+        code_base: 0x100_000,
+        code_bytes: 256,
+        granularity: 32,
+        l2_line: 128,
+        seed: 42,
+    }
+}
+
+/// Steady-state throughput of the streaming trace generator: ops drained
+/// per second from a rewound `OpCursor` (zero allocations per drain).
+fn trace_stream() -> (f64, u64) {
+    let spec = trace_spec();
+    let ops_per_drain = spec.ops().count() as u64;
+    let mut cursor = spec.ops();
+    cursor.by_ref().for_each(drop); // warm the scratch buffer
+    let timing = time_iters(3, 50, || {
+        cursor.rewind();
+        let mut sum = 0u64;
+        for op in cursor.by_ref() {
+            if let TraceOp::Instr(n) = op {
+                sum += n;
             }
-            eprintln!(
-                "miss_storm/{cpus}p {:>12} refs  {:>12.0} refs/s (best of 3)",
-                refs * 20,
-                best
-            );
-            (format!("miss_storm_{cpus}p"), best)
-        })
-        .collect()
+        }
+        std::hint::black_box(sum);
+    });
+    (timing.iters_per_sec() * ops_per_drain as f64, ops_per_drain)
+}
+
+/// End-to-end run-loop throughput: a full tomcatv simulation at the
+/// snapshot's scale on 8 CPUs under CDPC, reported as simulated refs per
+/// wall second. This is the number the batching scheduler and the
+/// micro-translation-cache exist to move.
+fn run_loop_tomcatv(setup: &Setup) -> (f64, u64) {
+    let bench = cdpc_workloads::by_name("tomcatv").expect("tomcatv exists");
+    let job = setup.job(&bench, Preset::Base1MbDm, 8, PolicyKind::Cdpc, false, true);
+    let refs = run(&job.compiled, &job.cfg).simulated_refs;
+    let timing = time_iters(1, 3, || {
+        std::hint::black_box(run(&job.compiled, &job.cfg));
+    });
+    (timing.iters_per_sec() * refs as f64, refs)
+}
+
+/// Measures one microbenchmark three times and keeps the best run:
+/// throughput noise on a shared host is one-sided (interference only
+/// slows the run down), so the maximum is the stable estimator.
+fn best_of_3(name: &str, mut f: impl FnMut() -> (f64, u64)) -> (String, f64) {
+    let mut best = 0.0f64;
+    let mut refs = 0;
+    for _ in 0..3 {
+        let (refs_per_sec, r) = f();
+        best = best.max(refs_per_sec);
+        refs = r;
+    }
+    eprintln!("{name:<22} {refs:>10} refs/iter  {best:>12.0} refs/s (best of 3)");
+    (name.to_string(), best)
+}
+
+/// Runs every microbenchmark, returning `(name, refs_per_sec)` pairs.
+fn run_microbench(setup: &Setup) -> Vec<(String, f64)> {
+    let mut entries = Vec::new();
+    for cpus in [1usize, 4, 16] {
+        entries.push(best_of_3(&format!("miss_storm_{cpus}p"), || {
+            miss_storm(cpus)
+        }));
+    }
+    entries.push(best_of_3("l1_hit_1p", l1_hit_storm));
+    entries.push(best_of_3("trace_stream", trace_stream));
+    entries.push(best_of_3("run_loop_tomcatv_8p", || run_loop_tomcatv(setup)));
+    entries
 }
 
 /// Compares fresh microbench throughput against the committed snapshot.
-/// Returns false (check failed) on a >30% regression of any entry.
+/// Returns false (check failed) on a >50% regression of any entry.
 fn check_against_snapshot(fresh: &[(String, f64)]) -> bool {
     let text = match std::fs::read_to_string(SNAPSHOT_PATH) {
         Ok(t) => t,
@@ -164,9 +289,9 @@ fn main() {
     );
     let cpus = 8;
 
-    let micro = run_microbench();
+    let micro = run_microbench(&setup);
     if check && !check_against_snapshot(&micro) {
-        eprintln!("--check: miss-storm throughput regressed more than 30%");
+        eprintln!("--check: microbenchmark throughput regressed more than 50%");
         std::process::exit(1);
     }
 
@@ -187,12 +312,24 @@ fn main() {
                 )
             })
             .collect();
-        let profiles = sweep_map(&jobs, setup.threads, |job| {
-            let mut probe = CountingProbe::default();
-            let watch = Stopwatch::start();
-            let (report, _) = run_observed(&job.compiled, &job.cfg, &mut probe, None);
-            (report, probe.event_count(), watch.elapsed_secs())
-        });
+        // Two sweeps, keeping each workload's faster wall time: the
+        // simulation is deterministic (identical reports and event
+        // counts), and host noise is one-sided, so the minimum is the
+        // stable wall-clock estimator — same reasoning as the
+        // microbenchmarks' best-of-3.
+        let sweep = || {
+            sweep_map(&jobs, setup.threads, |job| {
+                let mut probe = CountingProbe::default();
+                let watch = Stopwatch::start();
+                let (report, _) = run_observed(&job.compiled, &job.cfg, &mut probe, None);
+                (report, probe.event_count(), watch.elapsed_secs())
+            })
+        };
+        let profiles: Vec<_> = sweep()
+            .into_iter()
+            .zip(sweep())
+            .map(|(a, b)| if a.2 <= b.2 { a } else { b })
+            .collect();
         benches
             .iter()
             .zip(profiles)

@@ -34,7 +34,8 @@ use cdpc_analyze::SanitizerProbe;
 use cdpc_compiler::ir::Program;
 use cdpc_compiler::{compile, CompileOptions, CompiledProgram};
 use cdpc_machine::{
-    report_to_json, run_observed, run_sweep, sweep_map, PolicyKind, RunConfig, RunReport, SweepJob,
+    report_to_json, run_observed, run_sweep, sweep_map, PolicyKind, RunConfig, RunReport,
+    SchedulerKind, SweepJob,
 };
 use cdpc_memsim::{CacheConfig, MemConfig};
 use cdpc_obs::{IntervalSeries, JsonValue, NullProbe, TraceProbe};
@@ -71,8 +72,8 @@ impl Preset {
 pub const DEFAULT_SAMPLE_INTERVAL: u64 = 10_000;
 
 const FLAG_USAGE: &str = "supported flags: --scale N, --full, --threads N, --lint, --sanitize, \
-                          --json <path>, --trace <path>, --series <path>, \
-                          --sample-interval <cycles>";
+                          --scheduler batch|heap, --json <path>, --trace <path>, \
+                          --series <path>, --sample-interval <cycles>";
 
 /// Observability outputs requested on the command line, shared by every
 /// experiment binary via [`Setup::from_args`].
@@ -192,6 +193,10 @@ pub struct Setup {
     /// [`SanitizerProbe`](cdpc_analyze::SanitizerProbe) (fail-fast MESI
     /// invariant checks) and validate coherence at phase boundaries.
     pub sanitize: bool,
+    /// `--scheduler batch|heap`: run-loop interleaving discipline. The
+    /// per-op `heap` reference path produces bit-identical reports — this
+    /// flag exists for debugging and A/B timing, not for changing results.
+    pub scheduler: SchedulerKind,
 }
 
 impl Default for Setup {
@@ -209,6 +214,7 @@ impl Setup {
             obs: ObsOptions::default(),
             lint: false,
             sanitize: false,
+            scheduler: SchedulerKind::default(),
         }
     }
 
@@ -268,6 +274,14 @@ impl Setup {
                 "--sanitize" => {
                     setup.sanitize = true;
                     i += 1;
+                }
+                "--scheduler" => {
+                    setup.scheduler = match value(&args, i, "--scheduler").as_str() {
+                        "batch" => SchedulerKind::MinClockBatch,
+                        "heap" => SchedulerKind::Heap,
+                        other => panic!("--scheduler must be `batch` or `heap`, got `{other}`"),
+                    };
+                    i += 2;
                 }
                 "--json" => {
                     setup.obs.json = Some(PathBuf::from(value(&args, i, "--json")));
@@ -366,6 +380,7 @@ impl Setup {
         let compiled = self.compile_bench(bench, preset, cpus, prefetch, aligned);
         let mut cfg = RunConfig::new(self.scaled_mem(preset, cpus), policy);
         cfg.validate_coherence = self.sanitize;
+        cfg.scheduler = self.scheduler;
         SweepJob::new(compiled, cfg)
     }
 

@@ -84,9 +84,12 @@ impl OpSpec {
         self.hi.saturating_sub(self.lo)
     }
 
-    /// Materializes the reference stream lazily.
-    pub fn ops(&self) -> impl Iterator<Item = TraceOp> + '_ {
-        (self.lo..self.hi).flat_map(move |i| self.iteration_ops(i))
+    /// Materializes the reference stream lazily as a streaming
+    /// [`OpCursor`]: one scratch buffer is refilled per iteration, so after
+    /// the first few iterations establish its capacity the whole stream is
+    /// produced without heap allocation.
+    pub fn ops(&self) -> OpCursor<'_> {
+        OpCursor::new(self)
     }
 
     /// Total instruction count of the stream (for MCPI denominators).
@@ -94,18 +97,22 @@ impl OpSpec {
         self.local_iters() * self.work_per_iter
     }
 
-    fn iteration_ops(&self, i: u64) -> Vec<TraceOp> {
-        let mut ops = Vec::with_capacity(8);
+    /// Generates iteration `i`'s ops into `ops` (appending; callers clear).
+    /// Adjacent [`TraceOp::Instr`] ops are fused at generation time.
+    fn fill_iteration(&self, i: u64, ops: &mut Vec<TraceOp>) {
         // Instruction fetch: the body's code lines are touched cyclically;
         // bodies smaller than the L1I hit after warm-up, fpppp-sized
         // bodies keep missing.
         let code_lines = self.code_bytes.div_ceil(self.granularity).max(1);
         let local = i - self.lo;
-        ops.push(TraceOp::IFetch(VirtAddr(
-            self.code_base + (local % code_lines) * self.granularity,
-        )));
+        push_fused(
+            ops,
+            TraceOp::IFetch(VirtAddr(
+                self.code_base + (local % code_lines) * self.granularity,
+            )),
+        );
         if self.work_per_iter > 0 {
-            ops.push(TraceOp::Instr(self.work_per_iter));
+            push_fused(ops, TraceOp::Instr(self.work_per_iter));
         }
         // Software-pipelined prefetches: prologue on the first iteration,
         // then one block of lookahead per iteration.
@@ -130,21 +137,20 @@ impl OpSpec {
             };
             if acc.prefetch.lookahead == 0 {
                 // Tiled loop: prefetch arrives with the demand access.
-                emit_for(&mut ops, i);
+                emit_for(ops, i);
             } else {
                 if i == self.lo {
                     for j in self.lo..(self.lo + acc.prefetch.lookahead).min(self.hi) {
-                        emit_for(&mut ops, j);
+                        emit_for(ops, j);
                     }
                 }
-                emit_for(&mut ops, i + acc.prefetch.lookahead);
+                emit_for(ops, i + acc.prefetch.lookahead);
             }
         }
         // Demand references.
         for acc in &self.accesses {
-            self.demand_ops(&mut ops, acc, i);
+            self.demand_ops(ops, acc, i);
         }
-        ops
     }
 
     /// The center (written or owned) byte range of `acc` at iteration `i`,
@@ -239,6 +245,85 @@ impl OpSpec {
                     });
                 }
             }
+        }
+    }
+}
+
+/// Appends `op`, fusing it into the previous op when both are
+/// [`TraceOp::Instr`]. The machine charges `Instr(n)` as `n` one-cycle
+/// instructions with no memory reference, so `Instr(a), Instr(b)` and
+/// `Instr(a + b)` are indistinguishable to the simulation; fusing at
+/// generation time removes the per-op scheduling overhead downstream.
+#[inline]
+fn push_fused(ops: &mut Vec<TraceOp>, op: TraceOp) {
+    if let TraceOp::Instr(n) = op {
+        if let Some(TraceOp::Instr(m)) = ops.last_mut() {
+            *m += n;
+            return;
+        }
+    }
+    ops.push(op);
+}
+
+/// A streaming cursor over one processor's reference stream.
+///
+/// This is the zero-allocation replacement for materializing each
+/// iteration into a fresh `Vec`: the cursor owns a single scratch buffer
+/// that is cleared and refilled per iteration, so its capacity stabilizes
+/// at the largest iteration seen and the steady state allocates nothing.
+/// Created by [`OpSpec::ops`].
+#[derive(Debug, Clone)]
+pub struct OpCursor<'a> {
+    spec: &'a OpSpec,
+    /// Next iteration to generate into the scratch buffer.
+    next_iter: u64,
+    /// Ops of the current iteration.
+    buf: Vec<TraceOp>,
+    /// Read position within `buf`.
+    pos: usize,
+}
+
+impl<'a> OpCursor<'a> {
+    fn new(spec: &'a OpSpec) -> Self {
+        Self {
+            spec,
+            next_iter: spec.lo,
+            buf: Vec::new(),
+            pos: 0,
+        }
+    }
+
+    /// Resets the cursor to the start of the stream. The scratch buffer's
+    /// capacity is kept, so a rewound drain allocates nothing at all.
+    pub fn rewind(&mut self) {
+        self.next_iter = self.spec.lo;
+        self.buf.clear();
+        self.pos = 0;
+    }
+
+    /// Current scratch-buffer capacity (for allocation-freedom tests).
+    pub fn scratch_capacity(&self) -> usize {
+        self.buf.capacity()
+    }
+}
+
+impl Iterator for OpCursor<'_> {
+    type Item = TraceOp;
+
+    #[inline]
+    fn next(&mut self) -> Option<TraceOp> {
+        loop {
+            if let Some(&op) = self.buf.get(self.pos) {
+                self.pos += 1;
+                return Some(op);
+            }
+            if self.next_iter >= self.spec.hi {
+                return None;
+            }
+            self.buf.clear();
+            self.pos = 0;
+            self.spec.fill_iteration(self.next_iter, &mut self.buf);
+            self.next_iter += 1;
         }
     }
 }
@@ -473,6 +558,73 @@ mod tests {
             .collect();
         // 64 B of code at 32 B granularity = 2 lines, cycled.
         assert_eq!(fetches, vec![0, 32, 0, 32]);
+    }
+
+    #[test]
+    fn adjacent_instr_ops_fuse_at_generation_time() {
+        let mut ops = Vec::new();
+        push_fused(&mut ops, TraceOp::Instr(3));
+        push_fused(&mut ops, TraceOp::Instr(4));
+        push_fused(&mut ops, TraceOp::IFetch(VirtAddr(0)));
+        push_fused(&mut ops, TraceOp::Instr(5));
+        assert_eq!(
+            ops,
+            vec![
+                TraceOp::Instr(7),
+                TraceOp::IFetch(VirtAddr(0)),
+                TraceOp::Instr(5),
+            ]
+        );
+    }
+
+    #[test]
+    fn cursor_matches_per_iteration_generation() {
+        let mut a = acc(
+            AccessPattern::Stencil {
+                unit_bytes: 64,
+                halo_units: 1,
+                wraparound: true,
+            },
+            false,
+        );
+        a.prefetch = AccessPrefetch {
+            enabled: true,
+            lookahead: 2,
+        };
+        let s = spec(vec![a], 0, 8, 8);
+        let mut eager = Vec::new();
+        for i in s.lo..s.hi {
+            s.fill_iteration(i, &mut eager);
+        }
+        let streamed: Vec<TraceOp> = s.ops().collect();
+        assert_eq!(streamed, eager);
+        // Every iteration leads with its IFetch, so Instr ops are never
+        // adjacent across iterations and fusion cannot change the stream.
+        assert!(!streamed
+            .windows(2)
+            .any(|w| matches!(w, [TraceOp::Instr(_), TraceOp::Instr(_)])));
+    }
+
+    #[test]
+    fn rewound_cursor_replays_the_stream_without_growing_scratch() {
+        let mut a = acc(AccessPattern::Partitioned { unit_bytes: 128 }, true);
+        a.prefetch = AccessPrefetch {
+            enabled: true,
+            lookahead: 2,
+        };
+        let s = spec(vec![a], 0, 16, 16);
+        let mut cur = s.ops();
+        let first: Vec<TraceOp> = cur.by_ref().collect();
+        cur.rewind();
+        let cap = cur.scratch_capacity();
+        assert!(cap > 0, "the drain established a scratch capacity");
+        let second: Vec<TraceOp> = cur.by_ref().collect();
+        assert_eq!(first, second, "rewind replays the identical stream");
+        assert_eq!(
+            cur.scratch_capacity(),
+            cap,
+            "steady-state drain must not grow the scratch buffer"
+        );
     }
 
     #[test]

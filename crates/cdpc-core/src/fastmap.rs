@@ -89,11 +89,13 @@ impl<V> FxMap64<V> {
     }
 
     /// Number of entries.
+    #[inline]
     pub fn len(&self) -> usize {
         self.len
     }
 
     /// Whether the map is empty.
+    #[inline]
     pub fn is_empty(&self) -> bool {
         self.len == 0
     }
@@ -305,11 +307,13 @@ impl FxSet64 {
     }
 
     /// Number of members.
+    #[inline]
     pub fn len(&self) -> usize {
         self.map.len()
     }
 
     /// Whether the set is empty.
+    #[inline]
     pub fn is_empty(&self) -> bool {
         self.map.is_empty()
     }
@@ -375,11 +379,13 @@ impl DenseSet64 {
     }
 
     /// Number of members.
+    #[inline]
     pub fn len(&self) -> usize {
         self.len
     }
 
     /// Whether the set is empty.
+    #[inline]
     pub fn is_empty(&self) -> bool {
         self.len == 0
     }
@@ -416,6 +422,7 @@ impl DenseSet64 {
     }
 
     /// Removes `key`; returns `true` if it was a member.
+    #[inline]
     pub fn remove(&mut self, key: u64) -> bool {
         let removed = if key < DENSE_SET_LIMIT {
             match self.words.get_mut((key >> 6) as usize) {

@@ -44,5 +44,5 @@ pub mod sweep;
 pub use export::report_to_json;
 pub use format::{render_report, summary_line};
 pub use report::{geometric_mean, BusReport, OverheadBreakdown, RunReport, StallBreakdown};
-pub use run::{run, run_observed, PolicyKind, RunConfig};
+pub use run::{run, run_observed, PolicyKind, RunConfig, SchedulerKind};
 pub use sweep::{default_threads, run_sweep, sweep_map, SweepJob};

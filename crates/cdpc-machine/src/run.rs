@@ -17,6 +17,7 @@
 //! races resolve the way they would on the machine.
 
 use std::cmp::Reverse;
+
 use std::collections::BinaryHeap;
 
 use cdpc_compiler::trace::TraceOp;
@@ -25,7 +26,7 @@ use cdpc_core::hints::HintOptions;
 use cdpc_core::{generate_hints_with, MachineParams};
 use cdpc_memsim::{AccessKind, CpuStats, MemConfig, MemStats, MemorySystem};
 use cdpc_obs::{HintOutcome, IntervalSeries, NullProbe, Probe, Sample};
-use cdpc_vm::addr::{Color, ColorSpace, PageGeometry, PhysAddr, VirtAddr, Vpn};
+use cdpc_vm::addr::{Color, ColorSpace, PageGeometry, PhysAddr, Ppn, VirtAddr, Vpn};
 use cdpc_vm::policy::{BinHopping, CdpcPolicy, MappingPolicy, PageColoring};
 use cdpc_vm::AddressSpace;
 
@@ -65,6 +66,27 @@ impl PolicyKind {
     }
 }
 
+/// Which discipline the run loop uses to interleave per-CPU streams.
+///
+/// Both produce the **same global reference order** (a differential test
+/// in `tests/determinism.rs` proves bit-identical reports); they differ
+/// only in how many priority-queue operations they spend getting there.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedulerKind {
+    /// Pop the minimum-clock CPU once and keep executing its ops until its
+    /// local clock passes the runner-up's key, then reinsert. Equivalent to
+    /// [`SchedulerKind::Heap`] because executing an op only advances the
+    /// running CPU's *key* (IPIs from dynamic recoloring advance other
+    /// CPUs' live clocks, but their heap keys stay stale in both
+    /// disciplines), so the runner-up key is the exact hand-over point.
+    #[default]
+    MinClockBatch,
+    /// One heap pop + push per op — the original discipline, kept as the
+    /// reference for differential tests (`--scheduler heap` in the bench
+    /// binaries).
+    Heap,
+}
+
 /// Run-loop configuration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunConfig {
@@ -97,6 +119,14 @@ pub struct RunConfig {
     /// (always on in `debug_assertions` builds; this flag forces it in
     /// release builds, e.g. for `--sanitize` bench runs).
     pub validate_coherence: bool,
+    /// Stream-interleaving discipline (min-clock batching by default; the
+    /// per-op heap is kept as a differential-testing reference).
+    pub scheduler: SchedulerKind,
+    /// Use the per-CPU VPN→PPN micro-translation-cache on the demand path.
+    /// Pure memoization of the page-table walk — results are identical
+    /// either way (a differential test proves it); off is only useful for
+    /// that test and for debugging.
+    pub translation_cache: bool,
 }
 
 impl RunConfig {
@@ -114,6 +144,8 @@ impl RunConfig {
             recolor_threshold: 64,
             hog_fraction: 0.0,
             validate_coherence: false,
+            scheduler: SchedulerKind::MinClockBatch,
+            translation_cache: true,
         }
     }
 
@@ -177,11 +209,67 @@ impl Sampler {
     }
 }
 
+/// Slots in each CPU's micro-translation-cache. Power of two so the index
+/// is a mask; 512 entries (8 KB per CPU) cover the page working set of the
+/// scaled workloads — at 64 slots the direct-mapped cache thrashed on the
+/// multi-hundred-page footprints and the demand path fell back to the page
+/// table for a measurable fraction of references.
+const TCACHE_SLOTS: usize = 512;
+
+/// A per-CPU direct-mapped VPN→PPN cache in front of the page table.
+///
+/// This is *not* the simulated TLB (`cdpc-memsim` models that, with miss
+/// penalties); it is a simulator-internal memoization of
+/// `AddressSpace::translate`. A virtual page's mapping can only change
+/// through [`Sim::recolor_page`], which invalidates the VPN in every CPU's
+/// cache, so a hit is always current and the demand path can skip both
+/// `ensure_mapped` and the page-table walk.
+struct TransCache {
+    /// Tag per slot; [`TransCache::EMPTY`] marks an invalid slot. (Program
+    /// VPNs are tiny and even the hog job's synthetic VPNs start at
+    /// `u64::MAX / 2`, so the sentinel is unreachable.)
+    vpns: [u64; TCACHE_SLOTS],
+    ppns: [u64; TCACHE_SLOTS],
+}
+
+impl TransCache {
+    const EMPTY: u64 = u64::MAX;
+
+    fn new() -> Self {
+        Self {
+            vpns: [Self::EMPTY; TCACHE_SLOTS],
+            ppns: [0; TCACHE_SLOTS],
+        }
+    }
+
+    #[inline]
+    fn lookup(&self, vpn: u64) -> Option<u64> {
+        let slot = (vpn as usize) & (TCACHE_SLOTS - 1);
+        (self.vpns[slot] == vpn).then(|| self.ppns[slot])
+    }
+
+    #[inline]
+    fn insert(&mut self, vpn: u64, ppn: u64) {
+        let slot = (vpn as usize) & (TCACHE_SLOTS - 1);
+        self.vpns[slot] = vpn;
+        self.ppns[slot] = ppn;
+    }
+
+    fn invalidate(&mut self, vpn: u64) {
+        let slot = (vpn as usize) & (TCACHE_SLOTS - 1);
+        if self.vpns[slot] == vpn {
+            self.vpns[slot] = Self::EMPTY;
+        }
+    }
+}
+
 struct Sim<Q: Probe> {
     mem: MemorySystem<Q>,
     vm: AddressSpace,
     policy: Box<dyn MappingPolicy>,
     clocks: Vec<u64>,
+    /// Per-CPU micro-translation-caches (see [`TransCache`]).
+    tcache: Vec<TransCache>,
     /// Dynamic recoloring state: per-page conflict counters, per-color
     /// mapped-page loads, and the number of recolorings performed.
     dynamic: bool,
@@ -267,6 +355,11 @@ impl<Q: Probe> Sim<Q> {
         self.mem
             .flush_physical_page(self.clocks[cpu], PhysAddr(old_base.0 & !(page - 1)));
         self.mem.shoot_down_tlb(vpn);
+        // The mapping moved: drop the stale translation from every CPU's
+        // micro-cache, mirroring the simulated TLB shootdown above.
+        for tc in &mut self.tcache {
+            tc.invalidate(vpn.0);
+        }
         self.recolorings += 1;
         self.mem
             .probe_mut()
@@ -290,6 +383,56 @@ impl<Q: Probe> Sim<Q> {
         self.vm.translate(va).expect("accessed page must be mapped")
     }
 
+    /// Translates a demand reference for `cpu`, faulting the page in on
+    /// first touch. The common case — the page is mapped and its VPN sits
+    /// in the CPU's [`TransCache`] — skips both `ensure_mapped` and the
+    /// page-table walk entirely; since a cached translation is invalidated
+    /// whenever the mapping moves, the result is identical either way.
+    #[inline]
+    fn translate_demand(&mut self, cpu: usize, va: VirtAddr) -> (Vpn, PhysAddr) {
+        let vpn = self.geometry.vpn_of(va);
+        if self.cfg.translation_cache {
+            if let Some(ppn) = self.tcache[cpu].lookup(vpn.0) {
+                let pa = self
+                    .geometry
+                    .phys_addr(Ppn(ppn), self.geometry.offset_of(va));
+                return (vpn, pa);
+            }
+        }
+        self.ensure_mapped(cpu, vpn);
+        let pa = self.translate(va);
+        if self.cfg.translation_cache {
+            self.tcache[cpu].insert(vpn.0, self.geometry.ppn_of(pa).0);
+        }
+        (vpn, pa)
+    }
+
+    /// Conflict-miss bookkeeping for the dynamic-recoloring policy. Out of
+    /// line (and `#[cold]`) so the Load/Store fast path stays compact:
+    /// static-policy runs never get here, and even dynamic runs only on a
+    /// conflict miss.
+    #[cold]
+    fn note_conflict_miss(&mut self, cpu: usize, vpn: Vpn) {
+        let count = self.conflict_counts.entry_or_insert_with(vpn.0, || 0);
+        *count += 1;
+        if *count >= self.cfg.recolor_threshold {
+            *count = 0;
+            self.recolor_page(cpu, vpn);
+        }
+    }
+
+    /// Executes one trace op on `cpu`, advancing its local clock.
+    ///
+    /// Per-op accounting (audited; the asymmetry is intentional):
+    /// * `Instr(n)` — `n` cycles, `n` instructions (single-issue CPU).
+    /// * `Load`/`Store` — memory latency + 1 issue cycle, 1 instruction.
+    /// * `Prefetch` — stall cycles + 1 issue cycle, 1 instruction (the
+    ///   prefetch instruction issues even when the engine drops it).
+    /// * `IFetch` — memory latency only, **zero** instructions and no
+    ///   issue cycle: an ifetch models fetching a code *line*, and the
+    ///   instructions on that line are exactly the ones the adjacent
+    ///   `Instr(n)` op already charges — adding an issue cycle here would
+    ///   double-count them. A test pins the accounted totals to the stream.
     fn exec_op(&mut self, cpu: usize, op: TraceOp) {
         match op {
             TraceOp::Instr(n) => {
@@ -297,9 +440,7 @@ impl<Q: Probe> Sim<Q> {
                 self.instr[cpu] += n;
             }
             TraceOp::Load(va) | TraceOp::Store(va) => {
-                let vpn = self.geometry.vpn_of(va);
-                self.ensure_mapped(cpu, vpn);
-                let pa = self.translate(va);
+                let (vpn, pa) = self.translate_demand(cpu, va);
                 let kind = if matches!(op, TraceOp::Store(_)) {
                     AccessKind::Write
                 } else {
@@ -309,18 +450,11 @@ impl<Q: Probe> Sim<Q> {
                 self.clocks[cpu] += out.latency_cycles + 1;
                 self.instr[cpu] += 1;
                 if self.dynamic && out.miss_class == Some(cdpc_memsim::MissClass::Conflict) {
-                    let count = self.conflict_counts.entry_or_insert_with(vpn.0, || 0);
-                    *count += 1;
-                    if *count >= self.cfg.recolor_threshold {
-                        *count = 0;
-                        self.recolor_page(cpu, vpn);
-                    }
+                    self.note_conflict_miss(cpu, vpn);
                 }
             }
             TraceOp::IFetch(va) => {
-                let vpn = self.geometry.vpn_of(va);
-                self.ensure_mapped(cpu, vpn);
-                let pa = self.translate(va);
+                let (_, pa) = self.translate_demand(cpu, va);
                 let out = self
                     .mem
                     .access(cpu, self.clocks[cpu], va, pa, AccessKind::IFetch);
@@ -329,8 +463,18 @@ impl<Q: Probe> Sim<Q> {
             TraceOp::Prefetch { addr, exclusive } => {
                 // No fault: prefetches to unmapped pages are dropped by the
                 // TLB probe (the page cannot be in the TLB if never
-                // demand-accessed).
-                let pa = self.vm.translate(addr).unwrap_or(PhysAddr(0));
+                // demand-accessed), so pa is never read for them.
+                let pa = if self.cfg.translation_cache {
+                    let vpn = self.geometry.vpn_of(addr);
+                    match self.tcache[cpu].lookup(vpn.0) {
+                        Some(ppn) => self
+                            .geometry
+                            .phys_addr(Ppn(ppn), self.geometry.offset_of(addr)),
+                        None => self.vm.translate(addr).unwrap_or(PhysAddr(0)),
+                    }
+                } else {
+                    self.vm.translate(addr).unwrap_or(PhysAddr(0))
+                };
                 let out = self
                     .mem
                     .prefetch(cpu, self.clocks[cpu], addr, pa, exclusive);
@@ -450,13 +594,43 @@ impl<Q: Probe> Sim<Q> {
                 let mut streams: Vec<_> = specs.iter().map(|s| s.ops()).collect();
                 let mut heap: BinaryHeap<Reverse<(u64, usize)>> =
                     (0..p).map(|c| Reverse((self.clocks[c], c))).collect();
-                while let Some(Reverse((_, cpu))) = heap.pop() {
-                    match streams[cpu].next() {
-                        Some(op) => {
-                            self.exec_op(cpu, op);
-                            heap.push(Reverse((self.clocks[cpu], cpu)));
+                match self.cfg.scheduler {
+                    SchedulerKind::Heap => {
+                        // Reference discipline: one pop + push per op.
+                        while let Some(Reverse((_, cpu))) = heap.pop() {
+                            match streams[cpu].next() {
+                                Some(op) => {
+                                    self.exec_op(cpu, op);
+                                    heap.push(Reverse((self.clocks[cpu], cpu)));
+                                }
+                                None => { /* stream finished: cpu waits at barrier */ }
+                            }
                         }
-                        None => { /* stream finished: cpu waits at barrier */ }
+                    }
+                    SchedulerKind::MinClockBatch => {
+                        // Same global order, one pop per *batch*: after an
+                        // op, the heap discipline would re-pop this CPU as
+                        // long as its fresh key stays below the runner-up's
+                        // key — and the runner-up's key cannot change while
+                        // we batch (executing an op updates only the running
+                        // CPU's key; recoloring IPIs advance other CPUs'
+                        // live clocks, but their *keys* stay stale in both
+                        // disciplines), so we keep executing locally until
+                        // the comparison flips.
+                        while let Some(Reverse((_, cpu))) = heap.pop() {
+                            let bound = heap.peek().map(|r| r.0);
+                            // Stream exhaustion ends the batch with no push:
+                            // the finished CPU waits at the barrier.
+                            for op in streams[cpu].by_ref() {
+                                self.exec_op(cpu, op);
+                                // `bound == None` means sole live CPU: run to
+                                // the end of the stream.
+                                if bound.is_some_and(|b| (self.clocks[cpu], cpu) >= b) {
+                                    heap.push(Reverse((self.clocks[cpu], cpu)));
+                                    break;
+                                }
+                            }
+                        }
                     }
                 }
                 // Barrier: account imbalance, then synchronize.
@@ -665,6 +839,7 @@ pub fn run_observed<P: Probe>(
         vm,
         policy,
         clocks: vec![0; p],
+        tcache: (0..p).map(|_| TransCache::new()).collect(),
         dynamic: cfg.policy == PolicyKind::DynamicRecolor,
         conflict_counts: cdpc_core::fastmap::FxMap64::new(),
         color_loads: vec![0; num_colors],
@@ -1118,6 +1293,46 @@ mod tests {
         assert!(r.simulated_refs > 0);
         let r2 = run_with(PolicyKind::PageColoring, 2);
         assert_eq!(r.simulated_refs, r2.simulated_refs, "deterministic");
+    }
+
+    /// Pins the per-op accounting documented on [`Sim::exec_op`]: every
+    /// `Instr(n)` charges `n` instructions, every Load/Store/Prefetch
+    /// charges exactly one, and IFetch charges none (its instructions are
+    /// the ones `Instr` already counted).
+    #[test]
+    fn accounted_instruction_totals_match_the_op_stream() {
+        let opts = CompileOptions::new(2)
+            .with_prefetch()
+            .with_l2_cache(32 << 10);
+        let compiled = compile(&two_array_program(), &opts).unwrap();
+        let charge = |op: TraceOp| match op {
+            TraceOp::Instr(n) => n,
+            TraceOp::Load(_) | TraceOp::Store(_) | TraceOp::Prefetch { .. } => 1,
+            TraceOp::IFetch(_) => 0,
+        };
+        let mut expected = 0u64;
+        for phase in &compiled.phases {
+            let mut per_pass = 0u64;
+            for stmt in &phase.stmts {
+                match stmt {
+                    CompiledStmt::Parallel { specs } => {
+                        for s in specs {
+                            per_pass += s.ops().map(charge).sum::<u64>();
+                        }
+                    }
+                    CompiledStmt::Master { spec, .. } => {
+                        per_pass += spec.ops().map(charge).sum::<u64>();
+                    }
+                }
+            }
+            expected += per_pass * phase.count.max(1);
+        }
+        assert!(expected > 0);
+        let r = run(&compiled, &RunConfig::new(small_mem(2), PolicyKind::Cdpc));
+        assert_eq!(
+            r.instructions, expected,
+            "measured-pass instruction total must equal the stream's charges"
+        );
     }
 
     #[test]

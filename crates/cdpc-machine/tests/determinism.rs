@@ -6,9 +6,13 @@
 
 use cdpc_compiler::ir::{Access, AccessPattern, LoopNest, Phase, Program, Stmt, StmtKind};
 use cdpc_compiler::{compile, CompileOptions};
-use cdpc_machine::{report_to_json, run, run_observed, run_sweep, PolicyKind, RunConfig, SweepJob};
+use cdpc_machine::{
+    report_to_json, run, run_observed, run_sweep, PolicyKind, RunConfig, RunReport, SchedulerKind,
+    SweepJob,
+};
 use cdpc_memsim::MemConfig;
 use cdpc_obs::{CountingProbe, Probe};
+use cdpc_workloads::spec::Scale;
 
 /// A small machine: 32 KB direct-mapped L2 (8 colors), tiny L1s.
 fn small_mem(cpus: usize) -> MemConfig {
@@ -64,6 +68,125 @@ fn sweep_configs() -> Vec<SweepJob> {
         ));
     }
     jobs
+}
+
+fn report_key(r: &RunReport) -> String {
+    report_to_json(r).to_string_compact()
+}
+
+/// The scaled-down suite machine used by the root `workload_suite` tests.
+fn suite_mem(cpus: usize, scale: u64) -> MemConfig {
+    let mut m = MemConfig::paper_base(cpus);
+    m.l2 = cdpc_memsim::CacheConfig::new((1 << 20) / scale as usize, 128, 1);
+    m.l1d = cdpc_memsim::CacheConfig::new(512, 32, 2);
+    m.l1i = cdpc_memsim::CacheConfig::new(512, 32, 2);
+    m.tlb_entries = 8;
+    m
+}
+
+/// A conflict-heavy layout that forces the dynamic-recoloring policy to
+/// fire: A and C overlay each other in a 32 KB direct-mapped cache while
+/// the gap array's colors stay free as recoloring targets.
+fn recoloring_job() -> (cdpc_compiler::CompiledProgram, RunConfig) {
+    let mut p = Program::new("dyn-sched");
+    let a = p.array("A", 16 << 10);
+    let _gap = p.array("gap", 16 << 10);
+    let c = p.array("C", 16 << 10);
+    let nest = LoopNest::new("sweep", 16, 300)
+        .with_access(Access::read(
+            a,
+            AccessPattern::Partitioned { unit_bytes: 1024 },
+        ))
+        .with_access(Access::write(
+            c,
+            AccessPattern::Partitioned { unit_bytes: 1024 },
+        ));
+    p.phase(Phase {
+        name: "main".into(),
+        stmts: vec![Stmt {
+            kind: StmtKind::Parallel,
+            nest,
+        }],
+        count: 6,
+    });
+    let compiled = compile(&p, &CompileOptions::new(2).with_l2_cache(32 << 10)).unwrap();
+    let mut cfg = RunConfig::new(small_mem(2), PolicyKind::DynamicRecolor);
+    cfg.recolor_threshold = 8;
+    (compiled, cfg)
+}
+
+/// Tentpole proof: min-clock batching reproduces the per-op heap
+/// scheduler bit-for-bit on every workload of the suite, across CPU
+/// counts, with and without prefetching.
+#[test]
+fn min_clock_batching_matches_heap_scheduler_on_every_workload() {
+    const SCALE: u64 = 64;
+    for bench in cdpc_workloads::all() {
+        let program = (bench.build)(Scale::new(SCALE));
+        for cpus in [1usize, 4, 8] {
+            let mem = suite_mem(cpus, SCALE);
+            let mut opts = CompileOptions::new(cpus).with_l2_cache(mem.l2.size_bytes() as u64);
+            if cpus == 4 {
+                // Exercise prefetch ops under batching on one config.
+                opts = opts.with_prefetch();
+            }
+            let compiled = compile(&program, &opts).expect("models compile");
+            let mut batched = RunConfig::new(mem, PolicyKind::Cdpc);
+            batched.scheduler = SchedulerKind::MinClockBatch;
+            let mut heap = batched.clone();
+            heap.scheduler = SchedulerKind::Heap;
+            assert_eq!(
+                report_key(&run(&compiled, &batched)),
+                report_key(&run(&compiled, &heap)),
+                "{} at {cpus} CPUs: schedulers diverged",
+                bench.name
+            );
+        }
+    }
+}
+
+/// The trickiest equivalence case: dynamic-recoloring IPIs advance *other*
+/// CPUs' live clocks mid-statement while their heap keys stay stale. The
+/// batching bound is a stale key too, so the disciplines must still agree.
+#[test]
+fn schedulers_agree_under_dynamic_recoloring_ipis() {
+    let (compiled, mut cfg) = recoloring_job();
+    cfg.scheduler = SchedulerKind::MinClockBatch;
+    let batched = run(&compiled, &cfg);
+    cfg.scheduler = SchedulerKind::Heap;
+    let heap = run(&compiled, &cfg);
+    assert!(batched.recolorings > 0, "the recoloring detector must fire");
+    assert_eq!(report_key(&batched), report_key(&heap));
+}
+
+/// The micro-translation-cache is pure memoization: disabling it must not
+/// change a single bit, including across `recolor_page` invalidations
+/// (dynamic policy) and the pre-touch faults of `CdpcTouch`.
+#[test]
+fn translation_cache_is_pure_memoization() {
+    // Recoloring run: stale translations would survive a missed
+    // invalidation and redirect accesses to the old physical page.
+    let (compiled, mut cfg) = recoloring_job();
+    cfg.translation_cache = true;
+    let cached = run(&compiled, &cfg);
+    cfg.translation_cache = false;
+    let walked = run(&compiled, &cfg);
+    assert!(cached.recolorings > 0, "invalidation path was exercised");
+    assert_eq!(report_key(&cached), report_key(&walked));
+
+    // CdpcTouch run: pages are pre-faulted by the touch pass, so the
+    // measured pass runs almost entirely out of the micro-cache.
+    let bench = cdpc_workloads::by_name("tomcatv").expect("exists");
+    let program = (bench.build)(Scale::new(64));
+    let mem = suite_mem(4, 64);
+    let opts = CompileOptions::new(4).with_l2_cache(mem.l2.size_bytes() as u64);
+    let compiled = compile(&program, &opts).expect("models compile");
+    let mut cfg = RunConfig::new(mem, PolicyKind::CdpcTouch);
+    cfg.translation_cache = true;
+    let cached = run(&compiled, &cfg);
+    cfg.translation_cache = false;
+    let walked = run(&compiled, &cfg);
+    assert_eq!(report_key(&cached), report_key(&walked));
 }
 
 #[test]

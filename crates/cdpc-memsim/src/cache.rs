@@ -44,6 +44,10 @@ struct Way {
     /// LRU timestamp; larger = more recent.
     stamp: u64,
     valid: bool,
+    /// Caller-supplied tag carried with the line and returned on eviction.
+    /// The L1s store the physical sub-line here so the memory system needs
+    /// no reverse (virtual → physical) map; the L2s leave it zero.
+    aux: u64,
 }
 
 impl Way {
@@ -52,6 +56,7 @@ impl Way {
         state: Mesi::Exclusive,
         stamp: 0,
         valid: false,
+        aux: 0,
     };
 }
 
@@ -75,6 +80,9 @@ pub struct Evicted {
     /// The coherence state the victim held (needed when the line moves to
     /// a victim cache instead of being discarded).
     pub state: Mesi,
+    /// The caller-supplied tag stored with the line at fill time (zero for
+    /// lines filled through [`Cache::fill`]).
+    pub aux: u64,
 }
 
 /// A set-associative, write-back cache holding line *addresses* (the
@@ -151,6 +159,12 @@ impl Cache {
     /// Panics (debug builds) if the line is already resident — callers must
     /// fill only after a miss.
     pub fn fill(&mut self, addr: u64, state: Mesi) -> Option<Evicted> {
+        self.fill_tagged(addr, state, 0)
+    }
+
+    /// [`fill`](Self::fill) with a caller-supplied `aux` tag stored
+    /// alongside the line and handed back in the eviction record.
+    pub fn fill_tagged(&mut self, addr: u64, state: Mesi, aux: u64) -> Option<Evicted> {
         debug_assert!(self.find(addr).is_none(), "fill of resident line {addr:#x}");
         self.clock += 1;
         let clock = self.clock;
@@ -177,6 +191,7 @@ impl Cache {
             state,
             stamp: clock,
             valid: true,
+            aux,
         };
         if victim.valid {
             let line_addr = (victim.tag * num_sets + set as u64) * line_bytes;
@@ -184,6 +199,7 @@ impl Cache {
                 line_addr,
                 dirty: victim.state == Mesi::Modified,
                 state: victim.state,
+                aux: victim.aux,
             })
         } else {
             None

@@ -1,11 +1,25 @@
 //! Memory-system configuration, with the paper's machine presets.
 
 /// Geometry of one cache: total size, line size, and associativity.
+///
+/// The shift/mask fields are derived from the three inputs at construction
+/// so the per-reference index math (`set_of`, `tag_of`, `line_of`) compiles
+/// to shifts and masks instead of 64-bit divisions — these run on every
+/// simulated cache probe, which is the simulator's hottest loop.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct CacheConfig {
     size_bytes: usize,
     line_bytes: usize,
     associativity: usize,
+    /// `log2(line_bytes)`; lines are asserted to be powers of two.
+    line_shift: u32,
+    /// `size_bytes / (line_bytes * associativity)`, cached.
+    num_sets: usize,
+    /// `log2(num_sets)` when the set count is a power of two (always true
+    /// for power-of-two associativity, the only shapes the presets use).
+    set_shift: u32,
+    /// Whether `num_sets` is a power of two, enabling the shift/mask path.
+    sets_pow2: bool,
 }
 
 impl CacheConfig {
@@ -34,10 +48,15 @@ impl CacheConfig {
             0,
             "cache size must be a multiple of line*assoc"
         );
+        let num_sets = size_bytes / (line_bytes * associativity);
         Self {
             size_bytes,
             line_bytes,
             associativity,
+            line_shift: line_bytes.trailing_zeros(),
+            num_sets,
+            set_shift: num_sets.trailing_zeros(),
+            sets_pow2: num_sets.is_power_of_two(),
         }
     }
 
@@ -57,8 +76,16 @@ impl CacheConfig {
     }
 
     /// Number of sets.
+    #[inline]
     pub fn num_sets(&self) -> usize {
-        self.size_bytes / (self.line_bytes * self.associativity)
+        self.num_sets
+    }
+
+    /// `log2(line_bytes)` — the shift that extracts a line number from an
+    /// address.
+    #[inline]
+    pub fn line_shift(&self) -> u32 {
+        self.line_shift
     }
 
     /// Total number of lines the cache can hold.
@@ -67,18 +94,31 @@ impl CacheConfig {
     }
 
     /// The line-aligned address containing `addr`.
+    #[inline]
     pub fn line_of(&self, addr: u64) -> u64 {
         addr & !(self.line_bytes as u64 - 1)
     }
 
     /// The set index for `addr`.
+    #[inline]
     pub fn set_of(&self, addr: u64) -> usize {
-        ((addr / self.line_bytes as u64) % self.num_sets() as u64) as usize
+        let line = addr >> self.line_shift;
+        if self.sets_pow2 {
+            (line as usize) & (self.num_sets - 1)
+        } else {
+            (line % self.num_sets as u64) as usize
+        }
     }
 
     /// The tag for `addr` (line address divided by set count).
+    #[inline]
     pub fn tag_of(&self, addr: u64) -> u64 {
-        addr / self.line_bytes as u64 / self.num_sets() as u64
+        let line = addr >> self.line_shift;
+        if self.sets_pow2 {
+            line >> self.set_shift
+        } else {
+            line / self.num_sets as u64
+        }
     }
 
     /// Returns a geometry scaled down by `factor` (size divided, line and

@@ -109,10 +109,10 @@ struct CpuMem {
     /// one probe per L2 miss must not become a DRAM miss into a
     /// multi-megabyte table.
     seen_lines: DenseSet64,
-    /// pa L1-line → va L1-line, for inclusion invalidations.
+    /// pa L1-line → va L1-line, for inclusion invalidations. The reverse
+    /// direction rides along in each L1 way's `aux` tag, so no second map
+    /// is needed on the fill path.
     l1_map: FxMap64<u64>,
-    /// va L1-line → pa L1-line (reverse of `l1_map`).
-    l1_rev: FxMap64<u64>,
     /// pa L2-line → (completion cycle, fill state) of in-flight prefetches.
     inflight: FxMap64<(u64, Mesi)>,
     /// Prefetch-filled lines not yet referenced by a demand access (for
@@ -182,7 +182,6 @@ impl<P: Probe> MemorySystem<P> {
                 shadow: ShadowCache::new(cfg.l2.num_lines()),
                 seen_lines: DenseSet64::new(),
                 l1_map: FxMap64::new(),
-                l1_rev: FxMap64::new(),
                 inflight: FxMap64::new(),
                 pf_filled: FxSet64::new(),
                 pf_done: Vec::new(),
@@ -248,8 +247,21 @@ impl<P: Probe> MemorySystem<P> {
         self.bus = Bus::new();
     }
 
+    #[inline]
     fn sub_block_of(&self, pa: u64) -> u32 {
-        ((pa % self.cfg.l2.line_bytes() as u64) / self.cfg.l1d.line_bytes() as u64) as u32
+        ((pa & (self.cfg.l2.line_bytes() as u64 - 1)) >> self.cfg.l1d.line_shift()) as u32
+    }
+
+    /// The virtual page number of `va`. Pages are practically always a
+    /// power of two, turning the division into a shift on the hot path.
+    #[inline]
+    fn vpn_of(&self, va: u64) -> Vpn {
+        let page = self.cfg.page_size as u64;
+        if page.is_power_of_two() {
+            Vpn(va >> page.trailing_zeros())
+        } else {
+            Vpn(va / page)
+        }
     }
 
     /// Performs one demand reference by `cpu` at local time `now`.
@@ -277,7 +289,7 @@ impl<P: Probe> MemorySystem<P> {
         let mut latency = 0u64;
 
         // TLB.
-        let vpn = Vpn(va.0 / self.cfg.page_size as u64);
+        let vpn = self.vpn_of(va.0);
         let tlb_miss = !self.cpus[cpu].tlb.access(vpn);
         if tlb_miss {
             let penalty = self.cfg.tlb_miss_cycles();
@@ -288,13 +300,18 @@ impl<P: Probe> MemorySystem<P> {
         }
         let now = now + latency;
 
-        self.complete_prefetches(cpu, now);
+        // Prefetch-completion sweep, skipped entirely when nothing is in
+        // flight (the common case): the sweep is a no-op then, so eliding
+        // the call cannot change any state.
+        if !self.cpus[cpu].inflight.is_empty() {
+            self.complete_prefetches(cpu, now);
+        }
 
+        // L1 probe. This runs before the pa-side (L2-line / sub-block)
+        // arithmetic so the fast path — a read that hits the L1 — returns
+        // without doing it; the arithmetic is pure, so deferring it past
+        // the probe is invisible to the simulation.
         let va_line = self.cfg.l1d.line_of(va.0);
-        let pa_l2_line = self.cfg.l2.line_of(pa.0);
-        let sub = self.sub_block_of(pa.0);
-
-        // L1 probe.
         let l1_hit = {
             let c = &mut self.cpus[cpu];
             let l1 = if is_ifetch { &mut c.l1i } else { &mut c.l1d };
@@ -303,6 +320,8 @@ impl<P: Probe> MemorySystem<P> {
         if l1_hit {
             self.cpus[cpu].stats.l1_hits += 1;
             if is_write {
+                let pa_l2_line = self.cfg.l2.line_of(pa.0);
+                let sub = self.sub_block_of(pa.0);
                 latency += self.write_touch(cpu, now, pa_l2_line, sub);
             }
             return AccessOutcome {
@@ -312,6 +331,8 @@ impl<P: Probe> MemorySystem<P> {
                 tlb_miss,
             };
         }
+        let pa_l2_line = self.cfg.l2.line_of(pa.0);
+        let sub = self.sub_block_of(pa.0);
 
         // L2 probe.
         let l2_state = match self.cpus[cpu].l2.probe(pa_l2_line) {
@@ -328,16 +349,19 @@ impl<P: Probe> MemorySystem<P> {
             self.cpus[cpu].shadow.reference(pa_l2_line)
         };
 
-        if let Some(_state) = l2_state {
+        if let Some(state) = l2_state {
             let hit_cycles = self.cfg.l2_hit_cycles();
             latency += hit_cycles;
             self.cpus[cpu].stats.l2_hits += 1;
             self.cpus[cpu].stats.l2_hit_stall_cycles += hit_cycles;
-            if self.cpus[cpu].pf_filled.remove(pa_l2_line) {
+            // The emptiness gate keeps prefetch-hit bookkeeping off the
+            // hit path of runs that never prefetch (removal from an empty
+            // set is a no-op either way).
+            if !self.cpus[cpu].pf_filled.is_empty() && self.cpus[cpu].pf_filled.remove(pa_l2_line) {
                 self.cpus[cpu].stats.prefetch_hits += 1;
             }
             if is_write {
-                latency += self.write_touch(cpu, now, pa_l2_line, sub);
+                latency += self.write_touch_in_state(cpu, now, pa_l2_line, sub, state);
             }
             self.fill_l1(cpu, va_line, pa.0, is_ifetch);
             return AccessOutcome {
@@ -405,7 +429,7 @@ impl<P: Probe> MemorySystem<P> {
             c
         } else if !self.cpus[cpu]
             .seen_lines
-            .contains(pa_l2_line / self.cfg.l2.line_bytes() as u64)
+            .contains(pa_l2_line >> self.cfg.l2.line_shift())
         {
             MissClass::Cold
         } else if fa_hit {
@@ -415,7 +439,7 @@ impl<P: Probe> MemorySystem<P> {
         };
         self.cpus[cpu]
             .seen_lines
-            .insert(pa_l2_line / self.cfg.l2.line_bytes() as u64);
+            .insert(pa_l2_line >> self.cfg.l2.line_shift());
 
         let (service_latency, serviced_by, fill_state) =
             self.service_miss(cpu, now, pa_l2_line, sub, is_write);
@@ -456,7 +480,7 @@ impl<P: Probe> MemorySystem<P> {
         pa: PhysAddr,
         exclusive: bool,
     ) -> PrefetchOutcome {
-        let vpn = Vpn(va.0 / self.cfg.page_size as u64);
+        let vpn = self.vpn_of(va.0);
         let pa_l2_line = self.cfg.l2.line_of(pa.0);
         if !self.cpus[cpu].tlb.probe(vpn) {
             self.cpus[cpu].stats.prefetches_dropped_tlb += 1;
@@ -650,6 +674,19 @@ impl<P: Probe> MemorySystem<P> {
             // transiently around an inclusion invalidation; treat as no-op.
             Lookup::Miss => return 0,
         };
+        self.write_touch_in_state(cpu, now, pa_l2_line, sub, state)
+    }
+
+    /// [`write_touch`](Self::write_touch) for a caller that has already
+    /// probed the L2 and knows the line's state — skips the second probe.
+    fn write_touch_in_state(
+        &mut self,
+        cpu: CpuId,
+        now: u64,
+        pa_l2_line: u64,
+        sub: u32,
+        state: Mesi,
+    ) -> u64 {
         let mut extra = 0;
         if state.needs_upgrade_for_write() {
             let occ = self.cfg.bus_occupancy_cycles(self.cfg.upgrade_bus_bytes);
@@ -712,7 +749,6 @@ impl<P: Probe> MemorySystem<P> {
         for k in 0..n {
             let pa_sub = pa_l2_line + k * l1_line;
             if let Some(va_sub) = self.cpus[cpu].l1_map.remove(pa_sub) {
-                self.cpus[cpu].l1_rev.remove(va_sub);
                 self.cpus[cpu].l1d.invalidate(va_sub);
                 self.cpus[cpu].l1i.invalidate(va_sub);
             }
@@ -860,13 +896,12 @@ impl<P: Probe> MemorySystem<P> {
         if matches!(l1.peek(va_line), Lookup::Hit(_)) {
             return;
         }
-        if let Some(evicted) = l1.fill(va_line, Mesi::Exclusive) {
-            if let Some(pa_old) = c.l1_rev.remove(evicted.line_addr) {
-                c.l1_map.remove(pa_old);
-            }
+        if let Some(evicted) = l1.fill_tagged(va_line, Mesi::Exclusive, pa_sub) {
+            // The way's aux tag is the pa the victim was filled under, so
+            // the stale forward mapping dies without a reverse lookup.
+            c.l1_map.remove(evicted.aux);
         }
         c.l1_map.insert(pa_sub, va_line);
-        c.l1_rev.insert(va_line, pa_sub);
     }
 
     /// Applies all prefetch fills whose completion time has passed.
