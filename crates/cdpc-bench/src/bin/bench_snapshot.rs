@@ -28,7 +28,7 @@ use cdpc_bench::{Preset, Setup};
 use cdpc_compiler::ir::AccessPattern;
 use cdpc_compiler::locality::AccessPrefetch;
 use cdpc_compiler::trace::{OpSpec, ResolvedAccess, TraceOp};
-use cdpc_machine::{run, run_observed, sweep_map, PolicyKind};
+use cdpc_machine::{run, run_attributed, run_observed, sweep_map, PolicyKind};
 use cdpc_memsim::{AccessKind, MemConfig, MemorySystem};
 use cdpc_obs::selfprof::{time_iters, SelfProfile, Stopwatch};
 use cdpc_obs::{CountingProbe, JsonValue, Probe};
@@ -187,6 +187,20 @@ fn run_loop_tomcatv(setup: &Setup) -> (f64, u64) {
     (timing.iters_per_sec() * refs as f64, refs)
 }
 
+/// The same end-to-end run with the miss-attribution probe installed:
+/// its refs/s against `run_loop_tomcatv_8p`'s measures the attribution
+/// overhead (target: within 5% — the probe is a handful of array writes
+/// per L2 miss, and misses are rare next to the hits dominating the run).
+fn run_loop_tomcatv_attrib(setup: &Setup) -> (f64, u64) {
+    let bench = cdpc_workloads::by_name("tomcatv").expect("tomcatv exists");
+    let job = setup.job(&bench, Preset::Base1MbDm, 8, PolicyKind::Cdpc, false, true);
+    let refs = run(&job.compiled, &job.cfg).simulated_refs;
+    let timing = time_iters(1, 3, || {
+        std::hint::black_box(run_attributed(&job.compiled, &job.cfg));
+    });
+    (timing.iters_per_sec() * refs as f64, refs)
+}
+
 /// Measures one microbenchmark three times and keeps the best run:
 /// throughput noise on a shared host is one-sided (interference only
 /// slows the run down), so the maximum is the stable estimator.
@@ -213,6 +227,9 @@ fn run_microbench(setup: &Setup) -> Vec<(String, f64)> {
     entries.push(best_of_3("l1_hit_1p", l1_hit_storm));
     entries.push(best_of_3("trace_stream", trace_stream));
     entries.push(best_of_3("run_loop_tomcatv_8p", || run_loop_tomcatv(setup)));
+    entries.push(best_of_3("run_loop_tomcatv_8p_attrib", || {
+        run_loop_tomcatv_attrib(setup)
+    }));
     entries
 }
 

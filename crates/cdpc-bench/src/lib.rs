@@ -20,6 +20,10 @@
 //! `--trace <path>` writes a Chrome-trace-event timeline loadable in
 //! Perfetto, `--series <path>` writes an interval-metrics CSV, and
 //! `--sample-interval <cycles>` sets the series' window length.
+//! `--attrib <path>` writes a per-array/per-color miss-attribution JSON
+//! report plus a self-contained HTML rendering next to it, and `--top`
+//! prints the attribution's terminal summary after each run. The
+//! dedicated `attrib` binary runs a single benchmark with attribution on.
 //!
 //! Two analysis flags hook in the `cdpc-analyze` crate: `--lint` runs the
 //! static lints on every compiled workload (failing on unallowed `Error`
@@ -34,11 +38,12 @@ use cdpc_analyze::SanitizerProbe;
 use cdpc_compiler::ir::Program;
 use cdpc_compiler::{compile, CompileOptions, CompiledProgram};
 use cdpc_machine::{
+    attribution_probe, attribution_to_html, attribution_to_json, render_attribution_top,
     report_to_json, run_observed, run_sweep, sweep_map, PolicyKind, RunConfig, RunReport,
     SchedulerKind, SweepJob,
 };
 use cdpc_memsim::{CacheConfig, MemConfig};
-use cdpc_obs::{IntervalSeries, JsonValue, NullProbe, TraceProbe};
+use cdpc_obs::{AttributionProbe, IntervalSeries, JsonValue, TraceProbe};
 use cdpc_workloads::spec::Scale;
 use cdpc_workloads::Benchmark;
 
@@ -73,7 +78,7 @@ pub const DEFAULT_SAMPLE_INTERVAL: u64 = 10_000;
 
 const FLAG_USAGE: &str = "supported flags: --scale N, --full, --threads N, --lint, --sanitize, \
                           --scheduler batch|heap, --json <path>, --trace <path>, \
-                          --series <path>, --sample-interval <cycles>";
+                          --series <path>, --sample-interval <cycles>, --attrib <path>, --top";
 
 /// Observability outputs requested on the command line, shared by every
 /// experiment binary via [`Setup::from_args`].
@@ -95,6 +100,14 @@ pub struct ObsOptions {
     /// `--sample-interval <cycles>`: window length for interval sampling
     /// ([`DEFAULT_SAMPLE_INTERVAL`] when only `--series` is given).
     pub sample_interval: Option<u64>,
+    /// `--attrib <path>`: per-array/per-color miss-attribution report.
+    /// Writes the JSON document at `path` and a self-contained HTML
+    /// rendering next to it (same stem, `.html` extension).
+    pub attrib: Option<PathBuf>,
+    /// `--top`: print a terminal miss-attribution summary (totals by
+    /// class, worst `(array, color)` conflict cells, histograms) after
+    /// each run. Implies attribution collection even without `--attrib`.
+    pub top: bool,
     /// Reports exported so far in this process (backs the JSON document).
     reports: RefCell<Vec<JsonValue>>,
     /// Runs recorded so far in this process (numbers the output files).
@@ -107,6 +120,8 @@ impl PartialEq for ObsOptions {
             && self.trace == other.trace
             && self.series == other.series
             && self.sample_interval == other.sample_interval
+            && self.attrib == other.attrib
+            && self.top == other.top
     }
 }
 
@@ -120,6 +135,13 @@ impl ObsOptions {
             || self.trace.is_some()
             || self.series.is_some()
             || self.sample_interval.is_some()
+            || self.attribution()
+    }
+
+    /// True when miss attribution should be collected (`--attrib` or
+    /// `--top`).
+    pub fn attribution(&self) -> bool {
+        self.attrib.is_some() || self.top
     }
 
     /// The sampling window to run with, if interval sampling applies.
@@ -132,12 +154,15 @@ impl ObsOptions {
     }
 
     /// Records one finished run: extends and rewrites the JSON document,
-    /// and writes this run's series CSV and trace files.
+    /// and writes this run's series CSV, trace, and attribution files.
+    /// `attrib` pairs the run's attribution probe with the array names of
+    /// the compiled program it observed.
     pub fn record(
         &self,
         report: &RunReport,
         series: Option<&IntervalSeries>,
         trace: Option<&TraceProbe>,
+        attrib: Option<(&AttributionProbe, &[String])>,
     ) {
         let idx = self.runs.get();
         self.runs.set(idx + 1);
@@ -152,6 +177,17 @@ impl ObsOptions {
         }
         if let (Some(path), Some(trace)) = (&self.trace, trace) {
             write_text(&numbered(path, idx), &trace.to_chrome_trace());
+        }
+        if let Some((probe, names)) = attrib {
+            let doc = attribution_to_json(probe, names, report);
+            if self.top {
+                print!("{}", render_attribution_top(&doc, 10));
+            }
+            if let Some(path) = &self.attrib {
+                let path = numbered(path, idx);
+                write_text(&path, &doc.to_string_pretty());
+                write_text(&path.with_extension("html"), &attribution_to_html(&doc));
+            }
         }
     }
 }
@@ -295,6 +331,14 @@ impl Setup {
                     setup.obs.series = Some(PathBuf::from(value(&args, i, "--series")));
                     i += 2;
                 }
+                "--attrib" => {
+                    setup.obs.attrib = Some(PathBuf::from(value(&args, i, "--attrib")));
+                    i += 2;
+                }
+                "--top" => {
+                    setup.obs.top = true;
+                    i += 1;
+                }
                 "--sample-interval" => {
                     let v = value(&args, i, "--sample-interval")
                         .parse::<u64>()
@@ -404,40 +448,36 @@ impl Setup {
         }
         let interval = self.obs.sampling();
         let want_trace = self.obs.trace.is_some();
+        let want_attrib = self.obs.attribution();
         let sanitize = self.sanitize;
         let results = sweep_map(jobs, self.threads, |job| {
             let cpus = job.cfg.mem.num_cpus;
-            match (sanitize, want_trace) {
-                (true, true) => {
-                    let mut probe = (SanitizerProbe::new(cpus), TraceProbe::new());
-                    let (report, series) =
-                        run_observed(&job.compiled, &job.cfg, &mut probe, interval);
-                    (report, series, Some(probe.1))
-                }
-                (true, false) => {
-                    let mut probe = (SanitizerProbe::new(cpus), NullProbe);
-                    let (report, series) =
-                        run_observed(&job.compiled, &job.cfg, &mut probe, interval);
-                    (report, series, None)
-                }
-                (false, true) => {
-                    let mut probe = TraceProbe::new();
-                    let (report, series) =
-                        run_observed(&job.compiled, &job.cfg, &mut probe, interval);
-                    (report, series, Some(probe))
-                }
-                (false, false) => {
-                    let (report, series) =
-                        run_observed(&job.compiled, &job.cfg, &mut NullProbe, interval);
-                    (report, series, None)
-                }
-            }
+            // Compose the requested sinks as a tuple of `Option<Probe>`s:
+            // `None` slots are no-ops the optimizer removes, so one code
+            // path covers all eight on/off combinations.
+            let mut probe = (
+                sanitize.then(|| SanitizerProbe::new(cpus)),
+                want_trace.then(TraceProbe::new),
+                want_attrib.then(|| attribution_probe(&job.compiled, &job.cfg)),
+            );
+            let (report, series) = run_observed(&job.compiled, &job.cfg, &mut probe, interval);
+            (report, series, probe.1, probe.2)
         });
         results
             .into_iter()
-            .map(|(report, series, probe)| {
+            .zip(jobs)
+            .map(|((report, series, trace, attrib), job)| {
                 if self.obs.active() {
-                    self.obs.record(&report, series.as_ref(), probe.as_ref());
+                    let names;
+                    let attrib = match &attrib {
+                        Some(probe) => {
+                            names = job.compiled.array_names();
+                            Some((probe, names.as_slice()))
+                        }
+                        None => None,
+                    };
+                    self.obs
+                        .record(&report, series.as_ref(), trace.as_ref(), attrib);
                 }
                 report
             })
@@ -677,6 +717,51 @@ mod tests {
         assert!(trace.get("traceEvents").is_some());
         assert!(dir.join("series-1.csv").exists());
         assert!(dir.join("trace-1.json").exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn attribution_run_bench_writes_json_and_html() {
+        let dir = std::env::temp_dir().join(format!("cdpc-bench-attrib-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut s = Setup::with_scale(64);
+        s.obs.attrib = Some(dir.join("attrib.json"));
+        assert!(s.obs.attribution() && s.obs.active());
+        let bench = cdpc_workloads::by_name("tomcatv").unwrap();
+        let plain = Setup::with_scale(64).run_bench(
+            &bench,
+            Preset::Base1MbDm,
+            4,
+            PolicyKind::Cdpc,
+            false,
+            true,
+        );
+        let observed = s.run_bench(&bench, Preset::Base1MbDm, 4, PolicyKind::Cdpc, false, true);
+        assert_eq!(plain, observed, "attribution must not change results");
+
+        let doc = JsonValue::parse(&std::fs::read_to_string(dir.join("attrib.json")).unwrap())
+            .expect("attribution JSON must parse");
+        let attrib = doc.get("attribution").expect("attribution subtree");
+        // Cross-check invariant: attributed totals equal the report's
+        // aggregate miss counts, class by class.
+        let totals = attrib.get("totals").unwrap().get("by_class").unwrap();
+        let report_misses = doc.get("report_misses").unwrap();
+        for class in [
+            "cold",
+            "capacity",
+            "conflict",
+            "true-sharing",
+            "false-sharing",
+        ] {
+            assert_eq!(
+                totals.get(class).unwrap().as_u64(),
+                report_misses.get(class).unwrap().as_u64(),
+                "class `{class}`"
+            );
+        }
+        let html = std::fs::read_to_string(dir.join("attrib.html")).unwrap();
+        assert!(html.starts_with("<!DOCTYPE html>"));
+        assert!(html.contains("<svg"));
         std::fs::remove_dir_all(&dir).ok();
     }
 

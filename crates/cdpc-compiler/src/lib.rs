@@ -182,6 +182,21 @@ pub struct CompiledPhase {
     pub stmts: Vec<CompiledStmt>,
 }
 
+/// Identity of one laid-out array: the source-level name together with
+/// the virtual range the layout pass assigned it. This is what miss
+/// attribution threads down the stack — the memory system tags every
+/// classified miss with the index of the array whose range the faulting
+/// address falls in.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArrayInfo {
+    /// Source-level array name.
+    pub name: String,
+    /// First byte of the array's virtual range.
+    pub base: cdpc_vm::addr::VirtAddr,
+    /// Size in bytes.
+    pub bytes: u64,
+}
+
 /// The compiler's full output for one (program, machine) pair.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CompiledProgram {
@@ -191,6 +206,8 @@ pub struct CompiledProgram {
     pub num_cpus: usize,
     /// Data layout (array base addresses, code segment).
     pub layout: DataLayout,
+    /// Array identities in declaration order (index = region tag).
+    pub arrays: Vec<ArrayInfo>,
     /// CDPC access summary (stage 1 of the paper's pipeline).
     pub summary: AccessSummary,
     /// Lowered phases.
@@ -221,6 +238,27 @@ impl CompiledProgram {
         }
         total
     }
+
+    /// The virtual-range → array-index map the memory system uses to
+    /// attribute misses (region `id` = position in [`Self::arrays`]).
+    pub fn region_map(&self) -> cdpc_vm::RegionMap {
+        cdpc_vm::RegionMap::new(
+            self.arrays
+                .iter()
+                .enumerate()
+                .map(|(i, a)| cdpc_vm::Region {
+                    start: a.base.0,
+                    end: a.base.0 + a.bytes,
+                    id: i as u32,
+                })
+                .collect(),
+        )
+    }
+
+    /// The array names, in region-id order (report labels).
+    pub fn array_names(&self) -> Vec<String> {
+        self.arrays.iter().map(|a| a.name.clone()).collect()
+    }
 }
 
 /// Runs the whole pipeline: validate → parallelize → layout → summarize →
@@ -247,10 +285,22 @@ pub fn compile(program: &Program, opts: &CompileOptions) -> Result<CompiledProgr
 
     let phases = lower(program, &plan, &data_layout, &prefetch, opts);
 
+    let arrays = program
+        .arrays
+        .iter()
+        .zip(&data_layout.bases)
+        .map(|(decl, &base)| ArrayInfo {
+            name: decl.name.clone(),
+            base,
+            bytes: decl.bytes,
+        })
+        .collect();
+
     Ok(CompiledProgram {
         name: program.name.clone(),
         num_cpus: opts.num_cpus,
         layout: data_layout,
+        arrays,
         summary,
         phases,
         data_bytes: program.data_set_bytes(),

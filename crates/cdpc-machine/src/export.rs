@@ -104,6 +104,42 @@ pub fn report_to_json(r: &RunReport) -> JsonValue {
     root
 }
 
+/// Builds the full miss-attribution document for one run: run identity,
+/// the report-side aggregate miss counts (the cross-check target — each
+/// class's attributed total must equal the report's count exactly), and
+/// the probe's `(array × color × cpu × class)` decomposition, histograms,
+/// and occupancy series. `names` labels the arrays in region-id order.
+pub fn attribution_to_json(
+    probe: &cdpc_obs::AttributionProbe,
+    names: &[String],
+    r: &RunReport,
+) -> JsonValue {
+    let agg = r.mem_stats.aggregate();
+    let mut aggregate = JsonValue::object();
+    for class in [
+        MissClass::Cold,
+        MissClass::Capacity,
+        MissClass::Conflict,
+        MissClass::TrueSharing,
+        MissClass::FalseSharing,
+    ] {
+        aggregate.push(
+            cdpc_obs::MissClassId::from(class).label(),
+            JsonValue::UInt(agg.misses.get(class)),
+        );
+    }
+    aggregate.push("total", JsonValue::UInt(agg.misses.total()));
+
+    let mut root = JsonValue::object();
+    root.push("workload", JsonValue::Str(r.name.clone()))
+        .push("policy", JsonValue::Str(r.policy.clone()))
+        .push("num_cpus", JsonValue::UInt(r.num_cpus as u64))
+        .push("elapsed_cycles", JsonValue::UInt(r.elapsed_cycles))
+        .push("report_misses", aggregate)
+        .push("attribution", probe.to_json(names));
+    root
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

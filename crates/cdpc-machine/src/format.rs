@@ -3,6 +3,8 @@
 
 use std::fmt::Write;
 
+use cdpc_obs::JsonValue;
+
 use crate::report::RunReport;
 
 /// Renders a full Figure-2-style breakdown of one run: combined time with
@@ -72,6 +74,106 @@ pub fn render_report(r: &RunReport) -> String {
             r.fault_stats.preferred,
             r.fault_stats.honor_rate() * 100.0
         );
+    }
+    out
+}
+
+/// Renders the terminal `--top` summary of a miss-attribution document
+/// (the JSON tree built by [`attribution_to_json`](crate::attribution_to_json)):
+/// totals by miss class, the `top` worst `(array, color)` conflict cells,
+/// and one summary line per histogram.
+pub fn render_attribution_top(doc: &JsonValue, top: usize) -> String {
+    let mut out = String::new();
+    let attrib = doc.get("attribution").unwrap_or(doc);
+    let u = |v: Option<&JsonValue>| v.and_then(|v| v.as_u64()).unwrap_or(0);
+
+    let _ = writeln!(
+        out,
+        "{} · {} CPUs · policy {} — miss attribution",
+        doc.get("workload").and_then(|v| v.as_str()).unwrap_or("?"),
+        u(doc.get("num_cpus")),
+        doc.get("policy").and_then(|v| v.as_str()).unwrap_or("?"),
+    );
+
+    if let Some(totals) = attrib.get("totals") {
+        let _ = writeln!(out, "  attributed misses: {}", u(totals.get("misses")));
+        if let Some(JsonValue::Object(pairs)) = totals.get("by_class") {
+            let parts: Vec<String> = pairs
+                .iter()
+                .map(|(k, v)| format!("{} {}", k, v.as_u64().unwrap_or(0)))
+                .collect();
+            let _ = writeln!(out, "    by class: {}", parts.join(" · "));
+        }
+    }
+
+    // Gather every (array, color, conflict-miss) cell and rank them.
+    let mut cells: Vec<(&str, usize, u64)> = Vec::new();
+    let mut conflict_total = 0u64;
+    if let Some(arrays) = attrib.get("arrays").and_then(|v| v.as_array()) {
+        for a in arrays {
+            let name = a.get("name").and_then(|v| v.as_str()).unwrap_or("?");
+            if let Some(by_color) = a.get("conflict_by_color").and_then(|v| v.as_array()) {
+                for (color, v) in by_color.iter().enumerate() {
+                    let n = v.as_u64().unwrap_or(0);
+                    conflict_total += n;
+                    if n > 0 {
+                        cells.push((name, color, n));
+                    }
+                }
+            }
+        }
+    }
+    cells.sort_by(|a, b| b.2.cmp(&a.2).then(a.0.cmp(b.0)).then(a.1.cmp(&b.1)));
+    if cells.is_empty() {
+        let _ = writeln!(out, "  no conflict misses attributed");
+    } else {
+        let _ = writeln!(
+            out,
+            "  top {} conflict cells ({} conflict misses total):",
+            top.min(cells.len()),
+            conflict_total
+        );
+        let _ = writeln!(
+            out,
+            "    {:<16} {:>6} {:>12} {:>7}",
+            "array", "color", "conflicts", "share"
+        );
+        for (name, color, n) in cells.iter().take(top) {
+            let _ = writeln!(
+                out,
+                "    {:<16} {:>6} {:>12} {:>6.1}%",
+                name,
+                color,
+                n,
+                100.0 * *n as f64 / conflict_total.max(1) as f64
+            );
+        }
+    }
+
+    if let Some(hists) = attrib.get("histograms") {
+        for (key, label) in [
+            ("miss_latency_cycles", "miss latency"),
+            ("inter_miss_cycles", "inter-miss gap"),
+            ("batch_ops", "run-loop batch"),
+        ] {
+            if let Some(h) = hists.get(key) {
+                let count = u(h.get("count"));
+                if count == 0 {
+                    let _ = writeln!(out, "  {label}: (empty)");
+                } else {
+                    let _ = writeln!(
+                        out,
+                        "  {label}: n={} mean={:.1} p50={} p90={} p99={} max={}",
+                        count,
+                        h.get("mean").and_then(|v| v.as_f64()).unwrap_or(0.0),
+                        u(h.get("p50")),
+                        u(h.get("p90")),
+                        u(h.get("p99")),
+                        u(h.get("max")),
+                    );
+                }
+            }
+        }
     }
     out
 }

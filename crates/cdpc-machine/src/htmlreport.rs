@@ -1,0 +1,399 @@
+//! Self-contained HTML rendering of a miss-attribution document.
+//!
+//! The report is generated from the JSON tree built by
+//! [`attribution_to_json`](crate::attribution_to_json) — the JSON is the
+//! single source of truth, so a report can be re-rendered later from a
+//! saved `.json` file without re-running the simulation. The output is one
+//! file with inline CSS and inline SVG: no scripts, no external fetches,
+//! openable from a `file://` URL on an air-gapped machine.
+//!
+//! Sections: run header, miss totals by class, an `array × color` conflict
+//! heatmap (SVG), the top offender table, the per-color occupancy timeline
+//! (SVG), and histogram summaries.
+
+use std::fmt::Write;
+
+use cdpc_obs::JsonValue;
+
+/// Escapes `&`, `<`, `>`, and `"` for safe embedding in HTML text and
+/// attribute positions. Array names come from user programs, so they are
+/// untrusted from the report's point of view.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+fn get_u64(v: Option<&JsonValue>) -> u64 {
+    v.and_then(|v| v.as_u64()).unwrap_or(0)
+}
+
+fn u64_array(v: Option<&JsonValue>) -> Vec<u64> {
+    v.and_then(|v| v.as_array())
+        .map(|a| a.iter().map(|x| x.as_u64().unwrap_or(0)).collect())
+        .unwrap_or_default()
+}
+
+/// Maps a density in `[0, 1]` to a white→red fill color.
+fn heat_color(t: f64) -> String {
+    let t = t.clamp(0.0, 1.0);
+    // White (255,255,255) → deep red (165,15,21), perceptually adequate
+    // for a conflict-density map without needing a gradient library.
+    let r = 255.0 - t * (255.0 - 165.0);
+    let g = 255.0 - t * (255.0 - 15.0);
+    let b = 255.0 - t * (255.0 - 21.0);
+    format!("rgb({},{},{})", r as u32, g as u32, b as u32)
+}
+
+/// Renders the `array × color` conflict heatmap as inline SVG.
+fn heatmap_svg(rows: &[(String, Vec<u64>)], colors: usize) -> String {
+    let cell = 14usize;
+    let label_w = 130usize;
+    let top_h = 18usize;
+    let width = label_w + colors * cell + 8;
+    let height = top_h + rows.len() * cell + 24;
+    let max = rows
+        .iter()
+        .flat_map(|(_, v)| v.iter().copied())
+        .max()
+        .unwrap_or(0)
+        .max(1) as f64;
+
+    let mut s = String::new();
+    let _ = write!(
+        s,
+        "<svg width=\"{width}\" height=\"{height}\" viewBox=\"0 0 {width} {height}\" \
+         font-family=\"monospace\" font-size=\"10\">"
+    );
+    for (i, (name, by_color)) in rows.iter().enumerate() {
+        let y = top_h + i * cell;
+        let _ = write!(
+            s,
+            "<text x=\"{}\" y=\"{}\" text-anchor=\"end\">{}</text>",
+            label_w - 6,
+            y + cell - 3,
+            escape(name)
+        );
+        for (c, &n) in by_color.iter().enumerate() {
+            let x = label_w + c * cell;
+            let fill = heat_color((n as f64 / max).sqrt()); // sqrt: lift the mid-range
+            let _ = write!(
+                s,
+                "<rect x=\"{x}\" y=\"{y}\" width=\"{cell}\" height=\"{cell}\" \
+                 fill=\"{fill}\" stroke=\"#ddd\" stroke-width=\"0.5\">\
+                 <title>{} · color {c}: {n} conflict misses</title></rect>",
+                escape(name)
+            );
+        }
+    }
+    // Color-axis ticks every 8 colors.
+    for c in (0..colors).step_by(8) {
+        let _ = write!(
+            s,
+            "<text x=\"{}\" y=\"{}\" text-anchor=\"middle\">{c}</text>",
+            label_w + c * cell + cell / 2,
+            top_h + rows.len() * cell + 14
+        );
+    }
+    let _ = write!(
+        s,
+        "<text x=\"{label_w}\" y=\"12\">page color → (max cell = {} misses)</text></svg>",
+        max as u64
+    );
+    s
+}
+
+/// Renders the occupancy timeline (total mapped pages per snapshot, plus
+/// the most-loaded color) as inline SVG.
+fn occupancy_svg(cycles: &[u64], per_snapshot: &[Vec<u64>]) -> String {
+    let width = 640usize;
+    let height = 160usize;
+    let pad = 40usize;
+    if cycles.len() < 2 || per_snapshot.len() != cycles.len() {
+        return "<p>(occupancy timeline needs at least two snapshots)</p>".into();
+    }
+    let totals: Vec<u64> = per_snapshot.iter().map(|v| v.iter().sum()).collect();
+    let maxes: Vec<u64> = per_snapshot
+        .iter()
+        .map(|v| v.iter().copied().max().unwrap_or(0))
+        .collect();
+    let x_max = (*cycles.last().unwrap()).max(1) as f64;
+    let y_max = totals.iter().copied().max().unwrap_or(0).max(1) as f64;
+    let px = |cyc: u64| pad as f64 + (width - 2 * pad) as f64 * cyc as f64 / x_max;
+    let py = |v: u64| (height - pad) as f64 - (height - 2 * pad) as f64 * v as f64 / y_max;
+    let poly = |vals: &[u64]| -> String {
+        cycles
+            .iter()
+            .zip(vals)
+            .map(|(&c, &v)| format!("{:.1},{:.1}", px(c), py(v)))
+            .collect::<Vec<_>>()
+            .join(" ")
+    };
+
+    let mut s = String::new();
+    let _ = write!(
+        s,
+        "<svg width=\"{width}\" height=\"{height}\" viewBox=\"0 0 {width} {height}\" \
+         font-family=\"monospace\" font-size=\"10\">\
+         <line x1=\"{pad}\" y1=\"{y0}\" x2=\"{x1}\" y2=\"{y0}\" stroke=\"#888\"/>\
+         <line x1=\"{pad}\" y1=\"{pad}\" x2=\"{pad}\" y2=\"{y0}\" stroke=\"#888\"/>",
+        y0 = height - pad,
+        x1 = width - pad,
+    );
+    let _ = write!(
+        s,
+        "<polyline points=\"{}\" fill=\"none\" stroke=\"#2166ac\" stroke-width=\"1.5\"/>",
+        poly(&totals)
+    );
+    let _ = write!(
+        s,
+        "<polyline points=\"{}\" fill=\"none\" stroke=\"#b2182b\" stroke-width=\"1.5\" \
+         stroke-dasharray=\"4 2\"/>",
+        poly(&maxes)
+    );
+    let _ = write!(
+        s,
+        "<text x=\"{pad}\" y=\"12\" fill=\"#2166ac\">total mapped pages (max {})</text>\
+         <text x=\"{x}\" y=\"12\" fill=\"#b2182b\">busiest color (dashed)</text>\
+         <text x=\"{pad}\" y=\"{yb}\">cycle 0</text>\
+         <text x=\"{x1}\" y=\"{yb}\" text-anchor=\"end\">cycle {last}</text></svg>",
+        y_max as u64,
+        x = pad + 280,
+        yb = height - pad + 14,
+        x1 = width - pad,
+        last = cycles.last().unwrap(),
+    );
+    s
+}
+
+/// Renders a miss-attribution JSON document as a self-contained HTML page.
+///
+/// Accepts either the full document from
+/// [`attribution_to_json`](crate::attribution_to_json) or just its
+/// `attribution` subtree (the header falls back to `?` for missing run
+/// identity fields).
+pub fn attribution_to_html(doc: &JsonValue) -> String {
+    let attrib = doc.get("attribution").unwrap_or(doc);
+    let workload = doc.get("workload").and_then(|v| v.as_str()).unwrap_or("?");
+    let policy = doc.get("policy").and_then(|v| v.as_str()).unwrap_or("?");
+    let cpus = get_u64(doc.get("num_cpus"));
+    let elapsed = get_u64(doc.get("elapsed_cycles"));
+
+    let mut out = String::with_capacity(16 << 10);
+    let _ = write!(
+        out,
+        "<!DOCTYPE html><html lang=\"en\"><head><meta charset=\"utf-8\">\
+         <title>Miss attribution — {w}</title><style>\
+         body{{font-family:system-ui,sans-serif;margin:2em auto;max-width:900px;color:#222}}\
+         h1{{font-size:1.4em}}h2{{font-size:1.1em;margin-top:1.6em;\
+         border-bottom:1px solid #ddd;padding-bottom:.2em}}\
+         table{{border-collapse:collapse;font-size:.9em}}\
+         th,td{{border:1px solid #ccc;padding:.25em .6em;text-align:right}}\
+         th{{background:#f3f3f3}}td.l,th.l{{text-align:left}}\
+         .meta{{color:#555;font-size:.9em}}\
+         </style></head><body>",
+        w = escape(workload)
+    );
+    let _ = write!(
+        out,
+        "<h1>Miss attribution: {}</h1>\
+         <p class=\"meta\">policy {} · {} CPUs · {} elapsed cycles</p>",
+        escape(workload),
+        escape(policy),
+        cpus,
+        elapsed
+    );
+
+    // ---- totals by class -------------------------------------------------
+    let _ = write!(out, "<h2>Miss totals by class</h2>");
+    if let Some(totals) = attrib.get("totals") {
+        let _ = write!(
+            out,
+            "<table><tr><th class=\"l\">class</th><th>attributed</th><th>report</th></tr>"
+        );
+        let report_misses = doc.get("report_misses");
+        if let Some(JsonValue::Object(pairs)) = totals.get("by_class") {
+            for (class, v) in pairs {
+                let rep = report_misses
+                    .and_then(|r| r.get(class))
+                    .and_then(|v| v.as_u64());
+                let _ = write!(
+                    out,
+                    "<tr><td class=\"l\">{}</td><td>{}</td><td>{}</td></tr>",
+                    escape(class),
+                    v.as_u64().unwrap_or(0),
+                    rep.map_or("—".into(), |n| n.to_string())
+                );
+            }
+        }
+        let _ = write!(
+            out,
+            "<tr><th class=\"l\">total</th><th>{}</th><th>{}</th></tr></table>",
+            get_u64(totals.get("misses")),
+            report_misses
+                .map(|r| get_u64(r.get("total")).to_string())
+                .unwrap_or_else(|| "—".into())
+        );
+    }
+
+    // ---- heatmap ---------------------------------------------------------
+    let rows: Vec<(String, Vec<u64>)> = attrib
+        .get("arrays")
+        .and_then(|v| v.as_array())
+        .map(|arrays| {
+            arrays
+                .iter()
+                .map(|a| {
+                    (
+                        a.get("name")
+                            .and_then(|v| v.as_str())
+                            .unwrap_or("?")
+                            .to_string(),
+                        u64_array(a.get("conflict_by_color")),
+                    )
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    let colors = get_u64(attrib.get("dims").and_then(|d| d.get("colors"))) as usize;
+    let _ = write!(
+        out,
+        "<h2>Conflict density: array × page color</h2>{}",
+        heatmap_svg(&rows, colors.max(1))
+    );
+
+    // ---- top offenders ---------------------------------------------------
+    let mut cells: Vec<(&str, usize, u64)> = Vec::new();
+    let mut conflict_total = 0u64;
+    for (name, by_color) in &rows {
+        for (c, &n) in by_color.iter().enumerate() {
+            conflict_total += n;
+            if n > 0 {
+                cells.push((name, c, n));
+            }
+        }
+    }
+    cells.sort_by(|a, b| b.2.cmp(&a.2).then(a.0.cmp(b.0)).then(a.1.cmp(&b.1)));
+    let _ = write!(out, "<h2>Top conflict offenders</h2>");
+    if cells.is_empty() {
+        let _ = write!(out, "<p>No conflict misses attributed.</p>");
+    } else {
+        let _ = write!(
+            out,
+            "<table><tr><th class=\"l\">array</th><th>color</th>\
+             <th>conflict misses</th><th>share</th></tr>"
+        );
+        for (name, color, n) in cells.iter().take(16) {
+            let _ = write!(
+                out,
+                "<tr><td class=\"l\">{}</td><td>{}</td><td>{}</td><td>{:.1}%</td></tr>",
+                escape(name),
+                color,
+                n,
+                100.0 * *n as f64 / conflict_total.max(1) as f64
+            );
+        }
+        let _ = write!(out, "</table>");
+    }
+
+    // ---- occupancy timeline ----------------------------------------------
+    if let Some(occ) = attrib.get("colors").and_then(|c| c.get("occupancy")) {
+        let cycles = u64_array(occ.get("cycles"));
+        let per_snapshot: Vec<Vec<u64>> = occ
+            .get("mapped_pages")
+            .and_then(|v| v.as_array())
+            .map(|snaps| snaps.iter().map(|s| u64_array(Some(s))).collect())
+            .unwrap_or_default();
+        let _ = write!(
+            out,
+            "<h2>Page-color occupancy over time</h2>{}",
+            occupancy_svg(&cycles, &per_snapshot)
+        );
+    }
+
+    // ---- histograms ------------------------------------------------------
+    if let Some(hists) = attrib.get("histograms") {
+        let _ = write!(
+            out,
+            "<h2>Latency and batching histograms</h2>\
+             <table><tr><th class=\"l\">histogram</th><th>n</th><th>mean</th>\
+             <th>p50</th><th>p90</th><th>p99</th><th>max</th></tr>"
+        );
+        for (key, label) in [
+            ("miss_latency_cycles", "miss latency (cycles)"),
+            ("inter_miss_cycles", "inter-miss gap (cycles)"),
+            ("batch_ops", "run-loop batch (ops)"),
+        ] {
+            if let Some(h) = hists.get(key) {
+                let _ = write!(
+                    out,
+                    "<tr><td class=\"l\">{label}</td><td>{}</td><td>{:.1}</td>\
+                     <td>{}</td><td>{}</td><td>{}</td><td>{}</td></tr>",
+                    get_u64(h.get("count")),
+                    h.get("mean").and_then(|v| v.as_f64()).unwrap_or(0.0),
+                    get_u64(h.get("p50")),
+                    get_u64(h.get("p90")),
+                    get_u64(h.get("p99")),
+                    get_u64(h.get("max")),
+                );
+            }
+        }
+        let _ = write!(out, "</table>");
+    }
+
+    let _ = write!(out, "</body></html>");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_hostile_names() {
+        assert_eq!(escape("<A&\"B\">"), "&lt;A&amp;&quot;B&quot;&gt;");
+    }
+
+    #[test]
+    fn renders_minimal_doc_without_panicking() {
+        let doc = JsonValue::parse(
+            r#"{"workload":"w","policy":"cdpc","num_cpus":2,"elapsed_cycles":10,
+                "attribution":{"dims":{"arrays":1,"colors":4,"cpus":2,"classes":5},
+                "totals":{"misses":3,"by_class":{"cold":3}},
+                "arrays":[{"name":"<A>","misses":3,"conflict_by_color":[0,2,1,0]}],
+                "histograms":{"miss_latency_cycles":{"count":3,"mean":40.0,
+                "p50":40,"p90":40,"p99":40,"max":40}},
+                "colors":{"occupancy":{"cycles":[0,10],"mapped_pages":[[0,0,0,0],[1,2,0,1]]}}}}"#,
+        )
+        .unwrap();
+        let html = attribution_to_html(&doc);
+        assert!(html.starts_with("<!DOCTYPE html>"));
+        assert!(html.ends_with("</body></html>"));
+        // Name is escaped everywhere it appears.
+        assert!(!html.contains("<A>"));
+        assert!(html.contains("&lt;A&gt;"));
+        // All three SVG/section types are present.
+        assert!(html.contains("<svg"));
+        assert!(html.contains("Top conflict offenders"));
+        assert!(html.contains("occupancy"));
+        // Zero external references.
+        assert!(!html.contains("http://"));
+        assert!(!html.contains("https://"));
+        assert!(!html.contains("<script"));
+    }
+
+    #[test]
+    fn heat_color_endpoints() {
+        assert_eq!(heat_color(0.0), "rgb(255,255,255)");
+        assert_eq!(heat_color(1.0), "rgb(165,15,21)");
+        assert_eq!(heat_color(-1.0), "rgb(255,255,255)");
+    }
+}

@@ -37,12 +37,16 @@
 
 pub mod export;
 pub mod format;
+pub mod htmlreport;
 pub mod report;
 pub mod run;
 pub mod sweep;
 
-pub use export::report_to_json;
-pub use format::{render_report, summary_line};
+pub use export::{attribution_to_json, report_to_json};
+pub use format::{render_attribution_top, render_report, summary_line};
+pub use htmlreport::attribution_to_html;
 pub use report::{geometric_mean, BusReport, OverheadBreakdown, RunReport, StallBreakdown};
-pub use run::{run, run_observed, PolicyKind, RunConfig, SchedulerKind};
+pub use run::{
+    attribution_probe, run, run_attributed, run_observed, PolicyKind, RunConfig, SchedulerKind,
+};
 pub use sweep::{default_threads, run_sweep, sweep_map, SweepJob};

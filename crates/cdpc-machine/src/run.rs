@@ -25,7 +25,7 @@ use cdpc_compiler::{CompiledProgram, CompiledStmt};
 use cdpc_core::hints::HintOptions;
 use cdpc_core::{generate_hints_with, MachineParams};
 use cdpc_memsim::{AccessKind, CpuStats, MemConfig, MemStats, MemorySystem};
-use cdpc_obs::{HintOutcome, IntervalSeries, NullProbe, Probe, Sample};
+use cdpc_obs::{AttributionProbe, HintOutcome, IntervalSeries, NullProbe, Probe, Sample};
 use cdpc_vm::addr::{Color, ColorSpace, PageGeometry, PhysAddr, Ppn, VirtAddr, Vpn};
 use cdpc_vm::policy::{BinHopping, CdpcPolicy, MappingPolicy, PageColoring};
 use cdpc_vm::AddressSpace;
@@ -619,16 +619,21 @@ impl<Q: Probe> Sim<Q> {
                         // the comparison flips.
                         while let Some(Reverse((_, cpu))) = heap.pop() {
                             let bound = heap.peek().map(|r| r.0);
+                            let mut batch_ops = 0u64;
                             // Stream exhaustion ends the batch with no push:
                             // the finished CPU waits at the barrier.
                             for op in streams[cpu].by_ref() {
                                 self.exec_op(cpu, op);
+                                batch_ops += 1;
                                 // `bound == None` means sole live CPU: run to
                                 // the end of the stream.
                                 if bound.is_some_and(|b| (self.clocks[cpu], cpu) >= b) {
                                     heap.push(Reverse((self.clocks[cpu], cpu)));
                                     break;
                                 }
+                            }
+                            if batch_ops > 0 {
+                                self.mem.probe_mut().on_run_batch(cpu, batch_ops);
                             }
                         }
                     }
@@ -854,6 +859,11 @@ pub fn run_observed<P: Probe>(
         geometry,
         sampler: None,
     };
+    // Thread the compiler's array layout into the memory system so every
+    // classified miss carries its source array and landing color
+    // (`Probe::on_classified_miss`). With a NullProbe the events are
+    // no-ops and the tagging folds away.
+    sim.mem.set_regions(compiled.region_map());
 
     // CDPC on Digital UNIX: serially touch every hinted page in coloring
     // order before the computation starts, so the bin-hopping kernel
@@ -892,14 +902,20 @@ pub fn run_observed<P: Probe>(
     let mut bus_occ = (0u64, 0u64, 0u64);
     let mut bus_busy_weighted = 0u64;
 
-    for phase in &compiled.phases {
+    for (phase_idx, phase) in compiled.phases.iter().enumerate() {
         let k = phase.count.max(1);
         sim.reset_phase_counters();
         sim.sampler_begin_phase(k);
+        // Mirror the phase-weighting protocol to the probe: attribution
+        // sinks fold each phase's events into their totals times `k`, so
+        // their decompositions match this loop's aggregates exactly.
+        sim.mem.probe_mut().on_phase_start(phase_idx, phase.count);
         let start: Vec<u64> = sim.clocks.clone();
         for stmt in &phase.stmts {
             sim.exec_stmt(stmt);
         }
+        let phase_end_cycle = sim.clocks.iter().copied().max().unwrap_or(0);
+        sim.mem.probe_mut().on_phase_end(phase_idx, phase_end_cycle);
         sim.sampler_end_phase();
         if cfg.validate_coherence || cfg!(debug_assertions) {
             sim.mem.validate_coherence();
@@ -981,6 +997,33 @@ pub fn run_observed<P: Probe>(
     };
     let series = sim.sampler.take().map(|s| s.series);
     (report, series)
+}
+
+/// An [`AttributionProbe`] pre-sized for `compiled` on `cfg`'s machine:
+/// one tensor row per declared array (plus the implicit "(other)" row),
+/// one color per cache bin, and snapshot capacity for every phase — so a
+/// run it observes allocates nothing on its behalf.
+pub fn attribution_probe(compiled: &CompiledProgram, cfg: &RunConfig) -> AttributionProbe {
+    AttributionProbe::new(
+        compiled.arrays.len(),
+        cfg.color_space().num_colors() as usize,
+        cfg.mem.num_cpus,
+        compiled.phases.len(),
+    )
+}
+
+/// [`run_observed`] with a fresh [`AttributionProbe`] attached: the
+/// returned probe holds the full `(array × color × cpu × class)` miss
+/// tensor, histograms, and occupancy series for the measured pass. Its
+/// per-class totals decompose the report's aggregate miss counts exactly
+/// (both sides are phase-weighted by occurrence count).
+pub fn run_attributed(
+    compiled: &CompiledProgram,
+    cfg: &RunConfig,
+) -> (RunReport, AttributionProbe) {
+    let mut probe = attribution_probe(compiled, cfg);
+    let (report, _) = run_observed(compiled, cfg, &mut probe, None);
+    (report, probe)
 }
 
 #[cfg(test)]

@@ -1,0 +1,282 @@
+//! Tests for the miss-attribution pipeline: the probe's per-class totals
+//! decompose the run report's aggregate miss counts exactly, a hand-built
+//! two-array conflict workload attributes to exactly the cells arithmetic
+//! predicts, the JSON document is schema-stable, and attribution does not
+//! perturb simulation physics.
+
+use cdpc_compiler::ir::{Access, AccessPattern, LoopNest, Phase, Program, Stmt, StmtKind};
+use cdpc_compiler::{compile, CompileOptions};
+use cdpc_machine::{
+    attribution_to_html, attribution_to_json, render_attribution_top, run, run_attributed,
+    PolicyKind, RunConfig,
+};
+use cdpc_memsim::{AccessKind, CacheConfig, MemConfig, MemorySystem, MissClass};
+use cdpc_obs::{AttributionProbe, JsonValue, MissClassId, Probe};
+use cdpc_vm::addr::{PhysAddr, VirtAddr};
+use cdpc_vm::{Region, RegionMap};
+
+/// A small machine: 32 KB direct-mapped L2 (8 colors with 4 KB pages).
+fn small_mem(cpus: usize) -> MemConfig {
+    let mut m = MemConfig::paper_base(cpus);
+    m.l1d = CacheConfig::new(1 << 10, 32, 2);
+    m.l1i = CacheConfig::new(1 << 10, 32, 2);
+    m.l2 = CacheConfig::new(32 << 10, 128, 1);
+    m
+}
+
+/// Two arrays, a stencil read against a partitioned write, several phase
+/// iterations. The arrays total 48 KB against a 32 KB L2, so the measured
+/// pass keeps missing in steady state (an L2-resident working set would
+/// leave nothing to attribute after warm-up).
+fn two_array_program(cpus: usize) -> cdpc_compiler::CompiledProgram {
+    let mut p = Program::new("attrib-golden");
+    let a = p.array("A", 24 << 10);
+    let b = p.array("B", 24 << 10);
+    let nest = LoopNest::new("sweep", 12, 500)
+        .with_access(Access::read(
+            a,
+            AccessPattern::Stencil {
+                unit_bytes: 1024,
+                halo_units: 1,
+                wraparound: false,
+            },
+        ))
+        .with_access(Access::write(
+            b,
+            AccessPattern::Partitioned { unit_bytes: 1024 },
+        ));
+    p.phase(Phase {
+        name: "main".into(),
+        stmts: vec![Stmt {
+            kind: StmtKind::Parallel,
+            nest,
+        }],
+        count: 4,
+    });
+    compile(&p, &CompileOptions::new(cpus).with_l2_cache(32 << 10)).unwrap()
+}
+
+/// Every attributed per-class total equals the run report's aggregate for
+/// that class exactly — the phase-weighting protocol in the probe mirrors
+/// the run loop's, so no miss is double-counted or dropped.
+#[test]
+fn attributed_totals_decompose_report_aggregates_exactly() {
+    let compiled = two_array_program(2);
+    let cfg = RunConfig::new(small_mem(2), PolicyKind::Cdpc);
+    let (report, probe) = run_attributed(&compiled, &cfg);
+
+    let agg = report.mem_stats.aggregate();
+    for class in [
+        MissClass::Cold,
+        MissClass::Capacity,
+        MissClass::Conflict,
+        MissClass::TrueSharing,
+        MissClass::FalseSharing,
+    ] {
+        let id = MissClassId::from(class);
+        assert_eq!(
+            probe.class_total(id),
+            agg.misses.get(class),
+            "attributed `{}` must equal the report aggregate",
+            id.label()
+        );
+    }
+    assert_eq!(probe.misses_total(), agg.misses.total());
+    assert!(agg.misses.total() > 0, "workload must actually miss");
+
+    // The decomposition is complete per array too: rows sum to the total.
+    let (arrays, colors, cpus) = probe.dims();
+    let row_sum: u64 = (0..=arrays).map(|r| probe.array_total(r)).sum();
+    assert_eq!(row_sum, probe.misses_total());
+    // And per cell: colors × cpus × classes re-sum to each row.
+    for row in 0..=arrays {
+        let mut cell_sum = 0u64;
+        for color in 0..colors {
+            for cpu in 0..cpus {
+                for class in MissClassId::ALL {
+                    cell_sum += probe.cell(row, color, cpu, class);
+                }
+            }
+        }
+        assert_eq!(cell_sum, probe.array_total(row), "row {row} cells");
+    }
+}
+
+/// Hand-built two-array conflict workload, driven directly through the
+/// memory system with hand-computed expectations. Arrays A and B live on
+/// pages of the same color whose lines alias in the direct-mapped L1 and
+/// L2, so after the two cold misses every alternating access is a conflict
+/// miss — and the phase weight multiplies everything by the phase count.
+#[test]
+fn hand_computed_two_array_conflict_attribution() {
+    let mut cfg = MemConfig::paper_base(1);
+    cfg.l1d = CacheConfig::new(256, 32, 1); // direct-mapped: no co-residency
+    cfg.l1i = CacheConfig::new(256, 32, 1);
+    cfg.l2 = CacheConfig::new(32 << 10, 128, 1); // 8 colors with 4 KB pages
+
+    // 2 arrays × 8 colors × 1 cpu, 1 phase.
+    let probe = AttributionProbe::new(2, 8, 1, 1);
+    let mut m = MemorySystem::with_probe(cfg, probe);
+    m.set_regions(RegionMap::new(vec![
+        Region {
+            start: 0x0000,
+            end: 0x1000,
+            id: 0,
+        }, // array A: one page at va 0
+        Region {
+            start: 0x1_0000,
+            end: 0x1_1000,
+            id: 1,
+        }, // array B: one page at va 64 K
+    ]));
+
+    // pa 0x0000 → page 0 → color 0; pa 0x8000 → page 8 → color 0 too, and
+    // 0x8000 mod 32 K == 0, so the two lines share an L2 set (and an L1
+    // set: 0x8000 mod 256 == 0).
+    let a = (VirtAddr(0x0000), PhysAddr(0x0000));
+    let b = (VirtAddr(0x1_0000), PhysAddr(0x8000));
+
+    m.probe_mut().on_phase_start(0, 3); // phase executes 3 times
+    let o1 = m.access(0, 0, a.0, a.1, AccessKind::Read);
+    let o2 = m.access(0, 100, b.0, b.1, AccessKind::Read);
+    let o3 = m.access(0, 200, a.0, a.1, AccessKind::Read);
+    let o4 = m.access(0, 300, b.0, b.1, AccessKind::Read);
+    assert_eq!(o1.miss_class, Some(MissClass::Cold));
+    assert_eq!(o2.miss_class, Some(MissClass::Cold));
+    assert_eq!(o3.miss_class, Some(MissClass::Conflict));
+    assert_eq!(o4.miss_class, Some(MissClass::Conflict));
+    m.probe_mut().on_phase_end(0, 400);
+
+    let probe = m.into_probe();
+    // Each array: 1 cold + 1 conflict, weighted ×3, all on color 0, cpu 0.
+    for row in 0..2 {
+        assert_eq!(probe.cell(row, 0, 0, MissClassId::Cold), 3);
+        assert_eq!(probe.cell(row, 0, 0, MissClassId::Conflict), 3);
+        assert_eq!(probe.array_total(row), 6);
+        for color in 1..8 {
+            for class in MissClassId::ALL {
+                assert_eq!(probe.cell(row, color, 0, class), 0, "color {color}");
+            }
+        }
+    }
+    assert_eq!(probe.array_total(2), 0, "no unattributed misses");
+    assert_eq!(probe.misses_total(), 12);
+    assert_eq!(probe.class_total(MissClassId::Cold), 6);
+    assert_eq!(probe.class_total(MissClassId::Conflict), 6);
+    assert_eq!(probe.top_conflicts(4), vec![(0, 0, 3), (1, 0, 3)]);
+    // Latency histogram: 4 distinct misses, each counted 3 times.
+    assert_eq!(probe.latency().count(), 12);
+}
+
+/// Golden schema test for the attribution JSON document: parses back, the
+/// cross-check section equals the attribution totals class by class, and
+/// the dense shapes match the declared dims.
+#[test]
+fn attribution_json_is_schema_stable_and_self_consistent() {
+    let compiled = two_array_program(2);
+    let cfg = RunConfig::new(small_mem(2), PolicyKind::Cdpc);
+    let (report, probe) = run_attributed(&compiled, &cfg);
+    let doc = attribution_to_json(&probe, &compiled.array_names(), &report);
+
+    let parsed = JsonValue::parse(&doc.to_string_pretty()).expect("valid JSON");
+    assert_eq!(
+        parsed.get("workload").unwrap().as_str(),
+        Some("attrib-golden")
+    );
+    assert_eq!(parsed.get("policy").unwrap().as_str(), Some("cdpc"));
+    let attrib = parsed.get("attribution").expect("attribution subtree");
+    let dims = attrib.get("dims").expect("dims");
+    assert_eq!(dims.get("arrays").unwrap().as_u64(), Some(2));
+    assert_eq!(dims.get("classes").unwrap().as_u64(), Some(5));
+    let colors = dims.get("colors").unwrap().as_u64().unwrap() as usize;
+    assert_eq!(colors, 8, "32 KB DM L2 with 4 KB pages has 8 colors");
+
+    // report_misses (from RunReport) and attribution totals agree exactly.
+    let report_misses = parsed.get("report_misses").expect("cross-check section");
+    let by_class = attrib.get("totals").unwrap().get("by_class").unwrap();
+    for class in MissClassId::ALL {
+        assert_eq!(
+            by_class.get(class.label()).unwrap().as_u64(),
+            report_misses.get(class.label()).unwrap().as_u64(),
+            "class `{}`",
+            class.label()
+        );
+    }
+    assert_eq!(
+        attrib
+            .get("totals")
+            .unwrap()
+            .get("misses")
+            .unwrap()
+            .as_u64(),
+        report_misses.get("total").unwrap().as_u64()
+    );
+
+    // Arrays: the two program arrays plus the `(other)` bucket, each with
+    // a conflict_by_color vector of the full color count that sums to its
+    // conflict total.
+    let arrays = attrib.get("arrays").unwrap().as_array().unwrap();
+    assert_eq!(arrays.len(), 3);
+    assert_eq!(arrays[0].get("name").unwrap().as_str(), Some("A"));
+    assert_eq!(arrays[1].get("name").unwrap().as_str(), Some("B"));
+    assert_eq!(arrays[2].get("name").unwrap().as_str(), Some("(other)"));
+    for a in arrays {
+        let by_color = a.get("conflict_by_color").unwrap().as_array().unwrap();
+        assert_eq!(by_color.len(), colors);
+        let sum: u64 = by_color.iter().map(|v| v.as_u64().unwrap()).sum();
+        assert_eq!(
+            Some(sum),
+            a.get("by_class").unwrap().get("conflict").unwrap().as_u64()
+        );
+    }
+
+    // Occupancy series: one baseline snapshot plus one per phase.
+    let occ = attrib
+        .get("colors")
+        .unwrap()
+        .get("occupancy")
+        .expect("occupancy series");
+    let cycles = occ.get("cycles").unwrap().as_array().unwrap();
+    assert_eq!(cycles.len(), compiled.phases.len() + 1);
+    let snaps = occ.get("mapped_pages").unwrap().as_array().unwrap();
+    assert_eq!(snaps.len(), cycles.len());
+    for s in snaps {
+        assert_eq!(s.as_array().unwrap().len(), colors);
+    }
+
+    // Two exports are byte-identical (determinism).
+    let again = attribution_to_json(&probe, &compiled.array_names(), &report);
+    assert_eq!(doc.to_string_compact(), again.to_string_compact());
+}
+
+/// Attribution is pure observation: the attributed run's report equals the
+/// plain run's report bit for bit.
+#[test]
+fn attribution_does_not_perturb_results() {
+    let compiled = two_array_program(2);
+    let cfg = RunConfig::new(small_mem(2), PolicyKind::Cdpc);
+    let plain = run(&compiled, &cfg);
+    let (attributed, _) = run_attributed(&compiled, &cfg);
+    assert_eq!(plain, attributed, "attribution must not change physics");
+}
+
+/// The terminal `--top` view and the HTML report both render from a real
+/// run's document without panicking and carry the load-bearing content.
+#[test]
+fn top_summary_and_html_render_from_real_run() {
+    let compiled = two_array_program(2);
+    let cfg = RunConfig::new(small_mem(2), PolicyKind::Cdpc);
+    let (report, probe) = run_attributed(&compiled, &cfg);
+    let doc = attribution_to_json(&probe, &compiled.array_names(), &report);
+
+    let top = render_attribution_top(&doc, 5);
+    assert!(top.contains("attrib-golden"));
+    assert!(top.contains("attributed misses"));
+    assert!(top.contains("miss latency"));
+
+    let html = attribution_to_html(&doc);
+    assert!(html.starts_with("<!DOCTYPE html>"));
+    assert!(html.contains("<svg"));
+    assert!(html.contains("attrib-golden"));
+    assert!(html.contains("Top conflict offenders"));
+}

@@ -1,0 +1,118 @@
+//! Allocation-freedom proof for the attribution probe.
+//!
+//! [`AttributionProbe`] pre-sizes its tensor, histograms, and occupancy
+//! series at construction, so an attribution-enabled run must perform
+//! exactly the same heap traffic as a probe-free run — every
+//! `on_classified_miss` / `on_phase_*` / `on_run_batch` event lands in
+//! storage that already exists. This test installs a counting global
+//! allocator, runs the same workload once with `NullProbe` and once with a
+//! pre-built [`AttributionProbe`], and asserts the allocation counts are
+//! identical (the simulator is deterministic, so so is its allocation
+//! sequence).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use cdpc_compiler::ir::{Access, AccessPattern, LoopNest, Phase, Program, Stmt, StmtKind};
+use cdpc_compiler::{compile, CompileOptions};
+use cdpc_machine::{attribution_probe, run_observed, PolicyKind, RunConfig};
+use cdpc_memsim::{CacheConfig, MemConfig};
+use cdpc_obs::NullProbe;
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn workload(cpus: usize) -> cdpc_compiler::CompiledProgram {
+    let mut p = Program::new("zero-alloc-attrib");
+    let a = p.array("A", 24 << 10);
+    let b = p.array("B", 24 << 10);
+    let nest = LoopNest::new("sweep", 12, 300)
+        .with_access(Access::read(
+            a,
+            AccessPattern::Stencil {
+                unit_bytes: 1024,
+                halo_units: 1,
+                wraparound: false,
+            },
+        ))
+        .with_access(Access::write(
+            b,
+            AccessPattern::Partitioned { unit_bytes: 1024 },
+        ));
+    p.phase(Phase {
+        name: "main".into(),
+        stmts: vec![Stmt {
+            kind: StmtKind::Parallel,
+            nest,
+        }],
+        count: 3,
+    });
+    compile(&p, &CompileOptions::new(cpus).with_l2_cache(32 << 10)).unwrap()
+}
+
+fn small_mem(cpus: usize) -> MemConfig {
+    let mut m = MemConfig::paper_base(cpus);
+    m.l1d = CacheConfig::new(1 << 10, 32, 2);
+    m.l1i = CacheConfig::new(1 << 10, 32, 2);
+    m.l2 = CacheConfig::new(32 << 10, 128, 1);
+    m
+}
+
+#[test]
+fn attribution_enabled_run_allocates_no_more_than_probe_free_run() {
+    let compiled = workload(2);
+    let cfg = RunConfig::new(small_mem(2), PolicyKind::Cdpc);
+
+    // Warm both paths once so one-time lazy initialization (thread-local
+    // buffers, etc.) doesn't skew either count.
+    let mut warm_probe = attribution_probe(&compiled, &cfg);
+    let _ = run_observed(&compiled, &cfg, &mut NullProbe, None);
+    let _ = run_observed(&compiled, &cfg, &mut warm_probe, None);
+
+    let before_null = ALLOCS.load(Ordering::SeqCst);
+    let (null_report, _) = run_observed(&compiled, &cfg, &mut NullProbe, None);
+    let null_allocs = ALLOCS.load(Ordering::SeqCst) - before_null;
+
+    // Probe construction is allowed to allocate (it pre-sizes everything);
+    // the run with the probe installed is not allowed to allocate more
+    // than the probe-free run.
+    let mut probe = attribution_probe(&compiled, &cfg);
+    let before_attrib = ALLOCS.load(Ordering::SeqCst);
+    let (attrib_report, _) = run_observed(&compiled, &cfg, black_box(&mut probe), None);
+    let attrib_allocs = ALLOCS.load(Ordering::SeqCst) - before_attrib;
+
+    assert_eq!(
+        null_report, attrib_report,
+        "attribution must not change physics"
+    );
+    assert!(
+        probe.misses_total() > 0,
+        "the probe actually observed misses"
+    );
+    assert_eq!(
+        attrib_allocs, null_allocs,
+        "attribution-enabled run must add zero heap allocations \
+         (probe-free: {null_allocs}, attribution: {attrib_allocs})"
+    );
+}

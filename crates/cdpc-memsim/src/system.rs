@@ -24,6 +24,7 @@
 use cdpc_core::fastmap::{DenseSet64, FxMap64, FxSet64};
 use cdpc_obs::{LineState, NullProbe, PrefetchDropReason, Probe};
 use cdpc_vm::addr::{PhysAddr, VirtAddr, Vpn};
+use cdpc_vm::RegionMap;
 
 use crate::bus::{Bus, BusUse};
 use crate::cache::{Cache, Lookup, Mesi};
@@ -141,6 +142,13 @@ pub struct MemorySystem<P: Probe = NullProbe> {
     sharing: SharingTracker,
     directory: FxMap64<DirEntry>,
     probe: P,
+    /// Virtual-range → array-id tags for miss attribution. Empty (the
+    /// default) disables [`Probe::on_classified_miss`] emission entirely,
+    /// so untagged systems pay nothing.
+    regions: RegionMap,
+    /// Page colors of the external cache
+    /// (`l2_size / (page_size × associativity)`), for pa → color.
+    num_colors: u32,
     /// Demand references plus issued prefetches over the system's whole
     /// life — unlike [`CpuStats`], *not* cleared by
     /// [`reset_stats`](Self::reset_stats). This is the denominator-free
@@ -191,6 +199,11 @@ impl<P: Probe> MemorySystem<P> {
                     .then(|| VictimCache::new(cfg.victim_cache_lines)),
             })
             .collect();
+        // `ColorSpace` semantics (l2 / (page × assoc)), but degenerate
+        // caches smaller than a page — common in unit tests — get one
+        // color instead of a panic.
+        let num_colors =
+            (cfg.l2.size_bytes() / (cfg.page_size * cfg.l2.associativity())).max(1) as u32;
         Self {
             cfg,
             cpus,
@@ -198,8 +211,25 @@ impl<P: Probe> MemorySystem<P> {
             sharing: SharingTracker::new(),
             directory: FxMap64::new(),
             probe,
+            regions: RegionMap::default(),
+            num_colors,
             lifetime_refs: 0,
         }
+    }
+
+    /// Installs the virtual-range → array-id map that turns anonymous L2
+    /// misses into attributed [`Probe::on_classified_miss`] events. The
+    /// run loop threads the compiler's layout down through this call;
+    /// without it (or with an empty map) no attribution events fire.
+    pub fn set_regions(&mut self, regions: RegionMap) {
+        self.regions = regions;
+    }
+
+    /// The page color of physical address `pa` — the cache bin its page
+    /// occupies in the external cache.
+    #[inline]
+    pub fn color_of_pa(&self, pa: u64) -> u32 {
+        (pa / self.cfg.page_size as u64 % self.num_colors as u64) as u32
     }
 
     /// The configuration this system was built with.
@@ -458,6 +488,15 @@ impl<P: Probe> MemorySystem<P> {
         }
         self.probe
             .on_l2_miss(cpu, now, class.into(), service_latency);
+        if !self.regions.is_empty() {
+            let array_id = self
+                .regions
+                .lookup(va)
+                .unwrap_or(cdpc_obs::ATTR_OTHER_ARRAY);
+            let color = self.color_of_pa(pa.0);
+            self.probe
+                .on_classified_miss(cpu, now, array_id, color, class.into(), service_latency);
+        }
 
         AccessOutcome {
             latency_cycles: latency,
@@ -1296,6 +1335,70 @@ mod tests {
         assert_eq!(p.prefetches_dropped, stats.prefetches_dropped_tlb);
         assert_eq!(p.bus_transactions, m.stats().bus_transactions);
         assert!(p.event_count() > 0);
+    }
+
+    #[derive(Default)]
+    struct ClassifiedLog {
+        events: Vec<(usize, u32, u32, cdpc_obs::MissClassId, u64)>,
+        l2_misses: u64,
+    }
+
+    impl Probe for ClassifiedLog {
+        fn on_l2_miss(&mut self, _cpu: usize, _cycle: u64, _class: cdpc_obs::MissClassId, _s: u64) {
+            self.l2_misses += 1;
+        }
+
+        fn on_classified_miss(
+            &mut self,
+            cpu: usize,
+            _cycle: u64,
+            array_id: u32,
+            color: u32,
+            class: cdpc_obs::MissClassId,
+            latency: u64,
+        ) {
+            self.events.push((cpu, array_id, color, class, latency));
+        }
+    }
+
+    #[test]
+    fn classified_misses_carry_array_and_color() {
+        // Full-size paper config: 1 MB direct-mapped L2, 4 KB pages =>
+        // 256 colors, so pa/4096 % 256 is the color.
+        let mut m = MemorySystem::with_probe(MemConfig::paper_base(1), ClassifiedLog::default());
+        m.set_regions(RegionMap::new(vec![
+            cdpc_vm::Region {
+                start: 0x1000,
+                end: 0x2000,
+                id: 0,
+            },
+            cdpc_vm::Region {
+                start: 0x8000,
+                end: 0x9000,
+                id: 1,
+            },
+        ]));
+        m.access(0, 0, va(0x1000), pa(0x3000), AccessKind::Read); // array 0, color 3
+        m.access(0, 1_000, va(0x8080), pa(0x5080), AccessKind::Read); // array 1, color 5
+        m.access(0, 2_000, va(0x4000), pa(0x7000), AccessKind::Read); // untagged
+        let p = m.probe();
+        assert_eq!(p.events.len() as u64, p.l2_misses, "one event per miss");
+        assert_eq!(p.events[0].1, 0);
+        assert_eq!(p.events[0].2, 3);
+        assert_eq!(p.events[0].3, cdpc_obs::MissClassId::Cold);
+        assert!(p.events[0].4 > 0, "cold miss has a service latency");
+        assert_eq!(p.events[1].1, 1);
+        assert_eq!(p.events[1].2, 5);
+        assert_eq!(p.events[2].1, cdpc_obs::ATTR_OTHER_ARRAY);
+        assert_eq!(p.events[2].2, 7);
+    }
+
+    #[test]
+    fn no_region_map_means_no_classified_events() {
+        let mut m = MemorySystem::with_probe(small_cfg(1), ClassifiedLog::default());
+        m.access(0, 0, va(0x1000), pa(0x1000), AccessKind::Read);
+        assert!(m.probe().l2_misses > 0);
+        assert!(m.probe().events.is_empty());
     }
 
     #[test]

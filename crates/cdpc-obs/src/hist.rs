@@ -1,0 +1,279 @@
+//! Log-bucketed histograms for latency- and size-shaped quantities.
+//!
+//! An HDR-style histogram: values are binned into buckets whose width
+//! grows geometrically, giving a bounded relative error (≤ 12.5% here —
+//! eight sub-buckets per octave) over the full `u64` range with a fixed
+//! 496-slot table. Recording is two shifts and an add — cheap enough to
+//! sit on the miss path — and the table never allocates after
+//! construction, which the zero-allocation run test depends on.
+//!
+//! The intended quantities are miss service latencies, inter-miss
+//! distances (cycles between consecutive misses of one CPU), and run-loop
+//! batch sizes; anything non-negative with a heavy tail fits.
+
+/// Values below `LINEAR_MAX` get exact unit-width buckets.
+const LINEAR_MAX: u64 = 8;
+/// Sub-buckets per octave above the linear range (2^3).
+const SUB_BITS: u32 = 3;
+/// Total bucket count: 8 linear + 61 octaves × 8 sub-buckets.
+const BUCKETS: usize = LINEAR_MAX as usize + (64 - SUB_BITS as usize) * (1 << SUB_BITS);
+
+/// Bucket index for a value. Exact below [`LINEAR_MAX`], then the octave
+/// (position of the leading bit) selects a group of eight sub-buckets and
+/// the next three bits select within it.
+#[inline]
+fn bucket_of(v: u64) -> usize {
+    if v < LINEAR_MAX {
+        v as usize
+    } else {
+        let exp = 63 - v.leading_zeros();
+        let sub = (v >> (exp - SUB_BITS)) & ((1 << SUB_BITS) - 1);
+        LINEAR_MAX as usize + ((exp - SUB_BITS) as usize) * (1 << SUB_BITS) + sub as usize
+    }
+}
+
+/// Smallest value that lands in bucket `b` (the inverse of [`bucket_of`]).
+#[inline]
+fn bucket_floor(b: usize) -> u64 {
+    if b < LINEAR_MAX as usize {
+        b as u64
+    } else {
+        let oct = (b - LINEAR_MAX as usize) >> SUB_BITS;
+        let sub = (b - LINEAR_MAX as usize) & ((1 << SUB_BITS) - 1);
+        (LINEAR_MAX + sub as u64) << oct
+    }
+}
+
+/// A fixed-size log-bucketed histogram of `u64` samples.
+#[derive(Clone)]
+pub struct LogHistogram {
+    counts: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for LogHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LogHistogram")
+            .field("count", &self.count)
+            .field("min", &self.min)
+            .field("max", &self.max)
+            .field("sum", &self.sum)
+            .finish()
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            counts: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.record_n(v, 1);
+    }
+
+    /// Records `n` identical samples in one step.
+    #[inline]
+    pub fn record_n(&mut self, v: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.counts[bucket_of(v)] += n;
+        self.count += n;
+        self.sum += v.wrapping_mul(n);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Folds `other` into `self` with every count multiplied by `k` (used
+    /// when one simulated pass stands for `k` repetitions of a phase).
+    pub fn merge_scaled(&mut self, other: &LogHistogram, k: u64) {
+        if other.count == 0 || k == 0 {
+            return;
+        }
+        for (dst, src) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *dst += src * k;
+        }
+        self.count += other.count * k;
+        self.sum = self.sum.wrapping_add(other.sum.wrapping_mul(k));
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Resets to empty without releasing storage.
+    pub fn clear(&mut self) {
+        self.counts.fill(0);
+        self.count = 0;
+        self.sum = 0;
+        self.min = u64::MAX;
+        self.max = 0;
+    }
+
+    /// Total recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Smallest recorded sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Sum of all samples (wrapping, for overflow safety at extreme scale).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Arithmetic mean (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The quantile `q` in [0, 1]: the smallest bucket floor such that at
+    /// least `q` of the samples fall at or below the bucket, clamped to
+    /// the observed min/max so exact extremes read exactly.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        if target >= self.count {
+            return self.max;
+        }
+        let mut seen = 0u64;
+        for (b, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return bucket_floor(b).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Iterates the non-empty buckets as `(floor, count)` pairs in
+    /// ascending value order (the export format).
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(b, &c)| (bucket_floor(b), c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = LogHistogram::new();
+        for v in 0..8 {
+            h.record(v);
+        }
+        let buckets: Vec<_> = h.nonzero_buckets().collect();
+        assert_eq!(buckets, (0..8).map(|v| (v, 1)).collect::<Vec<_>>());
+        assert_eq!(h.count(), 8);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 7);
+    }
+
+    #[test]
+    fn bucket_floor_inverts_bucket_of() {
+        for v in [0, 1, 7, 8, 9, 15, 16, 17, 100, 1000, 1 << 20, u64::MAX] {
+            let b = bucket_of(v);
+            let floor = bucket_floor(b);
+            assert!(floor <= v, "floor {floor} must not exceed {v}");
+            if b + 1 < BUCKETS {
+                assert!(bucket_floor(b + 1) > v, "next bucket starts above {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn relative_error_is_bounded() {
+        // Any value in a bucket is within 1/8 of the bucket floor.
+        for shift in 3..60 {
+            let v = (1u64 << shift) + (1 << (shift - 1)) + 3;
+            let floor = bucket_floor(bucket_of(v));
+            assert!((v - floor) as f64 / v as f64 <= 0.125);
+        }
+    }
+
+    #[test]
+    fn quantiles_bracket_the_distribution() {
+        let mut h = LogHistogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.0), 1);
+        assert_eq!(h.quantile(1.0), 1000);
+        let p50 = h.quantile(0.5);
+        // Log buckets: p50 lands in the bucket containing 500.
+        assert!((448..=512).contains(&p50), "p50 was {p50}");
+        assert!((h.mean() - 500.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_scaled_multiplies_counts() {
+        let mut phase = LogHistogram::new();
+        phase.record(10);
+        phase.record(100);
+        let mut total = LogHistogram::new();
+        total.record(7);
+        total.merge_scaled(&phase, 3);
+        assert_eq!(total.count(), 7);
+        assert_eq!(total.sum(), 7 + 3 * 110);
+        assert_eq!(total.min(), 7);
+        assert_eq!(total.max(), 100);
+        let by_floor: Vec<_> = total.nonzero_buckets().collect();
+        assert!(by_floor.contains(&(7, 1)));
+        assert!(by_floor.iter().any(|&(lo, c)| lo <= 10 && c == 3));
+    }
+
+    #[test]
+    fn clear_resets_without_reallocating() {
+        let mut h = LogHistogram::new();
+        h.record_n(42, 5);
+        h.clear();
+        assert!(h.is_empty());
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.nonzero_buckets().count(), 0);
+    }
+}

@@ -11,6 +11,13 @@
 //!   method has a no-op default and implementors are chosen by *static*
 //!   dispatch, so the disabled path ([`NullProbe`](probe::NullProbe))
 //!   compiles away entirely.
+//! * [`hist`] — fixed-footprint log-bucketed (HDR-style) histograms for
+//!   miss latencies, inter-miss distances, and run-loop batch sizes.
+//! * [`attrib`] — the miss-attribution engine:
+//!   [`AttributionProbe`](attrib::AttributionProbe) charges every
+//!   classified miss to a dense `(array × color × cpu × class)` tensor
+//!   whose phase-weighted totals decompose the end-of-run aggregates
+//!   exactly, plus per-color occupancy/pressure series.
 //! * [`sampler`] — interval metrics: [`Sample`](sampler::Sample) rows of
 //!   stall-cycle, miss-class, and bus-occupancy deltas over fixed windows
 //!   of simulated cycles, collected into an
@@ -30,6 +37,8 @@
 //! The crate depends on nothing (not even other CDPC crates), so any layer
 //! of the stack can depend on it without cycles.
 
+pub mod attrib;
+pub mod hist;
 pub mod json;
 pub mod probe;
 pub mod rng;
@@ -37,10 +46,12 @@ pub mod sampler;
 pub mod selfprof;
 pub mod trace;
 
+pub use attrib::AttributionProbe;
+pub use hist::LogHistogram;
 pub use json::JsonValue;
 pub use probe::{
     BusKind, CountingProbe, HintOutcome, LineState, MissClassId, NullProbe, PrefetchDropReason,
-    Probe,
+    Probe, ATTR_OTHER_ARRAY,
 };
 pub use rng::SplitMix64;
 pub use sampler::{IntervalSeries, Sample};

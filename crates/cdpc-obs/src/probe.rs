@@ -39,6 +39,18 @@ impl MissClassId {
         }
     }
 
+    /// Position of this class within [`MissClassId::ALL`] (the canonical
+    /// dense-tensor index).
+    pub fn index(self) -> usize {
+        match self {
+            MissClassId::Cold => 0,
+            MissClassId::Capacity => 1,
+            MissClassId::Conflict => 2,
+            MissClassId::TrueSharing => 3,
+            MissClassId::FalseSharing => 4,
+        }
+    }
+
     /// All classes, in the canonical export order.
     pub const ALL: [MissClassId; 5] = [
         MissClassId::Cold,
@@ -240,12 +252,57 @@ pub trait Probe {
         let _ = (page_base, page_bytes);
     }
 
+    /// An external-cache miss with full attribution context: the source
+    /// array (`ATTR_OTHER_ARRAY` for code or untracked regions), the cache
+    /// color of the physical page the miss landed in, its class, and the
+    /// service latency. Fired alongside [`Probe::on_l2_miss`] whenever the
+    /// memory system has a region map installed.
+    #[inline]
+    fn on_classified_miss(
+        &mut self,
+        cpu: usize,
+        cycle: u64,
+        array_id: u32,
+        color: u32,
+        class: MissClassId,
+        latency_cycles: u64,
+    ) {
+        let _ = (cpu, cycle, array_id, color, class, latency_cycles);
+    }
+
+    /// The run loop is about to execute measured phase `index`, which
+    /// stands for `count` repetitions. Events between this and the matching
+    /// [`Probe::on_phase_end`] belong to the phase; events outside any
+    /// phase window (warm-up, prefault) are not part of the measured run.
+    #[inline]
+    fn on_phase_start(&mut self, index: usize, count: u64) {
+        let _ = (index, count);
+    }
+
+    /// The run loop finished measured phase `index`; `end_cycle` is the
+    /// maximum CPU clock at the closing barrier.
+    #[inline]
+    fn on_phase_end(&mut self, index: usize, end_cycle: u64) {
+        let _ = (index, end_cycle);
+    }
+
+    /// The run-loop scheduler executed a batch of `ops` consecutive
+    /// operations for one CPU without a scheduling decision in between.
+    #[inline]
+    fn on_run_batch(&mut self, cpu: usize, ops: u64) {
+        let _ = (cpu, ops);
+    }
+
     /// Total events this probe has observed (0 for probes that don't
     /// count). Used for simulator self-profiling (peak event volume).
     fn event_count(&self) -> u64 {
         0
     }
 }
+
+/// The `array_id` probes receive for a miss outside every mapped region
+/// (instruction fetches, runtime structures).
+pub const ATTR_OTHER_ARRAY: u32 = u32::MAX;
 
 /// The disabled probe: every callback is a no-op the optimizer removes.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -332,21 +389,48 @@ impl<P: Probe + ?Sized> Probe for &mut P {
         (**self).on_page_flush(page_base, page_bytes);
     }
 
+    #[inline]
+    fn on_classified_miss(
+        &mut self,
+        cpu: usize,
+        cycle: u64,
+        array_id: u32,
+        color: u32,
+        class: MissClassId,
+        latency_cycles: u64,
+    ) {
+        (**self).on_classified_miss(cpu, cycle, array_id, color, class, latency_cycles);
+    }
+
+    #[inline]
+    fn on_phase_start(&mut self, index: usize, count: u64) {
+        (**self).on_phase_start(index, count);
+    }
+
+    #[inline]
+    fn on_phase_end(&mut self, index: usize, end_cycle: u64) {
+        (**self).on_phase_end(index, end_cycle);
+    }
+
+    #[inline]
+    fn on_run_batch(&mut self, cpu: usize, ops: u64) {
+        (**self).on_run_batch(cpu, ops);
+    }
+
     fn event_count(&self) -> u64 {
         (**self).event_count()
     }
 }
 
-/// Fan-out combinator: every event is delivered to `A` first, then `B`.
-///
-/// Lets one run feed two independent probes (say, a sanitizer and a
-/// tracer) without either knowing about the other; still static dispatch,
-/// so `(SanitizerProbe, NullProbe)` costs exactly a `SanitizerProbe`.
-impl<A: Probe, B: Probe> Probe for (A, B) {
+/// A probe that may be absent: `Some(p)` forwards every event to `p`,
+/// `None` is a no-op. Lets call sites compose an optional probe into a
+/// tuple without enumerating every on/off combination as its own type.
+impl<P: Probe> Probe for Option<P> {
     #[inline]
     fn on_l2_miss(&mut self, cpu: usize, cycle: u64, class: MissClassId, stall_cycles: u64) {
-        self.0.on_l2_miss(cpu, cycle, class, stall_cycles);
-        self.1.on_l2_miss(cpu, cycle, class, stall_cycles);
+        if let Some(p) = self {
+            p.on_l2_miss(cpu, cycle, class, stall_cycles);
+        }
     }
 
     #[inline]
@@ -357,16 +441,16 @@ impl<A: Probe, B: Probe> Probe for (A, B) {
         queue_cycles: u64,
         occupancy_cycles: u64,
     ) {
-        self.0
-            .on_bus_transaction(cycle, kind, queue_cycles, occupancy_cycles);
-        self.1
-            .on_bus_transaction(cycle, kind, queue_cycles, occupancy_cycles);
+        if let Some(p) = self {
+            p.on_bus_transaction(cycle, kind, queue_cycles, occupancy_cycles);
+        }
     }
 
     #[inline]
     fn on_tlb_miss(&mut self, cpu: usize, cycle: u64, vpn: u64) {
-        self.0.on_tlb_miss(cpu, cycle, vpn);
-        self.1.on_tlb_miss(cpu, cycle, vpn);
+        if let Some(p) = self {
+            p.on_tlb_miss(cpu, cycle, vpn);
+        }
     }
 
     #[inline]
@@ -377,10 +461,9 @@ impl<A: Probe, B: Probe> Probe for (A, B) {
         line_addr: u64,
         slot_stall_cycles: u64,
     ) {
-        self.0
-            .on_prefetch_issued(cpu, cycle, line_addr, slot_stall_cycles);
-        self.1
-            .on_prefetch_issued(cpu, cycle, line_addr, slot_stall_cycles);
+        if let Some(p) = self {
+            p.on_prefetch_issued(cpu, cycle, line_addr, slot_stall_cycles);
+        }
     }
 
     #[inline]
@@ -391,8 +474,9 @@ impl<A: Probe, B: Probe> Probe for (A, B) {
         line_addr: u64,
         reason: PrefetchDropReason,
     ) {
-        self.0.on_prefetch_dropped(cpu, cycle, line_addr, reason);
-        self.1.on_prefetch_dropped(cpu, cycle, line_addr, reason);
+        if let Some(p) = self {
+            p.on_prefetch_dropped(cpu, cycle, line_addr, reason);
+        }
     }
 
     #[inline]
@@ -404,38 +488,188 @@ impl<A: Probe, B: Probe> Probe for (A, B) {
         color: u32,
         outcome: HintOutcome,
     ) {
-        self.0.on_page_fault(cpu, cycle, vpn, color, outcome);
-        self.1.on_page_fault(cpu, cycle, vpn, color, outcome);
+        if let Some(p) = self {
+            p.on_page_fault(cpu, cycle, vpn, color, outcome);
+        }
     }
 
     #[inline]
     fn on_hint_lookup(&mut self, vpn: u64, hit: bool) {
-        self.0.on_hint_lookup(vpn, hit);
-        self.1.on_hint_lookup(vpn, hit);
+        if let Some(p) = self {
+            p.on_hint_lookup(vpn, hit);
+        }
     }
 
     #[inline]
     fn on_recolor(&mut self, cpu: usize, cycle: u64, vpn: u64, from_color: u32, to_color: u32) {
-        self.0.on_recolor(cpu, cycle, vpn, from_color, to_color);
-        self.1.on_recolor(cpu, cycle, vpn, from_color, to_color);
+        if let Some(p) = self {
+            p.on_recolor(cpu, cycle, vpn, from_color, to_color);
+        }
     }
 
     #[inline]
     fn on_line_state(&mut self, cpu: usize, line_addr: u64, state: LineState) {
-        self.0.on_line_state(cpu, line_addr, state);
-        self.1.on_line_state(cpu, line_addr, state);
+        if let Some(p) = self {
+            p.on_line_state(cpu, line_addr, state);
+        }
     }
 
     #[inline]
     fn on_page_flush(&mut self, page_base: u64, page_bytes: u64) {
-        self.0.on_page_flush(page_base, page_bytes);
-        self.1.on_page_flush(page_base, page_bytes);
+        if let Some(p) = self {
+            p.on_page_flush(page_base, page_bytes);
+        }
+    }
+
+    #[inline]
+    fn on_classified_miss(
+        &mut self,
+        cpu: usize,
+        cycle: u64,
+        array_id: u32,
+        color: u32,
+        class: MissClassId,
+        latency_cycles: u64,
+    ) {
+        if let Some(p) = self {
+            p.on_classified_miss(cpu, cycle, array_id, color, class, latency_cycles);
+        }
+    }
+
+    #[inline]
+    fn on_phase_start(&mut self, index: usize, count: u64) {
+        if let Some(p) = self {
+            p.on_phase_start(index, count);
+        }
+    }
+
+    #[inline]
+    fn on_phase_end(&mut self, index: usize, end_cycle: u64) {
+        if let Some(p) = self {
+            p.on_phase_end(index, end_cycle);
+        }
+    }
+
+    #[inline]
+    fn on_run_batch(&mut self, cpu: usize, ops: u64) {
+        if let Some(p) = self {
+            p.on_run_batch(cpu, ops);
+        }
     }
 
     fn event_count(&self) -> u64 {
-        self.0.event_count() + self.1.event_count()
+        self.as_ref().map_or(0, |p| p.event_count())
     }
 }
+
+/// Generates the fan-out combinator impls: every event is delivered to
+/// each element in order. Lets one run feed independent probes (say, a
+/// sanitizer, a tracer, and an attribution sink) without any of them
+/// knowing about the others; still static dispatch, so
+/// `(SanitizerProbe, NullProbe)` costs exactly a `SanitizerProbe`.
+macro_rules! tuple_probe {
+    ($($p:ident . $idx:tt),+) => {
+        impl<$($p: Probe),+> Probe for ($($p,)+) {
+            #[inline]
+            fn on_l2_miss(&mut self, cpu: usize, cycle: u64, class: MissClassId, stall: u64) {
+                $(self.$idx.on_l2_miss(cpu, cycle, class, stall);)+
+            }
+
+            #[inline]
+            fn on_bus_transaction(&mut self, cycle: u64, kind: BusKind, queue: u64, occ: u64) {
+                $(self.$idx.on_bus_transaction(cycle, kind, queue, occ);)+
+            }
+
+            #[inline]
+            fn on_tlb_miss(&mut self, cpu: usize, cycle: u64, vpn: u64) {
+                $(self.$idx.on_tlb_miss(cpu, cycle, vpn);)+
+            }
+
+            #[inline]
+            fn on_prefetch_issued(&mut self, cpu: usize, cycle: u64, line: u64, stall: u64) {
+                $(self.$idx.on_prefetch_issued(cpu, cycle, line, stall);)+
+            }
+
+            #[inline]
+            fn on_prefetch_dropped(
+                &mut self,
+                cpu: usize,
+                cycle: u64,
+                line_addr: u64,
+                reason: PrefetchDropReason,
+            ) {
+                $(self.$idx.on_prefetch_dropped(cpu, cycle, line_addr, reason);)+
+            }
+
+            #[inline]
+            fn on_page_fault(
+                &mut self,
+                cpu: usize,
+                cycle: u64,
+                vpn: u64,
+                color: u32,
+                outcome: HintOutcome,
+            ) {
+                $(self.$idx.on_page_fault(cpu, cycle, vpn, color, outcome);)+
+            }
+
+            #[inline]
+            fn on_hint_lookup(&mut self, vpn: u64, hit: bool) {
+                $(self.$idx.on_hint_lookup(vpn, hit);)+
+            }
+
+            #[inline]
+            fn on_recolor(&mut self, cpu: usize, cycle: u64, vpn: u64, from: u32, to: u32) {
+                $(self.$idx.on_recolor(cpu, cycle, vpn, from, to);)+
+            }
+
+            #[inline]
+            fn on_line_state(&mut self, cpu: usize, line_addr: u64, state: LineState) {
+                $(self.$idx.on_line_state(cpu, line_addr, state);)+
+            }
+
+            #[inline]
+            fn on_page_flush(&mut self, page_base: u64, page_bytes: u64) {
+                $(self.$idx.on_page_flush(page_base, page_bytes);)+
+            }
+
+            #[inline]
+            fn on_classified_miss(
+                &mut self,
+                cpu: usize,
+                cycle: u64,
+                array_id: u32,
+                color: u32,
+                class: MissClassId,
+                latency_cycles: u64,
+            ) {
+                $(self.$idx.on_classified_miss(cpu, cycle, array_id, color, class, latency_cycles);)+
+            }
+
+            #[inline]
+            fn on_phase_start(&mut self, index: usize, count: u64) {
+                $(self.$idx.on_phase_start(index, count);)+
+            }
+
+            #[inline]
+            fn on_phase_end(&mut self, index: usize, end_cycle: u64) {
+                $(self.$idx.on_phase_end(index, end_cycle);)+
+            }
+
+            #[inline]
+            fn on_run_batch(&mut self, cpu: usize, ops: u64) {
+                $(self.$idx.on_run_batch(cpu, ops);)+
+            }
+
+            fn event_count(&self) -> u64 {
+                0 $(+ self.$idx.event_count())+
+            }
+        }
+    };
+}
+
+tuple_probe!(A.0, B.1);
+tuple_probe!(A.0, B.1, C.2);
 
 /// A probe that counts events by kind — cheap enough to leave on, detailed
 /// enough for self-profiling and smoke tests.

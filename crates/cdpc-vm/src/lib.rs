@@ -50,11 +50,13 @@ pub mod hint_table;
 pub mod pagetable;
 pub mod phys;
 pub mod policy;
+pub mod region;
 pub mod touch;
 
 mod error;
 
 pub use error::VmError;
+pub use region::{Region, RegionMap};
 
 use addr::{ColorSpace, PageGeometry, PhysAddr, Ppn, VirtAddr, Vpn};
 use pagetable::PageTable;

@@ -1,0 +1,152 @@
+//! Virtual-address region tagging: which array owns which byte range.
+//!
+//! The compiler's layout pass assigns each declared array a contiguous
+//! virtual range; a [`RegionMap`] is the runtime mirror of that
+//! assignment, letting the memory system answer "whose miss is this?" in
+//! a handful of instructions. The map is built once per run (from
+//! `cdpc-compiler`'s `DataLayout`) and queried on every classified miss,
+//! so lookup is a branchless-ish binary search over a flat sorted table —
+//! no per-query allocation, no hashing.
+//!
+//! Region ids are plain `u32`s so the map can travel below the compiler
+//! crates (the memory system and the probe vocabulary use raw integers).
+
+use crate::addr::VirtAddr;
+
+/// One tagged virtual range `[start, end)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Region {
+    /// First byte of the region.
+    pub start: u64,
+    /// One past the last byte.
+    pub end: u64,
+    /// Caller-chosen tag (the compiler uses the array index).
+    pub id: u32,
+}
+
+/// An immutable sorted set of non-overlapping tagged virtual ranges.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RegionMap {
+    /// Regions sorted by `start`; verified non-overlapping at build time.
+    regions: Vec<Region>,
+}
+
+impl RegionMap {
+    /// Builds a map from arbitrary-order regions.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a region is empty or two regions overlap — the layout
+    /// pass never produces either, so both are construction bugs.
+    pub fn new(mut regions: Vec<Region>) -> Self {
+        regions.sort_by_key(|r| r.start);
+        for r in &regions {
+            assert!(r.start < r.end, "empty region {r:?}");
+        }
+        for pair in regions.windows(2) {
+            assert!(
+                pair[0].end <= pair[1].start,
+                "overlapping regions {:?} and {:?}",
+                pair[0],
+                pair[1]
+            );
+        }
+        Self { regions }
+    }
+
+    /// The tag of the region containing `va`, or `None` for untagged
+    /// addresses (code, runtime pages, gaps).
+    #[inline]
+    pub fn lookup(&self, va: VirtAddr) -> Option<u32> {
+        let a = va.0;
+        let idx = self.regions.partition_point(|r| r.start <= a);
+        if idx == 0 {
+            return None;
+        }
+        let r = &self.regions[idx - 1];
+        (a < r.end).then_some(r.id)
+    }
+
+    /// Number of regions.
+    pub fn len(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// True when no regions are tagged.
+    pub fn is_empty(&self) -> bool {
+        self.regions.is_empty()
+    }
+
+    /// The regions, sorted by start address.
+    pub fn regions(&self) -> &[Region] {
+        &self.regions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map() -> RegionMap {
+        RegionMap::new(vec![
+            Region {
+                start: 0x2000,
+                end: 0x3000,
+                id: 1,
+            },
+            Region {
+                start: 0x1000,
+                end: 0x1800,
+                id: 0,
+            },
+        ])
+    }
+
+    #[test]
+    fn lookup_hits_interior_and_boundaries() {
+        let m = map();
+        assert_eq!(m.lookup(VirtAddr(0x1000)), Some(0));
+        assert_eq!(m.lookup(VirtAddr(0x17ff)), Some(0));
+        assert_eq!(m.lookup(VirtAddr(0x1800)), None, "end is exclusive");
+        assert_eq!(m.lookup(VirtAddr(0x2fff)), Some(1));
+        assert_eq!(m.lookup(VirtAddr(0x0)), None);
+        assert_eq!(m.lookup(VirtAddr(0x3000)), None);
+    }
+
+    #[test]
+    fn regions_are_sorted_after_construction() {
+        let m = map();
+        assert_eq!(m.regions()[0].id, 0);
+        assert_eq!(m.regions()[1].id, 1);
+        assert_eq!(m.len(), 2);
+        assert!(!m.is_empty());
+        assert!(RegionMap::default().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "overlapping")]
+    fn overlap_is_rejected() {
+        RegionMap::new(vec![
+            Region {
+                start: 0x1000,
+                end: 0x2001,
+                id: 0,
+            },
+            Region {
+                start: 0x2000,
+                end: 0x3000,
+                id: 1,
+            },
+        ]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty region")]
+    fn empty_region_is_rejected() {
+        RegionMap::new(vec![Region {
+            start: 0x1000,
+            end: 0x1000,
+            id: 0,
+        }]);
+    }
+}
