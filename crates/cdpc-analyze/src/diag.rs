@@ -82,6 +82,77 @@ impl Location {
     }
 }
 
+/// A machine-applicable repair for a finding: a concrete program edit the
+/// conflict prover has verified (or proposes) to remove the predicted
+/// problem. Fix-its round-trip through the compiler — `predict` applies
+/// them to the IR, recompiles, and re-proves.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FixIt {
+    /// Grow `array` by `pad_pages` pages so the layout shifts every later
+    /// array to different colors.
+    PadArray {
+        /// Array to pad.
+        array: String,
+        /// Pages to add to its size.
+        pad_pages: u64,
+    },
+    /// Re-run the coloring with compiler hints (the CDPC policy) instead of
+    /// the default modulo coloring — the hinted plan proves conflict-free.
+    RecolorRegion {
+        /// Array whose pages the hints recolor.
+        array: String,
+    },
+    /// Split `phase` so the named arrays are not live in the same working
+    /// set (advisory: per-statement footprints fit, their union does not).
+    SplitPhase {
+        /// Phase to split.
+        phase: String,
+    },
+}
+
+impl FixIt {
+    /// Stable machine-readable kind label.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            FixIt::PadArray { .. } => "pad-array",
+            FixIt::RecolorRegion { .. } => "recolor-region",
+            FixIt::SplitPhase { .. } => "split-phase",
+        }
+    }
+
+    /// One-line human rendering.
+    pub fn render(&self) -> String {
+        match self {
+            FixIt::PadArray { array, pad_pages } => {
+                format!("pad array {array} by {pad_pages} page(s)")
+            }
+            FixIt::RecolorRegion { array } => {
+                format!("recolor region of {array} with compiler hints")
+            }
+            FixIt::SplitPhase { phase } => format!("split phase {phase}"),
+        }
+    }
+
+    /// The fix-it as a JSON object.
+    pub fn to_json(&self) -> JsonValue {
+        let mut obj = JsonValue::object();
+        obj.push("kind", JsonValue::Str(self.kind().into()));
+        match self {
+            FixIt::PadArray { array, pad_pages } => {
+                obj.push("array", JsonValue::Str(array.clone()));
+                obj.push("pad_pages", JsonValue::UInt(*pad_pages));
+            }
+            FixIt::RecolorRegion { array } => {
+                obj.push("array", JsonValue::Str(array.clone()));
+            }
+            FixIt::SplitPhase { phase } => {
+                obj.push("phase", JsonValue::Str(phase.clone()));
+            }
+        }
+        obj
+    }
+}
+
 /// One finding.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Diagnostic {
@@ -97,6 +168,12 @@ pub struct Diagnostic {
     /// `true` when the program carries an `allow_lint` annotation for this
     /// rule: the finding is still reported but does not fail the run.
     pub allowed: bool,
+    /// Machine-applicable repairs, best first (empty for most lints).
+    pub fixits: Vec<FixIt>,
+    /// Percent confidence in the finding, when the producing analysis
+    /// over-approximates (irregular accesses degrade the prover's exact
+    /// equations to bounds). `None` means the rule is exact by construction.
+    pub confidence: Option<u8>,
 }
 
 impl Diagnostic {
@@ -114,20 +191,44 @@ impl Diagnostic {
             location,
             message: message.into(),
             allowed: false,
+            fixits: Vec::new(),
+            confidence: None,
         }
     }
 
-    /// `rule severity location: message` on one line.
+    /// Attaches a machine-applicable repair (builder style).
+    #[must_use]
+    pub fn with_fixit(mut self, fixit: FixIt) -> Self {
+        self.fixits.push(fixit);
+        self
+    }
+
+    /// Sets the percent confidence (builder style); clamped to 100.
+    #[must_use]
+    pub fn with_confidence(mut self, percent: u8) -> Self {
+        self.confidence = Some(percent.min(100));
+        self
+    }
+
+    /// `rule severity location: message` on one line, with confidence and
+    /// fix-its appended when present.
     pub fn render(&self) -> String {
         let allowed = if self.allowed { " (allowed)" } else { "" };
-        format!(
+        let mut line = format!(
             "{} [{}]{} {}: {}",
             self.severity.label(),
             self.rule,
             allowed,
             self.location.path(),
             self.message
-        )
+        );
+        if let Some(c) = self.confidence {
+            line.push_str(&format!(" (confidence {c}%)"));
+        }
+        for f in &self.fixits {
+            line.push_str(&format!("; fix: {}", f.render()));
+        }
+        line
     }
 
     /// The finding as a JSON object.
@@ -146,6 +247,17 @@ impl Diagnostic {
         obj.push("location", loc);
         obj.push("message", JsonValue::Str(self.message.clone()));
         obj.push("allowed", JsonValue::Bool(self.allowed));
+        // Prover extensions serialize only when present, so the classic
+        // lint shape (and its golden files) is unchanged.
+        if let Some(c) = self.confidence {
+            obj.push("confidence", JsonValue::UInt(u64::from(c)));
+        }
+        if !self.fixits.is_empty() {
+            obj.push(
+                "fixits",
+                JsonValue::Array(self.fixits.iter().map(FixIt::to_json).collect()),
+            );
+        }
         obj
     }
 }
@@ -180,6 +292,16 @@ impl Report {
     pub fn push(&mut self, mut d: Diagnostic) {
         d.allowed = self.allows.iter().any(|a| a == &d.rule);
         self.diagnostics.push(d);
+    }
+
+    /// Sorts findings by (rule, location path, message) — a stable, total
+    /// order independent of lint execution order or thread count, so
+    /// exported reports (`results/lint_report.json`, SARIF) diff
+    /// deterministically.
+    pub fn sort_stable(&mut self) {
+        self.diagnostics.sort_by(|a, b| {
+            (&a.rule, a.location.path(), &a.message).cmp(&(&b.rule, b.location.path(), &b.message))
+        });
     }
 
     /// Findings of one severity.
@@ -306,6 +428,81 @@ mod tests {
             d.to_json().to_string_compact(),
             r#"{"rule":"sharing/false-boundary","severity":"warn","location":{"phase":"timestep","loop":"sweep","array":"A"},"message":"partition boundary at 0x1234 shares an L2 line","allowed":false}"#
         );
+    }
+
+    /// Golden test: prover extensions (confidence, fix-its) serialize only
+    /// when present, and in this exact shape.
+    #[test]
+    fn fixit_json_golden() {
+        let d = Diagnostic::new(
+            "predict/conflict-cell",
+            Severity::Warn,
+            Location::at("timestep", "sweep", "A"),
+            "A and B collide on color 3",
+        )
+        .with_confidence(100)
+        .with_fixit(FixIt::PadArray {
+            array: "A".into(),
+            pad_pages: 1,
+        })
+        .with_fixit(FixIt::SplitPhase {
+            phase: "timestep".into(),
+        });
+        assert_eq!(
+            d.to_json().to_string_compact(),
+            r#"{"rule":"predict/conflict-cell","severity":"warn","location":{"phase":"timestep","loop":"sweep","array":"A"},"message":"A and B collide on color 3","allowed":false,"confidence":100,"fixits":[{"kind":"pad-array","array":"A","pad_pages":1},{"kind":"split-phase","phase":"timestep"}]}"#
+        );
+        assert_eq!(
+            d.render(),
+            "warn [predict/conflict-cell] timestep/sweep/A: A and B collide on color 3 \
+             (confidence 100%); fix: pad array A by 1 page(s); fix: split phase timestep"
+        );
+        assert_eq!(
+            FixIt::RecolorRegion { array: "B".into() }
+                .to_json()
+                .to_string_compact(),
+            r#"{"kind":"recolor-region","array":"B"}"#
+        );
+    }
+
+    #[test]
+    fn sort_stable_orders_by_rule_path_message() {
+        let mut r = Report::new("p", 4, &[]);
+        r.push(Diagnostic::new(
+            "sharing/false-boundary",
+            Severity::Warn,
+            Location::array("B"),
+            "z",
+        ));
+        r.push(Diagnostic::new(
+            "conflict/color-pressure",
+            Severity::Warn,
+            Location::array("B"),
+            "m",
+        ));
+        r.push(Diagnostic::new(
+            "conflict/color-pressure",
+            Severity::Warn,
+            Location::array("A"),
+            "m",
+        ));
+        r.push(Diagnostic::new(
+            "conflict/color-pressure",
+            Severity::Warn,
+            Location::array("A"),
+            "a",
+        ));
+        r.sort_stable();
+        let keys: Vec<(String, String, String)> = r
+            .diagnostics
+            .iter()
+            .map(|d| (d.rule.clone(), d.location.path(), d.message.clone()))
+            .collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
+        assert_eq!(r.diagnostics[0].message, "a");
+        assert_eq!(r.diagnostics[3].rule, "sharing/false-boundary");
     }
 
     #[test]

@@ -224,4 +224,137 @@ mod tests {
         assert_eq!(intersect(&[(0, 10)], &[(5, 20)]), vec![(5, 10)]);
         assert_eq!(intersect(&[(0, 5)], &[(5, 20)]), Vec::<Interval>::new());
     }
+
+    #[test]
+    fn zero_trip_loops_have_empty_footprints() {
+        assert_eq!(unit_range(Blocked, Forward, 0, 0, 4), (0, 0));
+        assert_eq!(
+            cpu_intervals(
+                P::Partitioned { unit_bytes: 100 },
+                0,
+                800,
+                Blocked,
+                Forward,
+                0,
+                4,
+                false
+            ),
+            Some(Vec::new())
+        );
+        assert_eq!(
+            cpu_intervals(
+                P::Stencil {
+                    unit_bytes: 100,
+                    halo_units: 2,
+                    wraparound: true
+                },
+                0,
+                800,
+                Blocked,
+                Forward,
+                0,
+                4,
+                false
+            ),
+            Some(Vec::new())
+        );
+        // A zero-byte array has no whole-array footprint either.
+        assert_eq!(
+            cpu_intervals(P::WholeArray, 0, 0, Blocked, Forward, 0, 4, false),
+            Some(Vec::new())
+        );
+    }
+
+    #[test]
+    fn reverse_direction_mirrors_forward_ownership() {
+        use PartitionDirection::Reverse;
+        // Blocked, 10 units over 4 CPUs: per = 3, forward ranges
+        // (0,3)(3,6)(6,9)(9,10). Reverse hands them out back to front.
+        assert_eq!(unit_range(Blocked, Reverse, 10, 0, 4), (9, 10));
+        assert_eq!(unit_range(Blocked, Reverse, 10, 3, 4), (0, 3));
+        // 9 units: the forward-trailing empty range lands on the FIRST
+        // reverse CPU.
+        assert_eq!(unit_range(Blocked, Reverse, 9, 0, 4), (9, 9));
+        assert_eq!(unit_range(Blocked, Reverse, 9, 1, 4), (6, 9));
+        // Reverse footprints still tile the array disjointly and cover it.
+        let fps: Vec<_> = (0..4)
+            .map(|c| {
+                cpu_intervals(
+                    P::Partitioned { unit_bytes: 100 },
+                    10,
+                    1000,
+                    Blocked,
+                    Reverse,
+                    c,
+                    4,
+                    false,
+                )
+                .unwrap()
+            })
+            .collect();
+        for i in 0..4 {
+            for j in i + 1..4 {
+                assert!(intersect(&fps[i], &fps[j]).is_empty());
+            }
+        }
+        let union = normalize(fps.into_iter().flatten().collect());
+        assert_eq!(union, vec![(0, 1000)]);
+    }
+
+    #[test]
+    fn single_page_array_footprints_share_one_page() {
+        // 800 bytes — well under one 4 KB page. Every CPU's interval must
+        // stay inside the array, and all of them land on the same page, so
+        // page-level interference analysis sees exactly one page.
+        const PAGE: u64 = 4096;
+        let mut pages = std::collections::BTreeSet::new();
+        for cpu in 0..4 {
+            let fp = cpu_intervals(
+                P::Partitioned { unit_bytes: 100 },
+                8,
+                800,
+                Blocked,
+                Forward,
+                cpu,
+                4,
+                false,
+            )
+            .unwrap();
+            for &(lo, hi) in &fp {
+                assert!(hi <= 800, "cpu {cpu} escapes the array: ({lo}, {hi})");
+                for page in lo / PAGE..=(hi - 1) / PAGE {
+                    pages.insert(page);
+                }
+            }
+        }
+        assert_eq!(pages.len(), 1, "sub-page array occupies one page");
+    }
+
+    #[test]
+    fn interval_straddling_the_last_color_wraps_to_color_zero() {
+        use crate::machine::MachineModel;
+        // 8-color machine: consecutive pages cycle colors 0..7, so an
+        // interval spanning pages 7..=8 crosses from the LAST color back
+        // to color 0 — its L2 set ranges are the two ends of the cache.
+        let m = MachineModel {
+            num_cpus: 2,
+            page_bytes: 4096,
+            l2_bytes: 32 << 10,
+            l2_line_bytes: 128,
+            l2_assoc: 1,
+        };
+        assert_eq!(m.num_colors(), 8);
+        let (lo, hi) = (7 * 4096 - 100, 8 * 4096 + 100);
+        let colors: Vec<u64> = (lo / 4096..=(hi - 1) / 4096)
+            .map(|vpn| vpn % m.num_colors())
+            .collect();
+        assert_eq!(colors, vec![6, 7, 0]);
+        // The straddled colors' set ranges are disjoint: the wrap is a
+        // page-number artifact, not a cache-set overlap.
+        let last = m.color_set_range(7);
+        let first = m.color_set_range(0);
+        assert_eq!(last.1, m.l2_sets());
+        assert_eq!(first.0, 0);
+        assert!(first.1 <= last.0);
+    }
 }

@@ -24,15 +24,21 @@
 pub mod conflict;
 pub mod diag;
 pub mod footprint;
+pub mod interference;
 pub mod machine;
+pub mod predict;
 pub mod races;
 pub mod sanitize;
+pub mod sarif;
 pub mod sharing;
 pub mod structure;
 
-pub use diag::{Diagnostic, Location, Report, Severity};
+pub use diag::{Diagnostic, FixIt, Location, Report, Severity};
+pub use interference::{ColoringModel, InterferenceMap, RegionId};
 pub use machine::MachineModel;
+pub use predict::{predict_program, ConflictPrediction, ProverPolicy};
 pub use sanitize::SanitizerProbe;
+pub use sarif::reports_to_sarif;
 
 use cdpc_compiler::ir::Program;
 use cdpc_compiler::layout::DataLayout;
@@ -55,6 +61,7 @@ pub fn analyze_program(program: &Program, opts: &CompileOptions, machine: &Machi
     let layout = cdpc_compiler::layout::layout(program, &opts.layout_options());
     let summary = cdpc_compiler::summarize::summarize(program, &plan, &layout);
     analyze_parts(program, &plan, &layout, &summary, machine, &mut report);
+    report.sort_stable();
     report
 }
 

@@ -58,6 +58,29 @@ impl MachineModel {
     pub fn cache_pages(&self) -> u64 {
         self.num_colors() * self.l2_assoc
     }
+
+    /// Number of L2 cache sets (`size / (line × ways)`).
+    pub fn l2_sets(&self) -> u64 {
+        (self.l2_bytes / (self.l2_line_bytes * self.l2_assoc)).max(1)
+    }
+
+    /// Cache sets one page spans (`page / line`). Every page covers a
+    /// contiguous, page-aligned block of this many sets, so two pages of
+    /// the same color contend on *every* line index, and pages of
+    /// different colors contend on none — the fact the interference
+    /// equations rest on.
+    pub fn sets_per_page(&self) -> u64 {
+        (self.page_bytes / self.l2_line_bytes).max(1)
+    }
+
+    /// The L2 set range `[lo, hi)` that pages of `color` map to. Colors
+    /// tile the set-index space in page-sized blocks:
+    /// `num_colors × sets_per_page = l2_sets`.
+    pub fn color_set_range(&self, color: u64) -> (u64, u64) {
+        let spp = self.sets_per_page();
+        let c = color % self.num_colors();
+        (c * spp, (c + 1) * spp)
+    }
 }
 
 #[cfg(test)]
@@ -77,6 +100,26 @@ mod tests {
         m.l2_assoc = 2;
         assert_eq!(m.num_colors(), 128);
         assert_eq!(m.cache_pages(), 256);
+    }
+
+    #[test]
+    fn set_geometry_tiles_the_cache() {
+        let m = MachineModel::paper_base(8);
+        // 1 MB / (128 B lines × 1 way) = 8192 sets; 4 KB / 128 B = 32
+        // sets per page; 256 colors × 32 = 8192.
+        assert_eq!(m.l2_sets(), 8192);
+        assert_eq!(m.sets_per_page(), 32);
+        assert_eq!(m.num_colors() * m.sets_per_page(), m.l2_sets());
+        assert_eq!(m.color_set_range(0), (0, 32));
+        assert_eq!(m.color_set_range(255), (255 * 32, 8192));
+        // Colors wrap modulo the color count.
+        assert_eq!(m.color_set_range(256), (0, 32));
+        // Associativity shrinks the set count, not the per-page span.
+        let mut w2 = m;
+        w2.l2_assoc = 2;
+        assert_eq!(w2.l2_sets(), 4096);
+        assert_eq!(w2.sets_per_page(), 32);
+        assert_eq!(w2.num_colors() * w2.sets_per_page(), w2.l2_sets());
     }
 
     #[test]

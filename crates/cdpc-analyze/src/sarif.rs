@@ -1,0 +1,334 @@
+//! SARIF 2.1.0 export for lint and prover findings.
+//!
+//! Hand-rolled over [`cdpc_obs::JsonValue`] like every other exporter in
+//! the stack — no serde, no schema crate. The output is one SARIF log
+//! with one run; findings map to `results`, rules are collected into the
+//! tool's driver, and program locations (the IR has no files or lines)
+//! become logical locations with `fullyQualifiedName =
+//! "program::phase/loop/array"`. Allowed findings carry an `inSource`
+//! suppression so CI annotators hide them, and the prover's extensions
+//! ride along in `properties` (`confidence`, rendered `fixits`).
+
+use cdpc_obs::JsonValue;
+
+use crate::diag::{Report, Severity};
+
+/// The schema URI stamped into every log (SARIF 2.1.0, OASIS standard).
+pub const SARIF_SCHEMA: &str =
+    "https://docs.oasis-open.org/sarif/sarif/v2.1.0/errata01/os/schemas/sarif-schema-2.1.0.json";
+
+/// SARIF `level` for a severity.
+fn level(severity: Severity) -> &'static str {
+    match severity {
+        Severity::Info => "note",
+        Severity::Warn => "warning",
+        Severity::Error => "error",
+    }
+}
+
+/// Renders reports as one SARIF 2.1.0 log with a single run.
+///
+/// Rule metadata is deduplicated across all reports and sorted by id, so
+/// `ruleIndex` values are stable for a given finding set. Callers wanting
+/// deterministic result order should [`Report::sort_stable`] each report
+/// first.
+pub fn reports_to_sarif(reports: &[&Report]) -> JsonValue {
+    // Collect the distinct rule ids, sorted for stable ruleIndex.
+    let mut rule_ids: Vec<&str> = reports
+        .iter()
+        .flat_map(|r| r.diagnostics.iter())
+        .map(|d| d.rule.as_str())
+        .collect();
+    rule_ids.sort_unstable();
+    rule_ids.dedup();
+
+    let mut rules = Vec::with_capacity(rule_ids.len());
+    for id in &rule_ids {
+        let mut rule = JsonValue::object();
+        rule.push("id", JsonValue::Str((*id).to_string()));
+        let mut desc = JsonValue::object();
+        desc.push("text", JsonValue::Str(rule_description(id).to_string()));
+        rule.push("shortDescription", desc);
+        rules.push(rule);
+    }
+
+    let mut driver = JsonValue::object();
+    driver.push("name", JsonValue::Str("cdpc-analyze".to_string()));
+    driver.push(
+        "version",
+        JsonValue::Str(env!("CARGO_PKG_VERSION").to_string()),
+    );
+    driver.push(
+        "informationUri",
+        JsonValue::Str("https://github.com/cdpc/cdpc".to_string()),
+    );
+    driver.push("rules", JsonValue::Array(rules));
+    let mut tool = JsonValue::object();
+    tool.push("driver", driver);
+
+    let mut results = Vec::new();
+    for report in reports {
+        for d in &report.diagnostics {
+            let mut res = JsonValue::object();
+            res.push("ruleId", JsonValue::Str(d.rule.clone()));
+            let index = rule_ids
+                .binary_search(&d.rule.as_str())
+                .expect("rule id was collected");
+            res.push("ruleIndex", JsonValue::UInt(index as u64));
+            res.push("level", JsonValue::Str(level(d.severity).to_string()));
+            let mut msg = JsonValue::object();
+            msg.push("text", JsonValue::Str(d.message.clone()));
+            res.push("message", msg);
+
+            let mut logical = JsonValue::object();
+            logical.push(
+                "fullyQualifiedName",
+                JsonValue::Str(format!("{}::{}", report.program, d.location.path())),
+            );
+            let mut loc = JsonValue::object();
+            loc.push("logicalLocations", JsonValue::Array(vec![logical]));
+            res.push("locations", JsonValue::Array(vec![loc]));
+
+            let mut props = JsonValue::object();
+            props.push("program", JsonValue::Str(report.program.clone()));
+            props.push("allowed", JsonValue::Bool(d.allowed));
+            if let Some(c) = d.confidence {
+                props.push("confidence", JsonValue::UInt(u64::from(c)));
+            }
+            if !d.fixits.is_empty() {
+                props.push(
+                    "fixits",
+                    JsonValue::Array(
+                        d.fixits
+                            .iter()
+                            .map(|f| JsonValue::Str(f.render()))
+                            .collect(),
+                    ),
+                );
+            }
+            res.push("properties", props);
+
+            if d.allowed {
+                let mut supp = JsonValue::object();
+                supp.push("kind", JsonValue::Str("inSource".to_string()));
+                res.push("suppressions", JsonValue::Array(vec![supp]));
+            }
+            results.push(res);
+        }
+    }
+
+    let mut run = JsonValue::object();
+    run.push("tool", tool);
+    run.push("results", JsonValue::Array(results));
+
+    let mut log = JsonValue::object();
+    log.push("$schema", JsonValue::Str(SARIF_SCHEMA.to_string()));
+    log.push("version", JsonValue::Str("2.1.0".to_string()));
+    log.push("runs", JsonValue::Array(vec![run]));
+    log
+}
+
+/// One-line description per rule family (SARIF requires rule metadata to
+/// be useful to humans; unknown ids get a generic line).
+fn rule_description(id: &str) -> &'static str {
+    match id.split('/').next().unwrap_or("") {
+        "race" => "Cross-processor data race detected from access summaries",
+        "sharing" => "False sharing of an external-cache line across processors",
+        "conflict" => "Cache-color pressure predicted from the page-level working set",
+        "struct" => "Structural inconsistency between program and compiler summaries",
+        "predict" => "Cache-set interference equation verdict from the static conflict prover",
+        _ => "cdpc-analyze finding",
+    }
+}
+
+/// Structural self-check used by tests and CI: asserts the invariants a
+/// SARIF 2.1.0 consumer relies on. Returns an error message instead of
+/// panicking so the CI gate can print it.
+pub fn check_sarif_shape(log: &JsonValue) -> Result<(), String> {
+    let need = |cond: bool, what: &str| {
+        if cond {
+            Ok(())
+        } else {
+            Err(format!("SARIF shape violation: {what}"))
+        }
+    };
+    need(
+        log.get("$schema").and_then(JsonValue::as_str) == Some(SARIF_SCHEMA),
+        "$schema must name the 2.1.0 schema",
+    )?;
+    need(
+        log.get("version").and_then(JsonValue::as_str) == Some("2.1.0"),
+        "version must be \"2.1.0\"",
+    )?;
+    let runs = log
+        .get("runs")
+        .and_then(JsonValue::as_array)
+        .ok_or("SARIF shape violation: runs must be an array".to_string())?;
+    need(!runs.is_empty(), "runs must be non-empty")?;
+    for run in runs {
+        let driver = run
+            .get("tool")
+            .and_then(|t| t.get("driver"))
+            .ok_or("SARIF shape violation: run.tool.driver missing".to_string())?;
+        need(
+            driver.get("name").and_then(JsonValue::as_str).is_some(),
+            "driver.name must be a string",
+        )?;
+        let rules = driver
+            .get("rules")
+            .and_then(JsonValue::as_array)
+            .ok_or("SARIF shape violation: driver.rules must be an array".to_string())?;
+        let results = run
+            .get("results")
+            .and_then(JsonValue::as_array)
+            .ok_or("SARIF shape violation: run.results must be an array".to_string())?;
+        for res in results {
+            let rule_id = res
+                .get("ruleId")
+                .and_then(JsonValue::as_str)
+                .ok_or("SARIF shape violation: result.ruleId must be a string".to_string())?;
+            let index = res
+                .get("ruleIndex")
+                .and_then(JsonValue::as_u64)
+                .ok_or("SARIF shape violation: result.ruleIndex must be an integer".to_string())?;
+            let declared = rules
+                .get(index as usize)
+                .and_then(|r| r.get("id"))
+                .and_then(JsonValue::as_str);
+            need(
+                declared == Some(rule_id),
+                "ruleIndex must point at the declared rule",
+            )?;
+            need(
+                matches!(
+                    res.get("level").and_then(JsonValue::as_str),
+                    Some("note" | "warning" | "error")
+                ),
+                "level must be note|warning|error",
+            )?;
+            need(
+                res.get("message")
+                    .and_then(|m| m.get("text"))
+                    .and_then(JsonValue::as_str)
+                    .is_some(),
+                "message.text must be a string",
+            )?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::{Diagnostic, FixIt, Location};
+
+    fn sample_report() -> Report {
+        let mut r = Report::new("101.tomcatv", 4, &["race/irregular-write".to_string()]);
+        r.push(Diagnostic::new(
+            "race/irregular-write",
+            Severity::Error,
+            Location::array("L"),
+            "irregular write",
+        ));
+        r.push(
+            Diagnostic::new(
+                "predict/conflict-cell",
+                Severity::Warn,
+                Location::at("timestep", "-", "X"),
+                "X and Y collide on color 3",
+            )
+            .with_confidence(100)
+            .with_fixit(FixIt::PadArray {
+                array: "X".into(),
+                pad_pages: 2,
+            }),
+        );
+        r.sort_stable();
+        r
+    }
+
+    #[test]
+    fn sarif_passes_its_own_schema_check() {
+        let r = sample_report();
+        let log = reports_to_sarif(&[&r]);
+        check_sarif_shape(&log).expect("well-formed SARIF");
+    }
+
+    #[test]
+    fn sarif_structure_golden() {
+        let r = sample_report();
+        let log = reports_to_sarif(&[&r]);
+        assert_eq!(
+            log.get("version").and_then(JsonValue::as_str),
+            Some("2.1.0")
+        );
+        let run = &log.get("runs").and_then(JsonValue::as_array).unwrap()[0];
+        let results = run.get("results").and_then(JsonValue::as_array).unwrap();
+        assert_eq!(results.len(), 2);
+        // sort_stable puts predict/ after race/? No: 'p' < 'r'.
+        let first = &results[0];
+        assert_eq!(
+            first.get("ruleId").and_then(JsonValue::as_str),
+            Some("predict/conflict-cell")
+        );
+        assert_eq!(
+            first.get("level").and_then(JsonValue::as_str),
+            Some("warning")
+        );
+        assert_eq!(
+            first
+                .get("properties")
+                .and_then(|p| p.get("confidence"))
+                .and_then(JsonValue::as_u64),
+            Some(100)
+        );
+        assert_eq!(
+            first
+                .get("properties")
+                .and_then(|p| p.get("fixits"))
+                .and_then(JsonValue::as_array)
+                .and_then(|a| a[0].as_str()),
+            Some("pad array X by 2 page(s)")
+        );
+        assert!(first.get("suppressions").is_none(), "warn is not allowed");
+        // The allowed race error carries a suppression.
+        let second = &results[1];
+        assert_eq!(
+            second
+                .get("suppressions")
+                .and_then(JsonValue::as_array)
+                .and_then(|s| s[0].get("kind"))
+                .and_then(JsonValue::as_str),
+            Some("inSource")
+        );
+        // Logical location is program-qualified.
+        let fqn = first
+            .get("locations")
+            .and_then(JsonValue::as_array)
+            .and_then(|l| l[0].get("logicalLocations"))
+            .and_then(JsonValue::as_array)
+            .and_then(|l| l[0].get("fullyQualifiedName"))
+            .and_then(JsonValue::as_str);
+        assert_eq!(fqn, Some("101.tomcatv::timestep/-/X"));
+        // Round-trips through the parser.
+        let parsed = JsonValue::parse(&log.to_string_pretty()).expect("valid JSON");
+        check_sarif_shape(&parsed).expect("parsed SARIF keeps its shape");
+    }
+
+    #[test]
+    fn shape_check_rejects_mangled_logs() {
+        let r = sample_report();
+        let mut log = reports_to_sarif(&[&r]);
+        check_sarif_shape(&log).unwrap();
+        log.push("version", JsonValue::Str("3.0.0".into()));
+        // JsonValue::push replaces on duplicate key or appends; either way
+        // the check must reject a wrong version.
+        let mangled = JsonValue::parse(
+            &log.to_string_compact()
+                .replace("\"version\":\"2.1.0\"", "\"version\":\"9.9\""),
+        )
+        .unwrap();
+        assert!(check_sarif_shape(&mangled).is_err());
+    }
+}

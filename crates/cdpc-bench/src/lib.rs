@@ -77,6 +77,7 @@ impl Preset {
 pub const DEFAULT_SAMPLE_INTERVAL: u64 = 10_000;
 
 const FLAG_USAGE: &str = "supported flags: --scale N, --full, --threads N, --lint, --sanitize, \
+                          --predict <path>, --sarif <path>, \
                           --scheduler batch|heap, --json <path>, --trace <path>, \
                           --series <path>, --sample-interval <cycles>, --attrib <path>, --top";
 
@@ -233,6 +234,13 @@ pub struct Setup {
     /// per-op `heap` reference path produces bit-identical reports — this
     /// flag exists for debugging and A/B timing, not for changing results.
     pub scheduler: SchedulerKind,
+    /// `--predict <path>`: where the `predict` binary writes its
+    /// prediction-vs-simulation JSON report (other binaries parse but
+    /// ignore the flag, so one flag vocabulary serves the whole suite).
+    pub predict: Option<PathBuf>,
+    /// `--sarif <path>`: where analysis binaries export their diagnostics
+    /// as a SARIF 2.1.0 log.
+    pub sarif: Option<PathBuf>,
 }
 
 impl Default for Setup {
@@ -251,6 +259,8 @@ impl Setup {
             lint: false,
             sanitize: false,
             scheduler: SchedulerKind::default(),
+            predict: None,
+            sarif: None,
         }
     }
 
@@ -310,6 +320,14 @@ impl Setup {
                 "--sanitize" => {
                     setup.sanitize = true;
                     i += 1;
+                }
+                "--predict" => {
+                    setup.predict = Some(PathBuf::from(value(&args, i, "--predict")));
+                    i += 2;
+                }
+                "--sarif" => {
+                    setup.sarif = Some(PathBuf::from(value(&args, i, "--sarif")));
+                    i += 2;
                 }
                 "--scheduler" => {
                     setup.scheduler = match value(&args, i, "--scheduler").as_str() {

@@ -1,0 +1,146 @@
+//! Cross-validation of the static conflict prover against the simulator:
+//! the zero-false-negative guarantee on the paper's headline workloads,
+//! and the fix-it round trip (a pad the prover proposes must remove the
+//! conflict in *both* the prover's equations and the simulation).
+
+use std::collections::BTreeSet;
+
+use cdpc_analyze::{predict_program, FixIt, MachineModel, ProverPolicy};
+use cdpc_bench::{Preset, Setup};
+use cdpc_compiler::ir::{Access, AccessPattern, LoopNest, Phase, Program, Stmt, StmtKind};
+use cdpc_compiler::{compile, CompileOptions};
+use cdpc_machine::{diff_prediction, run, run_attributed, PolicyKind, RunConfig};
+use cdpc_memsim::{CacheConfig, MemConfig};
+
+const CPUS: usize = 4;
+const SCALE: u64 = 64;
+
+/// Prover + attribution oracle for one workload at the CI scale; returns
+/// the diff so each test can assert its own angle.
+fn validate(name: &str) -> cdpc_machine::PredictionDiff {
+    let setup = Setup::with_scale(SCALE);
+    let bench = cdpc_workloads::by_name(name).expect("workload exists");
+    let program = (bench.build)(setup.workload_scale());
+    let mem = setup.scaled_mem(Preset::Base1MbDm, CPUS);
+    let mut opts = CompileOptions::new(CPUS).with_l2_cache(mem.l2.size_bytes() as u64);
+    opts.l1_cache_bytes = mem.l1d.size_bytes() as u64;
+
+    let (pred, _) = predict_program(
+        &program,
+        &opts,
+        &MachineModel::from_mem(&mem),
+        ProverPolicy::PageColoring,
+    );
+    let compiled = compile(&program, &opts).expect("compiles");
+    let (_, probe) = run_attributed(&compiled, &RunConfig::new(mem, PolicyKind::PageColoring));
+    diff_prediction(&pred.cells, &probe)
+}
+
+#[test]
+fn tomcatv_has_zero_false_negatives() {
+    let diff = validate("tomcatv");
+    assert!(
+        !diff.oracle_cells.is_empty(),
+        "tomcatv must show conflicts under page coloring at scale 64"
+    );
+    assert!(diff.sound(), "missed cells: {:?}", diff.missed);
+    assert_eq!(diff.recall(), 1.0);
+}
+
+#[test]
+fn swim_has_zero_false_negatives() {
+    let diff = validate("swim");
+    assert!(!diff.oracle_cells.is_empty());
+    assert!(diff.sound(), "missed cells: {:?}", diff.missed);
+    assert_eq!(diff.recall(), 1.0);
+}
+
+#[test]
+fn su2cor_has_zero_false_negatives() {
+    let diff = validate("su2cor");
+    assert!(!diff.oracle_cells.is_empty());
+    assert!(diff.sound(), "missed cells: {:?}", diff.missed);
+    assert_eq!(diff.recall(), 1.0);
+}
+
+/// The acceptance round trip: on a program where the prover predicts a
+/// conflict and proposes a pad, applying the pad must (a) make the prover
+/// prove the program conflict-free and (b) drive the simulator's conflict
+/// misses to zero.
+#[test]
+fn pad_fixit_removes_the_conflict_in_prover_and_simulator() {
+    // Two 16 KB arrays on a 2-CPU, 8-color, 32 KB direct-mapped machine:
+    // A covers colors {0..3}, B {4..7}, and the code page lands on color 1,
+    // colliding with A's second page on CPU 0 (see the prover's unit tests
+    // for the page arithmetic). Small L1s keep the data stream reaching
+    // the L2 so the collision actually costs misses.
+    let mut mem = MemConfig::paper_base(2);
+    mem.l2 = CacheConfig::new(32 << 10, 128, 1);
+    mem.l1d = CacheConfig::new(4 << 10, 32, 2);
+    mem.l1i = CacheConfig::new(4 << 10, 32, 2);
+    let machine = MachineModel::from_mem(&mem);
+    let opts = CompileOptions::new(2).with_l2_cache(mem.l2.size_bytes() as u64);
+
+    let build = |pad_array: Option<(&str, u64)>| {
+        let mut p = Program::new("pad-roundtrip");
+        let a = p.array("A", 16 << 10);
+        let b = p.array("B", 16 << 10);
+        if let Some((name, pages)) = pad_array {
+            let idx = p.arrays.iter().position(|d| d.name == name).unwrap();
+            p.arrays[idx].bytes += pages * 4096;
+        }
+        let sweep = |nm: &str, arr| Stmt {
+            kind: StmtKind::Parallel,
+            nest: LoopNest::new(nm, 16, 500).with_access(Access::write(
+                arr,
+                AccessPattern::Partitioned { unit_bytes: 1024 },
+            )),
+        };
+        p.phase(Phase {
+            name: "steady".into(),
+            stmts: vec![sweep("sa", a), sweep("sb", b)],
+            count: 4,
+        });
+        p
+    };
+
+    // Before: the prover predicts the conflict and proposes a pad...
+    let before = build(None);
+    let (pred, report) = predict_program(&before, &opts, &machine, ProverPolicy::PageColoring);
+    assert!(!pred.proven_free, "unpadded layout must collide");
+    let (array, pad_pages) = report
+        .diagnostics
+        .iter()
+        .flat_map(|d| d.fixits.iter())
+        .find_map(|f| match f {
+            FixIt::PadArray { array, pad_pages } => Some((array.clone(), *pad_pages)),
+            _ => None,
+        })
+        .expect("prover proposes a verified pad");
+
+    // ...and the simulator confirms: conflict misses land inside the
+    // predicted cells (soundness on this microprogram too).
+    let compiled = compile(&before, &opts).expect("compiles");
+    let cfg = RunConfig::new(mem.clone(), PolicyKind::PageColoring);
+    let sim = run(&compiled, &cfg);
+    assert!(
+        sim.stalls.conflict > 0,
+        "the predicted collision must cost simulated conflict misses"
+    );
+    let (_, probe) = run_attributed(&compiled, &cfg);
+    let diff = diff_prediction(&pred.cells, &probe);
+    assert!(diff.sound(), "missed cells: {:?}", diff.missed);
+
+    // After: the same pad, applied to the source program, satisfies both
+    // the prover and the simulator.
+    let after = build(Some((array.as_str(), pad_pages)));
+    let (pred2, _) = predict_program(&after, &opts, &machine, ProverPolicy::PageColoring);
+    assert!(pred2.proven_free, "prover: pad removes every overload");
+    assert_eq!(pred2.cells, BTreeSet::new());
+    let compiled2 = compile(&after, &opts).expect("compiles");
+    let sim2 = run(&compiled2, &cfg);
+    assert_eq!(
+        sim2.stalls.conflict, 0,
+        "simulator: padded layout has no conflict misses"
+    );
+}

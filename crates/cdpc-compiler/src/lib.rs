@@ -259,6 +259,14 @@ impl CompiledProgram {
     pub fn array_names(&self) -> Vec<String> {
         self.arrays.iter().map(|a| a.name.clone()).collect()
     }
+
+    /// The array (index into [`Self::arrays`]) whose laid-out range contains
+    /// `va`, if any. Code and guard pages belong to no array.
+    pub fn array_of_addr(&self, va: u64) -> Option<usize> {
+        self.arrays
+            .iter()
+            .position(|a| (a.base.0..a.base.0 + a.bytes).contains(&va))
+    }
 }
 
 /// Runs the whole pipeline: validate → parallelize → layout → summarize →

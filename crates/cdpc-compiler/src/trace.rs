@@ -50,6 +50,29 @@ pub struct ResolvedAccess {
     pub prefetch: AccessPrefetch,
 }
 
+/// The byte footprint of one access over one processor's iteration range,
+/// summarized as absolute-VA intervals instead of a reference stream.
+///
+/// For the affine patterns the intervals are *exact*: they cover precisely
+/// the addresses [`OpSpec::ops`] emits for the access (start rounded down
+/// to the demand granularity, the way `emit_range` aligns its first line).
+/// Irregular streams have no static footprint; they are bounded by the
+/// whole array and flagged `exact = false` — a sound over-approximation
+/// for set-interference analysis, never silence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AccessFootprint {
+    /// Base address of the accessed array.
+    pub base: u64,
+    /// Array size in bytes.
+    pub bytes: u64,
+    /// Store vs. load.
+    pub is_write: bool,
+    /// `false` when the intervals over-approximate (irregular access).
+    pub exact: bool,
+    /// Absolute `[start, end)` VA intervals, sorted and disjoint.
+    pub intervals: Vec<(u64, u64)>,
+}
+
 /// The reference stream of one processor over one loop nest.
 ///
 /// Cheap to clone; materialize the stream with [`OpSpec::ops`].
@@ -95,6 +118,127 @@ impl OpSpec {
     /// Total instruction count of the stream (for MCPI denominators).
     pub fn instr_count(&self) -> u64 {
         self.local_iters() * self.work_per_iter
+    }
+
+    /// The byte footprints of every body access over this processor's
+    /// iteration range `[lo, hi)` — the set-granular summaries the static
+    /// conflict prover consumes. See [`AccessFootprint`] for the exactness
+    /// contract; a property test pins the intervals to the demand stream.
+    pub fn access_footprints(&self) -> Vec<AccessFootprint> {
+        self.accesses
+            .iter()
+            .map(|acc| self.access_footprint(acc))
+            .collect()
+    }
+
+    fn access_footprint(&self, acc: &ResolvedAccess) -> AccessFootprint {
+        let (lo, hi, n) = (self.lo, self.hi, self.total_iters);
+        let mut exact = true;
+        // Array-relative byte pieces, each paired with the granularity its
+        // start is rounded down to. Center sweeps round to the prefetch
+        // granularity when software pipelining is on (prefetches align the
+        // first line to `l2_line`, below the demand start); halo reads have
+        // no prefetch and round only to the demand granularity.
+        let center_gran = if acc.prefetch.enabled {
+            self.l2_line.max(self.granularity)
+        } else {
+            self.granularity
+        };
+        let mut pieces: Vec<(u64, u64, u64)> = Vec::new();
+        match acc.pattern {
+            AccessPattern::Partitioned { unit_bytes } => {
+                // `center_range` caps each unit's end at the array size.
+                pieces.push((
+                    lo.saturating_mul(unit_bytes),
+                    hi.saturating_mul(unit_bytes).min(acc.bytes),
+                    center_gran,
+                ));
+            }
+            AccessPattern::Stencil {
+                unit_bytes,
+                halo_units,
+                wraparound,
+            } => {
+                pieces.push((
+                    lo.saturating_mul(unit_bytes),
+                    hi.saturating_mul(unit_bytes).min(acc.bytes),
+                    center_gran,
+                ));
+                if !acc.is_write && halo_units > 0 && lo < hi {
+                    // Units touched as a *full* (uncapped) halo range by
+                    // some iteration `i ∈ [lo, hi)`: `i − d` reaches
+                    // `[lo − halo, hi − 1)` and `i + d` reaches
+                    // `[lo + 1, min(hi + halo, n))`. Only a lone center
+                    // unit (`hi − lo == 1`) is never its neighbours' halo.
+                    let below = (lo.saturating_sub(halo_units), hi - 1);
+                    let above = (lo + 1, (hi + halo_units).min(n));
+                    for (a, b) in [below, above] {
+                        pieces.push((
+                            a.saturating_mul(unit_bytes),
+                            b.saturating_mul(unit_bytes),
+                            self.granularity,
+                        ));
+                    }
+                    if wraparound {
+                        // Periodic wrap pieces, mirroring `demand_ops`'
+                        // `(i + n − d) % n` / `(i + d) % n` indices.
+                        if lo < halo_units {
+                            pieces.push((
+                                n.saturating_sub(halo_units - lo).saturating_mul(unit_bytes),
+                                n.saturating_mul(unit_bytes),
+                                self.granularity,
+                            ));
+                        }
+                        if hi + halo_units > n {
+                            pieces.push((
+                                0,
+                                (hi + halo_units - n).min(n).saturating_mul(unit_bytes),
+                                self.granularity,
+                            ));
+                        }
+                    }
+                }
+            }
+            AccessPattern::WholeArray => {
+                // Each processor streams the whole array once over its
+                // local iterations.
+                if lo < hi {
+                    pieces.push((0, acc.bytes, center_gran));
+                }
+            }
+            AccessPattern::Irregular { .. } => {
+                // No static footprint: bounded by the array's demand lines.
+                exact = false;
+                if lo < hi {
+                    let lines = (acc.bytes / self.granularity).max(1);
+                    pieces.push((0, lines * self.granularity, self.granularity));
+                }
+            }
+        }
+        let mut intervals: Vec<(u64, u64)> = pieces
+            .into_iter()
+            .filter(|&(start, end, _)| start < end && lo < hi)
+            .map(|(start, end, gran)| {
+                let start = start / gran.max(1) * gran.max(1);
+                (acc.base + start, acc.base + end)
+            })
+            .collect();
+        intervals.sort_unstable();
+        // Merge touching/overlapping intervals.
+        let mut merged: Vec<(u64, u64)> = Vec::with_capacity(intervals.len());
+        for (a, b) in intervals {
+            match merged.last_mut() {
+                Some(last) if a <= last.1 => last.1 = last.1.max(b),
+                _ => merged.push((a, b)),
+            }
+        }
+        AccessFootprint {
+            base: acc.base,
+            bytes: acc.bytes,
+            is_write: acc.is_write,
+            exact,
+            intervals: merged,
+        }
     }
 
     /// Generates iteration `i`'s ops into `ops` (appending; callers clear).
@@ -354,6 +498,216 @@ mod tests {
             pattern,
             is_write: write,
             prefetch: AccessPrefetch::OFF,
+        }
+    }
+
+    /// Every address (demand + prefetch) the spec's sole access emits.
+    fn touched(s: &OpSpec) -> std::collections::BTreeSet<u64> {
+        s.ops()
+            .filter_map(|o| match o {
+                TraceOp::Load(a) | TraceOp::Store(a) => Some(a.0),
+                TraceOp::Prefetch { addr, .. } => Some(addr.0),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// All `gran`-aligned addresses inside the footprint's intervals.
+    fn aligned_in(fp: &AccessFootprint, gran: u64) -> std::collections::BTreeSet<u64> {
+        let mut out = std::collections::BTreeSet::new();
+        for &(lo, hi) in &fp.intervals {
+            let mut a = lo.div_ceil(gran) * gran;
+            while a < hi {
+                out.insert(a);
+                a += gran;
+            }
+        }
+        out
+    }
+
+    /// The footprint exactness contract: emitted addresses are exactly the
+    /// demand-granularity lines of the intervals (for prefetching accesses,
+    /// exactly the coarser prefetch-granularity lines are all touched too,
+    /// and nothing escapes the intervals).
+    fn assert_footprint_exact(s: &OpSpec) {
+        let fp = &s.access_footprints()[0];
+        assert!(fp.exact);
+        let got = touched(s);
+        let acc = &s.accesses[0];
+        if acc.prefetch.enabled {
+            for a in &got {
+                assert!(
+                    fp.intervals.iter().any(|&(lo, hi)| (lo..hi).contains(a)),
+                    "address {a:#x} escapes footprint {:?}",
+                    fp.intervals
+                );
+            }
+            let coarse = aligned_in(fp, s.l2_line.max(s.granularity));
+            assert!(
+                coarse.is_subset(&got),
+                "footprint line not touched: {:?}",
+                coarse.difference(&got).next()
+            );
+        } else {
+            assert_eq!(got, aligned_in(fp, s.granularity), "footprint not exact");
+        }
+    }
+
+    #[test]
+    fn partitioned_footprint_matches_stream() {
+        // Units that neither start at 0 nor align to the l2 line.
+        let s = spec(
+            vec![acc(AccessPattern::Partitioned { unit_bytes: 96 }, false)],
+            3,
+            9,
+            16,
+        );
+        assert_footprint_exact(&s);
+        let fp = &s.access_footprints()[0];
+        // [3·96, 9·96) with the start rounded down to 32: 288 is aligned.
+        assert_eq!(fp.intervals, vec![(0x1000 + 288, 0x1000 + 864)]);
+    }
+
+    #[test]
+    fn partitioned_footprint_caps_at_array_size() {
+        let mut a = acc(AccessPattern::Partitioned { unit_bytes: 96 }, true);
+        a.bytes = 500; // units 0..16 would reach 1536; array ends at 500
+        let s = spec(vec![a], 4, 8, 16);
+        assert_footprint_exact(&s);
+        let fp = &s.access_footprints()[0];
+        assert_eq!(fp.intervals, vec![(0x1000 + 384, 0x1000 + 500)]);
+    }
+
+    #[test]
+    fn stencil_footprint_covers_halo_and_wrap() {
+        for (lo, hi) in [(0, 4), (2, 7), (13, 16), (0, 16)] {
+            let s = spec(
+                vec![acc(
+                    AccessPattern::Stencil {
+                        unit_bytes: 64,
+                        halo_units: 2,
+                        wraparound: true,
+                    },
+                    false,
+                )],
+                lo,
+                hi,
+                16,
+            );
+            assert_footprint_exact(&s);
+        }
+        // Writes touch the center only.
+        let w = spec(
+            vec![acc(
+                AccessPattern::Stencil {
+                    unit_bytes: 64,
+                    halo_units: 2,
+                    wraparound: true,
+                },
+                true,
+            )],
+            0,
+            4,
+            16,
+        );
+        assert_footprint_exact(&w);
+        assert_eq!(
+            w.access_footprints()[0].intervals,
+            vec![(0x1000, 0x1000 + 256)]
+        );
+    }
+
+    #[test]
+    fn stencil_single_iteration_caps_center_only() {
+        // One iteration owning the short last unit: the center is capped at
+        // the array size, the (uncapped) halo below is not, so the footprint
+        // has a hole between 500 and 512.
+        let mut a = acc(
+            AccessPattern::Stencil {
+                unit_bytes: 64,
+                halo_units: 1,
+                wraparound: true,
+            },
+            false,
+        );
+        a.bytes = 500;
+        let s = spec(vec![a], 7, 8, 8);
+        assert_footprint_exact(&s);
+        let fp = &s.access_footprints()[0];
+        // Halo unit 6 [384, 448), center 7 [448, 500), wrap halo 0 [0, 64).
+        assert_eq!(
+            fp.intervals,
+            vec![(0x1000, 0x1000 + 64), (0x1000 + 384, 0x1000 + 500)]
+        );
+    }
+
+    #[test]
+    fn whole_array_footprint_is_the_array() {
+        let s = spec(vec![acc(AccessPattern::WholeArray, false)], 2, 6, 8);
+        assert_footprint_exact(&s);
+        assert_eq!(
+            s.access_footprints()[0].intervals,
+            vec![(0x1000, 0x1000 + 4096)]
+        );
+    }
+
+    #[test]
+    fn irregular_footprint_bounds_without_exactness() {
+        let s = spec(
+            vec![acc(
+                AccessPattern::Irregular {
+                    touches_per_iter: 8,
+                },
+                false,
+            )],
+            0,
+            4,
+            4,
+        );
+        let fp = &s.access_footprints()[0];
+        assert!(!fp.exact, "irregular streams over-approximate");
+        let inside = aligned_in(fp, s.granularity);
+        for a in touched(&s) {
+            assert!(inside.contains(&a), "irregular address {a:#x} escapes");
+        }
+    }
+
+    #[test]
+    fn prefetched_footprint_absorbs_line_rounding() {
+        // 96 B units with prefetch on: the first prefetch line of unit 3
+        // rounds 288 down to 256 (l2_line), below the demand start.
+        let mut a = acc(AccessPattern::Partitioned { unit_bytes: 96 }, false);
+        a.prefetch = AccessPrefetch {
+            enabled: true,
+            lookahead: 2,
+        };
+        let s = spec(vec![a], 3, 9, 16);
+        assert_footprint_exact(&s);
+        assert_eq!(
+            s.access_footprints()[0].intervals,
+            vec![(0x1000 + 256, 0x1000 + 864)]
+        );
+    }
+
+    #[test]
+    fn zero_trip_footprint_is_empty() {
+        for pattern in [
+            AccessPattern::Partitioned { unit_bytes: 64 },
+            AccessPattern::Stencil {
+                unit_bytes: 64,
+                halo_units: 2,
+                wraparound: true,
+            },
+            AccessPattern::WholeArray,
+            AccessPattern::Irregular {
+                touches_per_iter: 4,
+            },
+        ] {
+            let s = spec(vec![acc(pattern, false)], 5, 5, 16);
+            assert!(
+                s.access_footprints()[0].intervals.is_empty(),
+                "zero-trip loop has an empty footprint"
+            );
         }
     }
 

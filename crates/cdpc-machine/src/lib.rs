@@ -41,6 +41,7 @@ pub mod htmlreport;
 pub mod report;
 pub mod run;
 pub mod sweep;
+pub mod validate;
 
 pub use export::{attribution_to_json, report_to_json};
 pub use format::{render_attribution_top, render_report, summary_line};
@@ -50,3 +51,4 @@ pub use run::{
     attribution_probe, run, run_attributed, run_observed, PolicyKind, RunConfig, SchedulerKind,
 };
 pub use sweep::{default_threads, run_sweep, sweep_map, SweepJob};
+pub use validate::{diff_prediction, PredictionDiff};
