@@ -11,7 +11,7 @@ use std::hint::black_box;
 
 use cdpc_bench::{Preset, Setup};
 use cdpc_machine::{run, run_observed, PolicyKind, RunConfig};
-use cdpc_obs::selfprof::time_iters;
+use cdpc_obs::selfprof::{fmt_duration, time_iters};
 use cdpc_obs::CountingProbe;
 
 fn bench_compile() {
@@ -22,8 +22,8 @@ fn bench_compile() {
             black_box(setup.compile_bench(&bench, Preset::Base1MbDm, 8, true, true));
         });
         println!(
-            "pipeline/compile/{name:<10} {:>10.2} ms",
-            t.secs_per_iter() * 1e3
+            "pipeline/compile/{name:<10} {:>12}",
+            fmt_duration(t.secs_per_iter())
         );
     }
 }
@@ -44,9 +44,9 @@ fn bench_simulation() {
             black_box(run(&compiled, &cfg));
         });
         println!(
-            "pipeline/simulate_hydro2d_4p/{:<14} {:>10.2} ms",
+            "pipeline/simulate_hydro2d_4p/{:<14} {:>12}",
             policy.label(),
-            t.secs_per_iter() * 1e3
+            fmt_duration(t.secs_per_iter())
         );
     }
     // Probes-on variant: the instrumented run with a counting probe.
@@ -56,13 +56,36 @@ fn bench_simulation() {
         black_box(run_observed(&compiled, &cfg, &mut probe, None));
     });
     println!(
-        "pipeline/simulate_hydro2d_4p/{:<14} {:>10.2} ms",
+        "pipeline/simulate_hydro2d_4p/{:<14} {:>12}",
         "cdpc+probes",
-        t.secs_per_iter() * 1e3
+        fmt_duration(t.secs_per_iter())
     );
+}
+
+fn bench_engine() {
+    // Serial run loop vs the epoch-parallel engine on the same workload
+    // (tomcatv, 8 simulated CPUs — the headline configuration). On a
+    // single-core host the engine rows price its choreography overhead;
+    // on a multi-core host they show the intra-run overlap. The reports
+    // are bit-identical either way (DESIGN.md section 6h).
+    let setup = Setup::with_scale(64);
+    let bench = cdpc_workloads::by_name("tomcatv").expect("exists");
+    let compiled = setup.compile_bench(&bench, Preset::Base1MbDm, 8, false, true);
+    for sim_threads in [1usize, 2, 4] {
+        let t = time_iters(2, 10, || {
+            let mut cfg = RunConfig::new(setup.scaled_mem(Preset::Base1MbDm, 8), PolicyKind::Cdpc);
+            cfg.sim_threads = sim_threads;
+            black_box(run(&compiled, &cfg));
+        });
+        println!(
+            "pipeline/run_loop_tomcatv_8p/sim-threads={sim_threads} {:>12}",
+            fmt_duration(t.secs_per_iter())
+        );
+    }
 }
 
 fn main() {
     bench_compile();
     bench_simulation();
+    bench_engine();
 }

@@ -39,8 +39,8 @@ use cdpc_compiler::ir::Program;
 use cdpc_compiler::{compile, CompileOptions, CompiledProgram};
 use cdpc_machine::{
     attribution_probe, attribution_to_html, attribution_to_json, render_attribution_top,
-    report_to_json, run_observed, run_sweep, sweep_map, PolicyKind, RunConfig, RunReport,
-    SchedulerKind, SweepJob,
+    report_to_json, run_observed, run_sweep, sweep_map, thread_budget, PolicyKind, RunConfig,
+    RunReport, SchedulerKind, SweepJob,
 };
 use cdpc_memsim::{CacheConfig, MemConfig};
 use cdpc_obs::{AttributionProbe, IntervalSeries, JsonValue, TraceProbe};
@@ -76,8 +76,8 @@ impl Preset {
 /// Window length used for `--series` when `--sample-interval` is absent.
 pub const DEFAULT_SAMPLE_INTERVAL: u64 = 10_000;
 
-const FLAG_USAGE: &str = "supported flags: --scale N, --full, --threads N, --lint, --sanitize, \
-                          --predict <path>, --sarif <path>, \
+const FLAG_USAGE: &str = "supported flags: --scale N, --full, --threads N, --sim-threads N, \
+                          --lint, --sanitize, --predict <path>, --sarif <path>, \
                           --scheduler batch|heap, --json <path>, --trace <path>, \
                           --series <path>, --sample-interval <cycles>, --attrib <path>, --top";
 
@@ -220,6 +220,13 @@ pub struct Setup {
     /// defaults to the host's available parallelism). Reports are
     /// bit-identical for every value.
     pub threads: usize,
+    /// Intra-run engine threads (`--sim-threads N`; default 1 = the
+    /// serial scheduler). Values above 1 run each simulation through the
+    /// epoch-parallel engine, which is bit-identical to the serial path.
+    /// Composes with `threads`: [`run_jobs`](Self::run_jobs) divides the
+    /// job fan-out by `sim_threads` ([`thread_budget`]) so the two levels
+    /// never oversubscribe the host.
+    pub sim_threads: usize,
     /// Observability outputs for [`run_bench`](Self::run_bench).
     pub obs: ObsOptions,
     /// `--lint`: run the `cdpc-analyze` static lints on every program
@@ -255,6 +262,7 @@ impl Setup {
         Setup {
             scale,
             threads: cdpc_machine::default_threads(),
+            sim_threads: 1,
             obs: ObsOptions::default(),
             lint: false,
             sanitize: false,
@@ -311,6 +319,14 @@ impl Setup {
                         .unwrap_or_else(|_| panic!("--threads needs a thread count"));
                     assert!(v >= 1, "--threads must be at least 1");
                     setup.threads = v;
+                    i += 2;
+                }
+                "--sim-threads" => {
+                    let v = value(&args, i, "--sim-threads")
+                        .parse::<usize>()
+                        .unwrap_or_else(|_| panic!("--sim-threads needs a thread count"));
+                    assert!(v >= 1, "--sim-threads must be at least 1");
+                    setup.sim_threads = v;
                     i += 2;
                 }
                 "--lint" => {
@@ -443,6 +459,7 @@ impl Setup {
         let mut cfg = RunConfig::new(self.scaled_mem(preset, cpus), policy);
         cfg.validate_coherence = self.sanitize;
         cfg.scheduler = self.scheduler;
+        cfg.sim_threads = self.sim_threads;
         SweepJob::new(compiled, cfg)
     }
 
@@ -461,14 +478,17 @@ impl Setup {
     /// (composed with the trace probe when both are requested), so a MESI
     /// invariant violation aborts the experiment at the offending event.
     pub fn run_jobs(&self, jobs: &[SweepJob]) -> Vec<RunReport> {
+        // Combined cap: each engine-backed run brings `sim_threads` host
+        // threads of its own, so the job fan-out shrinks to compensate.
+        let threads = thread_budget(self.threads, self.sim_threads);
         if !self.obs.active() && !self.sanitize {
-            return run_sweep(jobs, self.threads);
+            return run_sweep(jobs, threads);
         }
         let interval = self.obs.sampling();
         let want_trace = self.obs.trace.is_some();
         let want_attrib = self.obs.attribution();
         let sanitize = self.sanitize;
-        let results = sweep_map(jobs, self.threads, |job| {
+        let results = sweep_map(jobs, threads, |job| {
             let cpus = job.cfg.mem.num_cpus;
             // Compose the requested sinks as a tuple of `Option<Probe>`s:
             // `None` slots are no-ops the optimizer removes, so one code

@@ -1,0 +1,184 @@
+//! Differential proof that the epoch-parallel engine is **bit-identical**
+//! to the serial min-clock-batching scheduler.
+//!
+//! Every test runs the same compiled workload twice — once with
+//! `sim_threads = 1` (the serial scheduler, the audited reference) and
+//! once through the engine — and demands *exact* equality of everything
+//! observable: the full [`RunReport`] (every counter, stall class, bus
+//! figure, and per-CPU stat), rendered JSON exports, attribution tensors,
+//! and interval series. Not "close": identical, across the whole SPEC95fp
+//! suite, CPU counts from 1 to 16, and every probe family.
+//!
+//! Scale 64 matches the CI convention of `predict_validation.rs`; the
+//! data:cache ratios (and therefore the miss mix the engine must get
+//! right — cold, capacity, conflict, true/false sharing, upgrades,
+//! prefetch interactions) are preserved by construction.
+
+use cdpc_analyze::SanitizerProbe;
+use cdpc_bench::{Preset, Setup};
+use cdpc_machine::{
+    attribution_probe, attribution_to_json, report_to_json, run, run_observed, PolicyKind,
+    RunReport,
+};
+use cdpc_obs::{CountingProbe, NullProbe};
+use cdpc_workloads::by_name;
+
+const SCALE: u64 = 64;
+
+/// Builds the (compiled program, serial config) pair for one benchmark.
+fn job(
+    name: &str,
+    cpus: usize,
+    policy: PolicyKind,
+    prefetch: bool,
+) -> (cdpc_compiler::CompiledProgram, cdpc_machine::RunConfig) {
+    let setup = Setup::with_scale(SCALE);
+    let bench = by_name(name).expect("workload exists");
+    let compiled = setup.compile_bench(&bench, Preset::Base1MbDm, cpus, prefetch, true);
+    let cfg = cdpc_machine::RunConfig::new(setup.scaled_mem(Preset::Base1MbDm, cpus), policy);
+    (compiled, cfg)
+}
+
+/// Asserts serial and engine runs of `name` agree exactly, for the given
+/// simulated-CPU and sim-thread counts. Compares both the structured
+/// report and its rendered JSON (belt and suspenders: JSON catches any
+/// field a future `PartialEq` derive might skip).
+fn assert_bit_identical(name: &str, cpus: usize, sim_threads: usize, prefetch: bool) {
+    let (compiled, mut cfg) = job(name, cpus, PolicyKind::Cdpc, prefetch);
+    let serial = run(&compiled, &cfg);
+    cfg.sim_threads = sim_threads;
+    let engine = run(&compiled, &cfg);
+    assert_reports_eq(&serial, &engine, name, cpus, sim_threads);
+}
+
+fn assert_reports_eq(serial: &RunReport, engine: &RunReport, name: &str, cpus: usize, st: usize) {
+    assert_eq!(
+        serial, engine,
+        "{name} diverges at {cpus} CPUs with sim_threads={st}"
+    );
+    assert_eq!(
+        report_to_json(serial).to_string_pretty(),
+        report_to_json(engine).to_string_pretty(),
+        "{name} JSON diverges at {cpus} CPUs with sim_threads={st}"
+    );
+}
+
+/// The whole SPEC95fp suite at the paper's 8-CPU configuration, engine at
+/// 4 sim-threads, prefetching on (the hazard-heavy path).
+#[test]
+fn full_suite_8p_par4() {
+    for bench in cdpc_workloads::all() {
+        assert_bit_identical(bench.name, 8, 4, true);
+    }
+}
+
+/// CPU-count matrix on the headline workload: 1 CPU (engine ineligible —
+/// must silently fall back), 4, 8, and 16 CPUs, at 2 and 4 sim-threads,
+/// with and without prefetching.
+#[test]
+fn tomcatv_cpu_matrix() {
+    for cpus in [1usize, 4, 8, 16] {
+        for sim_threads in [2usize, 4] {
+            assert_bit_identical("tomcatv", cpus, sim_threads, false);
+            assert_bit_identical("tomcatv", cpus, sim_threads, true);
+        }
+    }
+}
+
+/// More sim-threads than simulated CPUs (workers clamp to the CPU count)
+/// and an oversubscribed pool must both stay exact.
+#[test]
+fn swim_thread_oversubscription() {
+    assert_bit_identical("swim", 4, 8, true);
+    assert_bit_identical("swim", 8, 16, false);
+}
+
+/// Every page-mapping policy the engine supports (dynamic recoloring is
+/// excluded by eligibility and must fall back bit-identically).
+#[test]
+fn hydro2d_policy_matrix() {
+    for policy in [
+        PolicyKind::Cdpc,
+        PolicyKind::PageColoring,
+        PolicyKind::BinHopping,
+        PolicyKind::CdpcTouch,
+        PolicyKind::DynamicRecolor,
+    ] {
+        let (compiled, mut cfg) = job("hydro2d", 8, policy, true);
+        let serial = run(&compiled, &cfg);
+        cfg.sim_threads = 4;
+        let engine = run(&compiled, &cfg);
+        assert_reports_eq(&serial, &engine, "hydro2d", 8, 4);
+    }
+}
+
+/// The event-counting probe sees exactly the same event stream (counts of
+/// accesses, classified misses, faults, flushes, prefetch events, ...).
+#[test]
+fn counting_probe_identical() {
+    for name in ["tomcatv", "applu"] {
+        let (compiled, mut cfg) = job(name, 8, PolicyKind::Cdpc, true);
+        let mut serial_probe = CountingProbe::default();
+        let (serial, _) = run_observed(&compiled, &cfg, &mut serial_probe, None);
+        cfg.sim_threads = 4;
+        let mut engine_probe = CountingProbe::default();
+        let (engine, _) = run_observed(&compiled, &cfg, &mut engine_probe, None);
+        assert_reports_eq(&serial, &engine, name, 8, 4);
+        assert_eq!(serial_probe, engine_probe, "{name} probe counters diverge");
+    }
+}
+
+/// The attribution probe — the one batch-sensitive probe — produces an
+/// identical `(array × color × cpu × class)` tensor, batch and gap
+/// histograms, and occupancy series (compared through its full JSON
+/// rendering, which serializes all of them).
+#[test]
+fn attribution_identical() {
+    for name in ["tomcatv", "su2cor"] {
+        let (compiled, mut cfg) = job(name, 8, PolicyKind::Cdpc, true);
+        let mut serial_probe = attribution_probe(&compiled, &cfg);
+        let (serial, _) = run_observed(&compiled, &cfg, &mut serial_probe, None);
+        cfg.sim_threads = 4;
+        let mut engine_probe = attribution_probe(&compiled, &cfg);
+        let (engine, _) = run_observed(&compiled, &cfg, &mut engine_probe, None);
+        assert_reports_eq(&serial, &engine, name, 8, 4);
+        let names = compiled.array_names();
+        assert_eq!(
+            attribution_to_json(&serial_probe, &names, &serial).to_string_pretty(),
+            attribution_to_json(&engine_probe, &names, &engine).to_string_pretty(),
+            "{name} attribution diverges under the engine"
+        );
+    }
+}
+
+/// The fail-fast MESI sanitizer holds under the engine (it would panic on
+/// any coherence invariant the hazard serialization broke), and the
+/// report still matches the serial run exactly.
+#[test]
+fn sanitizer_under_engine() {
+    let (compiled, mut cfg) = job("tomcatv", 8, PolicyKind::Cdpc, true);
+    cfg.validate_coherence = true;
+    let mut serial_probe = SanitizerProbe::new(8);
+    let (serial, _) = run_observed(&compiled, &cfg, &mut serial_probe, None);
+    cfg.sim_threads = 4;
+    let mut engine_probe = SanitizerProbe::new(8);
+    let (engine, _) = run_observed(&compiled, &cfg, &mut engine_probe, None);
+    assert_reports_eq(&serial, &engine, "tomcatv", 8, 4);
+}
+
+/// Interval sampling: the measured pass stays serial (the sampler is
+/// order-sensitive by nature), but the engine-warmed state feeding it
+/// must be exact — the CSV must match byte for byte.
+#[test]
+fn sampled_series_identical() {
+    let (compiled, mut cfg) = job("mgrid", 8, PolicyKind::Cdpc, false);
+    let (serial, serial_series) = run_observed(&compiled, &cfg, &mut NullProbe, Some(50_000));
+    cfg.sim_threads = 4;
+    let (engine, engine_series) = run_observed(&compiled, &cfg, &mut NullProbe, Some(50_000));
+    assert_reports_eq(&serial, &engine, "mgrid", 8, 4);
+    assert_eq!(
+        serial_series.expect("sampling on").to_csv(),
+        engine_series.expect("sampling on").to_csv(),
+        "interval series diverges under the engine"
+    );
+}

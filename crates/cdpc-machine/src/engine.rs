@@ -1,0 +1,931 @@
+//! Epoch-parallel intra-run execution engine: shards the memory system
+//! across host threads while staying **bit-identical** to the serial
+//! min-clock-batching scheduler.
+//!
+//! ## Why this is possible
+//!
+//! Almost every reference a scaled workload issues is *private*: an L1 or
+//! L2 hit that touches no bus, no directory, and no other CPU's caches
+//! (tomcatv at the snapshot scale misses on ~1 in 12 references). The
+//! serial scheduler still interleaves those hits in global clock order,
+//! but nothing about their outcome depends on that order — only the rare
+//! cross-CPU references ("hazards": L2 misses, coherence upgrades,
+//! prefetches) do.
+//!
+//! ## How it works
+//!
+//! Each simulated CPU's private state — its caches, TLB, shadow cache, and
+//! statistics — is detached as a [`Lane`] and executed span by span
+//! through [`Lane::access_private`], which executes a reference *only*
+//! when it provably touches no shared state and otherwise **parks** the
+//! CPU with nothing committed. Parked references are executed by the
+//! coordinator through the ordinary serial
+//! [`MemorySystem`](cdpc_memsim::MemorySystem) path — in exact global
+//! `(clock, cpu)` order, which PR 4's scheduler-equivalence argument shows
+//! is the serial execution order.
+//!
+//! **Placement** decides which host thread runs a private span, and only
+//! wall-clock depends on it. A statement starts with every CPU's stream on
+//! the worker pool (`sim_threads - 1` workers; the coordinator rides the
+//! calling thread). After serializing a hazard, though, the coordinator
+//! continues the resumed stream *inline*: the resumed CPU was the global
+//! clock minimum, so it would gate the next hazard almost immediately, and
+//! shipping it out would put a cross-thread round trip on the serial
+//! critical path — the mistake that makes naive fork/join sharding slower
+//! than the serial loop. Only when the hazard's latency pushed the CPU
+//! well past every pending hazard key ([`SHIP_SLACK`]) is the stream
+//! shipped back to a worker, where its private span genuinely overlaps
+//! with hazard processing. On a single-core host the engine thus degrades
+//! to near-serial cost (and all spin budgets drop to zero); on a
+//! multi-core host the ahead-of-hazard spans run concurrently.
+//!
+//! Two gates delay a parked hazard until it is provably *the* next
+//! cross-CPU action in serial order:
+//!
+//! 1. **Watermark gate** — every still-running CPU has published a
+//!    monotonically increasing pre-op `(clock, cpu)` watermark past the
+//!    hazard's key, so no earlier hazard can still appear. (A stale read
+//!    only under-reports progress: Relaxed ordering is sufficient.)
+//! 2. **Victim gate** — every CPU holding the hazard's cache line (per
+//!    the directory, which private execution never modifies) is parked or
+//!    finished, so the hazard mutates no cache a worker is touching.
+//!
+//! A worker may have *speculated* private hits past the hazard's clock.
+//! The per-span **journal** of `(clock, line, shadow-miss)` entries
+//! detects the rare case where that speculation was wrong — the hazard's
+//! line appears later in a victim's span, or an invalidation would have
+//! reordered the victim's shadow-cache evictions — and the engine then
+//! aborts the entire run and re-runs it serially ([`EngineAbort`]), the
+//! bit-identical slow path. Everything else commutes: private effects on
+//! shared counters (reference totals, sharing-tracker writes, TLB probe
+//! events) are buffered per lane in a [`LaneFx`] and applied at park time,
+//! before any reference that could observe them.
+//!
+//! Batch-sensitive probes ([`Probe::BATCH_SENSITIVE`]) additionally need
+//! the serial scheduler's `on_run_batch` decisions, which the engine never
+//! makes; it records every per-op clock instead and replays the exact
+//! min-clock batching discipline over the log at the end of each parallel
+//! statement ([`replay_batches`]).
+//!
+//! There is no `unsafe` here: all cross-thread state transfers move
+//! ownership through mutex-backed mailboxes, and the only shared mutable
+//! data are the atomic watermarks.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+use cdpc_compiler::trace::{OpCursor, OpSpec, TraceOp};
+use cdpc_compiler::CompiledProgram;
+use cdpc_memsim::{blank_lane, AccessKind, Lane, LaneFx, LaneStep, MemConfig};
+use cdpc_obs::{IntervalSeries, Probe};
+use cdpc_vm::addr::{PageGeometry, Ppn};
+
+use crate::report::RunReport;
+use crate::run::{run_observed_inner, RunConfig, Sim, TransCache};
+
+/// The engine hit a speculation conflict it cannot repair in place; the
+/// whole run must be re-executed serially (after
+/// [`Probe::on_engine_restart`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct EngineAbort;
+
+/// Ops a worker executes between two inbox checks before re-picking the
+/// minimum-clock CPU it owns. Small enough to keep multi-CPU workers fair
+/// and resume messages timely, large enough to amortize the checks.
+const SPAN_OPS: usize = 256;
+
+/// How long the coordinator sleeps when every pending hazard is gated on
+/// a *watermark* (worker progress is not signalled through the mailbox
+/// condvar, so this is a bounded poll, not a lost-wakeup hazard).
+const GATE_POLL: Duration = Duration::from_micros(50);
+
+/// Coordinator / worker spin iterations before falling back to a blocking
+/// or timed wait (multi-core hosts only; see [`EngineShared::spin_rounds`]).
+const SPIN_ROUNDS: u32 = 20_000;
+
+/// How far (in cycles) a just-resumed CPU must be ahead of the earliest
+/// pending hazard before the coordinator ships its stream to a worker
+/// instead of continuing it inline. Below this the CPU would gate that
+/// hazard almost immediately, putting a cross-thread round trip on the
+/// serial critical path; above it the stream has real private work that
+/// can overlap with hazard processing.
+const SHIP_SLACK: u64 = 512;
+
+/// One conflict-journal entry: a privately executed reference in the
+/// current speculation span.
+#[derive(Debug, Clone, Copy)]
+struct JournalEntry {
+    /// The reference's pre-op clock (its scheduler key; the CPU index is
+    /// implicit — one journal per CPU).
+    clock: u64,
+    /// The external-cache line it touched.
+    line: u64,
+    /// Whether it was a write. A privately executed write proves the
+    /// owner held the line `Modified`, which any cross-CPU touch of the
+    /// line (even a read's downgrade) would have changed; private reads
+    /// commute with downgrades and writebacks.
+    write: bool,
+    /// The line the reference's shadow-cache insertion evicted, if any —
+    /// evictions are what make insertions non-commutative with an
+    /// invalidation's shadow removal, and the evicted key lets the
+    /// speculation check reconstruct shadow membership at an earlier
+    /// serial position.
+    shadow_evicted: Option<u64>,
+}
+
+/// Everything that travels with a simulated CPU between the coordinator
+/// and its worker: the detached cache lane, the micro-translation cache,
+/// the local clock/instruction counters, the deferred commutative
+/// effects, the conflict journal, and (for batch-sensitive probes) the
+/// per-op clock log. Boxed so a hand-off moves 8 bytes.
+pub(crate) struct Bundle {
+    cpu: usize,
+    lane: Lane,
+    tcache: Box<TransCache>,
+    clock: u64,
+    instr: u64,
+    record_batches: bool,
+    fx: LaneFx,
+    journal: Vec<JournalEntry>,
+    batch_clocks: Vec<u64>,
+}
+
+enum ToWorker<'a> {
+    /// A new parallel statement: fresh op stream for this CPU.
+    Start {
+        bundle: Box<Bundle>,
+        spec: &'a OpSpec,
+    },
+    /// A stream the coordinator decided to ship back out (it resumed the
+    /// parked reference and the CPU is now comfortably ahead of every
+    /// pending hazard).
+    Resume {
+        bundle: Box<Bundle>,
+        cursor: OpCursor<'a>,
+    },
+    /// The run (or the engine) is over.
+    Exit,
+}
+
+/// Worker → coordinator: the CPU parked on `op` (which the coordinator
+/// must execute serially), or finished its stream (`op == None`). The op
+/// cursor travels with the bundle so the coordinator can continue the
+/// stream *inline* instead of paying a cross-thread round trip.
+struct Park<'a> {
+    bundle: Box<Bundle>,
+    cursor: OpCursor<'a>,
+    op: Option<TraceOp>,
+}
+
+/// An unbounded MPSC mailbox: mutex-backed deque plus a condvar and a
+/// cheap "has mail" flag so busy receivers can skip the lock.
+struct Mailbox<T> {
+    q: Mutex<VecDeque<T>>,
+    cv: Condvar,
+    flag: AtomicBool,
+}
+
+impl<T> Mailbox<T> {
+    fn new() -> Self {
+        Self {
+            q: Mutex::new(VecDeque::new()),
+            cv: Condvar::new(),
+            flag: AtomicBool::new(false),
+        }
+    }
+
+    fn send(&self, msg: T) {
+        let mut q = self.q.lock().expect("mailbox poisoned");
+        q.push_back(msg);
+        self.flag.store(true, Ordering::Release);
+        self.cv.notify_one();
+    }
+
+    /// Moves any queued messages into `out` without blocking.
+    fn try_drain(&self, out: &mut Vec<T>) {
+        if !self.flag.load(Ordering::Acquire) {
+            return;
+        }
+        let mut q = self.q.lock().expect("mailbox poisoned");
+        self.flag.store(false, Ordering::Relaxed);
+        out.extend(q.drain(..));
+    }
+
+    /// Blocks until at least one message is queued, then drains.
+    fn drain_blocking(&self, out: &mut Vec<T>) {
+        let mut q = self.q.lock().expect("mailbox poisoned");
+        while q.is_empty() {
+            q = self.cv.wait(q).expect("mailbox poisoned");
+        }
+        self.flag.store(false, Ordering::Relaxed);
+        out.extend(q.drain(..));
+    }
+
+    /// Waits up to `dur` for a message, then drains whatever is queued
+    /// (possibly nothing). Used when the coordinator is gated on worker
+    /// *watermarks*, which advance without mailbox signals.
+    fn drain_timeout(&self, out: &mut Vec<T>, dur: Duration) {
+        let q = self.q.lock().expect("mailbox poisoned");
+        let q = if q.is_empty() {
+            self.cv.wait_timeout(q, dur).expect("mailbox poisoned").0
+        } else {
+            q
+        };
+        let mut q = q;
+        self.flag.store(false, Ordering::Relaxed);
+        out.extend(q.drain(..));
+    }
+}
+
+/// State shared between the coordinator and the worker threads for one
+/// engine-backed run.
+pub(crate) struct EngineShared<'a> {
+    cfg: MemConfig,
+    geometry: PageGeometry,
+    workers: usize,
+    /// Per-CPU published progress: `pack(clock, cpu)` of the reference the
+    /// owning worker is *about to* execute. Monotone within a span; only
+    /// consulted for CPUs in the `Running` control state.
+    watermarks: Vec<AtomicU64>,
+    /// Per-worker inboxes (coordinator → worker).
+    inboxes: Vec<Mailbox<ToWorker<'a>>>,
+    /// The coordinator's inbox (workers → coordinator).
+    coord: Mailbox<Park<'a>>,
+    /// Spin budget before a blocking/timed wait. On a single-core host
+    /// spinning only steals the core from the thread being waited on, so
+    /// the budget drops to zero there.
+    spin_rounds: u32,
+}
+
+/// Packs a scheduler key into one atomic word. Clocks stay far below
+/// 2^56 (a billion-cycle run is ~2^30) and the simulator caps at 32 CPUs,
+/// so the packing is exact and preserves lexicographic `(clock, cpu)`
+/// order.
+#[inline]
+fn pack(clock: u64, cpu: usize) -> u64 {
+    debug_assert!(clock < 1 << 56, "clock overflows watermark packing");
+    (clock << 8) | cpu as u64
+}
+
+impl<'a> EngineShared<'a> {
+    fn new(cfg: &RunConfig) -> Self {
+        let p = cfg.mem.num_cpus;
+        debug_assert!(p <= 32, "directory sharer masks cap the engine at 32 CPUs");
+        let workers = cfg.sim_threads.saturating_sub(1).clamp(1, p);
+        Self {
+            cfg: cfg.mem.clone(),
+            geometry: PageGeometry::new(cfg.mem.page_size),
+            workers,
+            watermarks: (0..p).map(|_| AtomicU64::new(0)).collect(),
+            inboxes: (0..workers).map(|_| Mailbox::new()).collect(),
+            coord: Mailbox::new(),
+            spin_rounds: if std::thread::available_parallelism().map_or(1, |n| n.get()) > 1 {
+                SPIN_ROUNDS
+            } else {
+                0
+            },
+        }
+    }
+
+    /// Static CPU → worker assignment (round-robin).
+    fn worker_of(&self, cpu: usize) -> usize {
+        cpu % self.workers
+    }
+
+    fn send_to_worker(&self, cpu: usize, msg: ToWorker<'a>) {
+        self.inboxes[self.worker_of(cpu)].send(msg);
+    }
+
+    fn shutdown(&self) {
+        for inbox in &self.inboxes {
+            inbox.send(ToWorker::Exit);
+        }
+    }
+}
+
+/// Sends `Exit` to every worker when dropped, so the thread scope can
+/// join even when the coordinator unwinds (abort or panic).
+struct ShutdownGuard<'s, 'a>(&'s EngineShared<'a>);
+
+impl Drop for ShutdownGuard<'_, '_> {
+    fn drop(&mut self) {
+        self.0.shutdown();
+    }
+}
+
+/// Per-CPU control state, owned by the coordinator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Ctl {
+    /// On a worker, executing private references.
+    Running,
+    /// Waiting for the coordinator to execute its parked reference.
+    Parked,
+    /// Stream exhausted for the current statement.
+    Done,
+}
+
+/// A parked reference awaiting serial execution. `key_clock` is the CPU's
+/// clock *at park time* — the reference's scheduler key. (Executing the
+/// reference may first charge page-fault cycles, which moves the live
+/// clock but not the key; serial order is decided on pre-op keys.)
+#[derive(Debug, Clone, Copy)]
+struct PendingOp {
+    op: TraceOp,
+    key_clock: u64,
+}
+
+/// The coordinator's per-run state: bundle parking slots, control states,
+/// pending hazards, and recycled scratch storage.
+pub(crate) struct EngineDriver<'a, 's> {
+    shared: &'s EngineShared<'a>,
+    /// Bundles at home between statements (every CPU's, after each
+    /// statement completes) or for `Done` CPUs mid-statement.
+    bundles: Vec<Option<Box<Bundle>>>,
+    /// Bundles of `Parked` CPUs (the coordinator holds them while their
+    /// hazard waits).
+    parked: Vec<Option<Box<Bundle>>>,
+    /// Op cursors of `Parked` CPUs (they travel with the bundle).
+    cursors: Vec<Option<OpCursor<'a>>>,
+    pending: Vec<Option<PendingOp>>,
+    ctl: Vec<Ctl>,
+    /// CPUs whose stream finished for the current statement.
+    stmt_done: usize,
+    /// Final-span journals of `Done` CPUs — still consulted by the victim
+    /// gate for hazards executing after the stream ended.
+    done_journals: Vec<Vec<JournalEntry>>,
+    /// Per-CPU post-op clock logs for batch replay (batch-sensitive
+    /// probes only); capacity recycled across statements.
+    logs: Vec<Vec<u64>>,
+    scratch: Vec<Park<'a>>,
+}
+
+impl<'a, 's> EngineDriver<'a, 's> {
+    fn new(cfg: &RunConfig, shared: &'s EngineShared<'a>) -> Self {
+        let p = cfg.mem.num_cpus;
+        Self {
+            shared,
+            bundles: (0..p)
+                .map(|cpu| {
+                    Some(Box::new(Bundle {
+                        cpu,
+                        lane: blank_lane(&cfg.mem),
+                        tcache: Box::new(TransCache::new()),
+                        clock: 0,
+                        instr: 0,
+                        record_batches: false,
+                        fx: LaneFx::default(),
+                        journal: Vec::new(),
+                        batch_clocks: Vec::new(),
+                    }))
+                })
+                .collect(),
+            parked: (0..p).map(|_| None).collect(),
+            cursors: (0..p).map(|_| None).collect(),
+            pending: vec![None; p],
+            ctl: vec![Ctl::Done; p],
+            stmt_done: 0,
+            done_journals: vec![Vec::new(); p],
+            logs: vec![Vec::new(); p],
+            scratch: Vec::new(),
+        }
+    }
+}
+
+/// Entry point from [`run_observed`](crate::run::run_observed): spawns the
+/// worker pool once for the whole run, executes the run loop on the
+/// calling thread with the engine attached, and tears the pool down on
+/// the way out (normal return, abort, or panic).
+pub(crate) fn run_engine<'a, P: Probe>(
+    compiled: &'a CompiledProgram,
+    cfg: &RunConfig,
+    probe: &mut P,
+    sample_interval: Option<u64>,
+) -> Result<(RunReport, Option<IntervalSeries>), EngineAbort> {
+    let shared: EngineShared<'a> = EngineShared::new(cfg);
+    std::thread::scope(|scope| {
+        let _guard = ShutdownGuard(&shared);
+        for w in 0..shared.workers {
+            let sh = &shared;
+            scope.spawn(move || worker_loop(sh, w));
+        }
+        let mut driver = EngineDriver::new(cfg, &shared);
+        run_observed_inner(compiled, cfg, probe, sample_interval, Some(&mut driver))
+    })
+}
+
+/// Executes one parallel statement through the engine: launches every
+/// CPU's stream onto the worker pool, serializes hazards in global key
+/// order, replays scheduler batches if the probe needs them, and closes
+/// with the ordinary barrier.
+pub(crate) fn run_parallel_stmt<'a, Q: Probe>(
+    driver: &mut EngineDriver<'a, '_>,
+    sim: &mut Sim<Q>,
+    specs: &'a [OpSpec],
+) -> Result<(), EngineAbort> {
+    let p = specs.len();
+    debug_assert_eq!(p, sim.clocks.len(), "one spec per CPU");
+    let record_batches = Q::BATCH_SENSITIVE;
+    let start_clocks: Vec<u64> = if record_batches {
+        sim.clocks.clone()
+    } else {
+        Vec::new()
+    };
+
+    // Launch: detach every CPU's lane and translation cache into its
+    // bundle and hand the bundle to its worker.
+    for (cpu, spec) in specs.iter().enumerate() {
+        let mut b = driver.bundles[cpu]
+            .take()
+            .expect("bundles are home between statements");
+        debug_assert_eq!(b.cpu, cpu);
+        b.clock = sim.clocks[cpu];
+        b.instr = sim.instr[cpu];
+        b.record_batches = record_batches;
+        b.journal = std::mem::take(&mut driver.done_journals[cpu]);
+        b.journal.clear();
+        b.batch_clocks = std::mem::take(&mut driver.logs[cpu]);
+        b.batch_clocks.clear();
+        driver.shared.watermarks[cpu].store(pack(b.clock, cpu), Ordering::Relaxed);
+        sim.mem.swap_lane(cpu, &mut b.lane);
+        std::mem::swap(&mut sim.tcache[cpu], &mut b.tcache);
+        driver.ctl[cpu] = Ctl::Running;
+        driver
+            .shared
+            .send_to_worker(cpu, ToWorker::Start { bundle: b, spec });
+    }
+
+    let mut scratch = std::mem::take(&mut driver.scratch);
+    driver.stmt_done = 0;
+    let mut idle_rounds = 0u32;
+    while driver.stmt_done < p {
+        driver.shared.coord.try_drain(&mut scratch);
+        let got_mail = !scratch.is_empty();
+        for park in scratch.drain(..) {
+            absorb_park(driver, sim, park.bundle, park.cursor, park.op);
+        }
+        let executed = match pump_hazards(driver, sim, p) {
+            Ok(n) => n,
+            Err(abort) => {
+                driver.scratch = scratch;
+                return Err(abort);
+            }
+        };
+        if driver.stmt_done < p && !got_mail && executed == 0 {
+            // Gated on worker progress. On a multi-core host watermarks
+            // advance in nanoseconds, so spin before paying a condvar
+            // sleep; on a single-core host the spin budget is zero and we
+            // go straight to the timed wait, yielding the core to the
+            // worker we are waiting for. (A timed wait, not a blocking
+            // one: watermark progress is published without a mailbox
+            // signal.)
+            idle_rounds += 1;
+            if idle_rounds < driver.shared.spin_rounds {
+                std::hint::spin_loop();
+            } else {
+                driver.shared.coord.drain_timeout(&mut scratch, GATE_POLL);
+            }
+            continue;
+        }
+        idle_rounds = 0;
+    }
+    driver.scratch = scratch;
+
+    if record_batches {
+        replay_batches(sim, &start_clocks, &driver.logs);
+    }
+    sim.parallel_barrier(p);
+    Ok(())
+}
+
+/// Re-attaches a parked (or finished) CPU's private state to the live
+/// memory system, applies its deferred commutative effects *before* any
+/// hazard can observe them, and records the park. Used for both worker
+/// park messages and inline parks the coordinator produced itself.
+fn absorb_park<'a, Q: Probe>(
+    driver: &mut EngineDriver<'a, '_>,
+    sim: &mut Sim<Q>,
+    mut b: Box<Bundle>,
+    cursor: OpCursor<'a>,
+    op: Option<TraceOp>,
+) {
+    let cpu = b.cpu;
+    sim.mem.swap_lane(cpu, &mut b.lane);
+    std::mem::swap(&mut sim.tcache[cpu], &mut b.tcache);
+    sim.mem.apply_lane_fx(cpu, &mut b.fx);
+    sim.clocks[cpu] = b.clock;
+    sim.instr[cpu] = b.instr;
+    match op {
+        Some(op) => {
+            driver.ctl[cpu] = Ctl::Parked;
+            driver.pending[cpu] = Some(PendingOp {
+                op,
+                key_clock: b.clock,
+            });
+            driver.parked[cpu] = Some(b);
+            driver.cursors[cpu] = Some(cursor);
+        }
+        None => {
+            driver.ctl[cpu] = Ctl::Done;
+            driver.stmt_done += 1;
+            driver.done_journals[cpu] = std::mem::take(&mut b.journal);
+            if b.record_batches {
+                driver.logs[cpu] = std::mem::take(&mut b.batch_clocks);
+            }
+            driver.bundles[cpu] = Some(b);
+        }
+    }
+}
+
+/// Executes every pending hazard whose gates pass, in global key order.
+/// Returns how many were executed (0 means the coordinator should wait
+/// for worker progress).
+fn pump_hazards<'a, Q: Probe>(
+    driver: &mut EngineDriver<'a, '_>,
+    sim: &mut Sim<Q>,
+    p: usize,
+) -> Result<usize, EngineAbort> {
+    let mut executed = 0usize;
+    // The minimum-key parked hazard is the only candidate each round:
+    // hazards must execute in serial order, and every other parked key is
+    // larger by construction.
+    while let Some(hcpu) = (0..p)
+        .filter(|&c| driver.ctl[c] == Ctl::Parked)
+        .min_by_key(|&c| (driver.pending[c].expect("parked ⇒ pending").key_clock, c))
+    {
+        let PendingOp { op, key_clock } = driver.pending[hcpu].expect("parked ⇒ pending");
+        let hkey = pack(key_clock, hcpu);
+
+        // Gate 1 (watermarks): every running CPU must have published
+        // progress past this key, or an earlier hazard could still
+        // appear. Stale (low) reads only delay us — never reorder.
+        if (0..p).any(|c| {
+            driver.ctl[c] == Ctl::Running
+                && driver.shared.watermarks[c].load(Ordering::Relaxed) <= hkey
+        }) {
+            break;
+        }
+
+        // The reference is now definitively next in serial order, so its
+        // page fault (if any) lands exactly where the serial run would
+        // put it. A hazard that cannot touch any other CPU's state — a
+        // dropped prefetch, or a demand hit in the owner's own caches
+        // that parked for translation or inflight bookkeeping — executes
+        // immediately: gate 1 already proved its position, and no victim
+        // can observe it. Cross-CPU hazards additionally pass the victim
+        // gate and the speculation check. (When the victim gate defers
+        // us, we retry on the next pump: re-translation goes through the
+        // now-warm translation cache and the prefetch screen is
+        // idempotent, so nothing is double-charged.)
+        match op {
+            TraceOp::Load(va) | TraceOp::Store(va) | TraceOp::IFetch(va) => {
+                let pa = sim.translate_demand(hcpu, va).1;
+                let is_write = matches!(op, TraceOp::Store(_));
+                if sim.mem.demand_interacts(hcpu, pa, is_write) {
+                    let line = sim.cfg.mem.l2.line_of(pa.0);
+                    match victim_gate(driver, sim, p, hcpu, key_clock, line, is_write)? {
+                        Gate::Blocked => break,
+                        Gate::Clear => {}
+                    }
+                }
+                sim.exec_demand_translated(hcpu, op, pa);
+            }
+            TraceOp::Prefetch { addr, exclusive } => {
+                let pa = sim.prefetch_pa(hcpu, addr);
+                let now = sim.clocks[hcpu];
+                match sim.mem.prefetch_screen(hcpu, now, addr, pa) {
+                    Some(dropped) => sim.finish_prefetch(hcpu, dropped),
+                    None => {
+                        let line = sim.cfg.mem.l2.line_of(pa.0);
+                        match victim_gate(driver, sim, p, hcpu, key_clock, line, exclusive)? {
+                            Gate::Blocked => break,
+                            Gate::Clear => {}
+                        }
+                        let out = sim.mem.prefetch_issue(hcpu, now, pa, exclusive);
+                        sim.finish_prefetch(hcpu, out);
+                    }
+                }
+            }
+            TraceOp::Instr(_) => unreachable!("instruction ops never park"),
+        }
+
+        // Resume the stream: detach the lane again.
+        let mut b = driver.parked[hcpu].take().expect("parked bundle");
+        let mut cursor = driver.cursors[hcpu].take().expect("parked cursor");
+        driver.pending[hcpu] = None;
+        if b.record_batches {
+            b.batch_clocks.push(sim.clocks[hcpu]);
+        }
+        b.clock = sim.clocks[hcpu];
+        b.instr = sim.instr[hcpu];
+        // The span that just ended is fully ordered before every future
+        // hazard (its keys are at most this hazard's key), so its journal
+        // can never conflict again.
+        b.journal.clear();
+        driver.shared.watermarks[hcpu].store(pack(b.clock, hcpu), Ordering::Relaxed);
+        sim.mem.swap_lane(hcpu, &mut b.lane);
+        std::mem::swap(&mut sim.tcache[hcpu], &mut b.tcache);
+        driver.ctl[hcpu] = Ctl::Running;
+        executed += 1;
+
+        // Placement. The resumed CPU was the global minimum, so it is the
+        // CPU most likely to gate the next hazard: shipping it to a worker
+        // would put a cross-thread round trip on the serial critical path.
+        // The coordinator therefore continues the stream *inline* — unless
+        // the hazard's latency pushed the CPU well past every pending
+        // hazard key, in which case its private span is real overlap and
+        // goes to a worker. (Either placement is bit-identical; only
+        // wall-clock differs.)
+        let next_key = (0..p)
+            .filter(|&c| driver.ctl[c] == Ctl::Parked)
+            .map(|c| driver.pending[c].expect("parked ⇒ pending").key_clock)
+            .min();
+        let ship = next_key.is_some_and(|k| b.clock > k.saturating_add(SHIP_SLACK));
+        if ship {
+            driver
+                .shared
+                .send_to_worker(hcpu, ToWorker::Resume { bundle: b, cursor });
+            continue;
+        }
+        loop {
+            match run_span(driver.shared, &mut cursor, &mut b) {
+                SpanEnd::Budget => continue,
+                SpanEnd::Park(op) => {
+                    absorb_park(driver, sim, b, cursor, Some(op));
+                    break;
+                }
+                SpanEnd::Done => {
+                    absorb_park(driver, sim, b, cursor, None);
+                    break;
+                }
+            }
+        }
+    }
+    Ok(executed)
+}
+
+enum Gate {
+    /// A victim is still running; retry once it parks or finishes.
+    Blocked,
+    /// Safe to execute the hazard now.
+    Clear,
+}
+
+/// Gate 2 (victims) plus the speculation check, for a hazard by `hcpu`
+/// with scheduler key `(key_clock, hcpu)` on external-cache line `line`.
+///
+/// Every *other* holder of the line (per the directory, which private
+/// execution never mutates, so the set is stable while we wait) must be
+/// parked or done — the hazard may invalidate, downgrade, or source from
+/// their caches, which must not race a worker. Once they are, each
+/// holder's journal is checked for speculation the hazard would have
+/// changed: a private touch of this line *after* the hazard's serial
+/// position, or — when the hazard invalidates (`drop_line` also edits the
+/// victim's shadow cache) — a later shadow-cache insertion whose
+/// replacement decisions the invalidation would have altered. Either one
+/// aborts the run ([`EngineAbort`]); both are rare.
+fn victim_gate<Q: Probe>(
+    driver: &EngineDriver<'_, '_>,
+    sim: &Sim<Q>,
+    p: usize,
+    hcpu: usize,
+    key_clock: u64,
+    line: u64,
+    invalidating: bool,
+) -> Result<Gate, EngineAbort> {
+    let holders = sim.mem.line_holders(line) & !(1u32 << hcpu);
+    if (0..p).any(|c| holders & (1 << c) != 0 && driver.ctl[c] == Ctl::Running) {
+        return Ok(Gate::Blocked);
+    }
+    for v in 0..p {
+        if holders & (1 << v) == 0 {
+            continue;
+        }
+        let journal: &[JournalEntry] = match driver.ctl[v] {
+            Ctl::Parked => &driver.parked[v].as_ref().expect("parked bundle").journal,
+            Ctl::Done => &driver.done_journals[v],
+            Ctl::Running => unreachable!("victims are parked or done here"),
+        };
+        let mut later_eviction = false;
+        let mut evicted_hazard_line = false;
+        for e in journal {
+            let later = e.clock > key_clock || (e.clock == key_clock && v > hcpu);
+            if !later {
+                continue;
+            }
+            // An invalidation (`drop_line`) removes the victim's copy, so
+            // any later touch of the line was mis-speculated (a read that
+            // hit would have missed). A non-invalidating hazard (read-miss
+            // service, shared prefetch) at most downgrades the victim
+            // `M/E → S` and writes back: later private *reads* still hit
+            // identically, but a later private *write* proves the victim
+            // held `Modified`, which the downgrade would have taken away
+            // before the write ran.
+            if e.line == line && (invalidating || e.write) {
+                return Err(EngineAbort);
+            }
+            later_eviction |= e.shadow_evicted.is_some();
+            evicted_hazard_line |= e.shadow_evicted == Some(line);
+        }
+        // Shadow rule: `drop_line` also removes the line from the victim's
+        // shadow cache. Removing one key commutes with later insertions of
+        // *other* keys — same final contents and LRU order — unless an
+        // insertion ran at capacity and evicted: the removal would have
+        // freed a slot first and changed which keys got evicted. So the
+        // speculation only diverges if the line was in the shadow at the
+        // hazard's serial position AND some later insertion evicted.
+        // Membership back then is reconstructible because no later entry
+        // references the line (checked above, so nothing re-inserted it):
+        // present now, or evicted since by a later insertion.
+        if invalidating
+            && later_eviction
+            && (evicted_hazard_line || sim.mem.shadow_contains(v, line))
+        {
+            return Err(EngineAbort);
+        }
+    }
+    Ok(Gate::Clear)
+}
+
+/// Replays the serial min-clock-batching discipline over the recorded
+/// per-op clock logs and fires `on_run_batch` exactly as the serial
+/// scheduler would have. The algorithm mirrors
+/// `Sim::exec_stmt`'s `MinClockBatch` arm line for line; since the
+/// per-op clocks are bit-identical (that is the engine's core
+/// guarantee), so are the batch decisions.
+fn replay_batches<Q: Probe>(sim: &mut Sim<Q>, start_clocks: &[u64], logs: &[Vec<u64>]) {
+    let p = logs.len();
+    let mut pos = vec![0usize; p];
+    let mut heap: BinaryHeap<Reverse<(u64, usize)>> =
+        (0..p).map(|c| Reverse((start_clocks[c], c))).collect();
+    while let Some(Reverse((_, cpu))) = heap.pop() {
+        let bound = heap.peek().map(|r| r.0);
+        let mut batch_ops = 0u64;
+        while let Some(&clk) = logs[cpu].get(pos[cpu]) {
+            pos[cpu] += 1;
+            batch_ops += 1;
+            if bound.is_some_and(|b| (clk, cpu) >= b) {
+                heap.push(Reverse((clk, cpu)));
+                break;
+            }
+        }
+        if batch_ops > 0 {
+            sim.mem.probe_mut().on_run_batch(cpu, batch_ops);
+        }
+    }
+}
+
+/// One simulated CPU's seat on a worker. A seat exists exactly while the
+/// worker owns the CPU's stream (bundle *and* cursor); parking sends both
+/// back to the coordinator and removes the seat.
+struct Slot<'a> {
+    cpu: usize,
+    cursor: OpCursor<'a>,
+    bundle: Box<Bundle>,
+}
+
+/// How a span of private execution ended.
+enum SpanEnd {
+    /// Op budget exhausted; re-pick the minimum-clock seat.
+    Budget,
+    /// The next reference needs the coordinator.
+    Park(TraceOp),
+    /// Stream exhausted.
+    Done,
+}
+
+fn worker_loop<'a>(shared: &EngineShared<'a>, w: usize) {
+    let inbox = &shared.inboxes[w];
+    let mut slots: Vec<Slot<'a>> = Vec::new();
+    let mut mail: Vec<ToWorker<'a>> = Vec::new();
+    loop {
+        if !slots.is_empty() {
+            inbox.try_drain(&mut mail);
+        } else {
+            // No seats: spin briefly on the inbox flag (multi-core hosts
+            // only) before paying a condvar sleep.
+            let mut spun = 0u32;
+            while !inbox.flag.load(Ordering::Acquire) && spun < shared.spin_rounds {
+                std::hint::spin_loop();
+                spun += 1;
+            }
+            if inbox.flag.load(Ordering::Acquire) {
+                inbox.try_drain(&mut mail);
+            } else {
+                inbox.drain_blocking(&mut mail);
+            }
+        }
+        for msg in mail.drain(..) {
+            match msg {
+                ToWorker::Exit => return,
+                ToWorker::Start { bundle, spec } => {
+                    debug_assert!(slots.iter().all(|s| s.cpu != bundle.cpu));
+                    slots.push(Slot {
+                        cpu: bundle.cpu,
+                        cursor: spec.ops(),
+                        bundle,
+                    });
+                }
+                ToWorker::Resume { bundle, cursor } => {
+                    debug_assert!(slots.iter().all(|s| s.cpu != bundle.cpu));
+                    slots.push(Slot {
+                        cpu: bundle.cpu,
+                        cursor,
+                        bundle,
+                    });
+                }
+            }
+        }
+        // Run the lowest-clock seat for one span. (Minimum-first keeps
+        // watermarks advancing where the coordinator is gated.)
+        let Some(si) = slots
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, s)| (s.bundle.clock, s.cpu))
+            .map(|(i, _)| i)
+        else {
+            continue;
+        };
+        let slot = &mut slots[si];
+        match run_span(shared, &mut slot.cursor, &mut slot.bundle) {
+            SpanEnd::Budget => {}
+            end => {
+                let Slot { cursor, bundle, .. } = slots.swap_remove(si);
+                let op = match end {
+                    SpanEnd::Park(op) => Some(op),
+                    _ => None,
+                };
+                shared.coord.send(Park { bundle, cursor, op });
+            }
+        }
+    }
+}
+
+/// Executes up to [`SPAN_OPS`] references privately on the bundle's lane,
+/// publishing the pre-op watermark before each. Accounting mirrors
+/// `Sim::exec_op`'s audited per-op rules exactly.
+fn run_span(shared: &EngineShared<'_>, cursor: &mut OpCursor<'_>, b: &mut Bundle) -> SpanEnd {
+    let wm = &shared.watermarks[b.cpu];
+    for _ in 0..SPAN_OPS {
+        wm.store(pack(b.clock, b.cpu), Ordering::Relaxed);
+        let Some(op) = cursor.next() else {
+            return SpanEnd::Done;
+        };
+        match op {
+            TraceOp::Instr(n) => {
+                b.clock += n;
+                b.instr += n;
+            }
+            TraceOp::Load(va) | TraceOp::Store(va) | TraceOp::IFetch(va) => {
+                let vpn = shared.geometry.vpn_of(va);
+                // Translation-cache misses go through OS state (page
+                // tables, faults, the mapping policy): coordinator work.
+                let Some(ppn) = b.tcache.lookup(vpn.0) else {
+                    return SpanEnd::Park(op);
+                };
+                let pa = shared
+                    .geometry
+                    .phys_addr(Ppn(ppn), shared.geometry.offset_of(va));
+                let kind = match op {
+                    TraceOp::Load(_) => AccessKind::Read,
+                    TraceOp::Store(_) => AccessKind::Write,
+                    _ => AccessKind::IFetch,
+                };
+                match b
+                    .lane
+                    .access_private(&shared.cfg, b.clock, va.0, pa.0, kind, &mut b.fx)
+                {
+                    LaneStep::Park => return SpanEnd::Park(op),
+                    LaneStep::Executed {
+                        latency,
+                        line,
+                        shadow_evicted,
+                        ..
+                    } => {
+                        b.journal.push(JournalEntry {
+                            clock: b.clock,
+                            line,
+                            write: matches!(op, TraceOp::Store(_)),
+                            shadow_evicted,
+                        });
+                        if matches!(op, TraceOp::IFetch(_)) {
+                            b.clock += latency;
+                        } else {
+                            b.clock += latency + 1;
+                            b.instr += 1;
+                        }
+                    }
+                }
+            }
+            // The prefetch unit reads the directory and the bus: always
+            // coordinator work.
+            TraceOp::Prefetch { .. } => return SpanEnd::Park(op),
+        }
+        if b.record_batches {
+            b.batch_clocks.push(b.clock);
+        }
+    }
+    SpanEnd::Budget
+}

@@ -35,6 +35,7 @@
 //! # Ok::<(), cdpc_compiler::CompileError>(())
 //! ```
 
+pub(crate) mod engine;
 pub mod export;
 pub mod format;
 pub mod htmlreport;
@@ -50,5 +51,5 @@ pub use report::{geometric_mean, BusReport, OverheadBreakdown, RunReport, StallB
 pub use run::{
     attribution_probe, run, run_attributed, run_observed, PolicyKind, RunConfig, SchedulerKind,
 };
-pub use sweep::{default_threads, run_sweep, sweep_map, SweepJob};
+pub use sweep::{default_threads, run_sweep, sweep_map, thread_budget, SweepJob};
 pub use validate::{diff_prediction, PredictionDiff};

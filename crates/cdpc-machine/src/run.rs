@@ -127,6 +127,22 @@ pub struct RunConfig {
     /// either way (a differential test proves it); off is only useful for
     /// that test and for debugging.
     pub translation_cache: bool,
+    /// Host threads for the intra-run parallel execution engine
+    /// (`--sim-threads N` in the bench binaries). `1` (the default) is the
+    /// plain serial run loop. With `N > 1`, parallel statements execute on
+    /// `N - 1` worker threads plus the calling thread: each simulated CPU's
+    /// private references (L1/L2 hits) run on a worker holding that CPU's
+    /// detached cache [`Lane`](cdpc_memsim::Lane), while every cross-CPU
+    /// reference (misses, upgrades, prefetches) is serialized through the
+    /// coordinator in exact global clock order. Reports, series, and probe
+    /// aggregates are **bit-identical** to the serial scheduler for every
+    /// value (differential tests in `tests/engine_differential.rs` prove
+    /// it); the engine silently falls back to the serial path for
+    /// configurations it does not cover (single-CPU machines, the `heap`
+    /// reference scheduler, `translation_cache = false`, dynamic
+    /// recoloring, order-sensitive probes, or interval sampling during the
+    /// measured pass).
+    pub sim_threads: usize,
 }
 
 impl RunConfig {
@@ -146,6 +162,7 @@ impl RunConfig {
             validate_coherence: false,
             scheduler: SchedulerKind::MinClockBatch,
             translation_cache: true,
+            sim_threads: 1,
         }
     }
 
@@ -224,7 +241,7 @@ const TCACHE_SLOTS: usize = 512;
 /// through [`Sim::recolor_page`], which invalidates the VPN in every CPU's
 /// cache, so a hit is always current and the demand path can skip both
 /// `ensure_mapped` and the page-table walk.
-struct TransCache {
+pub(crate) struct TransCache {
     /// Tag per slot; [`TransCache::EMPTY`] marks an invalid slot. (Program
     /// VPNs are tiny and even the hog job's synthetic VPNs start at
     /// `u64::MAX / 2`, so the sentinel is unreachable.)
@@ -235,7 +252,7 @@ struct TransCache {
 impl TransCache {
     const EMPTY: u64 = u64::MAX;
 
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         Self {
             vpns: [Self::EMPTY; TCACHE_SLOTS],
             ppns: [0; TCACHE_SLOTS],
@@ -243,7 +260,7 @@ impl TransCache {
     }
 
     #[inline]
-    fn lookup(&self, vpn: u64) -> Option<u64> {
+    pub(crate) fn lookup(&self, vpn: u64) -> Option<u64> {
         let slot = (vpn as usize) & (TCACHE_SLOTS - 1);
         (self.vpns[slot] == vpn).then(|| self.ppns[slot])
     }
@@ -263,13 +280,15 @@ impl TransCache {
     }
 }
 
-struct Sim<Q: Probe> {
-    mem: MemorySystem<Q>,
+pub(crate) struct Sim<Q: Probe> {
+    pub(crate) mem: MemorySystem<Q>,
     vm: AddressSpace,
     policy: Box<dyn MappingPolicy>,
-    clocks: Vec<u64>,
-    /// Per-CPU micro-translation-caches (see [`TransCache`]).
-    tcache: Vec<TransCache>,
+    pub(crate) clocks: Vec<u64>,
+    /// Per-CPU micro-translation-caches (see [`TransCache`]). Boxed so the
+    /// parallel engine can hand a CPU's cache to a worker thread with an
+    /// 8-byte pointer swap instead of an 8 KB copy.
+    pub(crate) tcache: Vec<Box<TransCache>>,
     /// Dynamic recoloring state: per-page conflict counters, per-color
     /// mapped-page loads, and the number of recolorings performed.
     dynamic: bool,
@@ -277,13 +296,13 @@ struct Sim<Q: Probe> {
     color_loads: Vec<u32>,
     recolorings: u64,
     // Per-phase accumulators (reset at phase boundaries).
-    instr: Vec<u64>,
+    pub(crate) instr: Vec<u64>,
     fault_cycles: Vec<u64>,
     imbalance: u64,
     sequential: u64,
     suppressed: u64,
     sync: u64,
-    cfg: RunConfig,
+    pub(crate) cfg: RunConfig,
     geometry: PageGeometry,
     /// Interval metrics, armed only during the measured pass of
     /// [`run_observed`] when sampling was requested.
@@ -389,7 +408,7 @@ impl<Q: Probe> Sim<Q> {
     /// page-table walk entirely; since a cached translation is invalidated
     /// whenever the mapping moves, the result is identical either way.
     #[inline]
-    fn translate_demand(&mut self, cpu: usize, va: VirtAddr) -> (Vpn, PhysAddr) {
+    pub(crate) fn translate_demand(&mut self, cpu: usize, va: VirtAddr) -> (Vpn, PhysAddr) {
         let vpn = self.geometry.vpn_of(va);
         if self.cfg.translation_cache {
             if let Some(ppn) = self.tcache[cpu].lookup(vpn.0) {
@@ -433,48 +452,21 @@ impl<Q: Probe> Sim<Q> {
     ///   instructions on that line are exactly the ones the adjacent
     ///   `Instr(n)` op already charges — adding an issue cycle here would
     ///   double-count them. A test pins the accounted totals to the stream.
-    fn exec_op(&mut self, cpu: usize, op: TraceOp) {
+    pub(crate) fn exec_op(&mut self, cpu: usize, op: TraceOp) {
         match op {
             TraceOp::Instr(n) => {
                 self.clocks[cpu] += n;
                 self.instr[cpu] += n;
             }
-            TraceOp::Load(va) | TraceOp::Store(va) => {
+            TraceOp::Load(va) | TraceOp::Store(va) | TraceOp::IFetch(va) => {
                 let (vpn, pa) = self.translate_demand(cpu, va);
-                let kind = if matches!(op, TraceOp::Store(_)) {
-                    AccessKind::Write
-                } else {
-                    AccessKind::Read
-                };
-                let out = self.mem.access(cpu, self.clocks[cpu], va, pa, kind);
-                self.clocks[cpu] += out.latency_cycles + 1;
-                self.instr[cpu] += 1;
-                if self.dynamic && out.miss_class == Some(cdpc_memsim::MissClass::Conflict) {
+                let miss = self.exec_demand_translated(cpu, op, pa);
+                if self.dynamic && miss == Some(cdpc_memsim::MissClass::Conflict) {
                     self.note_conflict_miss(cpu, vpn);
                 }
             }
-            TraceOp::IFetch(va) => {
-                let (_, pa) = self.translate_demand(cpu, va);
-                let out = self
-                    .mem
-                    .access(cpu, self.clocks[cpu], va, pa, AccessKind::IFetch);
-                self.clocks[cpu] += out.latency_cycles;
-            }
             TraceOp::Prefetch { addr, exclusive } => {
-                // No fault: prefetches to unmapped pages are dropped by the
-                // TLB probe (the page cannot be in the TLB if never
-                // demand-accessed), so pa is never read for them.
-                let pa = if self.cfg.translation_cache {
-                    let vpn = self.geometry.vpn_of(addr);
-                    match self.tcache[cpu].lookup(vpn.0) {
-                        Some(ppn) => self
-                            .geometry
-                            .phys_addr(Ppn(ppn), self.geometry.offset_of(addr)),
-                        None => self.vm.translate(addr).unwrap_or(PhysAddr(0)),
-                    }
-                } else {
-                    self.vm.translate(addr).unwrap_or(PhysAddr(0))
-                };
+                let pa = self.prefetch_pa(cpu, addr);
                 let out = self
                     .mem
                     .prefetch(cpu, self.clocks[cpu], addr, pa, exclusive);
@@ -483,6 +475,73 @@ impl<Q: Probe> Sim<Q> {
             }
         }
         self.sampler_tick(cpu);
+    }
+
+    /// Translates a prefetch target without faulting: prefetches to
+    /// unmapped pages are dropped by the TLB probe (the page cannot be in
+    /// the TLB if never demand-accessed), so the placeholder `pa` of an
+    /// unmapped page is never read. Pure — no state changes — which is
+    /// what lets the parallel engine compute a prefetch hazard's cache
+    /// line before committing to execute it.
+    pub(crate) fn prefetch_pa(&self, cpu: usize, addr: VirtAddr) -> PhysAddr {
+        if self.cfg.translation_cache {
+            let vpn = self.geometry.vpn_of(addr);
+            match self.tcache[cpu].lookup(vpn.0) {
+                Some(ppn) => self
+                    .geometry
+                    .phys_addr(Ppn(ppn), self.geometry.offset_of(addr)),
+                None => self.vm.translate(addr).unwrap_or(PhysAddr(0)),
+            }
+        } else {
+            self.vm.translate(addr).unwrap_or(PhysAddr(0))
+        }
+    }
+
+    /// Applies a prefetch outcome's processor-side accounting — the tail
+    /// of the `Prefetch` arm of [`exec_op`](Self::exec_op), split out for
+    /// the parallel engine (which screens and issues the prefetch in two
+    /// steps around its victim gate).
+    pub(crate) fn finish_prefetch(&mut self, cpu: usize, out: cdpc_memsim::PrefetchOutcome) {
+        self.clocks[cpu] += out.stall_cycles + 1;
+        self.instr[cpu] += 1;
+    }
+
+    /// The post-translation tail of [`exec_op`](Self::exec_op) for demand
+    /// references (`Load`/`Store`/`IFetch`): runs the memory access at the
+    /// CPU's current clock and applies the audited per-op accounting.
+    /// Shared between the serial path and the parallel engine's hazard
+    /// execution (which translates at its ordering gate), so the two
+    /// cannot drift. Returns the miss class for the caller's
+    /// dynamic-recoloring hook.
+    pub(crate) fn exec_demand_translated(
+        &mut self,
+        cpu: usize,
+        op: TraceOp,
+        pa: PhysAddr,
+    ) -> Option<cdpc_memsim::MissClass> {
+        match op {
+            TraceOp::Load(va) | TraceOp::Store(va) => {
+                let kind = if matches!(op, TraceOp::Store(_)) {
+                    AccessKind::Write
+                } else {
+                    AccessKind::Read
+                };
+                let out = self.mem.access(cpu, self.clocks[cpu], va, pa, kind);
+                self.clocks[cpu] += out.latency_cycles + 1;
+                self.instr[cpu] += 1;
+                out.miss_class
+            }
+            TraceOp::IFetch(va) => {
+                let out = self
+                    .mem
+                    .access(cpu, self.clocks[cpu], va, pa, AccessKind::IFetch);
+                self.clocks[cpu] += out.latency_cycles;
+                None
+            }
+            TraceOp::Instr(_) | TraceOp::Prefetch { .. } => {
+                unreachable!("exec_demand_translated only handles demand references")
+            }
+        }
     }
 
     /// Advances the sampling wall clock past this CPU's local clock and
@@ -638,13 +697,7 @@ impl<Q: Probe> Sim<Q> {
                         }
                     }
                 }
-                // Barrier: account imbalance, then synchronize.
-                let tmax = *self.clocks.iter().max().expect("at least one cpu");
-                for c in 0..p {
-                    self.imbalance += tmax - self.clocks[c];
-                    self.clocks[c] = tmax + self.cfg.barrier_cycles;
-                    self.sync += self.cfg.barrier_cycles;
-                }
+                self.parallel_barrier(p);
             }
             CompiledStmt::Master { spec, suppressed } => {
                 let start = self.clocks[0];
@@ -662,6 +715,18 @@ impl<Q: Probe> Sim<Q> {
                     }
                 }
             }
+        }
+    }
+
+    /// The barrier closing a parallel statement: account imbalance, then
+    /// synchronize every participant. Shared by the serial scheduler arms
+    /// and the parallel engine.
+    pub(crate) fn parallel_barrier(&mut self, p: usize) {
+        let tmax = *self.clocks.iter().max().expect("at least one cpu");
+        for c in 0..p {
+            self.imbalance += tmax - self.clocks[c];
+            self.clocks[c] = tmax + self.cfg.barrier_cycles;
+            self.sync += self.cfg.barrier_cycles;
         }
     }
 
@@ -797,6 +862,47 @@ pub fn run_observed<P: Probe>(
     probe: &mut P,
     sample_interval: Option<u64>,
 ) -> (RunReport, Option<IntervalSeries>) {
+    if engine_eligible::<P>(cfg) {
+        match crate::engine::run_engine(compiled, cfg, &mut *probe, sample_interval) {
+            Ok(out) => return out,
+            Err(crate::engine::EngineAbort) => {
+                // A cross-CPU conflict landed inside a speculated private
+                // span (possible, rare, and detected exactly): drop all
+                // engine state, tell the probe to reset, and re-run the
+                // whole thing serially — the bit-identical slow path.
+                probe.on_engine_restart();
+            }
+        }
+    }
+    match run_observed_inner(compiled, cfg, probe, sample_interval, None) {
+        Ok(out) => out,
+        Err(crate::engine::EngineAbort) => unreachable!("serial path cannot abort"),
+    }
+}
+
+/// Whether the parallel engine covers this configuration and probe. The
+/// excluded cases either have nothing to parallelize (one CPU, one
+/// thread), change the reference order itself (`heap` scheduler), route
+/// every translation through mutable OS state (`translation_cache =
+/// false`), mutate cross-CPU state from arbitrary points (dynamic
+/// recoloring's IPIs and flushes), or require the exact global event
+/// interleaving (`ORDER_SENSITIVE` probes).
+fn engine_eligible<P: Probe>(cfg: &RunConfig) -> bool {
+    cfg.sim_threads > 1
+        && cfg.mem.num_cpus > 1
+        && cfg.scheduler == SchedulerKind::MinClockBatch
+        && cfg.translation_cache
+        && cfg.policy != PolicyKind::DynamicRecolor
+        && !P::ORDER_SENSITIVE
+}
+
+pub(crate) fn run_observed_inner<'a, P: Probe>(
+    compiled: &'a CompiledProgram,
+    cfg: &RunConfig,
+    probe: &mut P,
+    sample_interval: Option<u64>,
+    mut engine: Option<&mut crate::engine::EngineDriver<'a, '_>>,
+) -> Result<(RunReport, Option<IntervalSeries>), crate::engine::EngineAbort> {
     assert_eq!(
         compiled.num_cpus, cfg.mem.num_cpus,
         "program compiled for {} CPUs but machine has {}",
@@ -844,7 +950,7 @@ pub fn run_observed<P: Probe>(
         vm,
         policy,
         clocks: vec![0; p],
-        tcache: (0..p).map(|_| TransCache::new()).collect(),
+        tcache: (0..p).map(|_| Box::new(TransCache::new())).collect(),
         dynamic: cfg.policy == PolicyKind::DynamicRecolor,
         conflict_counts: cdpc_core::fastmap::FxMap64::new(),
         color_loads: vec![0; num_colors],
@@ -882,7 +988,7 @@ pub fn run_observed<P: Probe>(
     // Warm-up pass: fault pages in, warm caches; everything discarded.
     for phase in &compiled.phases {
         for stmt in &phase.stmts {
-            sim.exec_stmt(stmt);
+            exec_stmt_dispatch(&mut sim, stmt, &mut engine)?;
         }
         if cfg.validate_coherence || cfg!(debug_assertions) {
             sim.mem.validate_coherence();
@@ -912,7 +1018,7 @@ pub fn run_observed<P: Probe>(
         sim.mem.probe_mut().on_phase_start(phase_idx, phase.count);
         let start: Vec<u64> = sim.clocks.clone();
         for stmt in &phase.stmts {
-            sim.exec_stmt(stmt);
+            exec_stmt_dispatch(&mut sim, stmt, &mut engine)?;
         }
         let phase_end_cycle = sim.clocks.iter().copied().max().unwrap_or(0);
         sim.mem.probe_mut().on_phase_end(phase_idx, phase_end_cycle);
@@ -996,7 +1102,28 @@ pub fn run_observed<P: Probe>(
         simulated_refs: sim.mem.lifetime_refs(),
     };
     let series = sim.sampler.take().map(|s| s.series);
-    (report, series)
+    Ok((report, series))
+}
+
+/// Routes one statement either through the parallel engine (parallel
+/// statements while no sampler is armed) or the serial scheduler. Master
+/// statements and sampled statements always run serially: the former are
+/// single-stream by construction, and interval sampling needs the global
+/// wall clock op by op — warm-up still parallelizes even when sampling
+/// was requested, because the sampler is armed only for the measured
+/// pass, so the returned series is bit-identical either way.
+fn exec_stmt_dispatch<'a, Q: Probe>(
+    sim: &mut Sim<Q>,
+    stmt: &'a CompiledStmt,
+    engine: &mut Option<&mut crate::engine::EngineDriver<'a, '_>>,
+) -> Result<(), crate::engine::EngineAbort> {
+    if let (Some(driver), CompiledStmt::Parallel { specs }) = (engine.as_deref_mut(), stmt) {
+        if sim.sampler.is_none() {
+            return crate::engine::run_parallel_stmt(driver, sim, specs);
+        }
+    }
+    sim.exec_stmt(stmt);
+    Ok(())
 }
 
 /// An [`AttributionProbe`] pre-sized for `compiled` on `cfg`'s machine:

@@ -101,8 +101,25 @@ where
 
 /// Runs a batch of simulation jobs on up to `threads` threads, returning
 /// one [`RunReport`] per job in input order.
+///
+/// `threads` is the *job-level* budget; callers combining job fan-out
+/// with intra-run sim-threads should first divide through
+/// [`thread_budget`] so the two levels cannot oversubscribe the host.
 pub fn run_sweep(jobs: &[SweepJob], threads: usize) -> Vec<RunReport> {
     sweep_map(jobs, threads, |job| run(&job.compiled, &job.cfg))
+}
+
+/// Combines the two levels of host-thread parallelism — job fan-out
+/// (`--threads`) and the intra-run engine (`--sim-threads`) — into the
+/// job-level thread budget: `max(1, threads / sim_threads)`.
+///
+/// Precedence is **sim-threads first**: each run keeps its full
+/// `sim_threads` pool and the job fan-out shrinks to compensate, so
+/// `--threads 8 --sim-threads 4` runs 2 jobs at a time with 4 engine
+/// threads each (8 host threads total, never 32). `sim_threads <= 1`
+/// leaves the budget untouched.
+pub fn thread_budget(threads: usize, sim_threads: usize) -> usize {
+    (threads / sim_threads.max(1)).max(1)
 }
 
 #[cfg(test)]
@@ -129,5 +146,15 @@ mod tests {
     #[test]
     fn default_threads_is_positive() {
         assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn thread_budget_divides_sim_threads_first() {
+        assert_eq!(thread_budget(8, 4), 2);
+        assert_eq!(thread_budget(8, 1), 8);
+        assert_eq!(thread_budget(8, 0), 8);
+        assert_eq!(thread_budget(4, 8), 1); // oversubscribed: one job at a time
+        assert_eq!(thread_budget(1, 1), 1);
+        assert_eq!(thread_budget(0, 4), 1);
     }
 }

@@ -1,0 +1,130 @@
+//! Allocation-freedom proof for the epoch-parallel engine's steady state.
+//!
+//! The engine recycles everything that crosses an epoch boundary: bundles
+//! and their journals, batch-clock logs, mailbox queues, and the
+//! coordinator's scratch buffers are allocated during the first epochs and
+//! reused afterwards. So once warm, adding *more* epochs (phase
+//! repetitions) to a run must add exactly the heap traffic the serial
+//! scheduler adds for the same epochs — the engine's own per-epoch
+//! allocation budget is zero.
+//!
+//! The proof compares first differences under a counting global
+//! allocator: `allocs(run with N+K epochs) - allocs(run with N epochs)`,
+//! measured for the serial path and for the engine at `sim_threads = 4`.
+//! Run-level one-offs (worker-pool spawn, mailbox construction, warm-up
+//! growth) cancel in the difference; what remains is the steady-state
+//! per-epoch cost, and the engine's must not exceed the serial path's.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use cdpc_compiler::ir::{Access, AccessPattern, LoopNest, Phase, Program, Stmt, StmtKind};
+use cdpc_compiler::{compile, CompileOptions};
+use cdpc_machine::{run, PolicyKind, RunConfig, RunReport};
+use cdpc_memsim::{CacheConfig, MemConfig};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// A two-array stencil/partitioned workload whose epoch count (phase
+/// repetitions) is the knob; everything else is held fixed.
+fn workload(cpus: usize, epochs: u64) -> cdpc_compiler::CompiledProgram {
+    let mut p = Program::new("zero-alloc-engine");
+    let a = p.array("A", 24 << 10);
+    let b = p.array("B", 24 << 10);
+    let nest = LoopNest::new("sweep", 12, 300)
+        .with_access(Access::read(
+            a,
+            AccessPattern::Stencil {
+                unit_bytes: 1024,
+                halo_units: 1,
+                wraparound: false,
+            },
+        ))
+        .with_access(Access::write(
+            b,
+            AccessPattern::Partitioned { unit_bytes: 1024 },
+        ));
+    p.phase(Phase {
+        name: "main".into(),
+        stmts: vec![Stmt {
+            kind: StmtKind::Parallel,
+            nest,
+        }],
+        count: epochs,
+    });
+    compile(&p, &CompileOptions::new(cpus).with_l2_cache(32 << 10)).unwrap()
+}
+
+fn small_mem(cpus: usize) -> MemConfig {
+    let mut m = MemConfig::paper_base(cpus);
+    m.l1d = CacheConfig::new(1 << 10, 32, 2);
+    m.l1i = CacheConfig::new(1 << 10, 32, 2);
+    m.l2 = CacheConfig::new(32 << 10, 128, 1);
+    m
+}
+
+/// Allocation count of one full run (the caller warms the path first).
+fn allocs_of(compiled: &cdpc_compiler::CompiledProgram, cfg: &RunConfig) -> (u64, RunReport) {
+    let before = ALLOCS.load(Ordering::SeqCst);
+    let report = black_box(run(compiled, cfg));
+    (ALLOCS.load(Ordering::SeqCst) - before, report)
+}
+
+#[test]
+fn engine_steady_state_adds_zero_allocations_per_epoch() {
+    const CPUS: usize = 4;
+    const BASE: u64 = 3;
+    const MORE: u64 = 13;
+    let short = workload(CPUS, BASE);
+    let long = workload(CPUS, MORE);
+    let serial_cfg = RunConfig::new(small_mem(CPUS), PolicyKind::Cdpc);
+    let mut engine_cfg = serial_cfg.clone();
+    engine_cfg.sim_threads = 4;
+
+    // Warm every (program, config) pair once so lazy one-time init
+    // (thread-local buffers etc.) doesn't skew any measurement.
+    for compiled in [&short, &long] {
+        let _ = run(compiled, &serial_cfg);
+        let _ = run(compiled, &engine_cfg);
+    }
+
+    let (serial_short, rs) = allocs_of(&short, &serial_cfg);
+    let (serial_long, rl) = allocs_of(&long, &serial_cfg);
+    let (engine_short, es) = allocs_of(&short, &engine_cfg);
+    let (engine_long, el) = allocs_of(&long, &engine_cfg);
+
+    assert_eq!(rs, es, "engine must be bit-identical (short run)");
+    assert_eq!(rl, el, "engine must be bit-identical (long run)");
+
+    let serial_delta = serial_long.saturating_sub(serial_short);
+    let engine_delta = engine_long.saturating_sub(engine_short);
+    assert!(
+        engine_delta <= serial_delta,
+        "steady-state epochs must be allocation-free for the engine: \
+         {} extra epochs cost {engine_delta} allocations under the engine \
+         vs {serial_delta} serially",
+        MORE - BASE,
+    );
+}

@@ -128,6 +128,25 @@ impl Timing {
     }
 }
 
+/// Formats a wall-clock duration with adaptive units: seconds at or above
+/// one second, milliseconds down to one millisecond, then microseconds and
+/// nanoseconds — so sub-millisecond timings never print as `0.00 ms`.
+///
+/// The numeric part always carries two decimals, keeping benchmark tables
+/// column-stable within a unit.
+pub fn fmt_duration(secs: f64) -> String {
+    let s = secs.max(0.0);
+    if s >= 1.0 {
+        format!("{s:.2} s")
+    } else if s >= 1e-3 {
+        format!("{:.2} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.2} us", s * 1e6)
+    } else {
+        format!("{:.2} ns", s * 1e9)
+    }
+}
+
 /// Runs `f` for `warmup` untimed iterations, then `iters` timed ones.
 ///
 /// This is the whole benchmark harness: no statistics beyond the mean, but
@@ -200,6 +219,18 @@ mod tests {
         assert_eq!(calls, 7, "warmup + timed iterations all run");
         assert_eq!(t.iters, 5);
         assert!(t.secs_per_iter() >= 0.0);
+    }
+
+    #[test]
+    fn fmt_duration_picks_adaptive_units() {
+        assert_eq!(fmt_duration(2.5), "2.50 s");
+        assert_eq!(fmt_duration(0.0123), "12.30 ms");
+        assert_eq!(fmt_duration(0.001), "1.00 ms");
+        assert_eq!(fmt_duration(42.7e-6), "42.70 us");
+        assert_eq!(fmt_duration(3.2e-9), "3.20 ns");
+        assert_eq!(fmt_duration(0.0), "0.00 ns");
+        // Negative durations cannot happen; clamp instead of panicking.
+        assert_eq!(fmt_duration(-1.0), "0.00 ns");
     }
 
     #[test]
