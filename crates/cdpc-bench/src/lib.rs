@@ -32,15 +32,17 @@
 //! lints the whole workload suite and emits a JSON report.
 
 use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use cdpc_analyze::SanitizerProbe;
 use cdpc_compiler::ir::Program;
 use cdpc_compiler::{compile, CompileOptions, CompiledProgram};
 use cdpc_machine::{
     attribution_probe, attribution_to_html, attribution_to_json, render_attribution_top,
-    report_to_json, run_observed, run_sweep, sweep_map, thread_budget, PolicyKind, RunConfig,
-    RunReport, SchedulerKind, SweepJob,
+    report_to_json, run_observed, run_sweep_memo, sweep_map, thread_budget, PolicyKind,
+    ResultCache, RunConfig, RunReport, SchedulerKind, SweepJob,
 };
 use cdpc_memsim::{CacheConfig, MemConfig};
 use cdpc_obs::{AttributionProbe, IntervalSeries, JsonValue, TraceProbe};
@@ -76,7 +78,8 @@ impl Preset {
 /// Window length used for `--series` when `--sample-interval` is absent.
 pub const DEFAULT_SAMPLE_INTERVAL: u64 = 10_000;
 
-const FLAG_USAGE: &str = "supported flags: --scale N, --full, --threads N, --sim-threads N, \
+const FLAG_USAGE: &str = "supported flags: --scale N, --full, --threads N (0 = auto), \
+                          --sim-threads N (0 = auto), --cache <dir>, --no-cache, \
                           --lint, --sanitize, --predict <path>, --sarif <path>, \
                           --scheduler batch|heap, --json <path>, --trace <path>, \
                           --series <path>, --sample-interval <cycles>, --attrib <path>, --top";
@@ -132,8 +135,15 @@ impl ObsOptions {
     /// True when any observability output was requested — the signal for
     /// [`Setup::run_bench`] to switch from `run` to `run_observed`.
     pub fn active(&self) -> bool {
-        self.json.is_some()
-            || self.trace.is_some()
+        self.json.is_some() || self.probes_needed()
+    }
+
+    /// True when an output needs an in-simulation observer (probe or
+    /// sampler). `--json` alone does *not*: the JSON document is rendered
+    /// from the finished [`RunReport`]s, so those runs stay eligible for
+    /// the memoized sweep and the persistent result cache.
+    pub fn probes_needed(&self) -> bool {
+        self.trace.is_some()
             || self.series.is_some()
             || self.sample_interval.is_some()
             || self.attribution()
@@ -212,7 +222,7 @@ fn write_text(path: &Path, text: &str) {
 
 /// One experiment configuration: scale, observability outputs, and derived
 /// machine parameters.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct Setup {
     /// Power-of-two divisor applied to data sets, caches, and TLBs.
     pub scale: u64,
@@ -248,7 +258,35 @@ pub struct Setup {
     /// `--sarif <path>`: where analysis binaries export their diagnostics
     /// as a SARIF 2.1.0 log.
     pub sarif: Option<PathBuf>,
+    /// `--cache <dir>` (or the `CDPC_CACHE_DIR` environment variable):
+    /// root of the persistent content-addressed result cache consulted by
+    /// [`run_jobs`](Self::run_jobs) for jobs without observation
+    /// side-effects. `--no-cache` clears it. `None` (the default) keeps
+    /// everything in-process.
+    pub cache: Option<PathBuf>,
+    /// Per-setup compilation memo: each `(benchmark, preset, cpus,
+    /// prefetch, aligned)` cell compiles once per process and every sweep
+    /// point that runs it shares the `Arc`.
+    compiled: RefCell<HashMap<String, Arc<CompiledProgram>>>,
 }
+
+impl PartialEq for Setup {
+    fn eq(&self, other: &Self) -> bool {
+        // The compilation memo is a derived cache, not configuration.
+        self.scale == other.scale
+            && self.threads == other.threads
+            && self.sim_threads == other.sim_threads
+            && self.obs == other.obs
+            && self.lint == other.lint
+            && self.sanitize == other.sanitize
+            && self.scheduler == other.scheduler
+            && self.predict == other.predict
+            && self.sarif == other.sarif
+            && self.cache == other.cache
+    }
+}
+
+impl Eq for Setup {}
 
 impl Default for Setup {
     fn default() -> Self {
@@ -269,6 +307,8 @@ impl Setup {
             scheduler: SchedulerKind::default(),
             predict: None,
             sarif: None,
+            cache: None,
+            compiled: RefCell::new(HashMap::new()),
         }
     }
 
@@ -291,7 +331,11 @@ impl Setup {
     /// arguments for binaries with positional parameters (e.g. `inspect`).
     pub fn from_args_with_positionals() -> (Self, Vec<String>) {
         let args: Vec<String> = std::env::args().skip(1).collect();
-        let mut setup = Setup::default();
+        let mut setup = Setup {
+            // Ambient cache root, overridable by --cache / --no-cache below.
+            cache: std::env::var_os("CDPC_CACHE_DIR").map(PathBuf::from),
+            ..Setup::default()
+        };
         let mut positional = Vec::new();
         let mut i = 0;
         let value = |args: &[String], i: usize, flag: &str| -> String {
@@ -316,18 +360,38 @@ impl Setup {
                 "--threads" => {
                     let v = value(&args, i, "--threads")
                         .parse::<usize>()
-                        .unwrap_or_else(|_| panic!("--threads needs a thread count"));
-                    assert!(v >= 1, "--threads must be at least 1");
-                    setup.threads = v;
+                        .unwrap_or_else(|_| panic!("--threads needs a thread count (0 = auto)"));
+                    // 0 = auto-detect the host's available parallelism.
+                    setup.threads = if v == 0 {
+                        cdpc_machine::default_threads()
+                    } else {
+                        v
+                    };
                     i += 2;
                 }
                 "--sim-threads" => {
                     let v = value(&args, i, "--sim-threads")
                         .parse::<usize>()
-                        .unwrap_or_else(|_| panic!("--sim-threads needs a thread count"));
-                    assert!(v >= 1, "--sim-threads must be at least 1");
-                    setup.sim_threads = v;
+                        .unwrap_or_else(|_| {
+                            panic!("--sim-threads needs a thread count (0 = auto)")
+                        });
+                    // 0 = auto-detect; thread_budget() still divides the
+                    // job fan-out through, so the two levels never
+                    // oversubscribe the host.
+                    setup.sim_threads = if v == 0 {
+                        cdpc_machine::default_threads()
+                    } else {
+                        v
+                    };
                     i += 2;
+                }
+                "--cache" => {
+                    setup.cache = Some(PathBuf::from(value(&args, i, "--cache")));
+                    i += 2;
+                }
+                "--no-cache" => {
+                    setup.cache = None;
+                    i += 1;
                 }
                 "--lint" => {
                     setup.lint = true;
@@ -413,7 +477,35 @@ impl Setup {
     }
 
     /// Compiles one benchmark for a preset.
+    ///
+    /// Compilation is memoized per `(benchmark, preset, cpus, prefetch,
+    /// aligned)` within this setup: a figure sweep that runs the same
+    /// workload under every policy and CPU count compiles it once and
+    /// shares the `Arc` across all its [`SweepJob`]s.
     pub fn compile_bench(
+        &self,
+        bench: &Benchmark,
+        preset: Preset,
+        cpus: usize,
+        prefetch: bool,
+        aligned: bool,
+    ) -> Arc<CompiledProgram> {
+        let key = format!("{}/{preset:?}/{cpus}/{prefetch}/{aligned}", bench.name);
+        if let Some(hit) = self.compiled.borrow().get(&key) {
+            return Arc::clone(hit);
+        }
+        let compiled =
+            Arc::new(self.compile_bench_uncached(bench, preset, cpus, prefetch, aligned));
+        self.compiled
+            .borrow_mut()
+            .insert(key, Arc::clone(&compiled));
+        compiled
+    }
+
+    /// [`compile_bench`](Self::compile_bench) without the memo — always
+    /// runs the full compiler pipeline. The pipeline benchmark uses this
+    /// to price compilation itself rather than a map lookup.
+    pub fn compile_bench_uncached(
         &self,
         bench: &Benchmark,
         preset: Preset,
@@ -467,12 +559,20 @@ impl Setup {
     /// reports in input order.
     ///
     /// With no observability outputs this is
-    /// [`run_sweep`](cdpc_machine::run_sweep): pure simulation fan-out,
-    /// bit-identical for any thread count. When [`ObsOptions`] flags are
-    /// set, each worker runs [`run_observed`](cdpc_machine::run_observed)
-    /// with its own probe, and the files are recorded on the calling
-    /// thread in input order afterwards — so file contents and numbering
-    /// are also independent of the thread count.
+    /// [`run_sweep_memo`](cdpc_machine::run_sweep_memo): pure simulation
+    /// fan-out with content-addressed memoization (in-sweep dedup,
+    /// warm-checkpoint forking, and — when [`Setup::cache`] is set — the
+    /// persistent result cache), bit-identical to the unmemoized sweep for
+    /// any thread count. With a cache attached, the
+    /// [`SweepCacheStats`](cdpc_obs::SweepCacheStats) summary is printed
+    /// to stderr (stdout stays byte-identical for the golden diffs).
+    ///
+    /// When [`ObsOptions`] flags are set, execution itself is the product
+    /// (traces, series, attribution), so every job bypasses the cache:
+    /// each worker runs [`run_observed`](cdpc_machine::run_observed) with
+    /// its own probe, and the files are recorded on the calling thread in
+    /// input order afterwards — so file contents and numbering are also
+    /// independent of the thread count.
     /// With `--sanitize`, every run is additionally shadowed by a
     /// fail-fast [`SanitizerProbe`](cdpc_analyze::SanitizerProbe)
     /// (composed with the trace probe when both are requested), so a MESI
@@ -481,8 +581,20 @@ impl Setup {
         // Combined cap: each engine-backed run brings `sim_threads` host
         // threads of its own, so the job fan-out shrinks to compensate.
         let threads = thread_budget(self.threads, self.sim_threads);
-        if !self.obs.active() && !self.sanitize {
-            return run_sweep(jobs, threads);
+        if !self.obs.probes_needed() && !self.sanitize {
+            let cache = self.cache.as_deref().map(ResultCache::new);
+            let (reports, stats) = run_sweep_memo(jobs, threads, cache.as_ref());
+            if cache.is_some() {
+                eprintln!("[cdpc-cache] {}", stats.summary_line());
+            }
+            // `--json` is report-rendered, not probe-observed, so cached
+            // and forked runs export exactly like fresh ones.
+            if self.obs.active() {
+                for report in &reports {
+                    self.obs.record(report, None, None, None);
+                }
+            }
+            return reports;
         }
         let interval = self.obs.sampling();
         let want_trace = self.obs.trace.is_some();

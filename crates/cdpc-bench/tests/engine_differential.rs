@@ -31,7 +31,10 @@ fn job(
     cpus: usize,
     policy: PolicyKind,
     prefetch: bool,
-) -> (cdpc_compiler::CompiledProgram, cdpc_machine::RunConfig) {
+) -> (
+    std::sync::Arc<cdpc_compiler::CompiledProgram>,
+    cdpc_machine::RunConfig,
+) {
     let setup = Setup::with_scale(SCALE);
     let bench = by_name(name).expect("workload exists");
     let compiled = setup.compile_bench(&bench, Preset::Base1MbDm, cpus, prefetch, true);

